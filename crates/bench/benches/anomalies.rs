@@ -1,0 +1,51 @@
+//! Criterion benchmark backing experiments E1/E2: the cost of running the
+//! anomaly probes under read committed vs snapshot isolation (the SI reads
+//! go through the versioned cache; the RC reads take short read locks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{DbConfig, GraphDb, IsolationLevel};
+use graphsi_workload::{phantom_read_probe, unrepeatable_read_probe};
+
+fn bench_probes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anomaly_probes");
+    group.sample_size(10);
+    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+        group.bench_with_input(
+            BenchmarkId::new("unrepeatable_read_probe", isolation),
+            &isolation,
+            |b, &isolation| {
+                b.iter_batched(
+                    || {
+                        let dir = TempDir::new("bench_e1");
+                        let db = Arc::new(GraphDb::open(dir.path(), DbConfig::default()).unwrap());
+                        (dir, db)
+                    },
+                    |(_dir, db)| unrepeatable_read_probe(&db, isolation, 10).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("phantom_read_probe", isolation),
+            &isolation,
+            |b, &isolation| {
+                b.iter_batched(
+                    || {
+                        let dir = TempDir::new("bench_e2");
+                        let db = Arc::new(GraphDb::open(dir.path(), DbConfig::default()).unwrap());
+                        (dir, db)
+                    },
+                    |(_dir, db)| phantom_read_probe(&db, isolation, 10).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probes);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmark backing experiment E4: cost of a hotspot update
+//! workload under the two write-write conflict strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{ConflictStrategy, DbConfig, GraphDb};
+use graphsi_workload::{build_graph, run_mix, GraphSpec, MixSpec};
+
+fn bench_conflict_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_strategies");
+    group.sample_size(10);
+    for strategy in [
+        ConflictStrategy::FirstUpdaterWins,
+        ConflictStrategy::FirstCommitterWins,
+    ] {
+        for hot_nodes in [1usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), hot_nodes),
+                &hot_nodes,
+                |b, &hot_nodes| {
+                    b.iter_batched(
+                        || {
+                            let dir = TempDir::new("bench_conflicts");
+                            let db = Arc::new(
+                                GraphDb::open(
+                                    dir.path(),
+                                    DbConfig::default().with_conflict_strategy(strategy),
+                                )
+                                .unwrap(),
+                            );
+                            let graph = build_graph(&db, &GraphSpec::random(64, 0)).unwrap();
+                            (dir, db, graph.nodes)
+                        },
+                        |(_dir, db, nodes)| {
+                            run_mix(
+                                &db,
+                                &nodes[..hot_nodes],
+                                &MixSpec {
+                                    threads: 2,
+                                    transactions_per_thread: 50,
+                                    read_fraction: 0.0,
+                                    writes_per_txn: 1,
+                                    skew: 0.9,
+                                    retry_aborts: true,
+                                    ..Default::default()
+                                },
+                            )
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict_strategies);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmark backing experiment E6: threaded GC (walks only the
+//! reclaimable prefix of the GC list) vs vacuum-style GC (walks every
+//! cached chain), on caches with different garbage ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use graphsi_mvcc::{run_threaded, run_vacuum, VersionedCache};
+use graphsi_txn::Timestamp;
+
+/// Builds a cache of `entities` entities with `versions` versions each.
+fn build_cache(entities: u64, versions: u64) -> VersionedCache<u64, u64> {
+    let cache = VersionedCache::new(16);
+    let mut ts = 0u64;
+    for v in 0..versions {
+        for e in 0..entities {
+            ts += 1;
+            cache.install_committed(e, Timestamp(ts), Some(Arc::new(v)));
+        }
+    }
+    cache
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc");
+    group.sample_size(20);
+    // `garbage_fraction` controls how much of the version population is
+    // reclaimable: the watermark is placed that far through the commits.
+    for garbage_fraction in [0.1f64, 0.5, 1.0] {
+        let entities = 2_000u64;
+        let versions = 5u64;
+        let total = entities * versions;
+        let watermark = Timestamp((total as f64 * garbage_fraction) as u64);
+        group.bench_with_input(
+            BenchmarkId::new("threaded", format!("{garbage_fraction}")),
+            &watermark,
+            |b, &watermark| {
+                b.iter_batched(
+                    || build_cache(entities, versions),
+                    |cache| run_threaded(&cache, watermark),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vacuum", format!("{garbage_fraction}")),
+            &watermark,
+            |b, &watermark| {
+                b.iter_batched(
+                    || build_cache(entities, versions),
+                    |cache| run_vacuum(&cache, watermark),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    // The idle case the paper highlights: nothing to collect. The threaded
+    // GC does O(1) work; the vacuum still walks everything.
+    group.bench_function("threaded_idle", |b| {
+        let cache = build_cache(2_000, 5);
+        b.iter(|| run_threaded(&cache, Timestamp(0)))
+    });
+    group.bench_function("vacuum_idle", |b| {
+        let cache = build_cache(2_000, 5);
+        b.iter(|| run_vacuum(&cache, Timestamp(0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gc);
+criterion_main!(benches);

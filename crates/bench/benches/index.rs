@@ -1,0 +1,73 @@
+//! Criterion benchmark backing experiment E9: versioned index lookups as a
+//! function of how many superseded (stale) postings the index carries, and
+//! the effect of garbage collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{DbConfig, GraphDb, PropertyValue};
+
+/// Builds a database with `nodes` indexed nodes whose `group` property has
+/// been rewritten `churn` times (each rewrite leaves a dead posting until
+/// GC runs).
+fn setup(nodes: usize, churn: usize, gc: bool) -> (TempDir, GraphDb) {
+    let dir = TempDir::new("bench_index");
+    let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+    let mut tx = db.begin();
+    let ids: Vec<_> = (0..nodes)
+        .map(|i| {
+            tx.create_node(&["Person"], &[("group", PropertyValue::Int((i % 8) as i64))])
+                .unwrap()
+        })
+        .collect();
+    tx.commit().unwrap();
+    for round in 0..churn {
+        for &id in &ids {
+            let mut tx = db.begin();
+            tx.set_node_property(id, "group", PropertyValue::Int((round % 8) as i64))
+                .unwrap();
+            tx.commit().unwrap();
+        }
+    }
+    if gc {
+        db.run_gc();
+    }
+    (dir, db)
+}
+
+fn bench_index_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_lookup");
+    group.sample_size(20);
+    for churn in [0usize, 4] {
+        for gc in [false, true] {
+            let (_dir, db) = setup(500, churn, gc);
+            let label = format!("churn{churn}_gc{gc}");
+            group.bench_with_input(
+                BenchmarkId::new("nodes_with_property", &label),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        let tx = db.begin();
+                        tx.nodes_with_property("group", &PropertyValue::Int(3))
+                            .unwrap()
+                            .len()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("nodes_with_label", &label),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        let tx = db.begin();
+                        tx.nodes_with_label("Person").unwrap().len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_lookups);
+criterion_main!(benches);

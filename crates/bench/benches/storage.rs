@@ -1,0 +1,90 @@
+//! Criterion benchmark backing experiment E7: raw record-store operations
+//! (the substrate the paper's "only newest committed version is persisted"
+//! rule writes through to), plus the version-chain read path of the MVCC
+//! cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use graphsi_mvcc::VersionedCache;
+use graphsi_storage::test_util::TempDir;
+use graphsi_storage::{GraphStore, GraphStoreConfig, LabelToken, PropertyKeyToken, PropertyValue};
+use graphsi_txn::Timestamp;
+
+fn bench_record_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_store");
+    group.bench_function("create_node_record", |b| {
+        let dir = TempDir::new("bench_store_create");
+        let store = GraphStore::open(dir.path(), GraphStoreConfig::default()).unwrap();
+        b.iter(|| {
+            let id = store.allocate_node_id();
+            store
+                .create_node(
+                    id,
+                    &[LabelToken(0)],
+                    &[(PropertyKeyToken(0), PropertyValue::Int(42))],
+                )
+                .unwrap();
+            id
+        })
+    });
+    group.bench_function("read_node_record", |b| {
+        let dir = TempDir::new("bench_store_read");
+        let store = GraphStore::open(dir.path(), GraphStoreConfig::default()).unwrap();
+        let ids: Vec<_> = (0..10_000)
+            .map(|i| {
+                let id = store.allocate_node_id();
+                store
+                    .create_node(id, &[], &[(PropertyKeyToken(0), PropertyValue::Int(i))])
+                    .unwrap();
+                id
+            })
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let id = ids[i % ids.len()];
+            i += 1;
+            store.read_node(id).unwrap()
+        })
+    });
+    group.bench_function("update_node_record_in_place", |b| {
+        let dir = TempDir::new("bench_store_update");
+        let store = GraphStore::open(dir.path(), GraphStoreConfig::default()).unwrap();
+        let id = store.allocate_node_id();
+        store.create_node(id, &[], &[]).unwrap();
+        let mut v = 0i64;
+        b.iter(|| {
+            v += 1;
+            store
+                .update_node(id, &[], &[(PropertyKeyToken(0), PropertyValue::Int(v))])
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_version_chain_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version_chain_read");
+    for chain_len in [1u64, 4, 16, 64] {
+        let cache: VersionedCache<u64, i64> = VersionedCache::new(16);
+        for ts in 1..=chain_len {
+            cache.install_committed(1, Timestamp(ts), Some(Arc::new(ts as i64)));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("newest_visible", chain_len),
+            &chain_len,
+            |b, &chain_len| {
+                b.iter(|| cache.read(1, Timestamp(chain_len)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oldest_visible", chain_len),
+            &chain_len,
+            |b, _| b.iter(|| cache.read(1, Timestamp(1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_store, bench_version_chain_reads);
+criterion_main!(benches);

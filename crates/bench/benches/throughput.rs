@@ -1,0 +1,93 @@
+//! Criterion benchmark backing experiment E8: single-operation latency of
+//! reads and writes under read committed (short read locks) vs snapshot
+//! isolation (lock-free versioned reads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{DbConfig, Direction, GraphDb, IsolationLevel, NodeId, PropertyValue};
+use graphsi_workload::{build_graph, GraphSpec};
+
+fn setup() -> (TempDir, Arc<GraphDb>, Vec<NodeId>) {
+    let dir = TempDir::new("bench_throughput");
+    let db = Arc::new(GraphDb::open(dir.path(), DbConfig::default()).unwrap());
+    let graph = build_graph(&db, &GraphSpec::random(1_000, 2_000)).unwrap();
+    (dir, db, graph.nodes)
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let (_dir, db, nodes) = setup();
+    let mut group = c.benchmark_group("read_latency");
+    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+        group.bench_with_input(
+            BenchmarkId::new("point_read", isolation),
+            &isolation,
+            |b, &isolation| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let tx = db.begin_with_isolation(isolation);
+                    let node = nodes[i % nodes.len()];
+                    i += 1;
+                    let v = tx.node_property(node, "balance").unwrap();
+                    tx.commit().unwrap();
+                    v
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_hop_expand", isolation),
+            &isolation,
+            |b, &isolation| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let tx = db.begin_with_isolation(isolation);
+                    let node = nodes[i % nodes.len()];
+                    i += 1;
+                    let n = tx.relationships(node, Direction::Both).unwrap().len();
+                    tx.commit().unwrap();
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let (_dir, db, nodes) = setup();
+    let mut group = c.benchmark_group("write_latency");
+    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+        group.bench_with_input(
+            BenchmarkId::new("property_update", isolation),
+            &isolation,
+            |b, &isolation| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let mut tx = db.begin_with_isolation(isolation);
+                    let node = nodes[i % nodes.len()];
+                    i += 1;
+                    tx.set_node_property(node, "balance", PropertyValue::Int(i as i64))
+                        .unwrap();
+                    tx.commit().unwrap()
+                })
+            },
+        );
+    }
+    group.bench_function("create_node", |b| {
+        b.iter(|| {
+            let mut tx = db.begin();
+            let id = tx
+                .create_node(&["Bench"], &[("x", PropertyValue::Int(1))])
+                .unwrap();
+            tx.commit().unwrap();
+            id
+        })
+    });
+    group.finish();
+    // Keep version chains bounded over long benchmark runs.
+    db.run_gc();
+}
+
+criterion_group!(benches, bench_reads, bench_writes);
+criterion_main!(benches);

@@ -1,0 +1,471 @@
+//! Experiment harness: regenerates one table per experiment (E1–E9) from
+//! DESIGN.md / EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p graphsi-bench --release --bin experiments            # all experiments
+//! cargo run -p graphsi-bench --release --bin experiments -- --exp e6
+//! cargo run -p graphsi-bench --release --bin experiments -- --quick # smaller parameters
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{
+    traversal, ConflictStrategy, DbConfig, Direction, GraphDb, IsolationLevel, PropertyValue,
+};
+use graphsi_workload::report::{f1, f3, Table};
+use graphsi_workload::{
+    build_graph, phantom_read_probe, run_mix, unrepeatable_read_probe, write_skew_probe,
+    GraphSpec, MixSpec,
+};
+
+struct Scale {
+    probe_rounds: u64,
+    mix_nodes: usize,
+    mix_txns_per_thread: usize,
+    gc_nodes: usize,
+    gc_rounds: usize,
+    threads: usize,
+}
+
+const FULL: Scale = Scale {
+    probe_rounds: 100,
+    mix_nodes: 2_000,
+    mix_txns_per_thread: 300,
+    gc_nodes: 500,
+    gc_rounds: 20,
+    threads: 4,
+};
+
+const QUICK: Scale = Scale {
+    probe_rounds: 20,
+    mix_nodes: 300,
+    mix_txns_per_thread: 50,
+    gc_nodes: 100,
+    gc_rounds: 5,
+    threads: 2,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { QUICK } else { FULL };
+    let exp = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+
+    let all = exp.is_none();
+    let want = |name: &str| all || exp.as_deref() == Some(name);
+
+    println!(
+        "# graphsi experiment harness (scale: {})",
+        if quick { "quick" } else { "full" }
+    );
+    println!();
+    if want("e1") {
+        e1_unrepeatable_reads(&scale);
+    }
+    if want("e2") {
+        e2_phantom_reads(&scale);
+    }
+    if want("e3") {
+        e3_write_skew(&scale);
+    }
+    if want("e4") {
+        e4_conflict_strategies(&scale);
+    }
+    if want("e5") {
+        e5_read_your_own_writes();
+    }
+    if want("e6") {
+        e6_garbage_collection(&scale);
+    }
+    if want("e7") {
+        e7_write_amplification(&scale);
+    }
+    if want("e8") {
+        e8_read_write_mix(&scale);
+    }
+    if want("e9") {
+        e9_versioned_indexes(&scale);
+    }
+}
+
+fn open(dir: &TempDir, config: DbConfig) -> Arc<GraphDb> {
+    Arc::new(GraphDb::open(dir.path(), config).expect("open db"))
+}
+
+fn e1_unrepeatable_reads(scale: &Scale) {
+    println!("## E1 — unrepeatable reads during a two-step traversal (paper §1)");
+    let mut table = Table::new(&["isolation", "rounds", "anomalous rounds", "anomaly rate"]);
+    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+        let dir = TempDir::new("e1");
+        let db = open(&dir, DbConfig::default());
+        let report = unrepeatable_read_probe(&db, isolation, scale.probe_rounds).unwrap();
+        table.row(&[
+            isolation.to_string(),
+            report.rounds.to_string(),
+            report.anomalies.to_string(),
+            f3(report.anomaly_rate()),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn e2_phantom_reads(scale: &Scale) {
+    println!("## E2 — phantom reads on a predicate selection (paper §1)");
+    let mut table = Table::new(&["isolation", "rounds", "anomalous rounds", "anomaly rate"]);
+    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+        let dir = TempDir::new("e2");
+        let db = open(&dir, DbConfig::default());
+        let report = phantom_read_probe(&db, isolation, scale.probe_rounds).unwrap();
+        table.row(&[
+            isolation.to_string(),
+            report.rounds.to_string(),
+            report.anomalies.to_string(),
+            f3(report.anomaly_rate()),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn e3_write_skew(scale: &Scale) {
+    println!("## E3 — write skew is admitted by SI, removed by materialising the conflict (paper §1/§3)");
+    let mut table = Table::new(&["variant", "rounds", "constraint violations", "rate"]);
+    for (name, materialize) in [
+        ("snapshot isolation (plain)", false),
+        ("materialised conflict", true),
+    ] {
+        let dir = TempDir::new("e3");
+        let db = open(&dir, DbConfig::default());
+        let report = write_skew_probe(&db, scale.probe_rounds, materialize).unwrap();
+        table.row(&[
+            name.to_string(),
+            report.rounds.to_string(),
+            report.anomalies.to_string(),
+            f3(report.anomaly_rate()),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn e4_conflict_strategies(scale: &Scale) {
+    println!("## E4 — first-updater-wins vs first-committer-wins under contention (paper §3/§4)");
+    let mut table = Table::new(&[
+        "strategy",
+        "hot nodes",
+        "committed",
+        "aborted",
+        "abort rate",
+        "throughput (txn/s)",
+    ]);
+    for strategy in [
+        ConflictStrategy::FirstUpdaterWins,
+        ConflictStrategy::FirstCommitterWins,
+    ] {
+        for hot in [1usize, 8, 64] {
+            let dir = TempDir::new("e4");
+            let db = open(&dir, DbConfig::default().with_conflict_strategy(strategy));
+            let graph = build_graph(&db, &GraphSpec::random(scale.mix_nodes.min(512), 0)).unwrap();
+            let hot_nodes = &graph.nodes[..hot.min(graph.nodes.len())];
+            let spec = MixSpec {
+                threads: scale.threads,
+                transactions_per_thread: scale.mix_txns_per_thread,
+                read_fraction: 0.0,
+                skew: 0.8,
+                writes_per_txn: 1,
+                retry_aborts: false,
+                ..Default::default()
+            };
+            let report = run_mix(&db, hot_nodes, &spec);
+            table.row(&[
+                strategy.to_string(),
+                hot.to_string(),
+                report.committed.to_string(),
+                report.aborted.to_string(),
+                f3(report.abort_rate()),
+                f1(report.throughput()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
+fn e5_read_your_own_writes() {
+    println!("## E5 — read-your-own-writes through the enriched iterators (paper §3/§4)");
+    let dir = TempDir::new("e5");
+    let db = open(&dir, DbConfig::default());
+    let mut table = Table::new(&["check", "result"]);
+
+    let mut tx = db.begin();
+    let a = tx
+        .create_node(&["Draft"], &[("v", PropertyValue::Int(1))])
+        .unwrap();
+    let b = tx.create_node(&["Draft"], &[]).unwrap();
+    let rel = tx.create_relationship(a, b, "LINK", &[]).unwrap();
+    tx.set_node_property(a, "v", PropertyValue::Int(2)).unwrap();
+
+    table.row(&[
+        "own created node visible pre-commit".to_string(),
+        tx.node_exists(a).unwrap().to_string(),
+    ]);
+    table.row(&[
+        "own updated property visible pre-commit".to_string(),
+        (tx.node_property(a, "v").unwrap() == Some(PropertyValue::Int(2))).to_string(),
+    ]);
+    table.row(&[
+        "own relationship visible in traversal pre-commit".to_string(),
+        (tx.neighbors(a, Direction::Both).unwrap() == vec![b]).to_string(),
+    ]);
+    table.row(&[
+        "own writes visible in label scan pre-commit".to_string(),
+        (tx.nodes_with_label("Draft").unwrap().len() == 2).to_string(),
+    ]);
+
+    let other = db.begin();
+    table.row(&[
+        "other transaction sees none of it".to_string(),
+        (!other.node_exists(a).unwrap() && other.nodes_with_label("Draft").unwrap().is_empty())
+            .to_string(),
+    ]);
+    drop(other);
+    tx.commit().unwrap();
+    let after = db.begin();
+    table.row(&[
+        "everything visible after commit".to_string(),
+        (after.node_exists(a).unwrap() && after.get_relationship(rel).unwrap().is_some())
+            .to_string(),
+    ]);
+    println!("{}", table.render());
+}
+
+fn e6_garbage_collection(scale: &Scale) {
+    println!("## E6 — threaded GC vs vacuum-style GC (paper §4)");
+    let mut table = Table::new(&[
+        "strategy",
+        "versions resident",
+        "versions examined",
+        "versions reclaimed",
+        "examined/reclaimed",
+        "pause (us)",
+    ]);
+    for threaded in [true, false] {
+        let dir = TempDir::new("e6");
+        let db = open(&dir, DbConfig::default());
+        let graph = build_graph(&db, &GraphSpec::random(scale.gc_nodes, 0)).unwrap();
+        // A long-running reader pins the watermark while every node is
+        // updated `gc_rounds` times, building long version chains.
+        {
+            let pin = db.begin();
+            for round in 0..scale.gc_rounds {
+                for &node in &graph.nodes {
+                    let mut tx = db.begin();
+                    tx.set_node_property(node, "balance", PropertyValue::Int(round as i64))
+                        .unwrap();
+                    tx.commit().unwrap();
+                }
+            }
+            drop(pin);
+        }
+        let resident = db.node_cache_stats().versions;
+        let summary = if threaded { db.run_gc() } else { db.run_gc_vacuum() };
+        table.row(&[
+            summary.strategy.to_string(),
+            resident.to_string(),
+            summary.versions_examined.to_string(),
+            summary.versions_reclaimed.to_string(),
+            f3(summary.versions_examined as f64 / summary.versions_reclaimed.max(1) as f64),
+            f1(summary.duration.as_micros() as f64),
+        ]);
+        // Second run: nothing left to collect — the cost of an idle GC pass.
+        let resident2 = db.node_cache_stats().versions;
+        let summary2 = if threaded { db.run_gc() } else { db.run_gc_vacuum() };
+        table.row(&[
+            format!("{} (idle pass)", summary2.strategy),
+            resident2.to_string(),
+            summary2.versions_examined.to_string(),
+            summary2.versions_reclaimed.to_string(),
+            f3(summary2.versions_examined as f64 / summary2.versions_reclaimed.max(1) as f64),
+            f1(summary2.duration.as_micros() as f64),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn e7_write_amplification(scale: &Scale) {
+    println!("## E7 — only the newest committed version reaches the persistent store (paper §4)");
+    let dir = TempDir::new("e7");
+    let db = open(&dir, DbConfig::default());
+    let graph = build_graph(&db, &GraphSpec::random(scale.gc_nodes, 0)).unwrap();
+    let baseline_writes = db.store_stats().total_record_writes();
+
+    let pin = db.begin(); // keep every superseded version alive in memory
+    let updates = scale.gc_rounds * graph.nodes.len();
+    for round in 0..scale.gc_rounds {
+        for &node in &graph.nodes {
+            let mut tx = db.begin();
+            tx.set_node_property(node, "balance", PropertyValue::Int(round as i64))
+                .unwrap();
+            tx.commit().unwrap();
+        }
+    }
+    let store_writes = db.store_stats().total_record_writes() - baseline_writes;
+    let versions_in_memory = db.node_cache_stats().versions;
+    drop(pin);
+
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(&["logical updates".to_string(), updates.to_string()]);
+    table.row(&[
+        "store record writes (newest-version-only)".to_string(),
+        store_writes.to_string(),
+    ]);
+    table.row(&[
+        "store record writes per update".to_string(),
+        f3(store_writes as f64 / updates as f64),
+    ]);
+    table.row(&[
+        "hypothetical store writes if every version were persisted".to_string(),
+        // every superseded version would need at least one extra record
+        // write instead of staying memory-only.
+        (store_writes + versions_in_memory).to_string(),
+    ]);
+    table.row(&[
+        "older versions kept in memory instead".to_string(),
+        versions_in_memory.to_string(),
+    ]);
+    println!("{}", table.render());
+}
+
+fn e8_read_write_mix(scale: &Scale) {
+    println!("## E8 — removing short read locks: RC vs SI under mixed workloads (paper §4)");
+    let mut table = Table::new(&[
+        "isolation",
+        "read fraction",
+        "throughput (txn/s)",
+        "abort rate",
+        "mean latency (us)",
+        "read lock acquisitions",
+    ]);
+    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+        for read_fraction in [0.5, 0.9, 0.99] {
+            let dir = TempDir::new("e8");
+            let db = open(&dir, DbConfig::default().with_isolation(isolation));
+            let graph =
+                build_graph(&db, &GraphSpec::random(scale.mix_nodes, scale.mix_nodes)).unwrap();
+            let locks_before = db.lock_stats().shared_acquired;
+            let spec = MixSpec {
+                threads: scale.threads,
+                transactions_per_thread: scale.mix_txns_per_thread,
+                read_fraction,
+                skew: 0.6,
+                isolation,
+                retry_aborts: false,
+                ..Default::default()
+            };
+            let report = run_mix(&db, &graph.nodes, &spec);
+            let read_locks = db.lock_stats().shared_acquired - locks_before;
+            table.row(&[
+                isolation.to_string(),
+                f3(read_fraction),
+                f1(report.throughput()),
+                f3(report.abort_rate()),
+                f1(report.mean_latency_us()),
+                read_locks.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
+fn e9_versioned_indexes(scale: &Scale) {
+    println!("## E9 — versioned indexes serve every snapshot correctly (paper §4)");
+    let dir = TempDir::new("e9");
+    let db = open(&dir, DbConfig::default());
+    let mut tx = db.begin();
+    let nodes: Vec<_> = (0..scale.gc_nodes)
+        .map(|i| {
+            tx.create_node(
+                &["Person"],
+                &[("group", PropertyValue::Int((i % 10) as i64))],
+            )
+            .unwrap()
+        })
+        .collect();
+    tx.commit().unwrap();
+
+    let old_reader = db.begin();
+    let old_count = old_reader
+        .nodes_with_property("group", &PropertyValue::Int(0))
+        .unwrap()
+        .len();
+
+    // Churn: move every node to a new group several times.
+    for round in 1..=5i64 {
+        for &node in &nodes {
+            let mut tx = db.begin();
+            tx.set_node_property(node, "group", PropertyValue::Int(round % 10))
+                .unwrap();
+            tx.commit().unwrap();
+        }
+    }
+
+    let start = Instant::now();
+    let old_again = old_reader
+        .nodes_with_property("group", &PropertyValue::Int(0))
+        .unwrap()
+        .len();
+    let old_lookup = start.elapsed();
+
+    let fresh = db.begin();
+    let start = Instant::now();
+    let fresh_count = fresh
+        .nodes_with_property("group", &PropertyValue::Int(5))
+        .unwrap()
+        .len();
+    let fresh_lookup = start.elapsed();
+
+    drop(old_reader);
+    drop(fresh);
+    let gc = db.run_gc();
+
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(&[
+        "old snapshot lookup (group=0), before churn".to_string(),
+        old_count.to_string(),
+    ]);
+    table.row(&[
+        "old snapshot lookup (group=0), after churn (must match)".to_string(),
+        old_again.to_string(),
+    ]);
+    table.row(&[
+        "fresh snapshot lookup (group=5)".to_string(),
+        fresh_count.to_string(),
+    ]);
+    table.row(&[
+        "old-snapshot lookup latency (us)".to_string(),
+        f1(old_lookup.as_micros() as f64),
+    ]);
+    table.row(&[
+        "fresh-snapshot lookup latency (us)".to_string(),
+        f1(fresh_lookup.as_micros() as f64),
+    ]);
+    table.row(&[
+        "index postings reclaimed by GC once snapshots closed".to_string(),
+        gc.index_postings_reclaimed.to_string(),
+    ]);
+    table.row(&[
+        "entity versions reclaimed by the same GC run".to_string(),
+        gc.versions_reclaimed.to_string(),
+    ]);
+    println!("{}", table.render());
+
+    // Structural check for F1 (architecture figure): every layer is
+    // reachable through the public API.
+    let tour = db.begin();
+    let _ = traversal::bfs(&tour, nodes[0], 1).unwrap();
+}

@@ -1,0 +1,20 @@
+//! # graphsi-bench
+//!
+//! Benchmark and experiment harness for the graphsi reproduction of
+//! *"Snapshot Isolation for Neo4j"* (EDBT 2016).
+//!
+//! * `src/bin/experiments.rs` — prints one table per experiment (E1–E9 in
+//!   DESIGN.md / EXPERIMENTS.md): anomaly counts, conflict-strategy abort
+//!   rates, GC cost, write amplification, read/write-mix throughput and
+//!   versioned-index behaviour.
+//! * `benches/` — Criterion microbenchmarks backing the same experiments
+//!   (`anomalies`, `conflicts`, `gc`, `throughput`, `index`, `storage`).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p graphsi-bench --release --bin experiments
+//! cargo bench -p graphsi-bench
+//! ```
+
+#![warn(missing_docs)]

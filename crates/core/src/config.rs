@@ -1,0 +1,163 @@
+//! Database configuration: isolation level, conflict strategy, cache and
+//! durability knobs.
+
+use std::time::Duration;
+
+use graphsi_txn::ConflictStrategy;
+use graphsi_wal::SyncPolicy;
+
+/// The isolation level a transaction runs under.
+///
+/// * [`IsolationLevel::ReadCommitted`] reproduces stock Neo4j: short shared
+///   (read) locks taken and released around every read, long exclusive
+///   (write) locks held until commit, reads always observe the latest
+///   committed state — and therefore suffer unrepeatable reads and
+///   phantoms.
+/// * [`IsolationLevel::SnapshotIsolation`] is the paper's contribution:
+///   reads are served from the versioned object cache at the transaction's
+///   start timestamp without any read locks; writes keep the long write
+///   locks and detect write-write conflicts (first-updater-wins by
+///   default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IsolationLevel {
+    /// Neo4j's original isolation level (the baseline).
+    ReadCommitted,
+    /// The paper's multi-version snapshot isolation.
+    #[default]
+    SnapshotIsolation,
+}
+
+impl IsolationLevel {
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationLevel::ReadCommitted => "read-committed",
+            IsolationLevel::SnapshotIsolation => "snapshot-isolation",
+        }
+    }
+}
+
+impl std::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a [`crate::db::GraphDb`] instance.
+#[derive(Clone, Debug)]
+pub struct DbConfig {
+    /// Default isolation level for transactions started with
+    /// [`crate::db::GraphDb::begin`].
+    pub isolation: IsolationLevel,
+    /// Write-write conflict strategy for snapshot-isolation transactions.
+    pub conflict_strategy: ConflictStrategy,
+    /// WAL sync policy.
+    pub sync_policy: SyncPolicy,
+    /// Page-cache pages per record store.
+    pub cache_pages_per_store: usize,
+    /// Shards of the versioned object caches.
+    pub cache_shards: usize,
+    /// How long a blocking lock acquisition (read-committed mode) waits
+    /// before giving up.
+    pub lock_timeout: Duration,
+    /// If set, the threaded garbage collector runs automatically after
+    /// every N commits.
+    pub auto_gc_every_commits: Option<u64>,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            isolation: IsolationLevel::SnapshotIsolation,
+            conflict_strategy: ConflictStrategy::FirstUpdaterWins,
+            sync_policy: SyncPolicy::OnDemand,
+            cache_pages_per_store: 256,
+            cache_shards: 16,
+            lock_timeout: Duration::from_millis(500),
+            auto_gc_every_commits: None,
+        }
+    }
+}
+
+impl DbConfig {
+    /// A configuration reproducing stock Neo4j (the read-committed
+    /// baseline).
+    pub fn read_committed() -> Self {
+        DbConfig {
+            isolation: IsolationLevel::ReadCommitted,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration using the paper's snapshot isolation (the default).
+    pub fn snapshot_isolation() -> Self {
+        DbConfig::default()
+    }
+
+    /// Builder-style setter for the isolation level.
+    pub fn with_isolation(mut self, isolation: IsolationLevel) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Builder-style setter for the conflict strategy.
+    pub fn with_conflict_strategy(mut self, strategy: ConflictStrategy) -> Self {
+        self.conflict_strategy = strategy;
+        self
+    }
+
+    /// Builder-style setter for the WAL sync policy.
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Builder-style setter for automatic GC frequency.
+    pub fn with_auto_gc(mut self, every_commits: u64) -> Self {
+        self.auto_gc_every_commits = Some(every_commits);
+        self
+    }
+
+    /// Builder-style setter for the blocking-lock timeout.
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = DbConfig::default();
+        assert_eq!(config.isolation, IsolationLevel::SnapshotIsolation);
+        assert_eq!(config.conflict_strategy, ConflictStrategy::FirstUpdaterWins);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = DbConfig::read_committed()
+            .with_auto_gc(100)
+            .with_lock_timeout(Duration::from_millis(10))
+            .with_sync_policy(SyncPolicy::Always)
+            .with_conflict_strategy(ConflictStrategy::FirstCommitterWins);
+        assert_eq!(config.isolation, IsolationLevel::ReadCommitted);
+        assert_eq!(config.auto_gc_every_commits, Some(100));
+        assert_eq!(config.lock_timeout, Duration::from_millis(10));
+        assert_eq!(config.sync_policy, SyncPolicy::Always);
+        assert_eq!(config.conflict_strategy, ConflictStrategy::FirstCommitterWins);
+        let config = config.with_isolation(IsolationLevel::SnapshotIsolation);
+        assert_eq!(config.isolation, IsolationLevel::SnapshotIsolation);
+    }
+
+    #[test]
+    fn isolation_names() {
+        assert_eq!(IsolationLevel::ReadCommitted.name(), "read-committed");
+        assert_eq!(
+            IsolationLevel::SnapshotIsolation.to_string(),
+            "snapshot-isolation"
+        );
+    }
+}

@@ -1,0 +1,809 @@
+//! The embedded graph database: stores, caches, indexes, transaction
+//! machinery and the commit pipeline.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use graphsi_index::GraphIndexes;
+use graphsi_mvcc::{gc, CacheLookup, CacheStatsSnapshot, GcStrategy, VersionedCache};
+use graphsi_storage::{
+    GraphStore, GraphStoreConfig, GraphStoreStats, NodeId, PropertyKeyToken, PropertyValue,
+    RelationshipId,
+};
+use graphsi_txn::{
+    check_at_commit, ActiveTransactionTable, LockKey, LockManager, LockStatsSnapshot, Timestamp,
+    TimestampOracle, TxnId,
+};
+use graphsi_wal::Wal;
+
+use crate::commit::{apply_to_store, split_commit_ts, CommitOp, CommitRecord};
+use crate::config::{DbConfig, IsolationLevel};
+use crate::entity::{NodeData, RelationshipData};
+use crate::error::Result;
+use crate::metrics::{DbMetrics, DbMetricsSnapshot};
+use crate::transaction::Transaction;
+use crate::write_set::WriteSet;
+
+/// Name of the reserved property that persists each entity's commit
+/// timestamp in the store (the paper: "We have added an additional property
+/// to both of them for keeping the commit timestamp").
+pub const COMMIT_TS_PROPERTY: &str = "__graphsi.commit_ts";
+
+/// Prefix reserved for internal property keys, labels and relationship
+/// types.
+pub const RESERVED_PREFIX: &str = "__graphsi";
+
+/// Summary of one garbage-collection run across node cache, relationship
+/// cache and indexes.
+#[derive(Clone, Copy, Debug)]
+pub struct GcSummary {
+    /// Strategy used (threaded or vacuum).
+    pub strategy: GcStrategy,
+    /// Watermark (oldest active start timestamp) the run used.
+    pub watermark: Timestamp,
+    /// Versions examined across both entity caches.
+    pub versions_examined: u64,
+    /// Versions reclaimed across both entity caches.
+    pub versions_reclaimed: u64,
+    /// Chains dropped entirely from the caches.
+    pub chains_dropped: u64,
+    /// Index postings reclaimed.
+    pub index_postings_reclaimed: u64,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+}
+
+/// The embedded graph database with selectable isolation level.
+pub struct GraphDb {
+    pub(crate) config: DbConfig,
+    pub(crate) store: GraphStore,
+    pub(crate) wal: Wal,
+    pub(crate) node_cache: VersionedCache<NodeId, NodeData>,
+    pub(crate) rel_cache: VersionedCache<RelationshipId, RelationshipData>,
+    pub(crate) indexes: GraphIndexes,
+    pub(crate) oracle: TimestampOracle,
+    pub(crate) active: ActiveTransactionTable,
+    pub(crate) locks: LockManager,
+    pub(crate) metrics: DbMetrics,
+    pub(crate) commit_ts_key: PropertyKeyToken,
+    /// Adjacency overlay: relationships that currently have cached versions,
+    /// indexed by their endpoint nodes. The persistent store's relationship
+    /// chains only reflect the *latest* committed linkage, so an older
+    /// snapshot traversing a node must additionally consider relationships
+    /// whose deletion it cannot yet see; those live in the relationship
+    /// cache and are found through this overlay (the paper's "enriched
+    /// iterator").
+    rel_overlay: RwLock<std::collections::HashMap<NodeId, std::collections::HashSet<RelationshipId>>>,
+    /// The newest commit timestamp whose versions are fully installed (in
+    /// the cache, store and indexes). New transactions snapshot at this
+    /// value rather than at the raw oracle counter, because a commit
+    /// timestamp is allocated *before* installation: a transaction that
+    /// started in between would otherwise own a snapshot it cannot read.
+    visible_ts: AtomicU64,
+    txn_counter: AtomicU64,
+    commit_apply_lock: Mutex<()>,
+    commits_since_gc: AtomicU64,
+}
+
+impl GraphDb {
+    /// Opens (creating if necessary) a database in `dir` with the given
+    /// configuration, replaying the write-ahead log and rebuilding the
+    /// in-memory indexes.
+    pub fn open(dir: impl AsRef<Path>, config: DbConfig) -> Result<Self> {
+        let dir = dir.as_ref();
+        let store = GraphStore::open(
+            dir,
+            GraphStoreConfig {
+                cache_pages_per_store: config.cache_pages_per_store,
+            },
+        )?;
+        let commit_ts_key = store.tokens().property_key(COMMIT_TS_PROPERTY)?;
+        let wal = Wal::open(dir.join("wal.log"), config.sync_policy)?;
+
+        let db = GraphDb {
+            node_cache: VersionedCache::new(config.cache_shards),
+            rel_cache: VersionedCache::new(config.cache_shards),
+            indexes: GraphIndexes::new(),
+            oracle: TimestampOracle::new(),
+            active: ActiveTransactionTable::new(),
+            locks: LockManager::new(config.lock_timeout),
+            metrics: DbMetrics::new(),
+            commit_ts_key,
+            rel_overlay: RwLock::new(std::collections::HashMap::new()),
+            visible_ts: AtomicU64::new(0),
+            txn_counter: AtomicU64::new(1),
+            commit_apply_lock: Mutex::new(()),
+            commits_since_gc: AtomicU64::new(0),
+            config,
+            store,
+            wal,
+        };
+        db.recover()?;
+        Ok(db)
+    }
+
+    /// Opens a database with the default configuration.
+    pub fn open_default(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open(dir, DbConfig::default())
+    }
+
+    /// The configuration this instance was opened with.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Begins a transaction at the database's default isolation level.
+    pub fn begin(&self) -> Transaction<'_> {
+        self.begin_with_isolation(self.config.isolation)
+    }
+
+    /// Begins a transaction at an explicit isolation level.
+    pub fn begin_with_isolation(&self, isolation: IsolationLevel) -> Transaction<'_> {
+        let id = TxnId(self.txn_counter.fetch_add(1, Ordering::Relaxed));
+        let start_ts = self.visible_timestamp();
+        self.active.register(id, start_ts);
+        self.metrics.record_begin();
+        Transaction::new(self, id, start_ts, isolation)
+    }
+
+    /// The newest commit timestamp whose effects are fully installed and
+    /// therefore readable. This is what new transactions snapshot at.
+    pub fn visible_timestamp(&self) -> Timestamp {
+        Timestamp(self.visible_ts.load(Ordering::Acquire))
+    }
+
+    /// Flushes every store to disk and truncates the WAL (a checkpoint).
+    pub fn checkpoint(&self) -> Result<()> {
+        let _guard = self.commit_apply_lock.lock();
+        self.store.flush()?;
+        self.wal.reset()?;
+        Ok(())
+    }
+
+    /// Runs the paper's threaded garbage collector: versions and index
+    /// postings that no active transaction can observe are reclaimed by
+    /// walking only the reclaimable prefix of the GC lists.
+    pub fn run_gc(&self) -> GcSummary {
+        self.run_gc_with(GcStrategy::Threaded)
+    }
+
+    /// Runs the vacuum-style baseline garbage collector (visits every
+    /// cached chain). Used by experiment E6 for comparison.
+    pub fn run_gc_vacuum(&self) -> GcSummary {
+        self.run_gc_with(GcStrategy::Vacuum)
+    }
+
+    fn run_gc_with(&self, strategy: GcStrategy) -> GcSummary {
+        let start = Instant::now();
+        let watermark = self.active.gc_watermark(self.visible_timestamp());
+        let (nodes, rels) = match strategy {
+            GcStrategy::Threaded => (
+                gc::run_threaded(&self.node_cache, watermark),
+                gc::run_threaded(&self.rel_cache, watermark),
+            ),
+            GcStrategy::Vacuum => (
+                gc::run_vacuum(&self.node_cache, watermark),
+                gc::run_vacuum(&self.rel_cache, watermark),
+            ),
+        };
+        let index_postings_reclaimed = self.indexes.gc(watermark);
+        let summary = GcSummary {
+            strategy,
+            watermark,
+            versions_examined: nodes.versions_examined + rels.versions_examined,
+            versions_reclaimed: nodes.versions_reclaimed + rels.versions_reclaimed,
+            chains_dropped: nodes.chains_dropped + rels.chains_dropped,
+            index_postings_reclaimed,
+            duration: start.elapsed(),
+        };
+        self.metrics.record_gc(summary.versions_reclaimed);
+        summary
+    }
+
+    /// Database-level metrics.
+    pub fn metrics(&self) -> DbMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Counters of the node object cache.
+    pub fn node_cache_stats(&self) -> CacheStatsSnapshot {
+        self.node_cache.stats()
+    }
+
+    /// Counters of the relationship object cache.
+    pub fn relationship_cache_stats(&self) -> CacheStatsSnapshot {
+        self.rel_cache.stats()
+    }
+
+    /// Counters of the lock manager.
+    pub fn lock_stats(&self) -> LockStatsSnapshot {
+        self.locks.stats()
+    }
+
+    /// Counters of the persistent store (page cache, record writes).
+    pub fn store_stats(&self) -> GraphStoreStats {
+        self.store.stats()
+    }
+
+    /// The most recently issued commit timestamp.
+    pub fn current_timestamp(&self) -> Timestamp {
+        self.oracle.current()
+    }
+
+    /// Number of transactions currently active.
+    pub fn active_transactions(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Resolves a label name to its token if it exists.
+    pub fn label_token(&self, name: &str) -> Option<graphsi_storage::LabelToken> {
+        self.store.tokens().existing_label(name)
+    }
+
+    /// Resolves a property key name to its token if it exists.
+    pub fn property_key_token(&self, name: &str) -> Option<PropertyKeyToken> {
+        self.store.tokens().existing_property_key(name)
+    }
+
+    /// Resolves a relationship type name to its token if it exists.
+    pub fn rel_type_token(&self, name: &str) -> Option<graphsi_storage::RelTypeToken> {
+        self.store.tokens().existing_rel_type(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal read path (shared by both isolation levels)
+    // ------------------------------------------------------------------
+
+    /// Reads the node version visible at `read_ts`, returning the data and
+    /// the commit timestamp of that version.
+    pub(crate) fn read_node_version(
+        &self,
+        id: NodeId,
+        read_ts: Timestamp,
+    ) -> Result<Option<(Arc<NodeData>, Timestamp)>> {
+        self.metrics.record_read();
+        match self.node_cache.lookup(id, read_ts) {
+            CacheLookup::Hit(v) => Ok(v.payload.map(|p| (p, v.commit_ts))),
+            CacheLookup::NotVisible => Ok(None),
+            CacheLookup::Miss => {
+                match self.store.read_node(id)? {
+                    None => Ok(self.recheck_node_cache(id, read_ts)),
+                    Some(stored) => {
+                        let (base_ts, properties) =
+                            split_commit_ts(stored.properties, self.commit_ts_key);
+                        if base_ts.visible_to(read_ts) {
+                            Ok(Some((
+                                Arc::new(NodeData::new(stored.labels, properties)),
+                                base_ts,
+                            )))
+                        } else {
+                            // The store was overwritten by a commit newer
+                            // than our snapshot; the pre-image must now be
+                            // in the cache (it is installed before the
+                            // store is overwritten).
+                            Ok(self.recheck_node_cache(id, read_ts))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn recheck_node_cache(
+        &self,
+        id: NodeId,
+        read_ts: Timestamp,
+    ) -> Option<(Arc<NodeData>, Timestamp)> {
+        match self.node_cache.lookup(id, read_ts) {
+            CacheLookup::Hit(v) => v.payload.map(|p| (p, v.commit_ts)),
+            _ => None,
+        }
+    }
+
+    /// Reads the relationship version visible at `read_ts`.
+    pub(crate) fn read_relationship_version(
+        &self,
+        id: RelationshipId,
+        read_ts: Timestamp,
+    ) -> Result<Option<(Arc<RelationshipData>, Timestamp)>> {
+        self.metrics.record_read();
+        match self.rel_cache.lookup(id, read_ts) {
+            CacheLookup::Hit(v) => Ok(v.payload.map(|p| (p, v.commit_ts))),
+            CacheLookup::NotVisible => Ok(None),
+            CacheLookup::Miss => match self.store.read_relationship(id)? {
+                None => Ok(self.recheck_rel_cache(id, read_ts)),
+                Some(stored) => {
+                    let (base_ts, properties) =
+                        split_commit_ts(stored.properties, self.commit_ts_key);
+                    if base_ts.visible_to(read_ts) {
+                        Ok(Some((
+                            Arc::new(RelationshipData::new(
+                                stored.source,
+                                stored.target,
+                                stored.rel_type,
+                                properties,
+                            )),
+                            base_ts,
+                        )))
+                    } else {
+                        Ok(self.recheck_rel_cache(id, read_ts))
+                    }
+                }
+            },
+        }
+    }
+
+    fn recheck_rel_cache(
+        &self,
+        id: RelationshipId,
+        read_ts: Timestamp,
+    ) -> Option<(Arc<RelationshipData>, Timestamp)> {
+        match self.rel_cache.lookup(id, read_ts) {
+            CacheLookup::Hit(v) => v.payload.map(|p| (p, v.commit_ts)),
+            _ => None,
+        }
+    }
+
+    /// IDs of relationships attached to `node` in the persistent store
+    /// (the committed chain). Visibility filtering happens in the caller.
+    pub(crate) fn stored_relationships_of(&self, node: NodeId) -> Result<Vec<RelationshipId>> {
+        if !self.store.node_exists(node)? {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .store
+            .relationships_of(node)?
+            .into_iter()
+            .map(|r| r.id)
+            .collect())
+    }
+
+    /// Candidate relationship IDs for `node`: the persistent chain plus
+    /// every relationship with cached versions touching the node (the
+    /// enriched-iterator merge). The caller filters by snapshot visibility.
+    pub(crate) fn candidate_relationships_of(&self, node: NodeId) -> Result<Vec<RelationshipId>> {
+        let mut ids = self.stored_relationships_of(node)?;
+        let overlay_ids: Vec<RelationshipId> = self
+            .rel_overlay
+            .read()
+            .get(&node)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        let mut stale = Vec::new();
+        for id in overlay_ids {
+            if ids.contains(&id) {
+                continue;
+            }
+            if self.rel_cache.contains(id) {
+                ids.push(id);
+            } else {
+                // Neither in the store chain nor in the cache any more —
+                // GC dropped it; prune the overlay lazily.
+                stale.push(id);
+            }
+        }
+        if !stale.is_empty() {
+            let mut overlay = self.rel_overlay.write();
+            if let Some(set) = overlay.get_mut(&node) {
+                for id in stale {
+                    set.remove(&id);
+                }
+                if set.is_empty() {
+                    overlay.remove(&node);
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    fn overlay_add(&self, node: NodeId, rel: RelationshipId) {
+        self.rel_overlay
+            .write()
+            .entry(node)
+            .or_default()
+            .insert(rel);
+    }
+
+    /// The newest committed timestamp known for a node (cache first, store
+    /// as fallback), used for write-write conflict detection.
+    pub(crate) fn newest_node_commit_ts(&self, id: NodeId) -> Result<Option<Timestamp>> {
+        if let Some(ts) = self.node_cache.newest_commit_ts(id) {
+            return Ok(Some(ts));
+        }
+        match self.store.read_node(id)? {
+            Some(stored) => {
+                let (ts, _) = split_commit_ts(stored.properties, self.commit_ts_key);
+                Ok(Some(ts))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The newest committed timestamp known for a relationship.
+    pub(crate) fn newest_rel_commit_ts(&self, id: RelationshipId) -> Result<Option<Timestamp>> {
+        if let Some(ts) = self.rel_cache.newest_commit_ts(id) {
+            return Ok(Some(ts));
+        }
+        match self.store.read_relationship(id)? {
+            Some(stored) => {
+                let (ts, _) = split_commit_ts(stored.properties, self.commit_ts_key);
+                Ok(Some(ts))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Allocates a fresh node ID for a create buffered in a transaction.
+    pub(crate) fn allocate_node_id(&self) -> NodeId {
+        self.store.allocate_node_id()
+    }
+
+    /// Allocates a fresh relationship ID.
+    pub(crate) fn allocate_relationship_id(&self) -> RelationshipId {
+        self.store.allocate_relationship_id()
+    }
+
+    /// Every node ID present in the persistent store (committed nodes).
+    pub(crate) fn stored_node_ids(&self) -> Result<Vec<NodeId>> {
+        Ok(self.store.scan_node_ids()?)
+    }
+
+    /// Every relationship ID present in the persistent store.
+    pub(crate) fn stored_relationship_ids(&self) -> Result<Vec<RelationshipId>> {
+        Ok(self.store.scan_relationship_ids()?)
+    }
+
+    // ------------------------------------------------------------------
+    // Commit pipeline
+    // ------------------------------------------------------------------
+
+    /// Aborts a transaction: releases its locks and removes it from the
+    /// active table.
+    pub(crate) fn abort_transaction(&self, txn: TxnId, conflict: bool) {
+        self.locks.release_all(txn);
+        let _ = self.active.deregister(txn);
+        if conflict {
+            self.metrics.record_conflict_abort();
+        } else {
+            self.metrics.record_rollback();
+        }
+    }
+
+    /// Commits a transaction's write set, returning the commit timestamp.
+    pub(crate) fn commit_transaction(
+        &self,
+        txn: TxnId,
+        start_ts: Timestamp,
+        write_set: &WriteSet,
+    ) -> Result<Timestamp> {
+        if write_set.is_empty() {
+            self.locks.release_all(txn);
+            self.active.deregister(txn)?;
+            self.metrics.record_commit(true);
+            return Ok(start_ts);
+        }
+
+        let guard = self.commit_apply_lock.lock();
+
+        // First-committer-wins validation (no-op under first-updater-wins).
+        if let Err(e) = self.validate_at_commit(start_ts, write_set) {
+            drop(guard);
+            self.abort_transaction(txn, true);
+            return Err(e);
+        }
+
+        let commit_ts = self.oracle.commit_timestamp();
+        let record = self.build_commit_record(commit_ts, write_set);
+
+        // 1. Durability: the commit record reaches the log before any state
+        //    becomes visible.
+        self.wal.append_and_sync(&record.encode())?;
+
+        // 2. Versions: install the new versions (and tombstones) into the
+        //    object cache, seeding base versions so older snapshots keep
+        //    reading their state. This happens *before* the store is
+        //    overwritten so concurrent readers never observe a torn state.
+        self.install_versions(commit_ts, write_set);
+
+        // 3. Persistent store: only the newest committed version is written
+        //    (the paper's flush-through rule).
+        apply_to_store(&self.store, &record, self.commit_ts_key, false)?;
+
+        // 4. Indexes: versioned posting updates.
+        self.update_indexes(commit_ts, write_set);
+
+        // 5. Only now may new transactions snapshot at (or past) this
+        //    commit timestamp.
+        self.visible_ts.store(commit_ts.raw(), Ordering::Release);
+
+        drop(guard);
+
+        self.locks.release_all(txn);
+        self.active.deregister(txn)?;
+        self.metrics.record_commit(false);
+
+        if let Some(every) = self.config.auto_gc_every_commits {
+            let n = self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= every {
+                self.commits_since_gc.store(0, Ordering::Relaxed);
+                self.run_gc();
+            }
+        }
+        Ok(commit_ts)
+    }
+
+    fn validate_at_commit(&self, start_ts: Timestamp, write_set: &WriteSet) -> Result<()> {
+        let strategy = self.config.conflict_strategy;
+        for (&id, entry) in &write_set.nodes {
+            if entry.before.is_some() {
+                let newest = self.newest_node_commit_ts(id)?;
+                check_at_commit(strategy, LockKey::node(id.raw()), start_ts, newest)?;
+            }
+        }
+        for (&id, entry) in &write_set.relationships {
+            if entry.before.is_some() {
+                let newest = self.newest_rel_commit_ts(id)?;
+                check_at_commit(strategy, LockKey::relationship(id.raw()), start_ts, newest)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn build_commit_record(&self, commit_ts: Timestamp, write_set: &WriteSet) -> CommitRecord {
+        let mut creates_nodes = Vec::new();
+        let mut updates_nodes = Vec::new();
+        let mut deletes_nodes = Vec::new();
+        for (&id, entry) in &write_set.nodes {
+            if entry.is_noop() {
+                continue;
+            }
+            match (&entry.before, &entry.after) {
+                (None, Some(after)) => creates_nodes.push(CommitOp::CreateNode {
+                    id,
+                    labels: after.labels.clone(),
+                    properties: props_vec(&after.properties),
+                }),
+                (Some(_), Some(after)) => updates_nodes.push(CommitOp::UpdateNode {
+                    id,
+                    labels: after.labels.clone(),
+                    properties: props_vec(&after.properties),
+                }),
+                (Some(_), None) => deletes_nodes.push(CommitOp::DeleteNode { id }),
+                (None, None) => {}
+            }
+        }
+        let mut creates_rels = Vec::new();
+        let mut updates_rels = Vec::new();
+        let mut deletes_rels = Vec::new();
+        for (&id, entry) in &write_set.relationships {
+            if entry.is_noop() {
+                continue;
+            }
+            match (&entry.before, &entry.after) {
+                (None, Some(after)) => creates_rels.push(CommitOp::CreateRelationship {
+                    id,
+                    source: after.source,
+                    target: after.target,
+                    rel_type: after.rel_type,
+                    properties: props_vec(&after.properties),
+                }),
+                (Some(_), Some(after)) => updates_rels.push(CommitOp::UpdateRelationship {
+                    id,
+                    properties: props_vec(&after.properties),
+                }),
+                (Some(_), None) => deletes_rels.push(CommitOp::DeleteRelationship { id }),
+                (None, None) => {}
+            }
+        }
+        let mut ops = Vec::with_capacity(
+            creates_nodes.len()
+                + updates_nodes.len()
+                + creates_rels.len()
+                + updates_rels.len()
+                + deletes_rels.len()
+                + deletes_nodes.len(),
+        );
+        ops.extend(creates_nodes);
+        ops.extend(updates_nodes);
+        ops.extend(creates_rels);
+        ops.extend(updates_rels);
+        ops.extend(deletes_rels);
+        ops.extend(deletes_nodes);
+        CommitRecord { commit_ts, ops }
+    }
+
+    fn install_versions(&self, commit_ts: Timestamp, write_set: &WriteSet) {
+        for (&id, entry) in &write_set.nodes {
+            if entry.is_noop() {
+                continue;
+            }
+            if let (Some(before), Some(before_ts)) = (&entry.before, entry.before_ts) {
+                self.node_cache.ensure_base(id, before_ts, Arc::clone(before));
+            }
+            self.node_cache
+                .install_committed(id, commit_ts, entry.after.clone().map(Arc::new));
+        }
+        for (&id, entry) in &write_set.relationships {
+            if entry.is_noop() {
+                continue;
+            }
+            if let (Some(before), Some(before_ts)) = (&entry.before, entry.before_ts) {
+                self.rel_cache.ensure_base(id, before_ts, Arc::clone(before));
+            }
+            self.rel_cache
+                .install_committed(id, commit_ts, entry.after.clone().map(Arc::new));
+            // Keep the adjacency overlay in sync so snapshot traversals can
+            // find relationships whose latest committed state differs from
+            // what an older snapshot should observe.
+            let endpoints = entry
+                .after
+                .as_ref()
+                .map(|d| (d.source, d.target))
+                .or_else(|| entry.before.as_ref().map(|d| (d.source, d.target)));
+            if let Some((source, target)) = endpoints {
+                self.overlay_add(source, id);
+                if target != source {
+                    self.overlay_add(target, id);
+                }
+            }
+        }
+    }
+
+    fn update_indexes(&self, commit_ts: Timestamp, write_set: &WriteSet) {
+        for (&id, entry) in &write_set.nodes {
+            if entry.is_noop() {
+                continue;
+            }
+            let empty = NodeData::default();
+            let before = entry.before.as_deref().unwrap_or(&empty);
+            let after_default = NodeData::default();
+            let after = entry.after.as_ref().unwrap_or(&after_default);
+            // Labels.
+            for label in &after.labels {
+                if !before.labels.contains(label) {
+                    self.indexes.labels.add(*label, id, commit_ts);
+                }
+            }
+            for label in &before.labels {
+                if !after.labels.contains(label) {
+                    self.indexes.labels.remove(*label, id, commit_ts);
+                }
+            }
+            // Properties.
+            for (key, value) in &after.properties {
+                match before.properties.get(key) {
+                    Some(old) if old == value => {}
+                    Some(old) => {
+                        self.indexes.node_properties.remove(*key, old, id, commit_ts);
+                        self.indexes.node_properties.add(*key, value, id, commit_ts);
+                    }
+                    None => self.indexes.node_properties.add(*key, value, id, commit_ts),
+                }
+            }
+            for (key, value) in &before.properties {
+                if !after.properties.contains_key(key) {
+                    self.indexes.node_properties.remove(*key, value, id, commit_ts);
+                }
+            }
+        }
+        for (&id, entry) in &write_set.relationships {
+            if entry.is_noop() {
+                continue;
+            }
+            let before_props: &BTreeMap<PropertyKeyToken, PropertyValue> = match &entry.before {
+                Some(b) => &b.properties,
+                None => &EMPTY_PROPS,
+            };
+            let after_props: &BTreeMap<PropertyKeyToken, PropertyValue> = match &entry.after {
+                Some(a) => &a.properties,
+                None => &EMPTY_PROPS,
+            };
+            for (key, value) in after_props {
+                match before_props.get(key) {
+                    Some(old) if old == value => {}
+                    Some(old) => {
+                        self.indexes
+                            .relationship_properties
+                            .remove(*key, old, id, commit_ts);
+                        self.indexes
+                            .relationship_properties
+                            .add(*key, value, id, commit_ts);
+                    }
+                    None => self
+                        .indexes
+                        .relationship_properties
+                        .add(*key, value, id, commit_ts),
+                }
+            }
+            for (key, value) in before_props {
+                if !after_props.contains_key(key) {
+                    self.indexes
+                        .relationship_properties
+                        .remove(*key, value, id, commit_ts);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    fn recover(&self) -> Result<()> {
+        // 1. Replay the WAL: re-apply committed transactions that may not
+        //    have reached the store files before the crash.
+        let scan = self.wal.scan()?;
+        let mut max_ts = Timestamp::BOOTSTRAP;
+        for entry in &scan.entries {
+            let record = CommitRecord::decode(&entry.payload)?;
+            apply_to_store(&self.store, &record, self.commit_ts_key, true)?;
+            if record.commit_ts > max_ts {
+                max_ts = record.commit_ts;
+            }
+        }
+
+        // 2. Rebuild the in-memory indexes from the store, using each
+        //    entity's persisted commit timestamp as the posting timestamp.
+        for id in self.store.scan_node_ids()? {
+            if let Some(stored) = self.store.read_node(id)? {
+                let (ts, properties) = split_commit_ts(stored.properties, self.commit_ts_key);
+                if ts > max_ts {
+                    max_ts = ts;
+                }
+                for label in &stored.labels {
+                    self.indexes.labels.add(*label, id, ts);
+                }
+                for (key, value) in &properties {
+                    self.indexes.node_properties.add(*key, value, id, ts);
+                }
+            }
+        }
+        for id in self.store.scan_relationship_ids()? {
+            if let Some(stored) = self.store.read_relationship(id)? {
+                let (ts, properties) = split_commit_ts(stored.properties, self.commit_ts_key);
+                if ts > max_ts {
+                    max_ts = ts;
+                }
+                for (key, value) in &properties {
+                    self.indexes.relationship_properties.add(*key, value, id, ts);
+                }
+            }
+        }
+
+        // 3. Resume the logical clock after the newest commit seen anywhere.
+        self.oracle.advance_to(max_ts);
+        self.visible_ts.store(max_ts.raw(), Ordering::Release);
+
+        // 4. Checkpoint: the store now reflects everything in the log, so
+        //    the log can start fresh.
+        if !scan.entries.is_empty() {
+            self.store.flush()?;
+            self.wal.reset()?;
+        }
+        Ok(())
+    }
+}
+
+static EMPTY_PROPS: BTreeMap<PropertyKeyToken, PropertyValue> = BTreeMap::new();
+
+fn props_vec(
+    props: &BTreeMap<PropertyKeyToken, PropertyValue>,
+) -> Vec<(PropertyKeyToken, PropertyValue)> {
+    props.iter().map(|(k, v)| (*k, v.clone())).collect()
+}
+
+impl std::fmt::Debug for GraphDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphDb")
+            .field("dir", &self.store.dir())
+            .field("isolation", &self.config.isolation)
+            .field("current_ts", &self.oracle.current())
+            .field("active_txns", &self.active.len())
+            .finish()
+    }
+}

@@ -1,0 +1,90 @@
+//! # graphsi-core
+//!
+//! An embedded, Neo4j-style graph database with **snapshot isolation**,
+//! reproducing *"Snapshot Isolation for Neo4j"* (Patiño-Martínez et al.,
+//! EDBT 2016) from scratch in Rust.
+//!
+//! ## Architecture (paper §2 + §4)
+//!
+//! ```text
+//!        GraphDb ── Transaction API, commit pipeline, recovery, GC driver
+//!        /   |   \
+//!   indexes  |    MVCC object cache (graphsi-mvcc): version chains,
+//! (graphsi-  |    tombstones, threaded GC list
+//!   index)   |
+//!            transaction substrate (graphsi-txn): timestamps, locks,
+//!            conflict strategies, active-transaction table
+//!            |
+//!        record stores (graphsi-storage) ── WAL (graphsi-wal)
+//! ```
+//!
+//! * **Snapshot isolation** (default): reads are served from the versioned
+//!   object cache at the transaction's start timestamp without any read
+//!   locks; long write locks detect write-write conflicts with a
+//!   first-updater-wins strategy; only the newest committed version is
+//!   written to the persistent store.
+//! * **Read committed** (the baseline stock Neo4j provides): short read
+//!   locks, long write locks, reads always observe the latest committed
+//!   state — exhibiting the unrepeatable-read and phantom anomalies the
+//!   paper sets out to remove.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use graphsi_core::{DbConfig, GraphDb, PropertyValue};
+//!
+//! let dir = graphsi_core::test_support::TempDir::new("doc-quickstart");
+//! let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+//!
+//! // Write transaction.
+//! let mut tx = db.begin();
+//! let alice = tx
+//!     .create_node(&["Person"], &[("name", PropertyValue::from("Alice"))])
+//!     .unwrap();
+//! let bob = tx
+//!     .create_node(&["Person"], &[("name", PropertyValue::from("Bob"))])
+//!     .unwrap();
+//! tx.create_relationship(alice, bob, "KNOWS", &[]).unwrap();
+//! tx.commit().unwrap();
+//!
+//! // Read transaction: a stable snapshot, no read locks.
+//! let tx = db.begin();
+//! assert_eq!(tx.nodes_with_label("Person").unwrap().len(), 2);
+//! assert_eq!(tx.degree(alice, graphsi_core::Direction::Both).unwrap(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod commit;
+pub mod config;
+pub mod db;
+pub mod entity;
+pub mod error;
+pub mod metrics;
+pub mod transaction;
+pub mod traversal;
+pub mod write_set;
+
+pub use commit::{CommitOp, CommitRecord};
+pub use config::{DbConfig, IsolationLevel};
+pub use db::{GcSummary, GraphDb, COMMIT_TS_PROPERTY, RESERVED_PREFIX};
+pub use entity::{Direction, Node, NodeData, Relationship, RelationshipData};
+pub use error::{DbError, Result};
+pub use metrics::{DbMetrics, DbMetricsSnapshot};
+pub use transaction::Transaction;
+
+// Re-export the identifiers and value types users need from the substrate
+// crates so that applications can depend on `graphsi-core` alone.
+pub use graphsi_mvcc::GcStrategy;
+pub use graphsi_storage::{
+    LabelToken, NodeId, PropertyKeyToken, PropertyValue, RelTypeToken, RelationshipId,
+};
+pub use graphsi_txn::{ConflictStrategy, Timestamp, TxnId};
+pub use graphsi_wal::SyncPolicy;
+
+/// Helpers shared by tests, examples and benchmarks (temporary
+/// directories).
+pub mod test_support {
+    pub use graphsi_storage::test_util::TempDir;
+}

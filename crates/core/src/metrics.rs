@@ -1,0 +1,149 @@
+//! Database-level metrics, used by the experiments and exposed through
+//! [`crate::db::GraphDb::metrics`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters.
+#[derive(Debug, Default)]
+pub struct DbMetrics {
+    begins: AtomicU64,
+    commits: AtomicU64,
+    read_only_commits: AtomicU64,
+    rollbacks: AtomicU64,
+    conflict_aborts: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    gc_runs: AtomicU64,
+    versions_reclaimed: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`DbMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbMetricsSnapshot {
+    /// Transactions started.
+    pub begins: u64,
+    /// Transactions committed (including read-only ones).
+    pub commits: u64,
+    /// Read-only commits (no write set).
+    pub read_only_commits: u64,
+    /// Transactions rolled back explicitly or on drop.
+    pub rollbacks: u64,
+    /// Transactions aborted because of write-write conflicts, deadlocks or
+    /// lock timeouts.
+    pub conflict_aborts: u64,
+    /// Entity reads served.
+    pub reads: u64,
+    /// Entity writes buffered.
+    pub writes: u64,
+    /// Garbage-collection runs.
+    pub gc_runs: u64,
+    /// Versions reclaimed by garbage collection.
+    pub versions_reclaimed: u64,
+}
+
+impl DbMetricsSnapshot {
+    /// Abort rate over all completed transactions.
+    pub fn abort_rate(&self) -> f64 {
+        let finished = self.commits + self.rollbacks + self.conflict_aborts;
+        if finished == 0 {
+            0.0
+        } else {
+            self.conflict_aborts as f64 / finished as f64
+        }
+    }
+}
+
+impl DbMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_begin(&self) {
+        self.begins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_commit(&self, read_only: bool) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if read_only {
+            self.read_only_commits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_rollback(&self) {
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_conflict_abort(&self) {
+        self.conflict_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_gc(&self, versions_reclaimed: u64) {
+        self.gc_runs.fetch_add(1, Ordering::Relaxed);
+        self.versions_reclaimed
+            .fetch_add(versions_reclaimed, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of every counter.
+    pub fn snapshot(&self) -> DbMetricsSnapshot {
+        DbMetricsSnapshot {
+            begins: self.begins.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            conflict_aborts: self.conflict_aborts.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            gc_runs: self.gc_runs.load(Ordering::Relaxed),
+            versions_reclaimed: self.versions_reclaimed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = DbMetrics::new();
+        m.record_begin();
+        m.record_begin();
+        m.record_commit(false);
+        m.record_commit(true);
+        m.record_rollback();
+        m.record_conflict_abort();
+        m.record_read();
+        m.record_write();
+        m.record_gc(5);
+        let s = m.snapshot();
+        assert_eq!(s.begins, 2);
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.read_only_commits, 1);
+        assert_eq!(s.rollbacks, 1);
+        assert_eq!(s.conflict_aborts, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.gc_runs, 1);
+        assert_eq!(s.versions_reclaimed, 5);
+    }
+
+    #[test]
+    fn abort_rate() {
+        let s = DbMetricsSnapshot {
+            commits: 8,
+            conflict_aborts: 2,
+            ..Default::default()
+        };
+        assert!((s.abort_rate() - 0.2).abs() < 1e-9);
+        assert_eq!(DbMetricsSnapshot::default().abort_rate(), 0.0);
+    }
+}

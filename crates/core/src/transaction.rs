@@ -1,0 +1,905 @@
+//! Transactions: the user-facing unit of work.
+//!
+//! A [`Transaction`] buffers its writes privately (read-your-own-writes),
+//! reads either a fixed snapshot (snapshot isolation) or the latest
+//! committed state under short read locks (read committed), and installs
+//! its changes atomically at commit through the database's commit pipeline.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use graphsi_storage::{
+    LabelToken, NodeId, PropertyKeyToken, PropertyValue, RelTypeToken, RelationshipId,
+};
+use graphsi_txn::{check_at_update, LockKey, LockMode, Timestamp, TxnId, UpdateCheck};
+
+use crate::config::IsolationLevel;
+use crate::db::{GraphDb, RESERVED_PREFIX};
+use crate::entity::{Direction, Node, NodeData, Relationship, RelationshipData};
+use crate::error::{DbError, Result};
+use crate::write_set::WriteSet;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TxnState {
+    Active,
+    Committed,
+    RolledBack,
+}
+
+/// A transaction over a [`GraphDb`].
+///
+/// Dropping an active transaction rolls it back.
+pub struct Transaction<'db> {
+    db: &'db GraphDb,
+    id: TxnId,
+    start_ts: Timestamp,
+    isolation: IsolationLevel,
+    state: TxnState,
+    write_set: WriteSet,
+}
+
+impl<'db> Transaction<'db> {
+    pub(crate) fn new(
+        db: &'db GraphDb,
+        id: TxnId,
+        start_ts: Timestamp,
+        isolation: IsolationLevel,
+    ) -> Self {
+        Transaction {
+            db,
+            id,
+            start_ts,
+            isolation,
+            state: TxnState::Active,
+            write_set: WriteSet::new(),
+        }
+    }
+
+    /// The transaction's ID.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The transaction's start timestamp (its snapshot under snapshot
+    /// isolation).
+    pub fn start_timestamp(&self) -> Timestamp {
+        self.start_ts
+    }
+
+    /// The isolation level this transaction runs under.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// Returns `true` while the transaction can still be used.
+    pub fn is_active(&self) -> bool {
+        self.state == TxnState::Active
+    }
+
+    /// Number of entities with pending (uncommitted) changes.
+    pub fn pending_writes(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// The timestamp reads are served at: the fixed start timestamp under
+    /// snapshot isolation, the latest committed timestamp under read
+    /// committed (which is exactly why read committed exhibits unrepeatable
+    /// reads and phantoms).
+    pub fn read_timestamp(&self) -> Timestamp {
+        match self.isolation {
+            IsolationLevel::SnapshotIsolation => self.start_ts,
+            IsolationLevel::ReadCommitted => self.db.visible_timestamp(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Commits the transaction, returning its commit timestamp (or the
+    /// start timestamp for read-only transactions).
+    pub fn commit(mut self) -> Result<Timestamp> {
+        self.ensure_active()?;
+        let result = self
+            .db
+            .commit_transaction(self.id, self.start_ts, &self.write_set);
+        self.state = match result {
+            Ok(_) => TxnState::Committed,
+            Err(_) => TxnState::RolledBack,
+        };
+        result
+    }
+
+    /// Rolls the transaction back, discarding all pending changes.
+    pub fn rollback(mut self) {
+        if self.state == TxnState::Active {
+            self.db.abort_transaction(self.id, false);
+            self.state = TxnState::RolledBack;
+        }
+    }
+
+    fn ensure_active(&self) -> Result<()> {
+        if self.state == TxnState::Active {
+            Ok(())
+        } else {
+            Err(DbError::TransactionClosed)
+        }
+    }
+
+    /// Aborts the transaction because of a conflict and returns the error.
+    fn conflict_abort(&mut self, err: DbError) -> DbError {
+        self.db.abort_transaction(self.id, true);
+        self.state = TxnState::RolledBack;
+        err
+    }
+
+    // ------------------------------------------------------------------
+    // Locking helpers
+    // ------------------------------------------------------------------
+
+    /// Acquires the long write lock on `key`, applying the configured
+    /// write-write conflict strategy. Under snapshot isolation losing the
+    /// first-updater race aborts the transaction; under read committed the
+    /// acquisition blocks (with deadlock detection).
+    ///
+    /// Note: staleness of the snapshot (a concurrent writer already
+    /// committed a newer version) is checked *after* the lock is held — see
+    /// [`Transaction::ensure_node_unchanged`] — because checking before
+    /// acquiring the lock races with a concurrent committer releasing it.
+    fn write_lock(&mut self, key: LockKey, newest_committed: Option<Timestamp>) -> Result<()> {
+        match self.isolation {
+            IsolationLevel::ReadCommitted => {
+                let acquired = self.db.locks.acquire(key, LockMode::Exclusive, self.id);
+                match acquired {
+                    Ok(()) => Ok(()),
+                    Err(e) => Err(self.conflict_abort(e.into())),
+                }
+            }
+            IsolationLevel::SnapshotIsolation => {
+                match check_at_update(
+                    self.db.config.conflict_strategy,
+                    &self.db.locks,
+                    key,
+                    self.id,
+                    self.start_ts,
+                    newest_committed,
+                ) {
+                    UpdateCheck::Proceed => Ok(()),
+                    UpdateCheck::Abort(e) => Err(self.conflict_abort(e.into())),
+                }
+            }
+        }
+    }
+
+    /// After the write lock on a node is held: abort if a concurrent
+    /// transaction committed a version newer than our snapshot (the
+    /// first-updater-wins write rule). Must run *after* lock acquisition so
+    /// that a competitor finishing its commit (install + lock release)
+    /// cannot slip in between the check and the lock.
+    fn ensure_node_unchanged(&mut self, id: NodeId) -> Result<()> {
+        if self.isolation != IsolationLevel::SnapshotIsolation
+            || self.db.config.conflict_strategy != graphsi_txn::ConflictStrategy::FirstUpdaterWins
+        {
+            // Read committed serialises through blocking locks; the
+            // first-committer-wins strategy validates at commit time.
+            return Ok(());
+        }
+        if let Some(newest) = self.db.newest_node_commit_ts(id)? {
+            if !newest.visible_to(self.start_ts) {
+                let err = graphsi_txn::TxnError::WriteWriteConflict {
+                    key: LockKey::node(id.raw()),
+                    other: None,
+                };
+                return Err(self.conflict_abort(err.into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Relationship counterpart of [`Transaction::ensure_node_unchanged`].
+    fn ensure_relationship_unchanged(&mut self, id: RelationshipId) -> Result<()> {
+        if self.isolation != IsolationLevel::SnapshotIsolation
+            || self.db.config.conflict_strategy != graphsi_txn::ConflictStrategy::FirstUpdaterWins
+        {
+            return Ok(());
+        }
+        if let Some(newest) = self.db.newest_rel_commit_ts(id)? {
+            if !newest.visible_to(self.start_ts) {
+                let err = graphsi_txn::TxnError::WriteWriteConflict {
+                    key: LockKey::relationship(id.raw()),
+                    other: None,
+                };
+                return Err(self.conflict_abort(err.into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `f` under a short shared (read) lock when in read-committed
+    /// mode; snapshot isolation needs no read locks at all (the paper
+    /// removes them).
+    fn with_read_lock<R>(&self, key: LockKey, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        match self.isolation {
+            IsolationLevel::SnapshotIsolation => f(),
+            IsolationLevel::ReadCommitted => {
+                self.db.locks.acquire(key, LockMode::Shared, self.id)?;
+                let result = f();
+                let _ = self.db.locks.release(key, self.id);
+                result
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Token helpers
+    // ------------------------------------------------------------------
+
+    fn check_name(name: &str) -> Result<()> {
+        if name.starts_with(RESERVED_PREFIX) {
+            Err(DbError::ReservedName(name.to_owned()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn label_token(&self, name: &str) -> Result<LabelToken> {
+        Self::check_name(name)?;
+        Ok(self.db.store.tokens().label(name)?)
+    }
+
+    fn property_key_token(&self, name: &str) -> Result<PropertyKeyToken> {
+        Self::check_name(name)?;
+        Ok(self.db.store.tokens().property_key(name)?)
+    }
+
+    fn rel_type_token(&self, name: &str) -> Result<RelTypeToken> {
+        Self::check_name(name)?;
+        Ok(self.db.store.tokens().rel_type(name)?)
+    }
+
+    fn label_name(&self, token: LabelToken) -> String {
+        self.db
+            .store
+            .tokens()
+            .label_name(token)
+            .unwrap_or_else(|| format!("label#{}", token.0))
+    }
+
+    fn property_key_name(&self, token: PropertyKeyToken) -> String {
+        self.db
+            .store
+            .tokens()
+            .property_key_name(token)
+            .unwrap_or_else(|| format!("key#{}", token.0))
+    }
+
+    fn rel_type_name(&self, token: RelTypeToken) -> String {
+        self.db
+            .store
+            .tokens()
+            .rel_type_name(token)
+            .unwrap_or_else(|| format!("type#{}", token.0))
+    }
+
+    // ------------------------------------------------------------------
+    // Internal snapshot + write-set read path
+    // ------------------------------------------------------------------
+
+    /// The node state visible to this transaction (own writes first, then
+    /// the snapshot / latest committed state).
+    fn visible_node(&self, id: NodeId) -> Result<Option<NodeData>> {
+        if let Some(state) = self.write_set.node_state(id) {
+            return Ok(state.cloned());
+        }
+        let read_ts = self.read_timestamp();
+        let result = self.with_read_lock(LockKey::node(id.raw()), || {
+            self.db.read_node_version(id, read_ts)
+        })?;
+        Ok(result.map(|(data, _)| (*data).clone()))
+    }
+
+    /// The relationship state visible to this transaction.
+    fn visible_relationship(&self, id: RelationshipId) -> Result<Option<RelationshipData>> {
+        if let Some(state) = self.write_set.relationship_state(id) {
+            return Ok(state.cloned());
+        }
+        let read_ts = self.read_timestamp();
+        let result = self.with_read_lock(LockKey::relationship(id.raw()), || {
+            self.db.read_relationship_version(id, read_ts)
+        })?;
+        Ok(result.map(|(data, _)| (*data).clone()))
+    }
+
+    /// The committed pre-image of a node (for first writes), with its
+    /// commit timestamp.
+    fn node_pre_image(&self, id: NodeId) -> Result<Option<(Arc<NodeData>, Timestamp)>> {
+        self.db.read_node_version(id, self.read_timestamp())
+    }
+
+    fn relationship_pre_image(
+        &self,
+        id: RelationshipId,
+    ) -> Result<Option<(Arc<RelationshipData>, Timestamp)>> {
+        self.db.read_relationship_version(id, self.read_timestamp())
+    }
+
+    // ------------------------------------------------------------------
+    // Node reads
+    // ------------------------------------------------------------------
+
+    /// Returns the node if it exists in this transaction's view.
+    pub fn get_node(&self, id: NodeId) -> Result<Option<Node>> {
+        self.ensure_active()?;
+        Ok(self.visible_node(id)?.map(|data| self.to_public_node(id, &data)))
+    }
+
+    /// Returns `true` if the node exists in this transaction's view.
+    pub fn node_exists(&self, id: NodeId) -> Result<bool> {
+        self.ensure_active()?;
+        Ok(self.visible_node(id)?.is_some())
+    }
+
+    /// Returns one property of a node.
+    pub fn node_property(&self, id: NodeId, name: &str) -> Result<Option<PropertyValue>> {
+        self.ensure_active()?;
+        let Some(data) = self.visible_node(id)? else {
+            return Err(DbError::NodeNotFound(id));
+        };
+        let Some(token) = self.db.store.tokens().existing_property_key(name) else {
+            return Ok(None);
+        };
+        Ok(data.properties.get(&token).cloned())
+    }
+
+    /// Returns the labels of a node.
+    pub fn node_labels(&self, id: NodeId) -> Result<Vec<String>> {
+        self.ensure_active()?;
+        let Some(data) = self.visible_node(id)? else {
+            return Err(DbError::NodeNotFound(id));
+        };
+        Ok(data.labels.iter().map(|l| self.label_name(*l)).collect())
+    }
+
+    /// Returns `true` if the node carries the label in this transaction's
+    /// view.
+    pub fn node_has_label(&self, id: NodeId, label: &str) -> Result<bool> {
+        self.ensure_active()?;
+        let Some(data) = self.visible_node(id)? else {
+            return Err(DbError::NodeNotFound(id));
+        };
+        match self.db.store.tokens().existing_label(label) {
+            Some(token) => Ok(data.has_label(token)),
+            None => Ok(false),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Relationship reads
+    // ------------------------------------------------------------------
+
+    /// Returns the relationship if it exists in this transaction's view.
+    pub fn get_relationship(&self, id: RelationshipId) -> Result<Option<Relationship>> {
+        self.ensure_active()?;
+        Ok(self
+            .visible_relationship(id)?
+            .map(|data| self.to_public_relationship(id, &data)))
+    }
+
+    /// Returns one property of a relationship.
+    pub fn relationship_property(
+        &self,
+        id: RelationshipId,
+        name: &str,
+    ) -> Result<Option<PropertyValue>> {
+        self.ensure_active()?;
+        let Some(data) = self.visible_relationship(id)? else {
+            return Err(DbError::RelationshipNotFound(id));
+        };
+        let Some(token) = self.db.store.tokens().existing_property_key(name) else {
+            return Ok(None);
+        };
+        Ok(data.properties.get(&token).cloned())
+    }
+
+    /// Relationships touching `node` in the given direction, in this
+    /// transaction's view (committed snapshot merged with own pending
+    /// writes — the paper's enriched iterator).
+    pub fn relationships(&self, node: NodeId, direction: Direction) -> Result<Vec<Relationship>> {
+        self.ensure_active()?;
+        if self.visible_node(node)?.is_none() {
+            return Err(DbError::NodeNotFound(node));
+        }
+        let mut seen: HashSet<RelationshipId> = HashSet::new();
+        let mut out = Vec::new();
+
+        // Committed candidates: persistent chain + cached versions.
+        for id in self.db.candidate_relationships_of(node)? {
+            if !seen.insert(id) {
+                continue;
+            }
+            // Own deletion wins; own update wins.
+            if let Some(state) = self.write_set.relationship_state(id) {
+                if let Some(data) = state {
+                    if data.touches(node) && direction.matches(node, data.source, data.target) {
+                        out.push(self.to_public_relationship(id, data));
+                    }
+                }
+                continue;
+            }
+            if let Some(data) = self.visible_relationship(id)? {
+                if data.touches(node) && direction.matches(node, data.source, data.target) {
+                    out.push(self.to_public_relationship(id, &data));
+                }
+            }
+        }
+
+        // Own pending creations.
+        for (id, data) in self.write_set.pending_relationships_of(node) {
+            if seen.insert(id) && direction.matches(node, data.source, data.target) {
+                out.push(self.to_public_relationship(id, data));
+            }
+        }
+        out.sort_by_key(|r| r.id);
+        Ok(out)
+    }
+
+    /// IDs of the neighbouring nodes of `node`.
+    pub fn neighbors(&self, node: NodeId, direction: Direction) -> Result<Vec<NodeId>> {
+        let mut out: Vec<NodeId> = self
+            .relationships(node, direction)?
+            .into_iter()
+            .map(|r| r.other_node(node))
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Number of relationships touching `node`.
+    pub fn degree(&self, node: NodeId, direction: Direction) -> Result<usize> {
+        Ok(self.relationships(node, direction)?.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Scans (label, property, whole graph)
+    // ------------------------------------------------------------------
+
+    /// Nodes carrying `label` in this transaction's view (versioned index
+    /// lookup merged with own writes).
+    pub fn nodes_with_label(&self, label: &str) -> Result<Vec<NodeId>> {
+        self.ensure_active()?;
+        let Some(token) = self.db.store.tokens().existing_label(label) else {
+            // The label name was never interned, so no committed node and no
+            // pending write can carry it.
+            return Ok(Vec::new());
+        };
+        let read_ts = self.read_timestamp();
+        let mut ids: HashSet<NodeId> = self
+            .db
+            .indexes
+            .labels
+            .nodes_with_label(token, read_ts)
+            .into_iter()
+            .collect();
+        // Merge own writes: additions and removals by this transaction.
+        for (&id, entry) in &self.write_set.nodes {
+            match &entry.after {
+                Some(after) if after.has_label(token) => {
+                    ids.insert(id);
+                }
+                _ => {
+                    ids.remove(&id);
+                }
+            }
+        }
+        let mut out: Vec<NodeId> = ids.into_iter().collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Nodes whose property `name` equals `value` in this transaction's
+    /// view.
+    pub fn nodes_with_property(&self, name: &str, value: &PropertyValue) -> Result<Vec<NodeId>> {
+        self.ensure_active()?;
+        let Some(token) = self.db.store.tokens().existing_property_key(name) else {
+            return Ok(Vec::new());
+        };
+        let read_ts = self.read_timestamp();
+        let mut ids: HashSet<NodeId> = self
+            .db
+            .indexes
+            .node_properties
+            .lookup(token, value, read_ts)
+            .into_iter()
+            .collect();
+        for (&id, entry) in &self.write_set.nodes {
+            match &entry.after {
+                Some(after) if after.properties.get(&token) == Some(value) => {
+                    ids.insert(id);
+                }
+                _ => {
+                    ids.remove(&id);
+                }
+            }
+        }
+        let mut out: Vec<NodeId> = ids.into_iter().collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Relationships whose property `name` equals `value` in this
+    /// transaction's view.
+    pub fn relationships_with_property(
+        &self,
+        name: &str,
+        value: &PropertyValue,
+    ) -> Result<Vec<RelationshipId>> {
+        self.ensure_active()?;
+        let Some(token) = self.db.store.tokens().existing_property_key(name) else {
+            return Ok(Vec::new());
+        };
+        let read_ts = self.read_timestamp();
+        let mut ids: HashSet<RelationshipId> = self
+            .db
+            .indexes
+            .relationship_properties
+            .lookup(token, value, read_ts)
+            .into_iter()
+            .collect();
+        for (&id, entry) in &self.write_set.relationships {
+            match &entry.after {
+                Some(after) if after.properties.get(&token) == Some(value) => {
+                    ids.insert(id);
+                }
+                _ => {
+                    ids.remove(&id);
+                }
+            }
+        }
+        let mut out: Vec<RelationshipId> = ids.into_iter().collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Every node visible to this transaction. This is a full scan merging
+    /// the persistent store, the object cache and the private write set.
+    pub fn all_nodes(&self) -> Result<Vec<NodeId>> {
+        self.ensure_active()?;
+        let mut candidates: HashSet<NodeId> = self.db.stored_node_ids()?.into_iter().collect();
+        candidates.extend(self.db.node_cache.all_keys());
+        candidates.extend(self.write_set.nodes.keys().copied());
+        let mut out = Vec::new();
+        for id in candidates {
+            if self.visible_node(id)?.is_some() {
+                out.push(id);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Every relationship visible to this transaction.
+    pub fn all_relationships(&self) -> Result<Vec<RelationshipId>> {
+        self.ensure_active()?;
+        let mut candidates: HashSet<RelationshipId> =
+            self.db.stored_relationship_ids()?.into_iter().collect();
+        candidates.extend(self.db.rel_cache.all_keys());
+        candidates.extend(self.write_set.relationships.keys().copied());
+        let mut out = Vec::new();
+        for id in candidates {
+            if self.visible_relationship(id)?.is_some() {
+                out.push(id);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Number of nodes visible to this transaction.
+    pub fn node_count(&self) -> Result<usize> {
+        Ok(self.all_nodes()?.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Node writes
+    // ------------------------------------------------------------------
+
+    /// Creates a node with the given labels and properties, returning its
+    /// ID. The node becomes visible to other transactions only at commit.
+    pub fn create_node(
+        &mut self,
+        labels: &[&str],
+        properties: &[(&str, PropertyValue)],
+    ) -> Result<NodeId> {
+        self.ensure_active()?;
+        let mut label_tokens = Vec::with_capacity(labels.len());
+        for name in labels {
+            label_tokens.push(self.label_token(name)?);
+        }
+        let mut props = BTreeMap::new();
+        for (name, value) in properties {
+            props.insert(self.property_key_token(name)?, value.clone());
+        }
+        let id = self.db.allocate_node_id();
+        self.write_lock(LockKey::node(id.raw()), None)?;
+        self.write_set.create_node(id, NodeData::new(label_tokens, props));
+        self.db.metrics.record_write();
+        Ok(id)
+    }
+
+    /// Applies a mutation to a node, buffering the new state in the write
+    /// set. Captures the pre-image and acquires the write lock on first
+    /// touch.
+    fn mutate_node(&mut self, id: NodeId, f: impl FnOnce(&mut NodeData)) -> Result<()> {
+        self.ensure_active()?;
+        // Fast path: the node is already in our write set.
+        if let Some(state) = self.write_set.node_state(id) {
+            match state {
+                Some(data) => {
+                    let mut new = data.clone();
+                    f(&mut new);
+                    self.write_set.update_node(id, None, new);
+                    self.db.metrics.record_write();
+                    return Ok(());
+                }
+                None => return Err(DbError::NodeNotFound(id)),
+            }
+        }
+        // First touch: take the long write lock, then verify the snapshot
+        // is still the newest committed state, then capture the pre-image.
+        self.write_lock(LockKey::node(id.raw()), None)?;
+        self.ensure_node_unchanged(id)?;
+        let Some((before, before_ts)) = self.node_pre_image(id)? else {
+            return Err(DbError::NodeNotFound(id));
+        };
+        let mut new = (*before).clone();
+        f(&mut new);
+        self.write_set
+            .update_node(id, Some((before, before_ts)), new);
+        self.db.metrics.record_write();
+        Ok(())
+    }
+
+    /// Sets (or replaces) a property on a node.
+    pub fn set_node_property(
+        &mut self,
+        id: NodeId,
+        name: &str,
+        value: PropertyValue,
+    ) -> Result<()> {
+        let token = self.property_key_token(name)?;
+        self.mutate_node(id, |data| {
+            data.properties.insert(token, value);
+        })
+    }
+
+    /// Removes a property from a node (a no-op if absent).
+    pub fn remove_node_property(&mut self, id: NodeId, name: &str) -> Result<()> {
+        let token = self.property_key_token(name)?;
+        self.mutate_node(id, |data| {
+            data.properties.remove(&token);
+        })
+    }
+
+    /// Adds a label to a node (a no-op if already present).
+    pub fn add_label(&mut self, id: NodeId, label: &str) -> Result<()> {
+        let token = self.label_token(label)?;
+        self.mutate_node(id, |data| {
+            if !data.labels.contains(&token) {
+                data.labels.push(token);
+            }
+        })
+    }
+
+    /// Removes a label from a node (a no-op if absent).
+    pub fn remove_label(&mut self, id: NodeId, label: &str) -> Result<()> {
+        let token = self.label_token(label)?;
+        self.mutate_node(id, |data| {
+            data.labels.retain(|l| *l != token);
+        })
+    }
+
+    /// Deletes a node. The node must have no relationships visible to this
+    /// transaction (delete them first, as in Neo4j).
+    pub fn delete_node(&mut self, id: NodeId) -> Result<()> {
+        self.ensure_active()?;
+        // The node must exist in our view.
+        let exists_in_ws = match self.write_set.node_state(id) {
+            Some(Some(_)) => true,
+            Some(None) => return Err(DbError::NodeNotFound(id)),
+            None => false,
+        };
+        // It must have no visible relationships left.
+        if !self.relationships(id, Direction::Both)?.is_empty() {
+            return Err(DbError::NodeHasRelationships(id));
+        }
+        if exists_in_ws {
+            self.write_set.delete_node(id, None);
+            self.db.metrics.record_write();
+            return Ok(());
+        }
+        self.write_lock(LockKey::node(id.raw()), None)?;
+        self.ensure_node_unchanged(id)?;
+        let Some((before, before_ts)) = self.node_pre_image(id)? else {
+            return Err(DbError::NodeNotFound(id));
+        };
+        self.write_set.delete_node(id, Some((before, before_ts)));
+        self.db.metrics.record_write();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Relationship writes
+    // ------------------------------------------------------------------
+
+    /// Creates a relationship between two nodes, returning its ID.
+    ///
+    /// Both endpoint nodes are write-locked (as in Neo4j, where creating a
+    /// relationship locks its endpoints) to serialise against concurrent
+    /// node deletion; their versions are not otherwise modified.
+    pub fn create_relationship(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        rel_type: &str,
+        properties: &[(&str, PropertyValue)],
+    ) -> Result<RelationshipId> {
+        self.ensure_active()?;
+        let type_token = self.rel_type_token(rel_type)?;
+        let mut props = BTreeMap::new();
+        for (name, value) in properties {
+            props.insert(self.property_key_token(name)?, value.clone());
+        }
+        if self.visible_node(source)?.is_none() {
+            return Err(DbError::NodeNotFound(source));
+        }
+        if self.visible_node(target)?.is_none() {
+            return Err(DbError::NodeNotFound(target));
+        }
+        // Lock the endpoints (no stale-snapshot check: adding a
+        // relationship does not conflict with property updates on the
+        // endpoints) and the new relationship itself.
+        self.write_lock(LockKey::node(source.raw()), None)?;
+        if target != source {
+            self.write_lock(LockKey::node(target.raw()), None)?;
+        }
+        let id = self.db.allocate_relationship_id();
+        self.write_lock(LockKey::relationship(id.raw()), None)?;
+        self.write_set
+            .create_relationship(id, RelationshipData::new(source, target, type_token, props));
+        self.db.metrics.record_write();
+        Ok(id)
+    }
+
+    /// Applies a mutation to a relationship's properties.
+    fn mutate_relationship(
+        &mut self,
+        id: RelationshipId,
+        f: impl FnOnce(&mut RelationshipData),
+    ) -> Result<()> {
+        self.ensure_active()?;
+        if let Some(state) = self.write_set.relationship_state(id) {
+            match state {
+                Some(data) => {
+                    let mut new = data.clone();
+                    f(&mut new);
+                    self.write_set.update_relationship(id, None, new);
+                    self.db.metrics.record_write();
+                    return Ok(());
+                }
+                None => return Err(DbError::RelationshipNotFound(id)),
+            }
+        }
+        self.write_lock(LockKey::relationship(id.raw()), None)?;
+        self.ensure_relationship_unchanged(id)?;
+        let Some((before, before_ts)) = self.relationship_pre_image(id)? else {
+            return Err(DbError::RelationshipNotFound(id));
+        };
+        let mut new = (*before).clone();
+        f(&mut new);
+        self.write_set
+            .update_relationship(id, Some((before, before_ts)), new);
+        self.db.metrics.record_write();
+        Ok(())
+    }
+
+    /// Sets (or replaces) a property on a relationship.
+    pub fn set_relationship_property(
+        &mut self,
+        id: RelationshipId,
+        name: &str,
+        value: PropertyValue,
+    ) -> Result<()> {
+        let token = self.property_key_token(name)?;
+        self.mutate_relationship(id, |data| {
+            data.properties.insert(token, value);
+        })
+    }
+
+    /// Removes a property from a relationship (a no-op if absent).
+    pub fn remove_relationship_property(&mut self, id: RelationshipId, name: &str) -> Result<()> {
+        let token = self.property_key_token(name)?;
+        self.mutate_relationship(id, |data| {
+            data.properties.remove(&token);
+        })
+    }
+
+    /// Deletes a relationship.
+    pub fn delete_relationship(&mut self, id: RelationshipId) -> Result<()> {
+        self.ensure_active()?;
+        if let Some(state) = self.write_set.relationship_state(id) {
+            match state {
+                Some(_) => {
+                    self.write_set.delete_relationship(id, None);
+                    self.db.metrics.record_write();
+                    return Ok(());
+                }
+                None => return Err(DbError::RelationshipNotFound(id)),
+            }
+        }
+        self.write_lock(LockKey::relationship(id.raw()), None)?;
+        self.ensure_relationship_unchanged(id)?;
+        let Some((before, before_ts)) = self.relationship_pre_image(id)? else {
+            return Err(DbError::RelationshipNotFound(id));
+        };
+        // Lock the endpoints to serialise against concurrent node deletion.
+        self.write_lock(LockKey::node(before.source.raw()), None)?;
+        if before.target != before.source {
+            self.write_lock(LockKey::node(before.target.raw()), None)?;
+        }
+        self.write_set.delete_relationship(id, Some((before, before_ts)));
+        self.db.metrics.record_write();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Conversions
+    // ------------------------------------------------------------------
+
+    fn to_public_node(&self, id: NodeId, data: &NodeData) -> Node {
+        Node {
+            id,
+            labels: data.labels.iter().map(|l| self.label_name(*l)).collect(),
+            properties: data
+                .properties
+                .iter()
+                .map(|(k, v)| (self.property_key_name(*k), v.clone()))
+                .collect(),
+        }
+    }
+
+    fn to_public_relationship(&self, id: RelationshipId, data: &RelationshipData) -> Relationship {
+        Relationship {
+            id,
+            source: data.source,
+            target: data.target,
+            rel_type: self.rel_type_name(data.rel_type),
+            properties: data
+                .properties
+                .iter()
+                .map(|(k, v)| (self.property_key_name(*k), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if self.state == TxnState::Active {
+            self.db.abort_transaction(self.id, false);
+            self.state = TxnState::RolledBack;
+        }
+    }
+}
+
+impl std::fmt::Debug for Transaction<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("id", &self.id)
+            .field("start_ts", &self.start_ts)
+            .field("isolation", &self.isolation)
+            .field("state", &self.state)
+            .field("pending_writes", &self.write_set.len())
+            .finish()
+    }
+}

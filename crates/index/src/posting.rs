@@ -1,0 +1,358 @@
+//! Versioned posting lists — the building block of every index.
+//!
+//! The paper (§4): index entries (labels, property values) "are never
+//! deleted in Neo4j even if no node/relationship is using them. We version
+//! them to know whether they should be considered or not. [...] The
+//! nodes/relationships are tagged with the commit timestamp of the
+//! transaction that associated the label/property to the
+//! node/relationship", so a reader can discard postings that do not belong
+//! to its snapshot.
+//!
+//! [`VersionedPostingIndex`] is generic over the index key `K` (a label
+//! token, a `(property key, value)` pair, ...) and the entity ID `E`
+//! (node or relationship), and implements exactly that scheme:
+//!
+//! * every key remembers the commit timestamp at which it was first
+//!   created, so a reader older than the key skips the whole entry;
+//! * every posting carries an `added_ts` and an optional `removed_ts`;
+//!   membership is visible iff `added_ts <= start_ts < removed_ts`;
+//! * physically removing postings (and keys) is the job of the garbage
+//!   collector, driven by the oldest-active-transaction watermark.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use parking_lot::RwLock;
+
+use graphsi_txn::Timestamp;
+
+/// One versioned membership entry of an index posting list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PostingEntry<E> {
+    /// The entity (node or relationship) the posting refers to.
+    pub entity: E,
+    /// Commit timestamp of the transaction that added the membership.
+    pub added_ts: Timestamp,
+    /// Commit timestamp of the transaction that removed it, if any.
+    pub removed_ts: Option<Timestamp>,
+}
+
+impl<E: Copy> PostingEntry<E> {
+    /// Creates a live posting added at `added_ts`.
+    pub fn new(entity: E, added_ts: Timestamp) -> Self {
+        PostingEntry {
+            entity,
+            added_ts,
+            removed_ts: None,
+        }
+    }
+
+    /// Is this membership visible to a reader with the given start
+    /// timestamp?
+    pub fn visible_to(&self, start_ts: Timestamp) -> bool {
+        if !self.added_ts.visible_to(start_ts) {
+            return false;
+        }
+        match self.removed_ts {
+            None => true,
+            Some(removed) => !removed.visible_to(start_ts),
+        }
+    }
+
+    /// Is this posting dead for every present and future reader given the
+    /// GC watermark (oldest active start timestamp)?
+    pub fn reclaimable(&self, watermark: Timestamp) -> bool {
+        matches!(self.removed_ts, Some(removed) if removed.visible_to(watermark))
+    }
+}
+
+struct KeyEntry<E> {
+    /// Commit timestamp at which the key itself first appeared.
+    created_ts: Timestamp,
+    postings: Vec<PostingEntry<E>>,
+}
+
+/// Statistics of one versioned index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of distinct keys.
+    pub keys: u64,
+    /// Total postings (live + dead).
+    pub postings: u64,
+    /// Postings whose removal is already visible to every active reader.
+    pub dead_postings: u64,
+}
+
+/// A snapshot-visible index from keys to posting lists of entities.
+pub struct VersionedPostingIndex<K, E> {
+    entries: RwLock<HashMap<K, KeyEntry<E>>>,
+}
+
+impl<K, E> VersionedPostingIndex<K, E>
+where
+    K: Hash + Eq + Clone,
+    E: Copy + Eq,
+{
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        VersionedPostingIndex {
+            entries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Records that `entity` gained membership under `key` at commit
+    /// timestamp `commit_ts`.
+    pub fn add(&self, key: K, entity: E, commit_ts: Timestamp) {
+        let mut entries = self.entries.write();
+        let entry = entries.entry(key).or_insert_with(|| KeyEntry {
+            created_ts: commit_ts,
+            postings: Vec::new(),
+        });
+        if commit_ts < entry.created_ts {
+            entry.created_ts = commit_ts;
+        }
+        // Re-adding after a removal creates a fresh posting; the old one
+        // stays for older snapshots until GC reclaims it.
+        entry.postings.push(PostingEntry::new(entity, commit_ts));
+    }
+
+    /// Records that `entity` lost membership under `key` at commit
+    /// timestamp `commit_ts`. The posting is kept (tombstoned) so older
+    /// snapshots still see it.
+    pub fn remove(&self, key: &K, entity: E, commit_ts: Timestamp) {
+        let mut entries = self.entries.write();
+        if let Some(entry) = entries.get_mut(key) {
+            // Tombstone the newest still-live posting for this entity.
+            if let Some(p) = entry
+                .postings
+                .iter_mut()
+                .rev()
+                .find(|p| p.entity == entity && p.removed_ts.is_none())
+            {
+                p.removed_ts = Some(commit_ts);
+            }
+        }
+    }
+
+    /// Returns every entity whose membership under `key` is visible to a
+    /// reader with start timestamp `start_ts`.
+    ///
+    /// Following the paper, if the key itself was created after the
+    /// reader's snapshot the whole entry is discarded without looking at
+    /// its postings.
+    pub fn lookup(&self, key: &K, start_ts: Timestamp) -> Vec<E> {
+        let entries = self.entries.read();
+        let Some(entry) = entries.get(key) else {
+            return Vec::new();
+        };
+        if !entry.created_ts.visible_to(start_ts) {
+            return Vec::new();
+        }
+        entry
+            .postings
+            .iter()
+            .filter(|p| p.visible_to(start_ts))
+            .map(|p| p.entity)
+            .collect()
+    }
+
+    /// Returns `true` if `entity` is a visible member of `key` for the
+    /// given snapshot.
+    pub fn contains(&self, key: &K, entity: E, start_ts: Timestamp) -> bool {
+        self.lookup(key, start_ts).contains(&entity)
+    }
+
+    /// Every key currently present (regardless of snapshot visibility).
+    pub fn keys(&self) -> Vec<K> {
+        self.entries.read().keys().cloned().collect()
+    }
+
+    /// Physically removes postings that are dead for every active reader
+    /// (removed at or before the watermark), and drops keys whose posting
+    /// lists become empty. Returns the number of postings reclaimed.
+    pub fn gc(&self, watermark: Timestamp) -> u64 {
+        let mut entries = self.entries.write();
+        let mut reclaimed = 0u64;
+        entries.retain(|_, entry| {
+            let before = entry.postings.len();
+            entry.postings.retain(|p| !p.reclaimable(watermark));
+            reclaimed += (before - entry.postings.len()) as u64;
+            !entry.postings.is_empty()
+        });
+        reclaimed
+    }
+
+    /// Index statistics.
+    pub fn stats(&self) -> IndexStats {
+        let entries = self.entries.read();
+        let mut stats = IndexStats {
+            keys: entries.len() as u64,
+            ..Default::default()
+        };
+        // A conservative watermark of "now" is not known here; dead
+        // postings are counted as "has a removal timestamp".
+        for entry in entries.values() {
+            stats.postings += entry.postings.len() as u64;
+            stats.dead_postings += entry
+                .postings
+                .iter()
+                .filter(|p| p.removed_ts.is_some())
+                .count() as u64;
+        }
+        stats
+    }
+}
+
+impl<K, E> Default for VersionedPostingIndex<K, E>
+where
+    K: Hash + Eq + Clone,
+    E: Copy + Eq,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, E> std::fmt::Debug for VersionedPostingIndex<K, E>
+where
+    K: Hash + Eq + Clone,
+    E: Copy + Eq,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("VersionedPostingIndex")
+            .field("keys", &stats.keys)
+            .field("postings", &stats.postings)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Index = VersionedPostingIndex<u32, u64>;
+
+    #[test]
+    fn posting_visibility_window() {
+        let mut p = PostingEntry::new(1u64, Timestamp(10));
+        assert!(!p.visible_to(Timestamp(9)));
+        assert!(p.visible_to(Timestamp(10)));
+        assert!(p.visible_to(Timestamp(100)));
+        p.removed_ts = Some(Timestamp(20));
+        assert!(p.visible_to(Timestamp(15)));
+        assert!(!p.visible_to(Timestamp(20)));
+        assert!(!p.visible_to(Timestamp(25)));
+        assert!(!p.reclaimable(Timestamp(19)));
+        assert!(p.reclaimable(Timestamp(20)));
+    }
+
+    #[test]
+    fn lookup_respects_snapshot() {
+        let index = Index::new();
+        index.add(1, 100, Timestamp(10));
+        index.add(1, 200, Timestamp(20));
+        assert_eq!(index.lookup(&1, Timestamp(5)), Vec::<u64>::new());
+        assert_eq!(index.lookup(&1, Timestamp(15)), vec![100]);
+        let mut at_25 = index.lookup(&1, Timestamp(25));
+        at_25.sort_unstable();
+        assert_eq!(at_25, vec![100, 200]);
+    }
+
+    #[test]
+    fn key_created_after_snapshot_is_discarded_entirely() {
+        let index = Index::new();
+        index.add(7, 1, Timestamp(50));
+        index.add(7, 2, Timestamp(60));
+        // Reader started before the key existed: the paper says it "can
+        // simply discard them".
+        assert!(index.lookup(&7, Timestamp(40)).is_empty());
+        assert!(!index.contains(&7, 1, Timestamp(40)));
+        assert!(index.contains(&7, 1, Timestamp(55)));
+    }
+
+    #[test]
+    fn removal_is_versioned_not_destructive() {
+        let index = Index::new();
+        index.add(1, 100, Timestamp(10));
+        index.remove(&1, 100, Timestamp(30));
+        // Old snapshot still sees the membership; new one does not.
+        assert_eq!(index.lookup(&1, Timestamp(20)), vec![100]);
+        assert!(index.lookup(&1, Timestamp(30)).is_empty());
+        assert_eq!(index.stats().dead_postings, 1);
+    }
+
+    #[test]
+    fn re_adding_after_removal_creates_new_posting() {
+        let index = Index::new();
+        index.add(1, 100, Timestamp(10));
+        index.remove(&1, 100, Timestamp(20));
+        index.add(1, 100, Timestamp(30));
+        assert_eq!(index.lookup(&1, Timestamp(15)), vec![100]);
+        assert!(index.lookup(&1, Timestamp(25)).is_empty());
+        assert_eq!(index.lookup(&1, Timestamp(35)), vec![100]);
+        assert_eq!(index.stats().postings, 2);
+    }
+
+    #[test]
+    fn remove_unknown_entity_is_a_noop() {
+        let index = Index::new();
+        index.add(1, 100, Timestamp(10));
+        index.remove(&1, 999, Timestamp(20));
+        index.remove(&2, 100, Timestamp(20));
+        assert_eq!(index.lookup(&1, Timestamp(25)), vec![100]);
+    }
+
+    #[test]
+    fn gc_reclaims_dead_postings_and_empty_keys() {
+        let index = Index::new();
+        index.add(1, 100, Timestamp(10));
+        index.add(1, 200, Timestamp(10));
+        index.remove(&1, 100, Timestamp(20));
+        index.add(2, 300, Timestamp(10));
+        index.remove(&2, 300, Timestamp(20));
+
+        // Watermark before the removals: nothing reclaimable.
+        assert_eq!(index.gc(Timestamp(15)), 0);
+        assert_eq!(index.stats().postings, 3);
+
+        // Watermark after the removals: both dead postings go, key 2
+        // becomes empty and is dropped.
+        assert_eq!(index.gc(Timestamp(20)), 2);
+        let stats = index.stats();
+        assert_eq!(stats.postings, 1);
+        assert_eq!(stats.keys, 1);
+        assert_eq!(index.lookup(&1, Timestamp(30)), vec![200]);
+        assert!(index.lookup(&2, Timestamp(30)).is_empty());
+    }
+
+    #[test]
+    fn keys_lists_all_keys() {
+        let index = Index::new();
+        index.add(1, 10, Timestamp(1));
+        index.add(2, 20, Timestamp(2));
+        let mut keys = index.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_adds_and_lookups() {
+        use std::sync::Arc;
+        let index = Arc::new(Index::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let index = Arc::clone(&index);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    index.add((i % 10) as u32, t * 1000 + i, Timestamp(t * 250 + i + 1));
+                    let _ = index.lookup(&((i % 10) as u32), Timestamp(u64::MAX));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(index.stats().postings, 1000);
+    }
+}

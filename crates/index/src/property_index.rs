@@ -1,0 +1,200 @@
+//! The versioned property indexes.
+//!
+//! Neo4j keeps a property index for nodes and one for relationships (the
+//! paper, §2). Both map a `(property key, value)` pair to the entities
+//! holding that value, with the §4 multi-versioning applied: postings are
+//! tagged with the commit timestamp that added (and, eventually, removed)
+//! them so readers only see the memberships belonging to their snapshot.
+
+use graphsi_storage::{NodeId, PropertyKeyToken, PropertyValue, RelationshipId, ValueKey};
+use graphsi_txn::Timestamp;
+
+use crate::posting::{IndexStats, VersionedPostingIndex};
+
+/// Index key: a property key token plus the canonical form of the value.
+pub type PropertyIndexKey = (PropertyKeyToken, ValueKey);
+
+/// A snapshot-visible property index, generic over the entity kind.
+#[derive(Debug)]
+pub struct PropertyIndex<E: Copy + Eq> {
+    inner: VersionedPostingIndex<PropertyIndexKey, E>,
+}
+
+impl<E: Copy + Eq> Default for PropertyIndex<E> {
+    fn default() -> Self {
+        PropertyIndex {
+            inner: VersionedPostingIndex::new(),
+        }
+    }
+}
+
+impl<E: Copy + Eq> PropertyIndex<E> {
+    /// Creates an empty property index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `entity` gained property `key = value` at `commit_ts`.
+    pub fn add(
+        &self,
+        key: PropertyKeyToken,
+        value: &PropertyValue,
+        entity: E,
+        commit_ts: Timestamp,
+    ) {
+        self.inner.add((key, value.index_key()), entity, commit_ts);
+    }
+
+    /// Records that `entity` lost property `key = value` at `commit_ts`
+    /// (value change, property removal or entity deletion).
+    pub fn remove(
+        &self,
+        key: PropertyKeyToken,
+        value: &PropertyValue,
+        entity: E,
+        commit_ts: Timestamp,
+    ) {
+        self.inner.remove(&(key, value.index_key()), entity, commit_ts);
+    }
+
+    /// Entities whose property `key` equals `value` in the snapshot defined
+    /// by `start_ts`.
+    pub fn lookup(
+        &self,
+        key: PropertyKeyToken,
+        value: &PropertyValue,
+        start_ts: Timestamp,
+    ) -> Vec<E> {
+        self.inner.lookup(&(key, value.index_key()), start_ts)
+    }
+
+    /// Returns `true` if `entity` has `key = value` in the given snapshot.
+    pub fn contains(
+        &self,
+        key: PropertyKeyToken,
+        value: &PropertyValue,
+        entity: E,
+        start_ts: Timestamp,
+    ) -> bool {
+        self.inner
+            .contains(&(key, value.index_key()), entity, start_ts)
+    }
+
+    /// Reclaims postings that no active or future reader can see.
+    pub fn gc(&self, watermark: Timestamp) -> u64 {
+        self.inner.gc(watermark)
+    }
+
+    /// Index statistics.
+    pub fn stats(&self) -> IndexStats {
+        self.inner.stats()
+    }
+}
+
+/// Property index over nodes.
+pub type NodePropertyIndex = PropertyIndex<NodeId>;
+/// Property index over relationships.
+pub type RelationshipPropertyIndex = PropertyIndex<RelationshipId>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AGE: PropertyKeyToken = PropertyKeyToken(1);
+    const NAME: PropertyKeyToken = PropertyKeyToken(2);
+
+    #[test]
+    fn lookup_by_value_and_snapshot() {
+        let index = NodePropertyIndex::new();
+        index.add(AGE, &PropertyValue::Int(30), NodeId::new(1), Timestamp(10));
+        index.add(AGE, &PropertyValue::Int(30), NodeId::new(2), Timestamp(20));
+        index.add(AGE, &PropertyValue::Int(40), NodeId::new(3), Timestamp(10));
+
+        assert_eq!(
+            index.lookup(AGE, &PropertyValue::Int(30), Timestamp(15)),
+            vec![NodeId::new(1)]
+        );
+        let mut all = index.lookup(AGE, &PropertyValue::Int(30), Timestamp(25));
+        all.sort();
+        assert_eq!(all, vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            index.lookup(AGE, &PropertyValue::Int(40), Timestamp(25)),
+            vec![NodeId::new(3)]
+        );
+        assert!(index
+            .lookup(AGE, &PropertyValue::Int(99), Timestamp(25))
+            .is_empty());
+    }
+
+    #[test]
+    fn value_update_moves_the_posting() {
+        let index = NodePropertyIndex::new();
+        let node = NodeId::new(7);
+        index.add(AGE, &PropertyValue::Int(30), node, Timestamp(10));
+        // At ts 20 the value changes from 30 to 31.
+        index.remove(AGE, &PropertyValue::Int(30), node, Timestamp(20));
+        index.add(AGE, &PropertyValue::Int(31), node, Timestamp(20));
+
+        assert!(index.contains(AGE, &PropertyValue::Int(30), node, Timestamp(15)));
+        assert!(!index.contains(AGE, &PropertyValue::Int(31), node, Timestamp(15)));
+        assert!(!index.contains(AGE, &PropertyValue::Int(30), node, Timestamp(20)));
+        assert!(index.contains(AGE, &PropertyValue::Int(31), node, Timestamp(20)));
+    }
+
+    #[test]
+    fn string_and_float_values_are_indexable() {
+        let index = NodePropertyIndex::new();
+        index.add(
+            NAME,
+            &PropertyValue::String("ada".into()),
+            NodeId::new(1),
+            Timestamp(5),
+        );
+        index.add(NAME, &PropertyValue::Float(1.5), NodeId::new(2), Timestamp(5));
+        assert_eq!(
+            index.lookup(NAME, &PropertyValue::String("ada".into()), Timestamp(10)),
+            vec![NodeId::new(1)]
+        );
+        assert_eq!(
+            index.lookup(NAME, &PropertyValue::Float(1.5), Timestamp(10)),
+            vec![NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn relationship_index_works_the_same_way() {
+        let index = RelationshipPropertyIndex::new();
+        index.add(
+            NAME,
+            &PropertyValue::String("follows".into()),
+            RelationshipId::new(4),
+            Timestamp(8),
+        );
+        assert_eq!(
+            index.lookup(NAME, &PropertyValue::String("follows".into()), Timestamp(9)),
+            vec![RelationshipId::new(4)]
+        );
+        assert!(index
+            .lookup(NAME, &PropertyValue::String("follows".into()), Timestamp(7))
+            .is_empty());
+    }
+
+    #[test]
+    fn gc_reclaims_replaced_values() {
+        let index = NodePropertyIndex::new();
+        let node = NodeId::new(1);
+        for (i, v) in (0..10).enumerate() {
+            let ts = Timestamp((i as u64) * 10 + 10);
+            if i > 0 {
+                index.remove(AGE, &PropertyValue::Int(v - 1), node, ts);
+            }
+            index.add(AGE, &PropertyValue::Int(v), node, ts);
+        }
+        let before = index.stats();
+        assert_eq!(before.postings, 10);
+        let reclaimed = index.gc(Timestamp(1000));
+        assert_eq!(reclaimed, 9);
+        assert_eq!(index.stats().postings, 1);
+        assert!(index.contains(AGE, &PropertyValue::Int(9), node, Timestamp(1000)));
+    }
+}

@@ -1,0 +1,306 @@
+//! Per-entity version chains.
+//!
+//! "Each object representing a node or relationship stores a list of
+//! versions. In that way, when a transaction reads a node, the right
+//! version for the reading transaction can be obtained by traversing the
+//! list of versions." (the paper, §4)
+//!
+//! The chain is kept sorted newest-first; commit timestamps are issued
+//! monotonically, so installs are pushes at the front.
+
+use std::sync::Arc;
+
+use graphsi_txn::Timestamp;
+
+use crate::version::{GcHandle, Version};
+
+/// The versions of one entity, newest first.
+#[derive(Debug)]
+pub struct VersionChain<V> {
+    versions: Vec<Version<V>>,
+}
+
+/// Result of pruning a chain against a GC watermark.
+#[derive(Debug, Default)]
+pub struct PruneResult {
+    /// GC-list handles of the versions that were removed.
+    pub removed_handles: Vec<GcHandle>,
+    /// Number of versions removed from the chain.
+    pub removed: usize,
+    /// `true` if, after pruning, the chain holds no information a reader
+    /// could not obtain from the persistent store, and the whole cache
+    /// entry can be dropped.
+    pub droppable: bool,
+}
+
+impl<V> VersionChain<V> {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        VersionChain {
+            versions: Vec::new(),
+        }
+    }
+
+    /// Creates a chain seeded with a single base version (the value the
+    /// persistent store currently holds).
+    pub fn with_base(commit_ts: Timestamp, payload: Arc<V>) -> Self {
+        VersionChain {
+            versions: vec![Version::alive(commit_ts, payload)],
+        }
+    }
+
+    /// Number of versions in the chain.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Returns `true` if the chain holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Installs a newly committed version. `commit_ts` must be greater than
+    /// every timestamp already in the chain (commit timestamps are
+    /// monotone); out-of-order installs are inserted at the right position
+    /// as a defensive measure.
+    pub fn install(&mut self, version: Version<V>) {
+        if self
+            .versions
+            .first()
+            .is_none_or(|newest| version.commit_ts > newest.commit_ts)
+        {
+            self.versions.insert(0, version);
+        } else {
+            // Defensive slow path: keep the newest-first invariant.
+            let pos = self
+                .versions
+                .iter()
+                .position(|v| v.commit_ts < version.commit_ts)
+                .unwrap_or(self.versions.len());
+            self.versions.insert(pos, version);
+        }
+    }
+
+    /// The newest version regardless of visibility.
+    pub fn newest(&self) -> Option<&Version<V>> {
+        self.versions.first()
+    }
+
+    /// Commit timestamp of the newest version, if any.
+    pub fn newest_commit_ts(&self) -> Option<Timestamp> {
+        self.versions.first().map(|v| v.commit_ts)
+    }
+
+    /// The newest version visible to a reader that started at `start_ts`
+    /// (the paper's read rule).
+    pub fn visible_at(&self, start_ts: Timestamp) -> Option<&Version<V>> {
+        self.versions.iter().find(|v| v.visible_to(start_ts))
+    }
+
+    /// Iterates over the versions, newest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Version<V>> {
+        self.versions.iter()
+    }
+
+    /// Mutable access used when threading versions into the GC list.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Version<V>> {
+        self.versions.iter_mut()
+    }
+
+    /// Sets the GC handle of the version with the given commit timestamp.
+    pub fn set_gc_handle(&mut self, commit_ts: Timestamp, handle: GcHandle) {
+        if let Some(v) = self.versions.iter_mut().find(|v| v.commit_ts == commit_ts) {
+            v.gc_handle = Some(handle);
+        }
+    }
+
+    /// GC-list handles of every version currently in the chain.
+    pub fn all_handles(&self) -> Vec<GcHandle> {
+        self.versions.iter().filter_map(|v| v.gc_handle).collect()
+    }
+
+    /// Prunes the chain against the GC `watermark` (the start timestamp of
+    /// the oldest active transaction).
+    ///
+    /// * Every version strictly older than the newest version visible at
+    ///   the watermark is unreachable ("will never be read by any active
+    ///   transaction") and is removed.
+    /// * If the newest visible version is a tombstone it is removed too —
+    ///   every active or future reader observes the deletion, and the
+    ///   persistent store no longer holds the entity.
+    /// * The result is marked `droppable` when the chain afterwards holds at
+    ///   most one version, that version is alive, and it is visible at the
+    ///   watermark — i.e. the persistent store alone can serve every
+    ///   current and future reader, so the whole cache entry may be
+    ///   released.
+    pub fn prune(&mut self, watermark: Timestamp) -> PruneResult {
+        let mut result = PruneResult::default();
+        let Some(keep_idx) = self.versions.iter().position(|v| v.visible_to(watermark)) else {
+            // Nothing is old enough to touch.
+            return result;
+        };
+
+        // Remove everything strictly older than the newest visible version.
+        let removed_tail: Vec<Version<V>> = self.versions.split_off(keep_idx + 1);
+        for v in &removed_tail {
+            if let Some(h) = v.gc_handle {
+                result.removed_handles.push(h);
+            }
+        }
+        result.removed += removed_tail.len();
+
+        // If the newest visible version is a tombstone, drop it as well.
+        if self.versions[keep_idx].is_tombstone() {
+            let v = self.versions.remove(keep_idx);
+            if let Some(h) = v.gc_handle {
+                result.removed_handles.push(h);
+            }
+            result.removed += 1;
+        }
+
+        result.droppable = match self.versions.len() {
+            0 => true,
+            1 => {
+                let only = &self.versions[0];
+                !only.is_tombstone() && only.visible_to(watermark)
+            }
+            _ => false,
+        };
+        result
+    }
+}
+
+impl<V> Default for VersionChain<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alive(ts: u64, value: i32) -> Version<i32> {
+        Version::alive(Timestamp(ts), Arc::new(value))
+    }
+
+    fn chain(versions: Vec<Version<i32>>) -> VersionChain<i32> {
+        let mut c = VersionChain::new();
+        for v in versions {
+            c.install(v);
+        }
+        c
+    }
+
+    #[test]
+    fn install_keeps_newest_first() {
+        let c = chain(vec![alive(1, 10), alive(3, 30), alive(2, 20)]);
+        let timestamps: Vec<u64> = c.iter().map(|v| v.commit_ts.raw()).collect();
+        assert_eq!(timestamps, vec![3, 2, 1]);
+        assert_eq!(c.newest_commit_ts(), Some(Timestamp(3)));
+    }
+
+    #[test]
+    fn read_rule_selects_newest_visible() {
+        let c = chain(vec![alive(40, 1), alive(56, 2), alive(90, 3)]);
+        assert_eq!(*c.visible_at(Timestamp(100)).unwrap().payload.as_ref().unwrap().as_ref(), 3);
+        assert_eq!(*c.visible_at(Timestamp(60)).unwrap().payload.as_ref().unwrap().as_ref(), 2);
+        assert_eq!(*c.visible_at(Timestamp(40)).unwrap().payload.as_ref().unwrap().as_ref(), 1);
+        assert!(c.visible_at(Timestamp(39)).is_none());
+    }
+
+    #[test]
+    fn tombstone_is_visible_as_deletion() {
+        let mut c = chain(vec![alive(5, 1)]);
+        c.install(Version::tombstone(Timestamp(9)));
+        assert!(c.visible_at(Timestamp(10)).unwrap().is_tombstone());
+        assert!(!c.visible_at(Timestamp(7)).unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn prune_removes_unreachable_versions() {
+        // The paper's example: versions 40, 56, 90; oldest active start 100.
+        let mut c = chain(vec![alive(40, 1), alive(56, 2), alive(90, 3)]);
+        let result = c.prune(Timestamp(100));
+        assert_eq!(result.removed, 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.newest_commit_ts(), Some(Timestamp(90)));
+        // Only one alive visible version left: the cache entry can be
+        // dropped because the store holds the same state.
+        assert!(result.droppable);
+    }
+
+    #[test]
+    fn prune_keeps_versions_needed_by_old_readers() {
+        let mut c = chain(vec![alive(40, 1), alive(56, 2), alive(90, 3)]);
+        let result = c.prune(Timestamp(60));
+        // 56 is the newest visible at 60, so only 40 can go; 90 stays for
+        // future readers.
+        assert_eq!(result.removed, 1);
+        assert_eq!(c.len(), 2);
+        assert!(!result.droppable);
+        assert!(c.visible_at(Timestamp(60)).is_some());
+    }
+
+    #[test]
+    fn prune_with_no_visible_version_is_a_noop() {
+        let mut c = chain(vec![alive(40, 1), alive(56, 2)]);
+        let result = c.prune(Timestamp(10));
+        assert_eq!(result.removed, 0);
+        assert_eq!(c.len(), 2);
+        assert!(!result.droppable);
+    }
+
+    #[test]
+    fn prune_drops_old_tombstones() {
+        let mut c = chain(vec![alive(5, 1)]);
+        c.install(Version::tombstone(Timestamp(9)));
+        let result = c.prune(Timestamp(20));
+        // Both the old version and the tombstone go; the chain is empty and
+        // droppable.
+        assert_eq!(result.removed, 2);
+        assert!(c.is_empty());
+        assert!(result.droppable);
+    }
+
+    #[test]
+    fn prune_keeps_tombstone_while_old_reader_exists() {
+        let mut c = chain(vec![alive(5, 1)]);
+        c.install(Version::tombstone(Timestamp(9)));
+        let result = c.prune(Timestamp(7));
+        // A reader at 7 must still see the alive version; nothing removable.
+        assert_eq!(result.removed, 0);
+        assert_eq!(c.len(), 2);
+        assert!(!result.droppable);
+    }
+
+    #[test]
+    fn prune_collects_gc_handles() {
+        let mut c = VersionChain::new();
+        let mut v1 = alive(1, 1);
+        v1.gc_handle = Some(crate::version::GcHandle(11));
+        let mut v2 = alive(2, 2);
+        v2.gc_handle = Some(crate::version::GcHandle(22));
+        c.install(v1);
+        c.install(v2);
+        let result = c.prune(Timestamp(5));
+        assert_eq!(result.removed, 1);
+        assert_eq!(result.removed_handles, vec![crate::version::GcHandle(11)]);
+        assert_eq!(c.all_handles(), vec![crate::version::GcHandle(22)]);
+    }
+
+    #[test]
+    fn set_gc_handle_targets_specific_version() {
+        let mut c = chain(vec![alive(1, 1), alive(2, 2)]);
+        c.set_gc_handle(Timestamp(1), crate::version::GcHandle(5));
+        let handles: Vec<Option<_>> = c.iter().map(|v| v.gc_handle).collect();
+        assert_eq!(handles, vec![None, Some(crate::version::GcHandle(5))]);
+    }
+
+    #[test]
+    fn newer_version_not_visible_to_old_snapshot_means_not_yet_created() {
+        // Entity created at ts 50; reader started at 10.
+        let c = chain(vec![alive(50, 1)]);
+        assert!(c.visible_at(Timestamp(10)).is_none());
+    }
+}

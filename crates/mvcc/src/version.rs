@@ -1,0 +1,98 @@
+//! A single version of an entity.
+//!
+//! The paper versions nodes and relationships by attaching a **commit
+//! timestamp** and a **deleted flag** to each of them (§4). A version whose
+//! payload is absent is a *tombstone*: the entity was deleted by the
+//! transaction that committed at that timestamp, but the tombstone "has to
+//! be kept till no previous version can be read by an active transaction".
+
+use std::sync::Arc;
+
+use graphsi_txn::Timestamp;
+
+/// Handle of a version's entry in the global garbage-collection list
+/// (see [`crate::gc_list::GcList`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GcHandle(pub(crate) usize);
+
+impl GcHandle {
+    /// Raw slab index (exposed for diagnostics and tests).
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
+
+/// One committed version of an entity.
+#[derive(Clone, Debug)]
+pub struct Version<V> {
+    /// Commit timestamp of the transaction that produced this version.
+    pub commit_ts: Timestamp,
+    /// The entity state; `None` marks a tombstone (the entity was deleted).
+    pub payload: Option<Arc<V>>,
+    /// Link into the global GC list, if the version is threaded there.
+    pub gc_handle: Option<GcHandle>,
+}
+
+impl<V> Version<V> {
+    /// Creates an alive version.
+    pub fn alive(commit_ts: Timestamp, payload: Arc<V>) -> Self {
+        Version {
+            commit_ts,
+            payload: Some(payload),
+            gc_handle: None,
+        }
+    }
+
+    /// Creates a tombstone version (the entity was deleted at
+    /// `commit_ts`).
+    pub fn tombstone(commit_ts: Timestamp) -> Self {
+        Version {
+            commit_ts,
+            payload: None,
+            gc_handle: None,
+        }
+    }
+
+    /// Returns `true` if this version marks a deletion.
+    pub fn is_tombstone(&self) -> bool {
+        self.payload.is_none()
+    }
+
+    /// Returns `true` if this version is visible to a reader with the given
+    /// start timestamp (the read rule: `commit_ts <= start_ts`).
+    pub fn visible_to(&self, start_ts: Timestamp) -> bool {
+        self.commit_ts.visible_to(start_ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alive_and_tombstone() {
+        let v = Version::alive(Timestamp(3), Arc::new("x"));
+        assert!(!v.is_tombstone());
+        assert_eq!(v.payload.as_deref(), Some(&"x"));
+
+        let t: Version<&str> = Version::tombstone(Timestamp(4));
+        assert!(t.is_tombstone());
+        assert!(t.payload.is_none());
+    }
+
+    #[test]
+    fn visibility_matches_read_rule() {
+        let v = Version::alive(Timestamp(10), Arc::new(1u32));
+        assert!(v.visible_to(Timestamp(10)));
+        assert!(v.visible_to(Timestamp(11)));
+        assert!(!v.visible_to(Timestamp(9)));
+    }
+
+    #[test]
+    fn gc_handle_roundtrip() {
+        let mut v = Version::alive(Timestamp(1), Arc::new(0u8));
+        assert!(v.gc_handle.is_none());
+        v.gc_handle = Some(GcHandle(7));
+        assert_eq!(v.gc_handle.unwrap().raw(), 7);
+    }
+}

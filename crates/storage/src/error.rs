@@ -1,0 +1,185 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors raised by the record storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// Description of the operation that failed (e.g. "read page").
+        context: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A store file could not be opened or created.
+    OpenFailed {
+        /// Path to the store file.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A record ID referenced a slot that is not in use.
+    RecordNotInUse {
+        /// The store in which the lookup happened.
+        store: &'static str,
+        /// The offending record ID.
+        id: u64,
+    },
+    /// A record ID lies beyond the end of the store.
+    RecordOutOfBounds {
+        /// The store in which the lookup happened.
+        store: &'static str,
+        /// The offending record ID.
+        id: u64,
+        /// The current highest allocated ID plus one.
+        high_id: u64,
+    },
+    /// A record on disk could not be decoded.
+    Corrupt {
+        /// The store in which the record lives.
+        store: &'static str,
+        /// The offending record ID.
+        id: u64,
+        /// Human readable description of the corruption.
+        reason: String,
+    },
+    /// A value was too large to be stored (e.g. an over-long string with a
+    /// full dynamic store).
+    ValueTooLarge {
+        /// Size of the value in bytes.
+        size: usize,
+        /// Maximum supported size.
+        max: usize,
+    },
+    /// A token (label name / property key) limit was exceeded.
+    TokenLimitExceeded {
+        /// The kind of token.
+        kind: &'static str,
+    },
+    /// The store directory does not look like a graphsi store.
+    InvalidStoreDirectory {
+        /// Path to the directory.
+        path: PathBuf,
+        /// Reason it was rejected.
+        reason: String,
+    },
+}
+
+impl StorageError {
+    /// Convenience constructor for [`StorageError::Io`].
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        StorageError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for [`StorageError::Corrupt`].
+    pub fn corrupt(store: &'static str, id: u64, reason: impl Into<String>) -> Self {
+        StorageError::Corrupt {
+            store,
+            id,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => {
+                write!(f, "I/O error while {context}: {source}")
+            }
+            StorageError::OpenFailed { path, source } => {
+                write!(f, "failed to open store file {}: {source}", path.display())
+            }
+            StorageError::RecordNotInUse { store, id } => {
+                write!(f, "{store} record {id} is not in use")
+            }
+            StorageError::RecordOutOfBounds { store, id, high_id } => {
+                write!(f, "{store} record {id} is out of bounds (high id {high_id})")
+            }
+            StorageError::Corrupt { store, id, reason } => {
+                write!(f, "{store} record {id} is corrupt: {reason}")
+            }
+            StorageError::ValueTooLarge { size, max } => {
+                write!(f, "value of {size} bytes exceeds the maximum of {max} bytes")
+            }
+            StorageError::TokenLimitExceeded { kind } => {
+                write!(f, "too many {kind} tokens")
+            }
+            StorageError::InvalidStoreDirectory { path, reason } => {
+                write!(
+                    f,
+                    "{} is not a valid graphsi store directory: {reason}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } | StorageError::OpenFailed { source, .. } => {
+                Some(source)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Result alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io_error() {
+        let err = StorageError::io("reading page 3", io::Error::new(io::ErrorKind::Other, "boom"));
+        let s = err.to_string();
+        assert!(s.contains("reading page 3"));
+        assert!(s.contains("boom"));
+    }
+
+    #[test]
+    fn display_not_in_use() {
+        let err = StorageError::RecordNotInUse { store: "node", id: 7 };
+        assert_eq!(err.to_string(), "node record 7 is not in use");
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let err = StorageError::RecordOutOfBounds {
+            store: "relationship",
+            id: 100,
+            high_id: 10,
+        };
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn display_corrupt() {
+        let err = StorageError::corrupt("property", 3, "bad type tag 77");
+        assert!(err.to_string().contains("bad type tag 77"));
+    }
+
+    #[test]
+    fn display_value_too_large() {
+        let err = StorageError::ValueTooLarge { size: 10, max: 5 };
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn error_source_is_preserved() {
+        let err = StorageError::io("x", io::Error::new(io::ErrorKind::Other, "inner"));
+        let src = std::error::Error::source(&err).expect("source");
+        assert!(src.to_string().contains("inner"));
+    }
+}

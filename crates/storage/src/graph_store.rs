@@ -1,0 +1,688 @@
+//! The aggregated persistent graph store.
+//!
+//! [`GraphStore`] ties together the node, relationship, property and token
+//! stores and provides the *logical* operations the transactional layer
+//! needs at commit time (install the newest committed version of an
+//! entity) and at cold-read time (materialise an entity that is not in the
+//! object cache).
+//!
+//! Exactly as the paper prescribes, the persistent store holds **only the
+//! most recent committed version** of every node and relationship; all
+//! older versions live in the in-memory object cache of the MVCC layer.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::{Result, StorageError};
+use crate::ids::{LabelToken, NodeId, PropertyKeyToken, RelTypeToken, RelationshipId};
+use crate::page_cache::PageCacheStats;
+use crate::property_store::PropertyStore;
+use crate::record::{NodeRecord, RelationshipRecord};
+use crate::store_file::RecordStore;
+use crate::token_store::TokenStores;
+use crate::value::PropertyValue;
+
+/// Upper bound on relationship-chain length used as a cycle guard.
+const MAX_CHAIN_LENGTH: usize = 10_000_000;
+
+/// Configuration for opening a [`GraphStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct GraphStoreConfig {
+    /// Number of pages each record store may keep cached in memory.
+    pub cache_pages_per_store: usize,
+}
+
+impl Default for GraphStoreConfig {
+    fn default() -> Self {
+        GraphStoreConfig {
+            cache_pages_per_store: 256,
+        }
+    }
+}
+
+/// A fully materialised node as stored on disk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredNode {
+    /// The node's ID.
+    pub id: NodeId,
+    /// Label tokens attached to the node.
+    pub labels: Vec<LabelToken>,
+    /// The node's properties.
+    pub properties: Vec<(PropertyKeyToken, PropertyValue)>,
+}
+
+/// A fully materialised relationship as stored on disk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredRelationship {
+    /// The relationship's ID.
+    pub id: RelationshipId,
+    /// Source node.
+    pub source: NodeId,
+    /// Target node.
+    pub target: NodeId,
+    /// Relationship type token.
+    pub rel_type: RelTypeToken,
+    /// The relationship's properties.
+    pub properties: Vec<(PropertyKeyToken, PropertyValue)>,
+}
+
+/// Aggregate counters across all record stores, used by experiment E7
+/// (write amplification / store size).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GraphStoreStats {
+    /// Page-cache counters of the node store.
+    pub nodes: PageCacheStats,
+    /// Page-cache counters of the relationship store.
+    pub relationships: PageCacheStats,
+    /// Record writes issued against the property + dynamic stores.
+    pub property_record_writes: u64,
+    /// One past the largest node ID.
+    pub node_high_id: u64,
+    /// One past the largest relationship ID.
+    pub relationship_high_id: u64,
+}
+
+impl GraphStoreStats {
+    /// Total record writes across node, relationship and property stores.
+    pub fn total_record_writes(&self) -> u64 {
+        self.nodes.record_writes + self.relationships.record_writes + self.property_record_writes
+    }
+}
+
+/// The persistent graph store: node, relationship, property and token
+/// stores under one directory.
+pub struct GraphStore {
+    dir: PathBuf,
+    nodes: RecordStore<NodeRecord>,
+    relationships: RecordStore<RelationshipRecord>,
+    properties: PropertyStore,
+    tokens: TokenStores,
+}
+
+impl GraphStore {
+    /// Opens (creating if necessary) a graph store in `dir`.
+    pub fn open(dir: impl AsRef<Path>, config: GraphStoreConfig) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::OpenFailed {
+            path: dir.clone(),
+            source: e,
+        })?;
+        let pages = config.cache_pages_per_store;
+        Ok(GraphStore {
+            nodes: RecordStore::open(&dir, "nodes.db", pages)?,
+            relationships: RecordStore::open(&dir, "relationships.db", pages)?,
+            properties: PropertyStore::open(&dir, pages)?,
+            tokens: TokenStores::open(&dir)?,
+            dir,
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The token registries (labels, property keys, relationship types).
+    pub fn tokens(&self) -> &TokenStores {
+        &self.tokens
+    }
+
+    // ----- ID allocation ---------------------------------------------------
+
+    /// Allocates a node ID. The slot is not written until the creating
+    /// transaction commits.
+    pub fn allocate_node_id(&self) -> NodeId {
+        NodeId::new(self.nodes.allocate_id())
+    }
+
+    /// Allocates a relationship ID.
+    pub fn allocate_relationship_id(&self) -> RelationshipId {
+        RelationshipId::new(self.relationships.allocate_id())
+    }
+
+    /// Ensures ID high-water marks cover `node_high`/`rel_high`; used by
+    /// recovery when replaying a WAL that references newer IDs.
+    pub fn bump_high_ids(&self, node_high: u64, rel_high: u64) {
+        self.nodes.bump_high_id(node_high);
+        self.relationships.bump_high_id(rel_high);
+    }
+
+    /// One past the largest node ID ever allocated.
+    pub fn node_high_id(&self) -> u64 {
+        self.nodes.high_id()
+    }
+
+    /// One past the largest relationship ID ever allocated.
+    pub fn relationship_high_id(&self) -> u64 {
+        self.relationships.high_id()
+    }
+
+    // ----- Node operations --------------------------------------------------
+
+    /// Writes a brand new node record (commit-time install of a created
+    /// node).
+    pub fn create_node(
+        &self,
+        id: NodeId,
+        labels: &[LabelToken],
+        properties: &[(PropertyKeyToken, PropertyValue)],
+    ) -> Result<()> {
+        let first_prop = self.properties.write_chain(properties)?;
+        let mut record = NodeRecord::new_in_use();
+        record.labels = labels.to_vec();
+        record.first_prop = first_prop;
+        self.nodes.write(id.raw(), &record)
+    }
+
+    /// Overwrites the labels and properties of an existing node with the
+    /// newest committed version (the paper: only the most recent committed
+    /// version is written to the persistent store).
+    pub fn update_node(
+        &self,
+        id: NodeId,
+        labels: &[LabelToken],
+        properties: &[(PropertyKeyToken, PropertyValue)],
+    ) -> Result<()> {
+        let mut record = self.nodes.load_in_use(id.raw())?;
+        self.properties.free_chain(record.first_prop)?;
+        record.first_prop = self.properties.write_chain(properties)?;
+        record.labels = labels.to_vec();
+        self.nodes.write(id.raw(), &record)
+    }
+
+    /// Physically removes a node record. The caller must have removed all
+    /// of the node's relationships first.
+    pub fn delete_node(&self, id: NodeId) -> Result<()> {
+        let record = self.nodes.load_in_use(id.raw())?;
+        if record.first_rel.is_some() {
+            return Err(StorageError::corrupt(
+                "node",
+                id.raw(),
+                "cannot delete a node that still has relationships",
+            ));
+        }
+        self.properties.free_chain(record.first_prop)?;
+        self.nodes.write(id.raw(), &NodeRecord::default())?;
+        self.nodes.release_id(id.raw());
+        Ok(())
+    }
+
+    /// Returns `true` if the node record is in use.
+    pub fn node_exists(&self, id: NodeId) -> Result<bool> {
+        if id.is_none() || id.raw() >= self.nodes.high_id() {
+            return Ok(false);
+        }
+        Ok(self.nodes.load(id.raw())?.in_use)
+    }
+
+    /// Materialises the node stored under `id`, or `None` if the slot is
+    /// not in use.
+    pub fn read_node(&self, id: NodeId) -> Result<Option<StoredNode>> {
+        if id.is_none() || id.raw() >= self.nodes.high_id() {
+            return Ok(None);
+        }
+        let record = self.nodes.load(id.raw())?;
+        if !record.in_use {
+            return Ok(None);
+        }
+        let properties = self.properties.read_chain(record.first_prop)?;
+        Ok(Some(StoredNode {
+            id,
+            labels: record.labels,
+            properties,
+        }))
+    }
+
+    // ----- Relationship operations -------------------------------------------
+
+    /// Writes a brand new relationship record and links it at the head of
+    /// both endpoint nodes' relationship chains.
+    pub fn create_relationship(
+        &self,
+        id: RelationshipId,
+        source: NodeId,
+        target: NodeId,
+        rel_type: RelTypeToken,
+        properties: &[(PropertyKeyToken, PropertyValue)],
+    ) -> Result<()> {
+        let first_prop = self.properties.write_chain(properties)?;
+        let mut rel = RelationshipRecord::new_in_use(source, target, rel_type);
+        rel.first_prop = first_prop;
+
+        let endpoints: &[NodeId] = if source == target {
+            &[source]
+        } else {
+            &[source, target]
+        };
+        for &node in endpoints {
+            let mut node_rec = self.nodes.load_in_use(node.raw())?;
+            let old_first = node_rec.first_rel;
+            rel.set_chain_for(node, RelationshipId::NONE, old_first);
+            if old_first.is_some() {
+                let mut head = self.relationships.load_in_use(old_first.raw())?;
+                let (_, head_next) = head.chain_for(node);
+                head.set_chain_for(node, id, head_next);
+                self.relationships.write(old_first.raw(), &head)?;
+            }
+            node_rec.first_rel = id;
+            self.nodes.write(node.raw(), &node_rec)?;
+        }
+        self.relationships.write(id.raw(), &rel)
+    }
+
+    /// Overwrites the properties of an existing relationship.
+    pub fn update_relationship(
+        &self,
+        id: RelationshipId,
+        properties: &[(PropertyKeyToken, PropertyValue)],
+    ) -> Result<()> {
+        let mut record = self.relationships.load_in_use(id.raw())?;
+        self.properties.free_chain(record.first_prop)?;
+        record.first_prop = self.properties.write_chain(properties)?;
+        self.relationships.write(id.raw(), &record)
+    }
+
+    /// Physically removes a relationship record, unlinking it from both
+    /// endpoint nodes' chains.
+    pub fn delete_relationship(&self, id: RelationshipId) -> Result<()> {
+        let rel = self.relationships.load_in_use(id.raw())?;
+        let endpoints: &[NodeId] = if rel.source == rel.target {
+            &[rel.source]
+        } else {
+            &[rel.source, rel.target]
+        };
+        for &node in endpoints {
+            let (prev, next) = rel.chain_for(node);
+            if prev.is_none() {
+                let mut node_rec = self.nodes.load_in_use(node.raw())?;
+                node_rec.first_rel = next;
+                self.nodes.write(node.raw(), &node_rec)?;
+            } else {
+                let mut prev_rec = self.relationships.load_in_use(prev.raw())?;
+                let (pp, _) = prev_rec.chain_for(node);
+                prev_rec.set_chain_for(node, pp, next);
+                self.relationships.write(prev.raw(), &prev_rec)?;
+            }
+            if next.is_some() {
+                let mut next_rec = self.relationships.load_in_use(next.raw())?;
+                let (_, nn) = next_rec.chain_for(node);
+                next_rec.set_chain_for(node, prev, nn);
+                self.relationships.write(next.raw(), &next_rec)?;
+            }
+        }
+        self.properties.free_chain(rel.first_prop)?;
+        self.relationships
+            .write(id.raw(), &RelationshipRecord::default())?;
+        self.relationships.release_id(id.raw());
+        Ok(())
+    }
+
+    /// Returns `true` if the relationship record is in use.
+    pub fn relationship_exists(&self, id: RelationshipId) -> Result<bool> {
+        if id.is_none() || id.raw() >= self.relationships.high_id() {
+            return Ok(false);
+        }
+        Ok(self.relationships.load(id.raw())?.in_use)
+    }
+
+    /// Materialises the relationship stored under `id`, or `None` if the
+    /// slot is not in use.
+    pub fn read_relationship(&self, id: RelationshipId) -> Result<Option<StoredRelationship>> {
+        if id.is_none() || id.raw() >= self.relationships.high_id() {
+            return Ok(None);
+        }
+        let record = self.relationships.load(id.raw())?;
+        if !record.in_use {
+            return Ok(None);
+        }
+        let properties = self.properties.read_chain(record.first_prop)?;
+        Ok(Some(StoredRelationship {
+            id,
+            source: record.source,
+            target: record.target,
+            rel_type: record.rel_type,
+            properties,
+        }))
+    }
+
+    /// Materialises every relationship attached to `node` by walking its
+    /// relationship chain.
+    pub fn relationships_of(&self, node: NodeId) -> Result<Vec<StoredRelationship>> {
+        let node_rec = match self.read_node_record(node)? {
+            Some(rec) => rec,
+            None => return Ok(Vec::new()),
+        };
+        let mut out = Vec::new();
+        let mut current = node_rec.first_rel;
+        let mut steps = 0usize;
+        while current.is_some() {
+            if steps > MAX_CHAIN_LENGTH {
+                return Err(StorageError::corrupt(
+                    "relationship",
+                    node.raw(),
+                    "relationship chain exceeds maximum length (cycle?)",
+                ));
+            }
+            steps += 1;
+            let rel = self.relationships.load_in_use(current.raw())?;
+            let properties = self.properties.read_chain(rel.first_prop)?;
+            out.push(StoredRelationship {
+                id: current,
+                source: rel.source,
+                target: rel.target,
+                rel_type: rel.rel_type,
+                properties,
+            });
+            let (_, next) = rel.chain_for(node);
+            current = next;
+        }
+        Ok(out)
+    }
+
+    /// Number of relationships attached to `node`.
+    pub fn node_degree(&self, node: NodeId) -> Result<usize> {
+        Ok(self.relationships_of(node)?.len())
+    }
+
+    // ----- Scans -------------------------------------------------------------
+
+    /// IDs of every in-use node, in ID order.
+    pub fn scan_node_ids(&self) -> Result<Vec<NodeId>> {
+        let mut out = Vec::new();
+        for entry in self.nodes.scan() {
+            let (id, _) = entry?;
+            out.push(NodeId::new(id));
+        }
+        Ok(out)
+    }
+
+    /// IDs of every in-use relationship, in ID order.
+    pub fn scan_relationship_ids(&self) -> Result<Vec<RelationshipId>> {
+        let mut out = Vec::new();
+        for entry in self.relationships.scan() {
+            let (id, _) = entry?;
+            out.push(RelationshipId::new(id));
+        }
+        Ok(out)
+    }
+
+    // ----- Maintenance --------------------------------------------------------
+
+    /// Flushes every store (pages, ID allocators, token registries).
+    pub fn flush(&self) -> Result<()> {
+        self.nodes.flush()?;
+        self.relationships.flush()?;
+        self.properties.flush()?;
+        self.tokens.persist()
+    }
+
+    /// Aggregate counters for the storage experiments.
+    pub fn stats(&self) -> GraphStoreStats {
+        GraphStoreStats {
+            nodes: self.nodes.cache_stats(),
+            relationships: self.relationships.cache_stats(),
+            property_record_writes: self.properties.record_writes(),
+            node_high_id: self.nodes.high_id(),
+            relationship_high_id: self.relationships.high_id(),
+        }
+    }
+
+    fn read_node_record(&self, id: NodeId) -> Result<Option<NodeRecord>> {
+        if id.is_none() || id.raw() >= self.nodes.high_id() {
+            return Ok(None);
+        }
+        let record = self.nodes.load(id.raw())?;
+        if record.in_use {
+            Ok(Some(record))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphStore")
+            .field("dir", &self.dir)
+            .field("nodes", &self.nodes.high_id())
+            .field("relationships", &self.relationships.high_id())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::TempDir;
+
+    fn open(dir: &TempDir) -> GraphStore {
+        GraphStore::open(dir.path(), GraphStoreConfig::default()).unwrap()
+    }
+
+    fn props(pairs: &[(u32, i64)]) -> Vec<(PropertyKeyToken, PropertyValue)> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (PropertyKeyToken(k), PropertyValue::Int(v)))
+            .collect()
+    }
+
+    #[test]
+    fn create_and_read_node() {
+        let dir = TempDir::new("gs_node");
+        let store = open(&dir);
+        let id = store.allocate_node_id();
+        store
+            .create_node(id, &[LabelToken(1)], &props(&[(0, 42)]))
+            .unwrap();
+        let node = store.read_node(id).unwrap().unwrap();
+        assert_eq!(node.labels, vec![LabelToken(1)]);
+        assert_eq!(node.properties, props(&[(0, 42)]));
+        assert!(store.node_exists(id).unwrap());
+        assert!(!store.node_exists(NodeId::new(999)).unwrap());
+        assert!(store.read_node(NodeId::NONE).unwrap().is_none());
+    }
+
+    #[test]
+    fn update_node_replaces_labels_and_properties() {
+        let dir = TempDir::new("gs_update");
+        let store = open(&dir);
+        let id = store.allocate_node_id();
+        store
+            .create_node(id, &[LabelToken(1)], &props(&[(0, 1), (1, 2)]))
+            .unwrap();
+        store
+            .update_node(id, &[LabelToken(2), LabelToken(3)], &props(&[(5, 9)]))
+            .unwrap();
+        let node = store.read_node(id).unwrap().unwrap();
+        assert_eq!(node.labels, vec![LabelToken(2), LabelToken(3)]);
+        assert_eq!(node.properties, props(&[(5, 9)]));
+    }
+
+    #[test]
+    fn delete_node_frees_slot_for_reuse() {
+        let dir = TempDir::new("gs_delete");
+        let store = open(&dir);
+        let id = store.allocate_node_id();
+        store.create_node(id, &[], &props(&[(0, 1)])).unwrap();
+        store.delete_node(id).unwrap();
+        assert!(!store.node_exists(id).unwrap());
+        assert!(store.read_node(id).unwrap().is_none());
+        // Slot is reused.
+        assert_eq!(store.allocate_node_id(), id);
+    }
+
+    #[test]
+    fn delete_node_with_relationships_is_rejected() {
+        let dir = TempDir::new("gs_delete_guard");
+        let store = open(&dir);
+        let a = store.allocate_node_id();
+        let b = store.allocate_node_id();
+        store.create_node(a, &[], &[]).unwrap();
+        store.create_node(b, &[], &[]).unwrap();
+        let r = store.allocate_relationship_id();
+        store
+            .create_relationship(r, a, b, RelTypeToken(0), &[])
+            .unwrap();
+        assert!(store.delete_node(a).is_err());
+    }
+
+    #[test]
+    fn relationship_chains_link_both_endpoints() {
+        let dir = TempDir::new("gs_rels");
+        let store = open(&dir);
+        let a = store.allocate_node_id();
+        let b = store.allocate_node_id();
+        let c = store.allocate_node_id();
+        for id in [a, b, c] {
+            store.create_node(id, &[], &[]).unwrap();
+        }
+        let r1 = store.allocate_relationship_id();
+        let r2 = store.allocate_relationship_id();
+        let r3 = store.allocate_relationship_id();
+        store.create_relationship(r1, a, b, RelTypeToken(0), &[]).unwrap();
+        store.create_relationship(r2, a, c, RelTypeToken(1), &[]).unwrap();
+        store.create_relationship(r3, b, c, RelTypeToken(0), &[]).unwrap();
+
+        let a_rels: Vec<RelationshipId> =
+            store.relationships_of(a).unwrap().iter().map(|r| r.id).collect();
+        assert_eq!(a_rels.len(), 2);
+        assert!(a_rels.contains(&r1) && a_rels.contains(&r2));
+        assert_eq!(store.node_degree(b).unwrap(), 2);
+        assert_eq!(store.node_degree(c).unwrap(), 2);
+
+        let rel = store.read_relationship(r1).unwrap().unwrap();
+        assert_eq!(rel.source, a);
+        assert_eq!(rel.target, b);
+    }
+
+    #[test]
+    fn delete_relationship_relinks_chains() {
+        let dir = TempDir::new("gs_rel_delete");
+        let store = open(&dir);
+        let a = store.allocate_node_id();
+        let b = store.allocate_node_id();
+        store.create_node(a, &[], &[]).unwrap();
+        store.create_node(b, &[], &[]).unwrap();
+        let rels: Vec<RelationshipId> = (0..5)
+            .map(|_| {
+                let r = store.allocate_relationship_id();
+                store.create_relationship(r, a, b, RelTypeToken(0), &[]).unwrap();
+                r
+            })
+            .collect();
+        // Remove the middle, the head and the tail of the chain.
+        store.delete_relationship(rels[2]).unwrap();
+        store.delete_relationship(rels[4]).unwrap();
+        store.delete_relationship(rels[0]).unwrap();
+        let remaining: Vec<RelationshipId> =
+            store.relationships_of(a).unwrap().iter().map(|r| r.id).collect();
+        assert_eq!(remaining.len(), 2);
+        assert!(remaining.contains(&rels[1]) && remaining.contains(&rels[3]));
+        assert_eq!(store.node_degree(b).unwrap(), 2);
+        assert!(!store.relationship_exists(rels[2]).unwrap());
+    }
+
+    #[test]
+    fn self_loop_appears_once_in_chain() {
+        let dir = TempDir::new("gs_self_loop");
+        let store = open(&dir);
+        let a = store.allocate_node_id();
+        store.create_node(a, &[], &[]).unwrap();
+        let r = store.allocate_relationship_id();
+        store.create_relationship(r, a, a, RelTypeToken(0), &[]).unwrap();
+        let rels = store.relationships_of(a).unwrap();
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].source, a);
+        assert_eq!(rels[0].target, a);
+        store.delete_relationship(r).unwrap();
+        assert_eq!(store.node_degree(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn relationship_properties_roundtrip() {
+        let dir = TempDir::new("gs_rel_props");
+        let store = open(&dir);
+        let a = store.allocate_node_id();
+        let b = store.allocate_node_id();
+        store.create_node(a, &[], &[]).unwrap();
+        store.create_node(b, &[], &[]).unwrap();
+        let r = store.allocate_relationship_id();
+        store
+            .create_relationship(r, a, b, RelTypeToken(7), &props(&[(0, 10)]))
+            .unwrap();
+        store.update_relationship(r, &props(&[(0, 20), (1, 30)])).unwrap();
+        let rel = store.read_relationship(r).unwrap().unwrap();
+        assert_eq!(rel.rel_type, RelTypeToken(7));
+        assert_eq!(rel.properties, props(&[(0, 20), (1, 30)]));
+    }
+
+    #[test]
+    fn scans_list_in_use_entities() {
+        let dir = TempDir::new("gs_scan");
+        let store = open(&dir);
+        let mut node_ids = Vec::new();
+        for _ in 0..10 {
+            let id = store.allocate_node_id();
+            store.create_node(id, &[], &[]).unwrap();
+            node_ids.push(id);
+        }
+        store.delete_node(node_ids[3]).unwrap();
+        store.delete_node(node_ids[7]).unwrap();
+        let scanned = store.scan_node_ids().unwrap();
+        assert_eq!(scanned.len(), 8);
+        assert!(!scanned.contains(&node_ids[3]));
+
+        let r = store.allocate_relationship_id();
+        store
+            .create_relationship(r, node_ids[0], node_ids[1], RelTypeToken(0), &[])
+            .unwrap();
+        assert_eq!(store.scan_relationship_ids().unwrap(), vec![r]);
+    }
+
+    #[test]
+    fn graph_persists_across_reopen() {
+        let dir = TempDir::new("gs_reopen");
+        let (a, b, r);
+        {
+            let store = open(&dir);
+            a = store.allocate_node_id();
+            b = store.allocate_node_id();
+            store.create_node(a, &[LabelToken(0)], &props(&[(0, 1)])).unwrap();
+            store.create_node(b, &[LabelToken(1)], &[]).unwrap();
+            r = store.allocate_relationship_id();
+            store
+                .create_relationship(r, a, b, RelTypeToken(0), &props(&[(2, 3)]))
+                .unwrap();
+            store.flush().unwrap();
+        }
+        let store = open(&dir);
+        let node = store.read_node(a).unwrap().unwrap();
+        assert_eq!(node.labels, vec![LabelToken(0)]);
+        let rel = store.read_relationship(r).unwrap().unwrap();
+        assert_eq!(rel.target, b);
+        assert_eq!(store.node_degree(b).unwrap(), 1);
+        assert_eq!(store.node_high_id(), 2);
+    }
+
+    #[test]
+    fn stats_report_record_writes() {
+        let dir = TempDir::new("gs_stats");
+        let store = open(&dir);
+        let id = store.allocate_node_id();
+        store.create_node(id, &[], &props(&[(0, 1)])).unwrap();
+        let stats = store.stats();
+        assert!(stats.total_record_writes() >= 2);
+        assert_eq!(stats.node_high_id, 1);
+    }
+
+    #[test]
+    fn tokens_are_shared_through_the_store() {
+        let dir = TempDir::new("gs_tokens");
+        let store = open(&dir);
+        let person = store.tokens().label("Person").unwrap();
+        assert_eq!(store.tokens().label("Person").unwrap(), person);
+        assert_eq!(
+            store.tokens().label_name(person),
+            Some("Person".to_owned())
+        );
+    }
+}

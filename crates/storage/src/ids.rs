@@ -1,0 +1,244 @@
+//! Strongly-typed identifiers for the entities handled by the storage
+//! engine.
+//!
+//! Neo4j derives the position of a record in its store file directly from
+//! the entity identifier; we keep the same scheme, so every ID is a plain
+//! `u64` slot number wrapped in a newtype. The reserved value
+//! [`NO_ID`] marks the absence of a reference (end of a relationship chain,
+//! a node with no properties, ...).
+
+use std::fmt;
+
+/// Sentinel raw value meaning "no record" in chain pointers.
+pub const NO_ID: u64 = u64::MAX;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The sentinel ID meaning "no record".
+            pub const NONE: $name = $name(NO_ID);
+
+            /// Creates an ID from a raw slot number.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw slot number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns `true` if this is the [`Self::NONE`] sentinel.
+            #[inline]
+            pub const fn is_none(self) -> bool {
+                self.0 == NO_ID
+            }
+
+            /// Returns `true` if this refers to an actual record slot.
+            #[inline]
+            pub const fn is_some(self) -> bool {
+                self.0 != NO_ID
+            }
+
+            /// Converts to `Option<Self>`, mapping the sentinel to `None`.
+            #[inline]
+            pub fn as_option(self) -> Option<Self> {
+                if self.is_none() {
+                    None
+                } else {
+                    Some(self)
+                }
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.is_none() {
+                    write!(f, concat!($label, "(NONE)"))
+                } else {
+                    write!(f, concat!($label, "({})"), self.0)
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.is_none() {
+                    write!(f, "-")
+                } else {
+                    write!(f, "{}", self.0)
+                }
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a node record.
+    NodeId,
+    "NodeId"
+);
+define_id!(
+    /// Identifier of a relationship record.
+    RelationshipId,
+    "RelationshipId"
+);
+define_id!(
+    /// Identifier of a property record.
+    PropertyRecordId,
+    "PropertyRecordId"
+);
+define_id!(
+    /// Identifier of a dynamic (overflow) record.
+    DynamicRecordId,
+    "DynamicRecordId"
+);
+
+/// Token identifying a label name (interned string).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LabelToken(pub u32);
+
+/// Token identifying a property key name (interned string).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PropertyKeyToken(pub u32);
+
+/// Token identifying a relationship type name (interned string).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelTypeToken(pub u32);
+
+impl fmt::Display for LabelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+impl fmt::Display for PropertyKeyToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key#{}", self.0)
+    }
+}
+
+impl fmt::Display for RelTypeToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type#{}", self.0)
+    }
+}
+
+/// Identifies either a node or a relationship — the two entity kinds that
+/// the paper versions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum EntityId {
+    /// A node.
+    Node(NodeId),
+    /// A relationship.
+    Relationship(RelationshipId),
+}
+
+impl EntityId {
+    /// Returns the raw slot number regardless of entity kind.
+    pub fn raw(self) -> u64 {
+        match self {
+            EntityId::Node(id) => id.raw(),
+            EntityId::Relationship(id) => id.raw(),
+        }
+    }
+
+    /// Returns `true` if this identifies a node.
+    pub fn is_node(self) -> bool {
+        matches!(self, EntityId::Node(_))
+    }
+
+    /// Returns `true` if this identifies a relationship.
+    pub fn is_relationship(self) -> bool {
+        matches!(self, EntityId::Relationship(_))
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityId::Node(id) => write!(f, "node:{id}"),
+            EntityId::Relationship(id) => write!(f, "rel:{id}"),
+        }
+    }
+}
+
+impl From<NodeId> for EntityId {
+    fn from(id: NodeId) -> Self {
+        EntityId::Node(id)
+    }
+}
+
+impl From<RelationshipId> for EntityId {
+    fn from(id: RelationshipId) -> Self {
+        EntityId::Relationship(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_sentinel_roundtrip() {
+        assert!(NodeId::NONE.is_none());
+        assert!(!NodeId::NONE.is_some());
+        assert_eq!(NodeId::NONE.as_option(), None);
+        assert_eq!(NodeId::new(3).as_option(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn raw_conversions() {
+        let id = RelationshipId::from(42u64);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", NodeId::new(5)), "NodeId(5)");
+        assert_eq!(format!("{:?}", NodeId::NONE), "NodeId(NONE)");
+        assert_eq!(format!("{}", NodeId::new(5)), "5");
+        assert_eq!(format!("{}", NodeId::NONE), "-");
+        assert_eq!(format!("{}", LabelToken(3)), ":3");
+        assert_eq!(format!("{}", PropertyKeyToken(3)), "key#3");
+        assert_eq!(format!("{}", RelTypeToken(3)), "type#3");
+    }
+
+    #[test]
+    fn entity_id_kinds() {
+        let n = EntityId::from(NodeId::new(1));
+        let r = EntityId::from(RelationshipId::new(2));
+        assert!(n.is_node());
+        assert!(!n.is_relationship());
+        assert!(r.is_relationship());
+        assert_eq!(n.raw(), 1);
+        assert_eq!(r.raw(), 2);
+        assert_eq!(format!("{n}"), "node:1");
+        assert_eq!(format!("{r}"), "rel:2");
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(NodeId::new(2) < NodeId::NONE);
+    }
+}

@@ -1,0 +1,322 @@
+//! A small page cache sitting between the record stores and their files.
+//!
+//! Each store file gets its own [`PageCache`]. Pages are loaded on demand,
+//! kept pinned in memory up to a configurable capacity and evicted with an
+//! LRU policy, writing dirty pages back to the file on eviction and on
+//! [`PageCache::flush`].
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+use crate::pages::{Page, PAGE_SIZE};
+
+/// Counters describing page-cache behaviour, useful for the storage
+/// experiments (E7) and for tuning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Page requests satisfied from memory.
+    pub hits: u64,
+    /// Page requests that had to read the file.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back to the file.
+    pub pages_flushed: u64,
+    /// Individual record writes that dirtied a page.
+    pub record_writes: u64,
+}
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    last_used: u64,
+}
+
+struct CacheInner {
+    file: File,
+    frames: HashMap<u64, Frame>,
+    tick: u64,
+    stats: PageCacheStats,
+    /// Number of pages the backing file is known to contain.
+    file_pages: u64,
+}
+
+/// An LRU page cache over a single store file.
+pub struct PageCache {
+    path: PathBuf,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl PageCache {
+    /// Opens (creating if necessary) the file at `path` with room for
+    /// `capacity` cached pages. A capacity of zero is rounded up to one.
+    pub fn open(path: impl AsRef<Path>, capacity: usize) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|source| StorageError::OpenFailed {
+                path: path.clone(),
+                source,
+            })?;
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::io("reading file metadata", e))?
+            .len();
+        let file_pages = len.div_ceil(PAGE_SIZE as u64);
+        Ok(PageCache {
+            path,
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                file,
+                frames: HashMap::new(),
+                tick: 0,
+                stats: PageCacheStats::default(),
+                file_pages,
+            }),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of pages the backing file currently holds (including pages
+    /// only present in the cache and not yet flushed).
+    pub fn known_pages(&self) -> u64 {
+        let inner = self.inner.lock();
+        let cached_max = inner.frames.keys().max().map_or(0, |p| p + 1);
+        inner.file_pages.max(cached_max)
+    }
+
+    /// Runs `f` over a read-only view of page `page_no`.
+    pub fn with_page<R>(&self, page_no: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        self.ensure_loaded(&mut inner, page_no)?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        let frame = inner.frames.get_mut(&page_no).expect("page just loaded");
+        frame.last_used = tick;
+        Ok(f(frame.page.bytes()))
+    }
+
+    /// Runs `f` over a mutable view of page `page_no`, marking it dirty.
+    pub fn with_page_mut<R>(&self, page_no: u64, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        self.ensure_loaded(&mut inner, page_no)?;
+        inner.tick += 1;
+        inner.stats.record_writes += 1;
+        let tick = inner.tick;
+        let frame = inner.frames.get_mut(&page_no).expect("page just loaded");
+        frame.last_used = tick;
+        frame.dirty = true;
+        Ok(f(frame.page.bytes_mut()))
+    }
+
+    /// Writes every dirty page back to the file and syncs it.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let dirty: Vec<u64> = inner
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&p, _)| p)
+            .collect();
+        for page_no in dirty {
+            Self::write_back(&mut inner, page_no)?;
+        }
+        inner
+            .file
+            .sync_data()
+            .map_err(|e| StorageError::io("syncing store file", e))?;
+        Ok(())
+    }
+
+    /// Returns a snapshot of the cache counters.
+    pub fn stats(&self) -> PageCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of pages currently resident in the cache.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    fn ensure_loaded(&self, inner: &mut CacheInner, page_no: u64) -> Result<()> {
+        if inner.frames.contains_key(&page_no) {
+            inner.stats.hits += 1;
+            return Ok(());
+        }
+        inner.stats.misses += 1;
+        // Evict if at capacity.
+        while inner.frames.len() >= self.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&p, _)| p)
+                .expect("non-empty cache");
+            if inner.frames[&victim].dirty {
+                Self::write_back(inner, victim)?;
+            }
+            inner.frames.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+        // Load the page (or a zero page if it lies beyond EOF).
+        let page = if page_no < inner.file_pages {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            inner
+                .file
+                .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))
+                .map_err(|e| StorageError::io("seeking store file", e))?;
+            // The last file page may be short if the process crashed
+            // mid-write; treat missing bytes as zeros.
+            let mut read = 0usize;
+            while read < PAGE_SIZE {
+                match inner.file.read(&mut buf[read..]) {
+                    Ok(0) => break,
+                    Ok(n) => read += n,
+                    Err(e) => return Err(StorageError::io("reading store page", e)),
+                }
+            }
+            Page::from_bytes(&buf)
+        } else {
+            Page::zeroed()
+        };
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.frames.insert(
+            page_no,
+            Frame {
+                page,
+                dirty: false,
+                last_used: tick,
+            },
+        );
+        Ok(())
+    }
+
+    fn write_back(inner: &mut CacheInner, page_no: u64) -> Result<()> {
+        let frame = inner.frames.get_mut(&page_no).expect("frame present");
+        inner
+            .file
+            .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))
+            .map_err(|e| StorageError::io("seeking store file", e))?;
+        inner
+            .file
+            .write_all(frame.page.bytes())
+            .map_err(|e| StorageError::io("writing store page", e))?;
+        frame.dirty = false;
+        inner.stats.pages_flushed += 1;
+        if page_no + 1 > inner.file_pages {
+            inner.file_pages = page_no + 1;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("path", &self.path)
+            .field("capacity", &self.capacity)
+            .field("resident", &self.resident_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::TempDir;
+
+    #[test]
+    fn read_beyond_eof_is_zero_page() {
+        let dir = TempDir::new("page_cache_eof");
+        let cache = PageCache::open(dir.path().join("store"), 4).unwrap();
+        let all_zero = cache.with_page(10, |b| b.iter().all(|&x| x == 0)).unwrap();
+        assert!(all_zero);
+    }
+
+    #[test]
+    fn write_then_read_back_same_instance() {
+        let dir = TempDir::new("page_cache_rw");
+        let cache = PageCache::open(dir.path().join("store"), 4).unwrap();
+        cache.with_page_mut(2, |b| b[100] = 42).unwrap();
+        let v = cache.with_page(2, |b| b[100]).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn flush_persists_across_reopen() {
+        let dir = TempDir::new("page_cache_persist");
+        let path = dir.path().join("store");
+        {
+            let cache = PageCache::open(&path, 4).unwrap();
+            cache.with_page_mut(0, |b| b[0] = 7).unwrap();
+            cache.with_page_mut(3, |b| b[8191] = 9).unwrap();
+            cache.flush().unwrap();
+        }
+        let cache = PageCache::open(&path, 4).unwrap();
+        assert_eq!(cache.with_page(0, |b| b[0]).unwrap(), 7);
+        assert_eq!(cache.with_page(3, |b| b[8191]).unwrap(), 9);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_pages() {
+        let dir = TempDir::new("page_cache_evict");
+        let path = dir.path().join("store");
+        let cache = PageCache::open(&path, 2).unwrap();
+        cache.with_page_mut(0, |b| b[1] = 1).unwrap();
+        cache.with_page_mut(1, |b| b[1] = 2).unwrap();
+        // This forces eviction of page 0 (least recently used).
+        cache.with_page_mut(2, |b| b[1] = 3).unwrap();
+        assert_eq!(cache.resident_pages(), 2);
+        // Page 0 must have been written back and is still readable.
+        assert_eq!(cache.with_page(0, |b| b[1]).unwrap(), 1);
+        let stats = cache.stats();
+        assert!(stats.evictions >= 1);
+        assert!(stats.pages_flushed >= 1);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let dir = TempDir::new("page_cache_stats");
+        let cache = PageCache::open(dir.path().join("store"), 4).unwrap();
+        cache.with_page(0, |_| ()).unwrap();
+        cache.with_page(0, |_| ()).unwrap();
+        cache.with_page(1, |_| ()).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn known_pages_accounts_for_cached_growth() {
+        let dir = TempDir::new("page_cache_known");
+        let cache = PageCache::open(dir.path().join("store"), 4).unwrap();
+        assert_eq!(cache.known_pages(), 0);
+        cache.with_page_mut(5, |b| b[0] = 1).unwrap();
+        assert_eq!(cache.known_pages(), 6);
+        cache.flush().unwrap();
+        assert_eq!(cache.known_pages(), 6);
+    }
+
+    #[test]
+    fn capacity_zero_is_usable() {
+        let dir = TempDir::new("page_cache_zero_cap");
+        let cache = PageCache::open(dir.path().join("store"), 0).unwrap();
+        cache.with_page_mut(0, |b| b[0] = 5).unwrap();
+        assert_eq!(cache.with_page(0, |b| b[0]).unwrap(), 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fixed-size pages, the unit of I/O between store files and the page
+//! cache.
+
+/// Size of a page in bytes. All record sizes divide this evenly so a record
+/// never straddles a page boundary.
+pub const PAGE_SIZE: usize = 8192;
+
+/// An in-memory copy of one page of a store file.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8]>,
+}
+
+impl Page {
+    /// Creates a zero-filled page.
+    pub fn zeroed() -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+        }
+    }
+
+    /// Creates a page from raw bytes, zero-padding or truncating to
+    /// [`PAGE_SIZE`].
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut data = vec![0u8; PAGE_SIZE];
+        let n = bytes.len().min(PAGE_SIZE);
+        data[..n].copy_from_slice(&bytes[..n]);
+        Page {
+            data: data.into_boxed_slice(),
+        }
+    }
+
+    /// Read-only view of the page contents.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable view of the page contents.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Returns the slice holding one record of `record_size` bytes at
+    /// `offset_in_page`.
+    #[inline]
+    pub fn record(&self, offset_in_page: usize, record_size: usize) -> &[u8] {
+        &self.data[offset_in_page..offset_in_page + record_size]
+    }
+
+    /// Returns the mutable slice holding one record of `record_size` bytes
+    /// at `offset_in_page`.
+    #[inline]
+    pub fn record_mut(&mut self, offset_in_page: usize, record_size: usize) -> &mut [u8] {
+        &mut self.data[offset_in_page..offset_in_page + record_size]
+    }
+
+    /// Returns `true` if every byte of the page is zero (i.e. no record in
+    /// this page has ever been written).
+    pub fn is_all_zero(&self) -> bool {
+        self.data.iter().all(|&b| b == 0)
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes, zero={})", PAGE_SIZE, self.is_all_zero())
+    }
+}
+
+/// Identifies the position of a record within a paged file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordLocation {
+    /// Page number within the file.
+    pub page_no: u64,
+    /// Byte offset of the record within the page.
+    pub offset_in_page: usize,
+}
+
+/// Computes where record `id` of a store with `record_size`-byte records
+/// lives.
+#[inline]
+pub fn locate_record(id: u64, record_size: usize) -> RecordLocation {
+    let records_per_page = (PAGE_SIZE / record_size) as u64;
+    RecordLocation {
+        page_no: id / records_per_page,
+        offset_in_page: (id % records_per_page) as usize * record_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_all_zero() {
+        let p = Page::zeroed();
+        assert!(p.is_all_zero());
+        assert_eq!(p.bytes().len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn from_bytes_pads_and_truncates() {
+        let p = Page::from_bytes(&[1, 2, 3]);
+        assert_eq!(&p.bytes()[..3], &[1, 2, 3]);
+        assert!(p.bytes()[3..].iter().all(|&b| b == 0));
+
+        let big = vec![7u8; PAGE_SIZE + 100];
+        let p = Page::from_bytes(&big);
+        assert_eq!(p.bytes().len(), PAGE_SIZE);
+        assert!(p.bytes().iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn record_slices() {
+        let mut p = Page::zeroed();
+        p.record_mut(64, 64).copy_from_slice(&[9u8; 64]);
+        assert!(p.record(64, 64).iter().all(|&b| b == 9));
+        assert!(p.record(0, 64).iter().all(|&b| b == 0));
+        assert!(!p.is_all_zero());
+    }
+
+    #[test]
+    fn locate_record_small_ids() {
+        let loc = locate_record(0, 64);
+        assert_eq!(loc, RecordLocation { page_no: 0, offset_in_page: 0 });
+        let loc = locate_record(1, 64);
+        assert_eq!(loc, RecordLocation { page_no: 0, offset_in_page: 64 });
+    }
+
+    #[test]
+    fn locate_record_page_boundaries() {
+        let records_per_page = PAGE_SIZE / 64;
+        let loc = locate_record(records_per_page as u64, 64);
+        assert_eq!(loc.page_no, 1);
+        assert_eq!(loc.offset_in_page, 0);
+        let loc = locate_record(records_per_page as u64 - 1, 64);
+        assert_eq!(loc.page_no, 0);
+        assert_eq!(loc.offset_in_page, PAGE_SIZE - 64);
+    }
+
+    #[test]
+    fn locate_record_larger_records() {
+        let records_per_page = PAGE_SIZE / 128;
+        let loc = locate_record(records_per_page as u64 * 3 + 5, 128);
+        assert_eq!(loc.page_no, 3);
+        assert_eq!(loc.offset_in_page, 5 * 128);
+    }
+}

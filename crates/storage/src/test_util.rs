@@ -1,0 +1,85 @@
+//! Small helpers shared by tests, examples and benchmarks across the
+//! workspace.
+//!
+//! The workspace deliberately keeps its dependency set minimal, so instead
+//! of pulling in a temp-dir crate we provide [`TempDir`]: a uniquely named
+//! directory under the system temp dir that is removed on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory, deleted (best effort) on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh temporary directory whose name contains `prefix`,
+    /// the process ID, a timestamp and a per-process counter so concurrent
+    /// tests never collide.
+    pub fn new(prefix: &str) -> Self {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "graphsi-{prefix}-{}-{nanos}-{count}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// Path of the directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory (useful when a
+    /// test intentionally reopens the store after a simulated crash).
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes_directory() {
+        let path = {
+            let dir = TempDir::new("unit");
+            assert!(dir.path().exists());
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn two_dirs_do_not_collide() {
+        let a = TempDir::new("same");
+        let b = TempDir::new("same");
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn into_path_keeps_directory() {
+        let dir = TempDir::new("keep");
+        let path = dir.into_path();
+        assert!(path.exists());
+        std::fs::remove_dir_all(path).unwrap();
+    }
+}

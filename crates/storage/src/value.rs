@@ -1,0 +1,215 @@
+//! User-facing property values.
+//!
+//! Properties on nodes and relationships hold one of a small set of value
+//! types (like Neo4j's primitive property types). [`PropertyValue`] is the
+//! owned, user-facing representation; the storage layer converts it to and
+//! from the on-disk [`crate::record::StoredValue`] form, spilling long
+//! strings into the dynamic store.
+
+use std::fmt;
+
+/// A property value attached to a node or relationship.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PropertyValue {
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float.
+    Float(f64),
+    /// UTF-8 string of arbitrary length.
+    String(String),
+}
+
+impl PropertyValue {
+    /// Returns a hashable, totally ordered key form of the value, suitable
+    /// for use in the property indexes. Floats are keyed by their bit
+    /// pattern (so `NaN` values are indexable and equal to themselves).
+    pub fn index_key(&self) -> ValueKey {
+        match self {
+            PropertyValue::Bool(b) => ValueKey::Bool(*b),
+            PropertyValue::Int(i) => ValueKey::Int(*i),
+            PropertyValue::Float(x) => ValueKey::Float(x.to_bits()),
+            PropertyValue::String(s) => ValueKey::String(s.clone()),
+        }
+    }
+
+    /// Returns the integer value if this is an [`PropertyValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropertyValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float value if this is a [`PropertyValue::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            PropertyValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a [`PropertyValue::String`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropertyValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean value if this is a [`PropertyValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            PropertyValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            PropertyValue::Bool(_) => "bool",
+            PropertyValue::Int(_) => "int",
+            PropertyValue::Float(_) => "float",
+            PropertyValue::String(_) => "string",
+        }
+    }
+}
+
+impl fmt::Display for PropertyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyValue::Bool(b) => write!(f, "{b}"),
+            PropertyValue::Int(i) => write!(f, "{i}"),
+            PropertyValue::Float(x) => write!(f, "{x}"),
+            PropertyValue::String(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<bool> for PropertyValue {
+    fn from(v: bool) -> Self {
+        PropertyValue::Bool(v)
+    }
+}
+
+impl From<i64> for PropertyValue {
+    fn from(v: i64) -> Self {
+        PropertyValue::Int(v)
+    }
+}
+
+impl From<i32> for PropertyValue {
+    fn from(v: i32) -> Self {
+        PropertyValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for PropertyValue {
+    fn from(v: f64) -> Self {
+        PropertyValue::Float(v)
+    }
+}
+
+impl From<&str> for PropertyValue {
+    fn from(v: &str) -> Self {
+        PropertyValue::String(v.to_owned())
+    }
+}
+
+impl From<String> for PropertyValue {
+    fn from(v: String) -> Self {
+        PropertyValue::String(v)
+    }
+}
+
+/// A hashable, totally ordered form of a [`PropertyValue`], used as the key
+/// in the versioned property indexes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueKey {
+    /// Boolean key.
+    Bool(bool),
+    /// Integer key.
+    Int(i64),
+    /// Float key, stored as its IEEE-754 bit pattern.
+    Float(u64),
+    /// String key.
+    String(String),
+}
+
+impl ValueKey {
+    /// Converts the key back to a [`PropertyValue`].
+    pub fn to_value(&self) -> PropertyValue {
+        match self {
+            ValueKey::Bool(b) => PropertyValue::Bool(*b),
+            ValueKey::Int(i) => PropertyValue::Int(*i),
+            ValueKey::Float(bits) => PropertyValue::Float(f64::from_bits(*bits)),
+            ValueKey::String(s) => PropertyValue::String(s.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(PropertyValue::from(true), PropertyValue::Bool(true));
+        assert_eq!(PropertyValue::from(3i64), PropertyValue::Int(3));
+        assert_eq!(PropertyValue::from(3i32), PropertyValue::Int(3));
+        assert_eq!(PropertyValue::from(2.5), PropertyValue::Float(2.5));
+        assert_eq!(
+            PropertyValue::from("hi"),
+            PropertyValue::String("hi".to_owned())
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(PropertyValue::Int(7).as_int(), Some(7));
+        assert_eq!(PropertyValue::Int(7).as_str(), None);
+        assert_eq!(PropertyValue::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(PropertyValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(PropertyValue::String("x".into()).as_str(), Some("x"));
+        assert_eq!(PropertyValue::String("x".into()).type_name(), "string");
+    }
+
+    #[test]
+    fn index_key_roundtrip() {
+        for v in [
+            PropertyValue::Bool(false),
+            PropertyValue::Int(-3),
+            PropertyValue::Float(1.25),
+            PropertyValue::String("graph".into()),
+        ] {
+            assert_eq!(v.index_key().to_value(), v);
+        }
+    }
+
+    #[test]
+    fn nan_is_indexable_and_self_equal() {
+        let nan = PropertyValue::Float(f64::NAN);
+        let key1 = nan.index_key();
+        let key2 = PropertyValue::Float(f64::NAN).index_key();
+        assert_eq!(key1, key2);
+        let mut set = HashSet::new();
+        set.insert(key1);
+        assert!(set.contains(&key2));
+    }
+
+    #[test]
+    fn value_keys_order_within_type() {
+        assert!(ValueKey::Int(1) < ValueKey::Int(2));
+        assert!(ValueKey::String("a".into()) < ValueKey::String("b".into()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PropertyValue::Int(5).to_string(), "5");
+        assert_eq!(PropertyValue::Bool(true).to_string(), "true");
+        assert_eq!(PropertyValue::String("a".into()).to_string(), "\"a\"");
+    }
+}

@@ -1,0 +1,179 @@
+//! Wait-for-graph based deadlock detection.
+//!
+//! Read-committed mode keeps Neo4j's blocking lock acquisition (short read
+//! locks, long write locks), so two transactions can block on each other.
+//! Before a transaction starts waiting, the lock manager records a
+//! *wait-for* edge from the waiter to every current holder and checks
+//! whether that would close a cycle; if so the acquisition fails
+//! immediately with a [`crate::error::TxnError::Deadlock`] instead of
+//! hanging until the timeout.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::TxnId;
+
+/// A directed wait-for graph: an edge `a -> b` means transaction `a` is
+/// waiting for a lock held by transaction `b`.
+#[derive(Debug, Default)]
+pub struct WaitForGraph {
+    edges: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl WaitForGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `waiter` now waits for every transaction in `holders`
+    /// (replacing any previous wait edges of `waiter` — a transaction waits
+    /// for at most one lock at a time).
+    pub fn set_waiting(&mut self, waiter: TxnId, holders: impl IntoIterator<Item = TxnId>) {
+        let holders: HashSet<TxnId> = holders.into_iter().filter(|&h| h != waiter).collect();
+        if holders.is_empty() {
+            self.edges.remove(&waiter);
+        } else {
+            self.edges.insert(waiter, holders);
+        }
+    }
+
+    /// Removes `waiter`'s outgoing edges (it stopped waiting).
+    pub fn clear_waiting(&mut self, waiter: TxnId) {
+        self.edges.remove(&waiter);
+    }
+
+    /// Removes a transaction entirely (it finished): both its outgoing
+    /// edges and any edges pointing at it.
+    pub fn remove_transaction(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        for holders in self.edges.values_mut() {
+            holders.remove(&txn);
+        }
+        self.edges.retain(|_, holders| !holders.is_empty());
+    }
+
+    /// Looks for a cycle reachable from `start`. Returns the cycle as a
+    /// path starting and ending with the same transaction, or `None`.
+    pub fn find_cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        let mut path = Vec::new();
+        let mut on_path = HashSet::new();
+        let mut visited = HashSet::new();
+        self.dfs(start, &mut path, &mut on_path, &mut visited)
+    }
+
+    fn dfs(
+        &self,
+        current: TxnId,
+        path: &mut Vec<TxnId>,
+        on_path: &mut HashSet<TxnId>,
+        visited: &mut HashSet<TxnId>,
+    ) -> Option<Vec<TxnId>> {
+        if on_path.contains(&current) {
+            // Found a cycle: slice the path from the first occurrence.
+            let pos = path.iter().position(|&t| t == current).unwrap_or(0);
+            let mut cycle = path[pos..].to_vec();
+            cycle.push(current);
+            return Some(cycle);
+        }
+        if !visited.insert(current) {
+            return None;
+        }
+        path.push(current);
+        on_path.insert(current);
+        if let Some(holders) = self.edges.get(&current) {
+            for &next in holders {
+                if let Some(cycle) = self.dfs(next, path, on_path, visited) {
+                    return Some(cycle);
+                }
+            }
+        }
+        path.pop();
+        on_path.remove(&current);
+        None
+    }
+
+    /// Number of transactions currently waiting.
+    pub fn waiting_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cycle_in_simple_chain() {
+        let mut g = WaitForGraph::new();
+        g.set_waiting(TxnId(1), [TxnId(2)]);
+        g.set_waiting(TxnId(2), [TxnId(3)]);
+        assert!(g.find_cycle_from(TxnId(1)).is_none());
+        assert_eq!(g.waiting_count(), 2);
+    }
+
+    #[test]
+    fn two_party_cycle_is_detected() {
+        let mut g = WaitForGraph::new();
+        g.set_waiting(TxnId(1), [TxnId(2)]);
+        g.set_waiting(TxnId(2), [TxnId(1)]);
+        let cycle = g.find_cycle_from(TxnId(1)).expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.contains(&TxnId(1)) && cycle.contains(&TxnId(2)));
+    }
+
+    #[test]
+    fn three_party_cycle_is_detected() {
+        let mut g = WaitForGraph::new();
+        g.set_waiting(TxnId(1), [TxnId(2)]);
+        g.set_waiting(TxnId(2), [TxnId(3)]);
+        g.set_waiting(TxnId(3), [TxnId(1)]);
+        assert!(g.find_cycle_from(TxnId(1)).is_some());
+        assert!(g.find_cycle_from(TxnId(2)).is_some());
+        assert!(g.find_cycle_from(TxnId(3)).is_some());
+    }
+
+    #[test]
+    fn cycle_not_reachable_from_unrelated_txn() {
+        let mut g = WaitForGraph::new();
+        g.set_waiting(TxnId(1), [TxnId(2)]);
+        g.set_waiting(TxnId(2), [TxnId(1)]);
+        g.set_waiting(TxnId(9), [TxnId(10)]);
+        assert!(g.find_cycle_from(TxnId(9)).is_none());
+    }
+
+    #[test]
+    fn clearing_wait_breaks_cycle() {
+        let mut g = WaitForGraph::new();
+        g.set_waiting(TxnId(1), [TxnId(2)]);
+        g.set_waiting(TxnId(2), [TxnId(1)]);
+        g.clear_waiting(TxnId(2));
+        assert!(g.find_cycle_from(TxnId(1)).is_none());
+    }
+
+    #[test]
+    fn removing_transaction_prunes_edges() {
+        let mut g = WaitForGraph::new();
+        g.set_waiting(TxnId(1), [TxnId(2), TxnId(3)]);
+        g.set_waiting(TxnId(2), [TxnId(3)]);
+        g.remove_transaction(TxnId(3));
+        assert_eq!(g.waiting_count(), 1);
+        assert!(g.find_cycle_from(TxnId(1)).is_none());
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = WaitForGraph::new();
+        g.set_waiting(TxnId(1), [TxnId(1)]);
+        assert_eq!(g.waiting_count(), 0);
+        assert!(g.find_cycle_from(TxnId(1)).is_none());
+    }
+
+    #[test]
+    fn waiting_for_multiple_holders() {
+        let mut g = WaitForGraph::new();
+        g.set_waiting(TxnId(1), [TxnId(2), TxnId(3)]);
+        g.set_waiting(TxnId(3), [TxnId(1)]);
+        let cycle = g.find_cycle_from(TxnId(1)).expect("cycle through 3");
+        assert!(cycle.contains(&TxnId(3)));
+    }
+}

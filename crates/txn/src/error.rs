@@ -1,0 +1,148 @@
+//! Error type for the transaction substrate.
+
+use std::fmt;
+
+use crate::ids::TxnId;
+use crate::locks::LockKey;
+
+/// Errors raised by the transaction substrate (locking, conflict detection,
+/// lifecycle management).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// A write-write conflict with a concurrent transaction was detected
+    /// and this transaction must abort (the paper's first-updater-wins /
+    /// first-committer-wins write rule).
+    WriteWriteConflict {
+        /// The lock key (entity) on which the conflict happened.
+        key: LockKey,
+        /// The conflicting transaction, if known.
+        other: Option<TxnId>,
+    },
+    /// A lock could not be acquired before the configured timeout expired.
+    LockTimeout {
+        /// The lock key that timed out.
+        key: LockKey,
+        /// The transaction currently holding the lock, if known.
+        holder: Option<TxnId>,
+    },
+    /// Blocking on a lock would create a wait-for cycle.
+    Deadlock {
+        /// The lock key on which the deadlock was detected.
+        key: LockKey,
+        /// The transactions forming the cycle (starting with the waiter).
+        cycle: Vec<TxnId>,
+    },
+    /// An operation was attempted on a transaction that is not active
+    /// (already committed, rolled back, or never registered).
+    NotActive {
+        /// The offending transaction.
+        txn: TxnId,
+    },
+    /// A transaction tried to release or downgrade a lock it does not hold.
+    LockNotHeld {
+        /// The lock key.
+        key: LockKey,
+        /// The transaction attempting the release.
+        txn: TxnId,
+    },
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::WriteWriteConflict { key, other } => match other {
+                Some(other) => {
+                    write!(f, "write-write conflict on {key} with concurrent {other}")
+                }
+                None => write!(f, "write-write conflict on {key}"),
+            },
+            TxnError::LockTimeout { key, holder } => match holder {
+                Some(holder) => write!(f, "timed out waiting for lock on {key} held by {holder}"),
+                None => write!(f, "timed out waiting for lock on {key}"),
+            },
+            TxnError::Deadlock { key, cycle } => {
+                write!(f, "deadlock detected while waiting for {key}: cycle ")?;
+                for (i, t) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            TxnError::NotActive { txn } => write!(f, "{txn} is not active"),
+            TxnError::LockNotHeld { key, txn } => {
+                write!(f, "{txn} does not hold a lock on {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// Result alias used throughout the transaction crate.
+pub type Result<T> = std::result::Result<T, TxnError>;
+
+impl TxnError {
+    /// Returns `true` if the error means the transaction should be aborted
+    /// and can be retried by the application (conflicts, deadlocks,
+    /// timeouts).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TxnError::WriteWriteConflict { .. }
+                | TxnError::LockTimeout { .. }
+                | TxnError::Deadlock { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_conflict() {
+        let err = TxnError::WriteWriteConflict {
+            key: LockKey::node(4),
+            other: Some(TxnId(9)),
+        };
+        let s = err.to_string();
+        assert!(s.contains("write-write conflict"));
+        assert!(s.contains("txn-9"));
+    }
+
+    #[test]
+    fn display_deadlock_cycle() {
+        let err = TxnError::Deadlock {
+            key: LockKey::node(1),
+            cycle: vec![TxnId(1), TxnId(2), TxnId(1)],
+        };
+        assert!(err.to_string().contains("txn-1 -> txn-2 -> txn-1"));
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(TxnError::WriteWriteConflict {
+            key: LockKey::node(0),
+            other: None
+        }
+        .is_retryable());
+        assert!(TxnError::Deadlock {
+            key: LockKey::node(0),
+            cycle: vec![]
+        }
+        .is_retryable());
+        assert!(TxnError::LockTimeout {
+            key: LockKey::node(0),
+            holder: None
+        }
+        .is_retryable());
+        assert!(!TxnError::NotActive { txn: TxnId(1) }.is_retryable());
+        assert!(!TxnError::LockNotHeld {
+            key: LockKey::node(0),
+            txn: TxnId(1)
+        }
+        .is_retryable());
+    }
+}

@@ -1,0 +1,118 @@
+//! Transaction identifiers and logical timestamps.
+
+use std::fmt;
+
+/// A transaction identifier, unique for the lifetime of a database
+/// instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Returns the raw numeric ID.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TxnId({})", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn-{}", self.0)
+    }
+}
+
+/// A logical timestamp drawn from the [`crate::timestamps::TimestampOracle`].
+///
+/// Commit timestamps define the serialisation order of transactions; a
+/// transaction's start timestamp determines which committed versions are
+/// visible to it (the paper's *read rule*: the newest version with
+/// `commit_ts <= start_ts`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The timestamp assigned to data that existed before any transaction
+    /// ran (bootstrap data, recovery-loaded records).
+    pub const BOOTSTRAP: Timestamp = Timestamp(0);
+
+    /// The largest possible timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Returns the raw numeric value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next timestamp (used by tests and recovery to derive a
+    /// resume point).
+    #[inline]
+    pub const fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+
+    /// Is a version with this commit timestamp visible to a reader that
+    /// started at `start_ts`? This is the paper's read rule.
+    #[inline]
+    pub const fn visible_to(self, start_ts: Timestamp) -> bool {
+        self.0 <= start_ts.0
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts({})", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(raw: u64) -> Self {
+        Timestamp(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_follows_read_rule() {
+        assert!(Timestamp(5).visible_to(Timestamp(5)));
+        assert!(Timestamp(4).visible_to(Timestamp(5)));
+        assert!(!Timestamp(6).visible_to(Timestamp(5)));
+        assert!(Timestamp::BOOTSTRAP.visible_to(Timestamp(0)));
+    }
+
+    #[test]
+    fn ordering_and_next() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert_eq!(Timestamp(1).next(), Timestamp(2));
+        assert!(Timestamp::MAX > Timestamp(u64::MAX - 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TxnId(3).to_string(), "txn-3");
+        assert_eq!(format!("{:?}", TxnId(3)), "TxnId(3)");
+        assert_eq!(Timestamp(9).to_string(), "9");
+        assert_eq!(format!("{:?}", Timestamp(9)), "ts(9)");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Timestamp::from(7u64).raw(), 7);
+        assert_eq!(TxnId(12).raw(), 12);
+    }
+}

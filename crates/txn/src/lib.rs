@@ -1,0 +1,54 @@
+//! # graphsi-txn
+//!
+//! The transaction substrate of the graphsi workspace: logical timestamps,
+//! the active-transaction table, the lock manager (short read locks / long
+//! write locks, with deadlock detection) and the write-write conflict
+//! strategies described in *"Snapshot Isolation for Neo4j"* (EDBT 2016).
+//!
+//! This crate is isolation-level agnostic: the read-committed baseline uses
+//! blocking shared/exclusive locks, while snapshot isolation uses only the
+//! non-blocking exclusive ("long write") locks for first-updater-wins
+//! conflict detection plus the timestamp oracle for visibility. The policy
+//! lives in `graphsi-core`; the mechanisms live here.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod active;
+pub mod conflict;
+pub mod deadlock;
+pub mod error;
+pub mod ids;
+pub mod locks;
+pub mod timestamps;
+
+pub use active::ActiveTransactionTable;
+pub use conflict::{check_at_commit, check_at_update, ConflictStrategy, UpdateCheck};
+pub use error::{Result, TxnError};
+pub use ids::{Timestamp, TxnId};
+pub use locks::{LockKey, LockKind, LockManager, LockMode, LockStatsSnapshot};
+pub use timestamps::TimestampOracle;
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn begin_commit_cycle_through_public_api() {
+        let oracle = TimestampOracle::new();
+        let active = ActiveTransactionTable::new();
+        let locks = LockManager::with_default_timeout();
+
+        let txn = TxnId(1);
+        let start = oracle.start_timestamp();
+        active.register(txn, start);
+
+        locks.try_exclusive(LockKey::node(7), txn).unwrap();
+        let commit = oracle.commit_timestamp();
+        assert!(commit > start);
+
+        locks.release_all(txn);
+        active.deregister(txn).unwrap();
+        assert!(active.is_empty());
+    }
+}

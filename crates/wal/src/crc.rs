@@ -1,0 +1,79 @@
+//! A small CRC-32 (IEEE 802.3 polynomial) implementation used to checksum
+//! log entries. Implemented in-tree to keep the workspace's dependency set
+//! minimal.
+
+const POLY: u32 = 0xEDB8_8320;
+
+/// Computes the CRC-32 checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// Computes the CRC-32 of several slices as if they were concatenated.
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &byte in *part {
+            crc ^= u32::from(byte);
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (POLY & mask);
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn parts_match_concatenation() {
+        let whole = crc32(b"hello world");
+        let split = crc32_parts(&[b"hello", b" ", b"world"]);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"some log entry payload".to_vec();
+        let before = crc32(&data);
+        data[3] ^= 0x01;
+        assert_ne!(before, crc32(&data));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_crc_is_deterministic(data in proptest::collection::vec(proptest::num::u8::ANY, 0..512)) {
+            prop_assert_eq!(crc32(&data), crc32(&data));
+        }
+
+        #[test]
+        fn prop_parts_equal_whole(
+            a in proptest::collection::vec(proptest::num::u8::ANY, 0..128),
+            b in proptest::collection::vec(proptest::num::u8::ANY, 0..128),
+        ) {
+            let mut whole = a.clone();
+            whole.extend_from_slice(&b);
+            prop_assert_eq!(crc32(&whole), crc32_parts(&[&a, &b]));
+        }
+    }
+}

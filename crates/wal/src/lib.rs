@@ -1,0 +1,42 @@
+//! # graphsi-wal
+//!
+//! A write-ahead log for the graphsi storage engine. The persistent store
+//! (`graphsi-storage`) only ever holds the newest committed version of each
+//! entity and its page cache writes back lazily, so the WAL is what makes
+//! commits durable: the commit pipeline in `graphsi-core` appends an
+//! encoded commit record, syncs (optionally batched / group commit), and
+//! only then applies the changes to the record stores. On start-up the
+//! core replays the log to bring the stores back to the last durable
+//! state; a clean shutdown checkpoints (flushes all stores) and truncates
+//! the log.
+//!
+//! The WAL itself is payload-agnostic: entries are opaque byte strings with
+//! an LSN and a CRC-32 checksum. Torn tails left by crashes are detected
+//! and truncated on open.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crc;
+pub mod error;
+pub mod log;
+pub mod record;
+
+pub use error::{Result, WalError};
+pub use log::{SyncPolicy, Wal, WalScan};
+pub use record::LogEntry;
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn public_api_smoke() {
+        let dir = graphsi_storage::test_util::TempDir::new("wal_lib");
+        let wal = Wal::open(dir.path().join("wal.log"), SyncPolicy::Always).unwrap();
+        let lsn = wal.append_and_sync(b"commit:1").unwrap();
+        assert_eq!(lsn, 1);
+        let scan = wal.scan().unwrap();
+        assert_eq!(scan.entries, vec![LogEntry::new(1, b"commit:1".to_vec())]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Log entry framing.
+//!
+//! Each entry is framed as:
+//!
+//! ```text
+//! +---------+---------+---------+---------+------------------+
+//! | magic   | len     | lsn     | crc32   | payload (len)    |
+//! | u32 LE  | u32 LE  | u64 LE  | u32 LE  | bytes            |
+//! +---------+---------+---------+---------+------------------+
+//! ```
+//!
+//! The checksum covers the LSN and the payload, so both truncated (torn)
+//! tails and bit flips are detected on read.
+
+use crate::crc::crc32_parts;
+use crate::error::{Result, WalError};
+
+/// Magic marker beginning every log entry ("WALE").
+pub const ENTRY_MAGIC: u32 = 0x5741_4C45;
+/// Size of the fixed entry header in bytes.
+pub const HEADER_SIZE: usize = 4 + 4 + 8 + 4;
+/// Maximum payload size accepted (guards against reading garbage lengths
+/// from a corrupt log).
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// One entry of the write-ahead log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Log sequence number (monotonically increasing, starting at 1).
+    pub lsn: u64,
+    /// Opaque payload supplied by the layer above (the commit-record
+    /// encoding lives in `graphsi-core`).
+    pub payload: Vec<u8>,
+}
+
+impl LogEntry {
+    /// Creates an entry.
+    pub fn new(lsn: u64, payload: Vec<u8>) -> Self {
+        LogEntry { lsn, payload }
+    }
+
+    /// Serialises the entry (header + payload) into a byte buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let lsn_bytes = self.lsn.to_le_bytes();
+        let crc = crc32_parts(&[&lsn_bytes, &self.payload]);
+        let mut out = Vec::with_capacity(HEADER_SIZE + self.payload.len());
+        out.extend_from_slice(&ENTRY_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&lsn_bytes);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Attempts to decode one entry from the beginning of `buf`.
+    ///
+    /// Returns `Ok(None)` if `buf` holds a prefix of an entry (a torn tail
+    /// after a crash — not an error), `Ok(Some((entry, consumed)))` on
+    /// success and `Err` on framing or checksum violations.
+    pub fn decode(buf: &[u8], offset: u64) -> Result<Option<(LogEntry, usize)>> {
+        if buf.len() < HEADER_SIZE {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != ENTRY_MAGIC {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: format!("bad magic {magic:#010x}"),
+            });
+        }
+        let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: format!("payload length {len} exceeds maximum"),
+            });
+        }
+        if buf.len() < HEADER_SIZE + len {
+            return Ok(None);
+        }
+        let lsn = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+        let payload = &buf[HEADER_SIZE..HEADER_SIZE + len];
+        let actual_crc = crc32_parts(&[&buf[8..16], payload]);
+        if stored_crc != actual_crc {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: "checksum mismatch".to_owned(),
+            });
+        }
+        Ok(Some((
+            LogEntry {
+                lsn,
+                payload: payload.to_vec(),
+            },
+            HEADER_SIZE + len,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let entry = LogEntry::new(7, vec![1, 2, 3, 4, 5]);
+        let bytes = entry.encode();
+        let (decoded, consumed) = LogEntry::decode(&bytes, 0).unwrap().unwrap();
+        assert_eq!(decoded, entry);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let entry = LogEntry::new(1, Vec::new());
+        let bytes = entry.encode();
+        let (decoded, _) = LogEntry::decode(&bytes, 0).unwrap().unwrap();
+        assert_eq!(decoded.payload, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn torn_tail_is_not_an_error() {
+        let entry = LogEntry::new(3, vec![9; 100]);
+        let bytes = entry.encode();
+        // Cut anywhere inside the entry.
+        for cut in [0, 3, HEADER_SIZE - 1, HEADER_SIZE + 10, bytes.len() - 1] {
+            assert!(LogEntry::decode(&bytes[..cut], 0).unwrap().is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_corruption() {
+        let mut bytes = LogEntry::new(1, vec![1]).encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            LogEntry::decode(&bytes, 42),
+            Err(WalError::Corrupt { offset: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_corruption() {
+        let mut bytes = LogEntry::new(1, vec![0xAA; 16]).encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(LogEntry::decode(&bytes, 0), Err(WalError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn insane_length_is_corruption() {
+        let mut bytes = LogEntry::new(1, vec![1, 2, 3]).encode();
+        bytes[4..8].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(LogEntry::decode(&bytes, 0), Err(WalError::Corrupt { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(lsn in 0u64..u64::MAX, payload in proptest::collection::vec(proptest::num::u8::ANY, 0..2048)) {
+            let entry = LogEntry::new(lsn, payload);
+            let bytes = entry.encode();
+            let (decoded, consumed) = LogEntry::decode(&bytes, 0).unwrap().unwrap();
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(decoded, entry);
+        }
+    }
+}

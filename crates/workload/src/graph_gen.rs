@@ -1,0 +1,262 @@
+//! Synthetic graph generators.
+//!
+//! The paper's evaluation context (CoherentPaaS workloads, production
+//! graphs) is not available, so these generators produce the synthetic
+//! equivalents used by the experiments: a power-law "social network" graph
+//! (preferential attachment), a uniform random graph, and a ring/path graph
+//! for traversal probes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use graphsi_core::{GraphDb, NodeId, PropertyValue, Result};
+
+/// Shape of a generated graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphShape {
+    /// Preferential-attachment (power-law degree) graph with `edges_per_node`
+    /// edges added per joining node — a synthetic social network.
+    PowerLaw {
+        /// Edges attached by every new node.
+        edges_per_node: usize,
+    },
+    /// Uniform random graph with the given total number of edges.
+    Random {
+        /// Total number of edges.
+        edges: usize,
+    },
+    /// A ring (cycle) where node *i* connects to node *i + 1*.
+    Ring,
+}
+
+/// Parameters of a generated graph.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Shape / edge structure.
+    pub shape: GraphShape,
+    /// RNG seed, so experiments are reproducible.
+    pub seed: u64,
+    /// How many nodes to create per committing transaction.
+    pub batch_size: usize,
+}
+
+impl GraphSpec {
+    /// A small social-network-shaped graph.
+    pub fn social(nodes: usize) -> Self {
+        GraphSpec {
+            nodes,
+            shape: GraphShape::PowerLaw { edges_per_node: 4 },
+            seed: 42,
+            batch_size: 128,
+        }
+    }
+
+    /// A uniform random graph.
+    pub fn random(nodes: usize, edges: usize) -> Self {
+        GraphSpec {
+            nodes,
+            shape: GraphShape::Random { edges },
+            seed: 42,
+            batch_size: 128,
+        }
+    }
+
+    /// A ring graph (used by traversal probes).
+    pub fn ring(nodes: usize) -> Self {
+        GraphSpec {
+            nodes,
+            shape: GraphShape::Ring,
+            seed: 42,
+            batch_size: 128,
+        }
+    }
+}
+
+/// A generated graph: the node IDs in creation order.
+#[derive(Clone, Debug)]
+pub struct GeneratedGraph {
+    /// All node IDs, index = creation order.
+    pub nodes: Vec<NodeId>,
+    /// Number of relationships created.
+    pub relationships: usize,
+}
+
+/// Builds the graph described by `spec` inside `db`. Every node gets the
+/// label `Person` and properties `uid` (its creation index) and `balance`
+/// (initial 100); every relationship has type `KNOWS`.
+pub fn build_graph(db: &GraphDb, spec: &GraphSpec) -> Result<GeneratedGraph> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(spec.nodes);
+    let batch = spec.batch_size.max(1);
+
+    // Create the nodes in batches.
+    let mut created = 0usize;
+    while created < spec.nodes {
+        let mut tx = db.begin();
+        let upper = (created + batch).min(spec.nodes);
+        for i in created..upper {
+            let id = tx.create_node(
+                &["Person"],
+                &[
+                    ("uid", PropertyValue::Int(i as i64)),
+                    ("balance", PropertyValue::Int(100)),
+                ],
+            )?;
+            nodes.push(id);
+        }
+        tx.commit()?;
+        created = upper;
+    }
+
+    // Create the relationships.
+    let mut relationships = 0usize;
+    match spec.shape {
+        GraphShape::Ring => {
+            let mut tx = db.begin();
+            for i in 0..spec.nodes {
+                let next = (i + 1) % spec.nodes;
+                if spec.nodes > 1 {
+                    tx.create_relationship(nodes[i], nodes[next], "KNOWS", &[])?;
+                    relationships += 1;
+                }
+                if relationships % batch == 0 {
+                    let full = std::mem::replace(&mut tx, db.begin());
+                    full.commit()?;
+                }
+            }
+            tx.commit()?;
+        }
+        GraphShape::Random { edges } => {
+            let mut remaining = edges;
+            while remaining > 0 {
+                let mut tx = db.begin();
+                let in_this_tx = remaining.min(batch);
+                for _ in 0..in_this_tx {
+                    let a = rng.gen_range(0..spec.nodes);
+                    let mut b = rng.gen_range(0..spec.nodes);
+                    if spec.nodes > 1 {
+                        while b == a {
+                            b = rng.gen_range(0..spec.nodes);
+                        }
+                    }
+                    tx.create_relationship(nodes[a], nodes[b], "KNOWS", &[])?;
+                    relationships += 1;
+                }
+                tx.commit()?;
+                remaining -= in_this_tx;
+            }
+        }
+        GraphShape::PowerLaw { edges_per_node } => {
+            // Preferential attachment: targets are sampled from the list of
+            // previous edge endpoints, which biases towards high-degree
+            // nodes.
+            let mut endpoints: Vec<usize> = vec![0];
+            for i in 1..spec.nodes {
+                let mut tx = db.begin();
+                let m = edges_per_node.min(i);
+                let mut chosen = Vec::with_capacity(m);
+                while chosen.len() < m {
+                    let target = endpoints[rng.gen_range(0..endpoints.len())];
+                    if target != i && !chosen.contains(&target) {
+                        chosen.push(target);
+                    }
+                }
+                for &target in &chosen {
+                    tx.create_relationship(nodes[i], nodes[target], "KNOWS", &[])?;
+                    relationships += 1;
+                }
+                tx.commit()?;
+                for &target in &chosen {
+                    endpoints.push(target);
+                    endpoints.push(i);
+                }
+            }
+        }
+    }
+
+    Ok(GeneratedGraph {
+        nodes,
+        relationships,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphsi_core::test_support::TempDir;
+    use graphsi_core::{DbConfig, Direction};
+
+    fn db(dir: &TempDir) -> GraphDb {
+        GraphDb::open(dir.path(), DbConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn ring_graph_has_expected_shape() {
+        let dir = TempDir::new("wl_ring");
+        let db = db(&dir);
+        let graph = build_graph(&db, &GraphSpec::ring(10)).unwrap();
+        assert_eq!(graph.nodes.len(), 10);
+        assert_eq!(graph.relationships, 10);
+        let tx = db.begin();
+        for &node in &graph.nodes {
+            assert_eq!(tx.degree(node, Direction::Both).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn random_graph_has_requested_edges() {
+        let dir = TempDir::new("wl_random");
+        let db = db(&dir);
+        let graph = build_graph(&db, &GraphSpec::random(20, 50)).unwrap();
+        assert_eq!(graph.relationships, 50);
+        let tx = db.begin();
+        assert_eq!(tx.nodes_with_label("Person").unwrap().len(), 20);
+        let total_degree: usize = graph
+            .nodes
+            .iter()
+            .map(|&n| tx.degree(n, Direction::Both).unwrap())
+            .sum();
+        assert_eq!(total_degree, 100, "every edge contributes two endpoints");
+    }
+
+    #[test]
+    fn power_law_graph_is_skewed() {
+        let dir = TempDir::new("wl_powerlaw");
+        let db = db(&dir);
+        let graph = build_graph(&db, &GraphSpec::social(60)).unwrap();
+        let tx = db.begin();
+        let degrees: Vec<usize> = graph
+            .nodes
+            .iter()
+            .map(|&n| tx.degree(n, Direction::Both).unwrap())
+            .collect();
+        let max = *degrees.iter().max().unwrap();
+        let avg = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(
+            max as f64 > 2.0 * avg,
+            "power-law graphs have hubs: max={max} avg={avg}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let build = |seed| {
+            let dir = TempDir::new("wl_seeded");
+            let db = db(&dir);
+            let spec = GraphSpec {
+                seed,
+                ..GraphSpec::random(15, 30)
+            };
+            let graph = build_graph(&db, &spec).unwrap();
+            let tx = db.begin();
+            graph
+                .nodes
+                .iter()
+                .map(|&n| tx.degree(n, Direction::Both).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(7), build(7));
+    }
+}

@@ -1,0 +1,31 @@
+//! # graphsi-workload
+//!
+//! Synthetic workload generators and anomaly probes for the graphsi
+//! experiments. The paper evaluated its Neo4j modification inside the
+//! CoherentPaaS project with workloads that are not publicly available, so
+//! this crate provides the synthetic equivalents that exercise the same
+//! code paths:
+//!
+//! * [`graph_gen`] — power-law (social network), uniform random and ring
+//!   graph generators;
+//! * [`zipf`] — skewed (hotspot) access sampling;
+//! * [`mixes`] — multi-threaded read/write transaction mixes with
+//!   throughput, latency and abort-rate reporting;
+//! * [`probes`] — controlled interleavings that count unrepeatable reads,
+//!   phantoms and write skew per isolation level;
+//! * [`report`] — plain-text result tables for the experiment harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod graph_gen;
+pub mod mixes;
+pub mod probes;
+pub mod report;
+pub mod zipf;
+
+pub use graph_gen::{build_graph, GeneratedGraph, GraphShape, GraphSpec};
+pub use mixes::{run_mix, MixReport, MixSpec};
+pub use probes::{phantom_read_probe, unrepeatable_read_probe, write_skew_probe, ProbeReport};
+pub use report::Table;
+pub use zipf::Zipfian;

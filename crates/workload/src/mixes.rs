@@ -1,0 +1,305 @@
+//! Mixed read/write workload runner: drives a [`GraphDb`] with a
+//! configurable operation mix from multiple threads and reports throughput,
+//! latency and abort statistics. Used by experiments E4 (contention sweep)
+//! and E8 (read/write mix sweep).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use graphsi_core::{Direction, GraphDb, IsolationLevel, NodeId, PropertyValue};
+
+use crate::zipf::Zipfian;
+
+/// Parameters of a mixed workload run.
+#[derive(Clone, Debug)]
+pub struct MixSpec {
+    /// Worker threads.
+    pub threads: usize,
+    /// Transactions executed per thread.
+    pub transactions_per_thread: usize,
+    /// Fraction of transactions that are read-only (0.0 ..= 1.0).
+    pub read_fraction: f64,
+    /// Zipfian skew of entity selection (0.0 uniform, ~0.99 hotspot).
+    pub skew: f64,
+    /// Number of property reads performed by a read transaction.
+    pub reads_per_txn: usize,
+    /// Number of property writes performed by a write transaction.
+    pub writes_per_txn: usize,
+    /// Isolation level the transactions run at.
+    pub isolation: IsolationLevel,
+    /// Whether aborted write transactions are retried until they succeed.
+    pub retry_aborts: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MixSpec {
+    fn default() -> Self {
+        MixSpec {
+            threads: 4,
+            transactions_per_thread: 200,
+            read_fraction: 0.9,
+            skew: 0.0,
+            reads_per_txn: 4,
+            writes_per_txn: 2,
+            isolation: IsolationLevel::SnapshotIsolation,
+            retry_aborts: false,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a mixed workload run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MixReport {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that aborted due to conflicts/deadlocks/timeouts.
+    pub aborted: u64,
+    /// Read operations performed.
+    pub reads: u64,
+    /// Write operations performed (including those later aborted).
+    pub writes: u64,
+    /// Total wall-clock duration of the run.
+    pub duration: Duration,
+    /// Sum of per-transaction latencies (successful ones), in nanoseconds.
+    pub total_latency_nanos: u64,
+}
+
+impl MixReport {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.duration.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.duration.as_secs_f64()
+        }
+    }
+
+    /// Fraction of transaction attempts that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+
+    /// Mean latency of committed transactions in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.total_latency_nanos as f64 / self.committed as f64 / 1_000.0
+        }
+    }
+}
+
+/// Runs the mixed workload against `db` over the given `nodes`.
+pub fn run_mix(db: &Arc<GraphDb>, nodes: &[NodeId], spec: &MixSpec) -> MixReport {
+    assert!(!nodes.is_empty(), "workload needs at least one node");
+    let committed = Arc::new(AtomicU64::new(0));
+    let aborted = Arc::new(AtomicU64::new(0));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+    let latency = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..spec.threads {
+        let db = Arc::clone(db);
+        let nodes = nodes.to_vec();
+        let spec = spec.clone();
+        let committed = Arc::clone(&committed);
+        let aborted = Arc::clone(&aborted);
+        let reads = Arc::clone(&reads);
+        let writes = Arc::clone(&writes);
+        let latency = Arc::clone(&latency);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(spec.seed ^ (t as u64) << 32);
+            let zipf = Zipfian::new(nodes.len(), spec.skew);
+            for _ in 0..spec.transactions_per_thread {
+                let is_read = rng.gen_bool(spec.read_fraction.clamp(0.0, 1.0));
+                loop {
+                    let txn_start = Instant::now();
+                    let outcome = if is_read {
+                        run_read_txn(&db, &nodes, &zipf, &spec, &mut rng, &reads)
+                    } else {
+                        run_write_txn(&db, &nodes, &zipf, &spec, &mut rng, &writes)
+                    };
+                    match outcome {
+                        Ok(()) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                            latency.fetch_add(
+                                txn_start.elapsed().as_nanos() as u64,
+                                Ordering::Relaxed,
+                            );
+                            break;
+                        }
+                        Err(retryable) => {
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                            if !(retryable && spec.retry_aborts) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+
+    MixReport {
+        committed: committed.load(Ordering::Relaxed),
+        aborted: aborted.load(Ordering::Relaxed),
+        reads: reads.load(Ordering::Relaxed),
+        writes: writes.load(Ordering::Relaxed),
+        duration: start.elapsed(),
+        total_latency_nanos: latency.load(Ordering::Relaxed),
+    }
+}
+
+/// Returns `Err(retryable)` on failure.
+fn run_read_txn(
+    db: &GraphDb,
+    nodes: &[NodeId],
+    zipf: &Zipfian,
+    spec: &MixSpec,
+    rng: &mut StdRng,
+    reads: &AtomicU64,
+) -> std::result::Result<(), bool> {
+    let tx = db.begin_with_isolation(spec.isolation);
+    for _ in 0..spec.reads_per_txn {
+        let node = nodes[zipf.sample(rng)];
+        match tx.node_property(node, "balance") {
+            Ok(_) => {
+                reads.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => return Err(e.is_conflict()),
+        }
+        // One neighbourhood expansion per read transaction keeps the
+        // workload graph-shaped rather than key-value-shaped.
+        if tx.relationships(node, Direction::Both).is_err() {
+            return Err(false);
+        }
+    }
+    tx.commit().map(|_| ()).map_err(|e| e.is_conflict())
+}
+
+fn run_write_txn(
+    db: &GraphDb,
+    nodes: &[NodeId],
+    zipf: &Zipfian,
+    spec: &MixSpec,
+    rng: &mut StdRng,
+    writes: &AtomicU64,
+) -> std::result::Result<(), bool> {
+    let mut tx = db.begin_with_isolation(spec.isolation);
+    for _ in 0..spec.writes_per_txn {
+        let node = nodes[zipf.sample(rng)];
+        let value = PropertyValue::Int(rng.gen_range(0..1_000_000));
+        match tx.set_node_property(node, "balance", value) {
+            Ok(()) => {
+                writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => return Err(e.is_conflict()),
+        }
+    }
+    tx.commit().map(|_| ()).map_err(|e| e.is_conflict())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_gen::{build_graph, GraphSpec};
+    use graphsi_core::test_support::TempDir;
+    use graphsi_core::DbConfig;
+
+    fn setup(nodes: usize) -> (TempDir, Arc<GraphDb>, Vec<NodeId>) {
+        let dir = TempDir::new("mixes");
+        let db = Arc::new(GraphDb::open(dir.path(), DbConfig::default()).unwrap());
+        let graph = build_graph(&db, &GraphSpec::random(nodes, nodes * 2)).unwrap();
+        (dir, db, graph.nodes)
+    }
+
+    #[test]
+    fn read_only_mix_never_aborts_under_si() {
+        let (_dir, db, nodes) = setup(50);
+        let spec = MixSpec {
+            threads: 2,
+            transactions_per_thread: 50,
+            read_fraction: 1.0,
+            ..Default::default()
+        };
+        let report = run_mix(&db, &nodes, &spec);
+        assert_eq!(report.committed, 100);
+        assert_eq!(report.aborted, 0);
+        assert!(report.reads > 0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn hotspot_writes_abort_more_than_uniform_writes() {
+        let (_dir, db, nodes) = setup(200);
+        let base = MixSpec {
+            threads: 4,
+            transactions_per_thread: 50,
+            read_fraction: 0.0,
+            retry_aborts: false,
+            ..Default::default()
+        };
+        let uniform = run_mix(&db, &nodes, &MixSpec { skew: 0.0, ..base.clone() });
+        let hotspot = run_mix(
+            &db,
+            &nodes[..4],
+            &MixSpec {
+                skew: 0.99,
+                ..base
+            },
+        );
+        assert!(
+            hotspot.abort_rate() >= uniform.abort_rate(),
+            "hotspot {:.3} vs uniform {:.3}",
+            hotspot.abort_rate(),
+            uniform.abort_rate()
+        );
+        assert!(hotspot.abort_rate() > 0.0);
+    }
+
+    #[test]
+    fn retries_drive_all_transactions_to_commit() {
+        let (_dir, db, nodes) = setup(20);
+        let spec = MixSpec {
+            threads: 3,
+            transactions_per_thread: 30,
+            read_fraction: 0.2,
+            skew: 0.9,
+            retry_aborts: true,
+            ..Default::default()
+        };
+        let report = run_mix(&db, &nodes, &spec);
+        assert_eq!(report.committed, 90);
+        assert!(report.mean_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let report = MixReport {
+            committed: 10,
+            aborted: 10,
+            duration: Duration::from_secs(2),
+            total_latency_nanos: 10_000_000,
+            ..Default::default()
+        };
+        assert!((report.throughput() - 5.0).abs() < 1e-9);
+        assert!((report.abort_rate() - 0.5).abs() < 1e-9);
+        assert!((report.mean_latency_us() - 1_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,252 @@
+//! Anomaly probes: controlled interleavings that count how often the
+//! read-committed anomalies (unrepeatable reads, phantoms) and the one
+//! snapshot-isolation anomaly (write skew) actually occur.
+//!
+//! Each probe runs the *same* workload under a given isolation level and
+//! reports the number of anomalous observations, so experiments E1–E3 can
+//! print an "anomalies observed" table per isolation level.
+
+use std::sync::Arc;
+
+use graphsi_core::traversal;
+use graphsi_core::{Direction, GraphDb, IsolationLevel, NodeId, PropertyValue, Result};
+
+/// Result of an anomaly probe.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbeReport {
+    /// Number of probe rounds executed.
+    pub rounds: u64,
+    /// Number of rounds in which the anomaly was observed.
+    pub anomalies: u64,
+}
+
+impl ProbeReport {
+    /// Fraction of rounds exhibiting the anomaly.
+    pub fn anomaly_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.anomalies as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// E1 — unrepeatable reads during a two-step graph algorithm.
+///
+/// Every round a reader walks the two-hop neighbourhood of `hub` twice
+/// inside one transaction while a concurrent writer rewires one spoke in
+/// between. A round counts as anomalous if the two walks differ.
+pub fn unrepeatable_read_probe(
+    db: &Arc<GraphDb>,
+    isolation: IsolationLevel,
+    rounds: u64,
+) -> Result<ProbeReport> {
+    // Build a private hub-and-spoke subgraph for the probe.
+    let mut tx = db.begin();
+    let hub = tx.create_node(&["ProbeHub"], &[])?;
+    let mut spokes = Vec::new();
+    for _ in 0..8 {
+        let spoke = tx.create_node(&["ProbeSpoke"], &[])?;
+        tx.create_relationship(hub, spoke, "SPOKE", &[])?;
+        spokes.push(spoke);
+    }
+    tx.commit()?;
+
+    let mut report = ProbeReport::default();
+    for round in 0..rounds {
+        let reader = db.begin_with_isolation(isolation);
+        let first = reader.neighbors(hub, Direction::Both)?;
+
+        // Concurrent writer: detach one spoke and attach a fresh one.
+        let victim_idx = (round % spokes.len() as u64) as usize;
+        let victim = spokes[victim_idx];
+        let mut writer = db.begin();
+        for rel in writer.relationships(victim, Direction::Both)? {
+            writer.delete_relationship(rel.id)?;
+        }
+        let fresh = writer.create_node(&["ProbeSpoke"], &[])?;
+        writer.create_relationship(hub, fresh, "SPOKE", &[])?;
+        writer.commit()?;
+        spokes[victim_idx] = fresh;
+
+        let second = reader.neighbors(hub, Direction::Both)?;
+        report.rounds += 1;
+        if first != second {
+            report.anomalies += 1;
+        }
+        drop(reader);
+    }
+    Ok(report)
+}
+
+/// E2 — phantom reads on a predicate (label) selection.
+///
+/// Every round a reader evaluates `MATCH (n:ProbePerson)` twice while a
+/// concurrent writer inserts a new matching node in between. A round counts
+/// as anomalous if the two result sets differ in size.
+pub fn phantom_read_probe(
+    db: &Arc<GraphDb>,
+    isolation: IsolationLevel,
+    rounds: u64,
+) -> Result<ProbeReport> {
+    let mut tx = db.begin();
+    for _ in 0..5 {
+        tx.create_node(&["ProbePerson"], &[])?;
+    }
+    tx.commit()?;
+
+    let mut report = ProbeReport::default();
+    for _ in 0..rounds {
+        let reader = db.begin_with_isolation(isolation);
+        let first = reader.nodes_with_label("ProbePerson")?.len();
+
+        let mut writer = db.begin();
+        writer.create_node(&["ProbePerson"], &[])?;
+        writer.commit()?;
+
+        let second = reader.nodes_with_label("ProbePerson")?.len();
+        report.rounds += 1;
+        if first != second {
+            report.anomalies += 1;
+        }
+        drop(reader);
+    }
+    Ok(report)
+}
+
+/// E3 — write skew (the anomaly snapshot isolation admits).
+///
+/// Every round two "on-call doctors" nodes both satisfy the constraint
+/// "at least one of us stays on call". Two concurrent transactions each
+/// check the constraint and take a *different* doctor off call. A round is
+/// anomalous if both commit and the constraint ends up violated. The
+/// serializable-equivalent baseline is approximated by forcing both
+/// transactions to update a shared constraint token, turning the skew into
+/// a write-write conflict.
+pub fn write_skew_probe(
+    db: &Arc<GraphDb>,
+    rounds: u64,
+    materialize_conflict: bool,
+) -> Result<ProbeReport> {
+    let mut report = ProbeReport::default();
+    for round in 0..rounds {
+        // Fresh pair of doctors (and a constraint token) per round.
+        let mut tx = db.begin();
+        let label = format!("Shift{round}");
+        let a = tx.create_node(&[&label], &[("oncall", PropertyValue::Bool(true))])?;
+        let b = tx.create_node(&[&label], &[("oncall", PropertyValue::Bool(true))])?;
+        let token = tx.create_node(&[&label], &[("guard", PropertyValue::Int(0))])?;
+        tx.commit()?;
+
+        let on_call = |tx: &graphsi_core::Transaction<'_>, id: NodeId| -> Result<bool> {
+            Ok(tx
+                .node_property(id, "oncall")?
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false))
+        };
+
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        let t1_ok = on_call(&t1, a)? && on_call(&t1, b)?;
+        let t2_ok = on_call(&t2, a)? && on_call(&t2, b)?;
+        let mut committed = 0;
+        if t1_ok {
+            let mut proceed = t1
+                .set_node_property(a, "oncall", PropertyValue::Bool(false))
+                .is_ok();
+            if proceed && materialize_conflict {
+                proceed = t1
+                    .set_node_property(token, "guard", PropertyValue::Int(1))
+                    .is_ok();
+            }
+            if proceed && t1.commit().is_ok() {
+                committed += 1;
+            }
+        }
+        if t2_ok {
+            let mut proceed = t2
+                .set_node_property(b, "oncall", PropertyValue::Bool(false))
+                .is_ok();
+            if proceed && materialize_conflict {
+                proceed = t2
+                    .set_node_property(token, "guard", PropertyValue::Int(2))
+                    .is_ok();
+            }
+            if proceed && t2.commit().is_ok() {
+                committed += 1;
+            }
+        }
+        let _ = committed;
+
+        // Check the constraint after the dust settles.
+        let check = db.begin();
+        let still_covered = on_call(&check, a)? || on_call(&check, b)?;
+        report.rounds += 1;
+        if !still_covered {
+            report.anomalies += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphsi_core::test_support::TempDir;
+    use graphsi_core::DbConfig;
+
+    fn db() -> (TempDir, Arc<GraphDb>) {
+        let dir = TempDir::new("probes");
+        let db = Arc::new(GraphDb::open(dir.path(), DbConfig::default()).unwrap());
+        (dir, db)
+    }
+
+    #[test]
+    fn unrepeatable_reads_only_under_read_committed() {
+        let (_dir, db) = db();
+        let rc = unrepeatable_read_probe(&db, IsolationLevel::ReadCommitted, 10).unwrap();
+        let (_dir2, db2) = self::db();
+        let si = unrepeatable_read_probe(&db2, IsolationLevel::SnapshotIsolation, 10).unwrap();
+        assert_eq!(rc.rounds, 10);
+        assert!(rc.anomalies > 0, "read committed must exhibit the anomaly");
+        assert_eq!(si.anomalies, 0, "snapshot isolation must not");
+        assert!(rc.anomaly_rate() > si.anomaly_rate());
+    }
+
+    #[test]
+    fn phantoms_only_under_read_committed() {
+        let (_dir, db) = db();
+        let rc = phantom_read_probe(&db, IsolationLevel::ReadCommitted, 10).unwrap();
+        let (_dir2, db2) = self::db();
+        let si = phantom_read_probe(&db2, IsolationLevel::SnapshotIsolation, 10).unwrap();
+        assert!(rc.anomalies > 0);
+        assert_eq!(si.anomalies, 0);
+    }
+
+    #[test]
+    fn write_skew_occurs_under_si_and_vanishes_when_materialized() {
+        let (_dir, db) = db();
+        let skew = write_skew_probe(&db, 10, false).unwrap();
+        assert!(skew.anomalies > 0, "SI admits write skew");
+        let (_dir2, db2) = self::db();
+        let guarded = write_skew_probe(&db2, 10, true).unwrap();
+        assert_eq!(
+            guarded.anomalies, 0,
+            "materialising the conflict restores the constraint"
+        );
+    }
+
+    #[test]
+    fn probe_report_rate() {
+        let r = ProbeReport {
+            rounds: 4,
+            anomalies: 1,
+        };
+        assert!((r.anomaly_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(ProbeReport::default().anomaly_rate(), 0.0);
+    }
+}
+
+// Re-export traversal so probe users can run the two-step algorithms
+// directly (kept here to mirror the experiment descriptions).
+pub use traversal::friends_of_friends;

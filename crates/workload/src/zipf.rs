@@ -1,0 +1,111 @@
+//! A small Zipfian sampler used to generate skewed (hotspot) access
+//! patterns without pulling in an extra dependency.
+
+use rand::Rng;
+
+/// Samples indices in `0..n` with a Zipfian distribution of exponent
+/// `theta` (0.0 = uniform, ~0.99 = heavily skewed, as in YCSB).
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: usize,
+    /// Cumulative probability table.
+    cdf: Vec<f64>,
+}
+
+impl Zipfian {
+    /// Builds a sampler over `n` items with skew `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipfian over zero items");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            let w = 1.0 / ((i + 1) as f64).powf(theta);
+            total += w;
+            weights.push(w);
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating point drift on the last bucket.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipfian { n, cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the sampler covers no items (never, by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Samples one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.n - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipfian::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "roughly uniform, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_high() {
+        let z = Zipfian::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // The hottest item dominates the coldest by a wide margin.
+        assert!(counts[0] > 10 * counts[99].max(1));
+        assert!(counts[0] > 1_000);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(3, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_items_panics() {
+        let _ = Zipfian::new(0, 0.5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Model-based (property) tests: random operation sequences executed both
+//! against the real database and against a trivial in-memory model, with
+//! snapshot semantics checked after every commit.
+//!
+//! The model is a map `node index -> value` plus, per committed
+//! transaction, the full history of committed states. Snapshot isolation
+//! requires that a transaction which began after the i-th commit observes
+//! exactly the i-th model state, regardless of later commits.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{DbConfig, GraphDb, NodeId, PropertyValue};
+
+/// One step of the generated workload.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Set `value` on node `slot` and commit.
+    CommitUpdate { slot: usize, value: i64 },
+    /// Update `slot` but roll the transaction back.
+    RolledBackUpdate { slot: usize, value: i64 },
+    /// Run garbage collection.
+    Gc,
+}
+
+fn step_strategy(slots: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..slots, -1000i64..1000).prop_map(|(slot, value)| Step::CommitUpdate { slot, value }),
+        1 => (0..slots, -1000i64..1000)
+            .prop_map(|(slot, value)| Step::RolledBackUpdate { slot, value }),
+        1 => Just(Step::Gc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Committed state always equals the model, rolled-back updates leave
+    /// no trace, and an old snapshot (taken half way through the history)
+    /// keeps observing exactly the state it started from.
+    #[test]
+    fn random_histories_respect_snapshot_isolation(
+        steps in proptest::collection::vec(step_strategy(4), 1..40)
+    ) {
+        let slots = 4usize;
+        let dir = TempDir::new("model");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+
+        // Seed the slots.
+        let mut tx = db.begin();
+        let nodes: Vec<NodeId> = (0..slots)
+            .map(|i| {
+                tx.create_node(&["Slot"], &[("value", PropertyValue::Int(i as i64))])
+                    .unwrap()
+            })
+            .collect();
+        tx.commit().unwrap();
+
+        let mut model: BTreeMap<usize, i64> = (0..slots).map(|i| (i, i as i64)).collect();
+
+        // Take a snapshot roughly half way through the step sequence and
+        // remember what the model looked like at that point.
+        let snapshot_at = steps.len() / 2;
+        let mut pinned_model: Option<BTreeMap<usize, i64>> = None;
+        let mut pinned_tx = None;
+
+        for (i, step) in steps.iter().enumerate() {
+            if i == snapshot_at {
+                pinned_model = Some(model.clone());
+                pinned_tx = Some(db.begin());
+            }
+            match step {
+                Step::CommitUpdate { slot, value } => {
+                    let mut tx = db.begin();
+                    tx.set_node_property(nodes[*slot], "value", PropertyValue::Int(*value))
+                        .unwrap();
+                    tx.commit().unwrap();
+                    model.insert(*slot, *value);
+                }
+                Step::RolledBackUpdate { slot, value } => {
+                    let mut tx = db.begin();
+                    tx.set_node_property(nodes[*slot], "value", PropertyValue::Int(*value))
+                        .unwrap();
+                    tx.rollback();
+                }
+                Step::Gc => {
+                    db.run_gc();
+                }
+            }
+
+            // After every step the latest committed state matches the model.
+            let check = db.begin();
+            for (slot, expected) in &model {
+                let actual = check
+                    .node_property(nodes[*slot], "value")
+                    .unwrap()
+                    .unwrap()
+                    .as_int()
+                    .unwrap();
+                prop_assert_eq!(actual, *expected, "slot {} after step {}", slot, i);
+            }
+
+            // The pinned snapshot, if taken, still observes its own state.
+            if let (Some(pinned), Some(tx)) = (&pinned_model, &pinned_tx) {
+                for (slot, expected) in pinned {
+                    let actual = tx
+                        .node_property(nodes[*slot], "value")
+                        .unwrap()
+                        .unwrap()
+                        .as_int()
+                        .unwrap();
+                    prop_assert_eq!(actual, *expected, "pinned slot {} after step {}", slot, i);
+                }
+            }
+        }
+    }
+
+    /// Durability model check: whatever the model says at the end is what a
+    /// reopened database reports.
+    #[test]
+    fn random_histories_survive_reopen(
+        steps in proptest::collection::vec(step_strategy(3), 1..25)
+    ) {
+        let slots = 3usize;
+        let dir = TempDir::new("model_reopen");
+        let mut model: BTreeMap<usize, i64> = (0..slots).map(|i| (i, i as i64)).collect();
+        let nodes: Vec<NodeId>;
+        {
+            let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+            let mut tx = db.begin();
+            nodes = (0..slots)
+                .map(|i| {
+                    tx.create_node(&["Slot"], &[("value", PropertyValue::Int(i as i64))])
+                        .unwrap()
+                })
+                .collect();
+            tx.commit().unwrap();
+            for step in &steps {
+                match step {
+                    Step::CommitUpdate { slot, value } => {
+                        let mut tx = db.begin();
+                        tx.set_node_property(nodes[*slot], "value", PropertyValue::Int(*value))
+                            .unwrap();
+                        tx.commit().unwrap();
+                        model.insert(*slot, *value);
+                    }
+                    Step::RolledBackUpdate { slot, value } => {
+                        let mut tx = db.begin();
+                        tx.set_node_property(nodes[*slot], "value", PropertyValue::Int(*value))
+                            .unwrap();
+                        tx.rollback();
+                    }
+                    Step::Gc => {
+                        db.run_gc();
+                    }
+                }
+            }
+            // No checkpoint: recovery must come from the WAL.
+        }
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let tx = db.begin();
+        for (slot, expected) in &model {
+            let actual = tx
+                .node_property(nodes[*slot], "value")
+                .unwrap()
+                .unwrap()
+                .as_int()
+                .unwrap();
+            prop_assert_eq!(actual, *expected, "slot {} after reopen", slot);
+        }
+    }
+}
