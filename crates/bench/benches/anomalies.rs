@@ -12,7 +12,10 @@ use graphsi_workload::{phantom_read_probe, unrepeatable_read_probe};
 fn bench_probes(c: &mut Criterion) {
     let mut group = c.benchmark_group("anomaly_probes");
     group.sample_size(10);
-    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("unrepeatable_read_probe", isolation),
             &isolation,

@@ -16,8 +16,11 @@ fn setup(nodes: usize, churn: usize, gc: bool) -> (TempDir, GraphDb) {
     let mut tx = db.begin();
     let ids: Vec<_> = (0..nodes)
         .map(|i| {
-            tx.create_node(&["Person"], &[("group", PropertyValue::Int((i % 8) as i64))])
-                .unwrap()
+            tx.create_node(
+                &["Person"],
+                &[("group", PropertyValue::Int((i % 8) as i64))],
+            )
+            .unwrap()
         })
         .collect();
     tx.commit().unwrap();
@@ -50,7 +53,7 @@ fn bench_index_lookups(c: &mut Criterion) {
                         let tx = db.begin();
                         tx.nodes_with_property("group", &PropertyValue::Int(3))
                             .unwrap()
-                            .len()
+                            .count()
                     })
                 },
             );
@@ -60,7 +63,7 @@ fn bench_index_lookups(c: &mut Criterion) {
                 |b, db| {
                     b.iter(|| {
                         let tx = db.begin();
-                        tx.nodes_with_label("Person").unwrap().len()
+                        tx.nodes_with_label("Person").unwrap().count()
                     })
                 },
             );

@@ -73,9 +73,7 @@ fn bench_version_chain_reads(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("newest_visible", chain_len),
             &chain_len,
-            |b, &chain_len| {
-                b.iter(|| cache.read(1, Timestamp(chain_len)))
-            },
+            |b, &chain_len| b.iter(|| cache.read(1, Timestamp(chain_len))),
         );
         group.bench_with_input(
             BenchmarkId::new("oldest_visible", chain_len),

@@ -1,17 +1,18 @@
 //! Criterion benchmark backing experiment E8: single-operation latency of
 //! reads and writes under read committed (short read locks) vs snapshot
-//! isolation (lock-free versioned reads).
+//! isolation (lock-free versioned reads), plus a multi-threaded scaling
+//! axis — committed transactions per second as real OS threads are added,
+//! possible since transactions became `Send`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::Arc;
 
 use graphsi_core::test_support::TempDir;
 use graphsi_core::{DbConfig, Direction, GraphDb, IsolationLevel, NodeId, PropertyValue};
-use graphsi_workload::{build_graph, GraphSpec};
+use graphsi_workload::{build_graph, run_mix, GraphSpec, MixSpec};
 
-fn setup() -> (TempDir, Arc<GraphDb>, Vec<NodeId>) {
+fn setup() -> (TempDir, GraphDb, Vec<NodeId>) {
     let dir = TempDir::new("bench_throughput");
-    let db = Arc::new(GraphDb::open(dir.path(), DbConfig::default()).unwrap());
+    let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
     let graph = build_graph(&db, &GraphSpec::random(1_000, 2_000)).unwrap();
     (dir, db, graph.nodes)
 }
@@ -19,14 +20,17 @@ fn setup() -> (TempDir, Arc<GraphDb>, Vec<NodeId>) {
 fn bench_reads(c: &mut Criterion) {
     let (_dir, db, nodes) = setup();
     let mut group = c.benchmark_group("read_latency");
-    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("point_read", isolation),
             &isolation,
             |b, &isolation| {
                 let mut i = 0usize;
                 b.iter(|| {
-                    let tx = db.begin_with_isolation(isolation);
+                    let tx = db.txn().isolation(isolation).begin();
                     let node = nodes[i % nodes.len()];
                     i += 1;
                     let v = tx.node_property(node, "balance").unwrap();
@@ -41,30 +45,46 @@ fn bench_reads(c: &mut Criterion) {
             |b, &isolation| {
                 let mut i = 0usize;
                 b.iter(|| {
-                    let tx = db.begin_with_isolation(isolation);
+                    let tx = db.txn().isolation(isolation).begin();
                     let node = nodes[i % nodes.len()];
                     i += 1;
-                    let n = tx.relationships(node, Direction::Both).unwrap().len();
+                    let n = tx.degree(node, Direction::Both).unwrap();
                     tx.commit().unwrap();
                     n
                 })
             },
         );
     }
+    // The read-only fast path: snapshot reads with no write set and zero
+    // lock-manager interaction.
+    group.bench_function("point_read/read_only_fast_path", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let tx = db.txn().read_only().begin();
+            let node = nodes[i % nodes.len()];
+            i += 1;
+            let v = tx.node_property(node, "balance").unwrap();
+            tx.commit().unwrap();
+            v
+        })
+    });
     group.finish();
 }
 
 fn bench_writes(c: &mut Criterion) {
     let (_dir, db, nodes) = setup();
     let mut group = c.benchmark_group("write_latency");
-    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("property_update", isolation),
             &isolation,
             |b, &isolation| {
                 let mut i = 0usize;
                 b.iter(|| {
-                    let mut tx = db.begin_with_isolation(isolation);
+                    let mut tx = db.txn().isolation(isolation).begin();
                     let node = nodes[i % nodes.len()];
                     i += 1;
                     tx.set_node_property(node, "balance", PropertyValue::Int(i as i64))
@@ -84,10 +104,55 @@ fn bench_writes(c: &mut Criterion) {
             id
         })
     });
+    group.bench_function("property_update/write_with_retry", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let node = nodes[i % nodes.len()];
+            i += 1;
+            db.write_with_retry(|tx| {
+                tx.set_node_property(node, "balance", PropertyValue::Int(i as i64))
+            })
+            .unwrap()
+        })
+    });
     group.finish();
     // Keep version chains bounded over long benchmark runs.
     db.run_gc();
 }
 
-criterion_group!(benches, bench_reads, bench_writes);
+/// The threads axis: the same 90/10 mixed workload at 1, 2, 4 and 8 OS
+/// threads for both isolation levels. Combined with the fixed per-run
+/// transaction count, the mean run time is the SI-vs-RC scaling
+/// measurement of the paper's evaluation across real OS threads.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10);
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+    ] {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("mix_{isolation}"), threads),
+                &threads,
+                |b, &threads| {
+                    let (_dir, db, nodes) = setup();
+                    let spec = MixSpec {
+                        threads,
+                        transactions_per_thread: 200,
+                        read_fraction: 0.9,
+                        skew: 0.6,
+                        isolation,
+                        retry_aborts: false,
+                        ..Default::default()
+                    };
+                    b.iter(|| run_mix(&db, &nodes, &spec).committed)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads, bench_writes, bench_thread_scaling);
 criterion_main!(benches);

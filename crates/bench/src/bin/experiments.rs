@@ -9,7 +9,6 @@
 //! cargo run -p graphsi-bench --release --bin experiments -- --quick # smaller parameters
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use graphsi_core::test_support::TempDir;
@@ -18,8 +17,8 @@ use graphsi_core::{
 };
 use graphsi_workload::report::{f1, f3, Table};
 use graphsi_workload::{
-    build_graph, phantom_read_probe, run_mix, unrepeatable_read_probe, write_skew_probe,
-    GraphSpec, MixSpec,
+    build_graph, phantom_read_probe, run_mix, unrepeatable_read_probe, write_skew_probe, GraphSpec,
+    MixSpec,
 };
 
 struct Scale {
@@ -94,16 +93,22 @@ fn main() {
     if want("e9") {
         e9_versioned_indexes(&scale);
     }
+    if want("e10") {
+        e10_thread_scaling(&scale);
+    }
 }
 
-fn open(dir: &TempDir, config: DbConfig) -> Arc<GraphDb> {
-    Arc::new(GraphDb::open(dir.path(), config).expect("open db"))
+fn open(dir: &TempDir, config: DbConfig) -> GraphDb {
+    GraphDb::open(dir.path(), config).expect("open db")
 }
 
 fn e1_unrepeatable_reads(scale: &Scale) {
     println!("## E1 — unrepeatable reads during a two-step traversal (paper §1)");
     let mut table = Table::new(&["isolation", "rounds", "anomalous rounds", "anomaly rate"]);
-    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+    ] {
         let dir = TempDir::new("e1");
         let db = open(&dir, DbConfig::default());
         let report = unrepeatable_read_probe(&db, isolation, scale.probe_rounds).unwrap();
@@ -120,7 +125,10 @@ fn e1_unrepeatable_reads(scale: &Scale) {
 fn e2_phantom_reads(scale: &Scale) {
     println!("## E2 — phantom reads on a predicate selection (paper §1)");
     let mut table = Table::new(&["isolation", "rounds", "anomalous rounds", "anomaly rate"]);
-    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+    ] {
         let dir = TempDir::new("e2");
         let db = open(&dir, DbConfig::default());
         let report = phantom_read_probe(&db, isolation, scale.probe_rounds).unwrap();
@@ -135,7 +143,9 @@ fn e2_phantom_reads(scale: &Scale) {
 }
 
 fn e3_write_skew(scale: &Scale) {
-    println!("## E3 — write skew is admitted by SI, removed by materialising the conflict (paper §1/§3)");
+    println!(
+        "## E3 — write skew is admitted by SI, removed by materialising the conflict (paper §1/§3)"
+    );
     let mut table = Table::new(&["variant", "rounds", "constraint violations", "rate"]);
     for (name, materialize) in [
         ("snapshot isolation (plain)", false),
@@ -220,18 +230,19 @@ fn e5_read_your_own_writes() {
     ]);
     table.row(&[
         "own relationship visible in traversal pre-commit".to_string(),
-        (tx.neighbors(a, Direction::Both).unwrap() == vec![b]).to_string(),
+        (tx.neighbors_vec(a, Direction::Both).unwrap() == vec![b]).to_string(),
     ]);
     table.row(&[
         "own writes visible in label scan pre-commit".to_string(),
-        (tx.nodes_with_label("Draft").unwrap().len() == 2).to_string(),
+        (tx.nodes_with_label("Draft").unwrap().count() == 2).to_string(),
     ]);
 
     let other = db.begin();
     table.row(&[
         "other transaction sees none of it".to_string(),
-        (!other.node_exists(a).unwrap() && other.nodes_with_label("Draft").unwrap().is_empty())
-            .to_string(),
+        (!other.node_exists(a).unwrap()
+            && other.nodes_with_label("Draft").unwrap().next().is_none())
+        .to_string(),
     ]);
     drop(other);
     tx.commit().unwrap();
@@ -273,7 +284,11 @@ fn e6_garbage_collection(scale: &Scale) {
             drop(pin);
         }
         let resident = db.node_cache_stats().versions;
-        let summary = if threaded { db.run_gc() } else { db.run_gc_vacuum() };
+        let summary = if threaded {
+            db.run_gc()
+        } else {
+            db.run_gc_vacuum()
+        };
         table.row(&[
             summary.strategy.to_string(),
             resident.to_string(),
@@ -284,7 +299,11 @@ fn e6_garbage_collection(scale: &Scale) {
         ]);
         // Second run: nothing left to collect — the cost of an idle GC pass.
         let resident2 = db.node_cache_stats().versions;
-        let summary2 = if threaded { db.run_gc() } else { db.run_gc_vacuum() };
+        let summary2 = if threaded {
+            db.run_gc()
+        } else {
+            db.run_gc_vacuum()
+        };
         table.row(&[
             format!("{} (idle pass)", summary2.strategy),
             resident2.to_string(),
@@ -351,7 +370,10 @@ fn e8_read_write_mix(scale: &Scale) {
         "mean latency (us)",
         "read lock acquisitions",
     ]);
-    for isolation in [IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation] {
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+    ] {
         for read_fraction in [0.5, 0.9, 0.99] {
             let dir = TempDir::new("e8");
             let db = open(&dir, DbConfig::default().with_isolation(isolation));
@@ -382,6 +404,55 @@ fn e8_read_write_mix(scale: &Scale) {
     println!("{}", table.render());
 }
 
+/// E10 — SI-vs-RC throughput scaling across real OS threads, enabled by
+/// the `Send` owned-handle transactions: the same mixed workload at 1..=N
+/// worker threads, read transactions using the read-only snapshot fast
+/// path under SI.
+fn e10_thread_scaling(scale: &Scale) {
+    println!("## E10 — throughput scaling across OS threads (no read locks => readers scale)");
+    let mut table = Table::new(&[
+        "isolation",
+        "threads",
+        "committed",
+        "aborted",
+        "throughput (txn/s)",
+        "mean latency (us)",
+    ]);
+    let max_threads = scale.threads.max(4) * 2;
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation,
+    ] {
+        let mut threads = 1usize;
+        while threads <= max_threads {
+            let dir = TempDir::new("e10");
+            let db = open(&dir, DbConfig::default().with_isolation(isolation));
+            let graph =
+                build_graph(&db, &GraphSpec::random(scale.mix_nodes, scale.mix_nodes)).unwrap();
+            let spec = MixSpec {
+                threads,
+                transactions_per_thread: scale.mix_txns_per_thread,
+                read_fraction: 0.9,
+                skew: 0.6,
+                isolation,
+                retry_aborts: true,
+                ..Default::default()
+            };
+            let report = run_mix(&db, &graph.nodes, &spec);
+            table.row(&[
+                isolation.to_string(),
+                threads.to_string(),
+                report.committed.to_string(),
+                report.aborted.to_string(),
+                f1(report.throughput()),
+                f1(report.mean_latency_us()),
+            ]);
+            threads *= 2;
+        }
+    }
+    println!("{}", table.render());
+}
+
 fn e9_versioned_indexes(scale: &Scale) {
     println!("## E9 — versioned indexes serve every snapshot correctly (paper §4)");
     let dir = TempDir::new("e9");
@@ -402,7 +473,7 @@ fn e9_versioned_indexes(scale: &Scale) {
     let old_count = old_reader
         .nodes_with_property("group", &PropertyValue::Int(0))
         .unwrap()
-        .len();
+        .count();
 
     // Churn: move every node to a new group several times.
     for round in 1..=5i64 {
@@ -418,7 +489,7 @@ fn e9_versioned_indexes(scale: &Scale) {
     let old_again = old_reader
         .nodes_with_property("group", &PropertyValue::Int(0))
         .unwrap()
-        .len();
+        .count();
     let old_lookup = start.elapsed();
 
     let fresh = db.begin();
@@ -426,7 +497,7 @@ fn e9_versioned_indexes(scale: &Scale) {
     let fresh_count = fresh
         .nodes_with_property("group", &PropertyValue::Int(5))
         .unwrap()
-        .len();
+        .count();
     let fresh_lookup = start.elapsed();
 
     drop(old_reader);

@@ -105,13 +105,21 @@ impl CommitRecord {
 
 fn encode_op(op: &CommitOp, out: &mut Vec<u8>) {
     match op {
-        CommitOp::CreateNode { id, labels, properties } => {
+        CommitOp::CreateNode {
+            id,
+            labels,
+            properties,
+        } => {
             out.push(1);
             out.extend_from_slice(&id.raw().to_le_bytes());
             encode_labels(labels, out);
             encode_props(properties, out);
         }
-        CommitOp::UpdateNode { id, labels, properties } => {
+        CommitOp::UpdateNode {
+            id,
+            labels,
+            properties,
+        } => {
             out.push(2);
             out.extend_from_slice(&id.raw().to_le_bytes());
             encode_labels(labels, out);
@@ -223,9 +231,17 @@ fn decode_op(cursor: &mut Cursor<'_>) -> Result<CommitOp> {
             let labels = decode_labels(cursor)?;
             let properties = decode_props(cursor)?;
             if tag == 1 {
-                CommitOp::CreateNode { id, labels, properties }
+                CommitOp::CreateNode {
+                    id,
+                    labels,
+                    properties,
+                }
             } else {
-                CommitOp::UpdateNode { id, labels, properties }
+                CommitOp::UpdateNode {
+                    id,
+                    labels,
+                    properties,
+                }
             }
         }
         3 => CommitOp::DeleteNode {
@@ -314,8 +330,16 @@ pub fn apply_to_store(
     );
     for op in &record.ops {
         match op {
-            CommitOp::CreateNode { id, labels, properties }
-            | CommitOp::UpdateNode { id, labels, properties } => {
+            CommitOp::CreateNode {
+                id,
+                labels,
+                properties,
+            }
+            | CommitOp::UpdateNode {
+                id,
+                labels,
+                properties,
+            } => {
                 let mut props = properties.clone();
                 props.push(ts_prop.clone());
                 let exists = store.node_exists(*id)?;
@@ -498,7 +522,10 @@ mod tests {
         let stored = store.read_node(NodeId::new(0)).unwrap().unwrap();
         let (ts, props) = split_commit_ts(stored.properties, ts_key);
         assert_eq!(ts, Timestamp(5));
-        assert_eq!(props.get(&PropertyKeyToken(0)), Some(&PropertyValue::Int(1)));
+        assert_eq!(
+            props.get(&PropertyKeyToken(0)),
+            Some(&PropertyValue::Int(1))
+        );
     }
 
     #[test]
@@ -517,10 +544,8 @@ mod tests {
     #[test]
     fn split_commit_ts_defaults_to_bootstrap() {
         let ts_key = PropertyKeyToken(1000);
-        let (ts, props) = split_commit_ts(
-            vec![(PropertyKeyToken(0), PropertyValue::Int(1))],
-            ts_key,
-        );
+        let (ts, props) =
+            split_commit_ts(vec![(PropertyKeyToken(0), PropertyValue::Int(1))], ts_key);
         assert_eq!(ts, Timestamp::BOOTSTRAP);
         assert_eq!(props.len(), 1);
     }

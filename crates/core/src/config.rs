@@ -147,7 +147,10 @@ mod tests {
         assert_eq!(config.auto_gc_every_commits, Some(100));
         assert_eq!(config.lock_timeout, Duration::from_millis(10));
         assert_eq!(config.sync_policy, SyncPolicy::Always);
-        assert_eq!(config.conflict_strategy, ConflictStrategy::FirstCommitterWins);
+        assert_eq!(
+            config.conflict_strategy,
+            ConflictStrategy::FirstCommitterWins
+        );
         let config = config.with_isolation(IsolationLevel::SnapshotIsolation);
         assert_eq!(config.isolation, IsolationLevel::SnapshotIsolation);
     }

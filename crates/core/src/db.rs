@@ -1,5 +1,11 @@
 //! The embedded graph database: stores, caches, indexes, transaction
 //! machinery and the commit pipeline.
+//!
+//! [`GraphDb`] is a cheaply-cloneable *handle*: all state lives in a
+//! shared [`GraphDbInner`] behind an `Arc`, so handles can be cloned into
+//! worker threads, server sessions and connection pools, and the
+//! transactions they start own a reference to the database (they are
+//! `Send + 'static` and may outlive the handle that created them).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -16,8 +22,8 @@ use graphsi_storage::{
     RelationshipId,
 };
 use graphsi_txn::{
-    check_at_commit, ActiveTransactionTable, LockKey, LockManager, LockStatsSnapshot, Timestamp,
-    TimestampOracle, TxnId,
+    check_at_commit, ActiveTransactionTable, ConflictStrategy, LockKey, LockManager,
+    LockStatsSnapshot, Timestamp, TimestampOracle, TxnId,
 };
 use graphsi_wal::Wal;
 
@@ -26,6 +32,7 @@ use crate::config::{DbConfig, IsolationLevel};
 use crate::entity::{NodeData, RelationshipData};
 use crate::error::Result;
 use crate::metrics::{DbMetrics, DbMetricsSnapshot};
+use crate::options::TxnOptions;
 use crate::transaction::Transaction;
 use crate::write_set::WriteSet;
 
@@ -58,8 +65,9 @@ pub struct GcSummary {
     pub duration: Duration,
 }
 
-/// The embedded graph database with selectable isolation level.
-pub struct GraphDb {
+/// The shared state of one open database. Public API users interact with
+/// it only through [`GraphDb`] handles and [`Transaction`]s.
+pub(crate) struct GraphDbInner {
     pub(crate) config: DbConfig,
     pub(crate) store: GraphStore,
     pub(crate) wal: Wal,
@@ -78,7 +86,8 @@ pub struct GraphDb {
     /// whose deletion it cannot yet see; those live in the relationship
     /// cache and are found through this overlay (the paper's "enriched
     /// iterator").
-    rel_overlay: RwLock<std::collections::HashMap<NodeId, std::collections::HashSet<RelationshipId>>>,
+    rel_overlay:
+        RwLock<std::collections::HashMap<NodeId, std::collections::HashSet<RelationshipId>>>,
     /// The newest commit timestamp whose versions are fully installed (in
     /// the cache, store and indexes). New transactions snapshot at this
     /// value rather than at the raw oracle counter, because a commit
@@ -88,6 +97,16 @@ pub struct GraphDb {
     txn_counter: AtomicU64,
     commit_apply_lock: Mutex<()>,
     commits_since_gc: AtomicU64,
+}
+
+/// A handle to an embedded graph database with selectable isolation level.
+///
+/// Cloning is cheap (an `Arc` bump); clones share all state. The database
+/// closes when the last handle *and* the last open [`Transaction`] are
+/// dropped.
+#[derive(Clone)]
+pub struct GraphDb {
+    inner: Arc<GraphDbInner>,
 }
 
 impl GraphDb {
@@ -105,7 +124,7 @@ impl GraphDb {
         let commit_ts_key = store.tokens().property_key(COMMIT_TS_PROPERTY)?;
         let wal = Wal::open(dir.join("wal.log"), config.sync_policy)?;
 
-        let db = GraphDb {
+        let inner = GraphDbInner {
             node_cache: VersionedCache::new(config.cache_shards),
             rel_cache: VersionedCache::new(config.cache_shards),
             indexes: GraphIndexes::new(),
@@ -123,8 +142,10 @@ impl GraphDb {
             store,
             wal,
         };
-        db.recover()?;
-        Ok(db)
+        inner.recover()?;
+        Ok(GraphDb {
+            inner: Arc::new(inner),
+        })
     }
 
     /// Opens a database with the default configuration.
@@ -134,34 +155,97 @@ impl GraphDb {
 
     /// The configuration this instance was opened with.
     pub fn config(&self) -> &DbConfig {
-        &self.config
+        &self.inner.config
     }
 
-    /// Begins a transaction at the database's default isolation level.
-    pub fn begin(&self) -> Transaction<'_> {
-        self.begin_with_isolation(self.config.isolation)
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Starts configuring a transaction. Terminate the builder with
+    /// [`TxnOptions::begin`]:
+    ///
+    /// ```
+    /// # use graphsi_core::{DbConfig, GraphDb, IsolationLevel};
+    /// # let dir = graphsi_core::test_support::TempDir::new("doc-txn");
+    /// # let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+    /// let tx = db
+    ///     .txn()
+    ///     .isolation(IsolationLevel::SnapshotIsolation)
+    ///     .read_only()
+    ///     .begin();
+    /// # drop(tx);
+    /// ```
+    pub fn txn(&self) -> TxnOptions {
+        TxnOptions::new(Arc::clone(&self.inner))
+    }
+
+    /// Begins a read-write transaction at the database's default isolation
+    /// level.
+    pub fn begin(&self) -> Transaction {
+        self.txn().begin()
     }
 
     /// Begins a transaction at an explicit isolation level.
-    pub fn begin_with_isolation(&self, isolation: IsolationLevel) -> Transaction<'_> {
-        let id = TxnId(self.txn_counter.fetch_add(1, Ordering::Relaxed));
-        let start_ts = self.visible_timestamp();
-        self.active.register(id, start_ts);
-        self.metrics.record_begin();
-        Transaction::new(self, id, start_ts, isolation)
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the builder: `db.txn().isolation(..).begin()`"
+    )]
+    pub fn begin_with_isolation(&self, isolation: IsolationLevel) -> Transaction {
+        self.txn().isolation(isolation).begin()
     }
+
+    /// Runs `f` inside a read-only snapshot transaction and returns its
+    /// result. Read-only transactions never touch the lock manager and
+    /// skip write-set allocation — the paper's "no read locks" fast path.
+    pub fn read<R>(&self, f: impl FnOnce(&Transaction) -> Result<R>) -> Result<R> {
+        let tx = self.txn().read_only().begin();
+        let result = f(&tx)?;
+        tx.commit()?;
+        Ok(result)
+    }
+
+    /// Runs `f` inside a read-write transaction, committing afterwards and
+    /// retrying (with capped exponential backoff) when the attempt fails
+    /// with a retryable concurrency conflict — a write-write conflict,
+    /// deadlock or lock timeout. Non-conflict errors are returned
+    /// immediately; after [`Self::WRITE_RETRY_LIMIT`] conflicts the last
+    /// conflict error is returned.
+    pub fn write_with_retry<R>(
+        &self,
+        mut f: impl FnMut(&mut Transaction) -> Result<R>,
+    ) -> Result<R> {
+        let mut backoff_us = 50u64;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let mut tx = self.begin();
+            let result = f(&mut tx).and_then(|value| tx.commit().map(|_| value));
+            match result {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_conflict() && attempt < Self::WRITE_RETRY_LIMIT => {
+                    std::thread::sleep(Duration::from_micros(backoff_us));
+                    backoff_us = (backoff_us * 2).min(5_000);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Maximum attempts made by [`GraphDb::write_with_retry`].
+    pub const WRITE_RETRY_LIMIT: u32 = 16;
 
     /// The newest commit timestamp whose effects are fully installed and
     /// therefore readable. This is what new transactions snapshot at.
     pub fn visible_timestamp(&self) -> Timestamp {
-        Timestamp(self.visible_ts.load(Ordering::Acquire))
+        self.inner.visible_timestamp()
     }
 
     /// Flushes every store to disk and truncates the WAL (a checkpoint).
     pub fn checkpoint(&self) -> Result<()> {
-        let _guard = self.commit_apply_lock.lock();
-        self.store.flush()?;
-        self.wal.reset()?;
+        let _guard = self.inner.commit_apply_lock.lock();
+        self.inner.store.flush()?;
+        self.inner.wal.reset()?;
         Ok(())
     }
 
@@ -169,13 +253,79 @@ impl GraphDb {
     /// postings that no active transaction can observe are reclaimed by
     /// walking only the reclaimable prefix of the GC lists.
     pub fn run_gc(&self) -> GcSummary {
-        self.run_gc_with(GcStrategy::Threaded)
+        self.inner.run_gc_with(GcStrategy::Threaded)
     }
 
     /// Runs the vacuum-style baseline garbage collector (visits every
     /// cached chain). Used by experiment E6 for comparison.
     pub fn run_gc_vacuum(&self) -> GcSummary {
-        self.run_gc_with(GcStrategy::Vacuum)
+        self.inner.run_gc_with(GcStrategy::Vacuum)
+    }
+
+    /// Database-level metrics.
+    pub fn metrics(&self) -> DbMetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Counters of the node object cache.
+    pub fn node_cache_stats(&self) -> CacheStatsSnapshot {
+        self.inner.node_cache.stats()
+    }
+
+    /// Counters of the relationship object cache.
+    pub fn relationship_cache_stats(&self) -> CacheStatsSnapshot {
+        self.inner.rel_cache.stats()
+    }
+
+    /// Counters of the lock manager.
+    pub fn lock_stats(&self) -> LockStatsSnapshot {
+        self.inner.locks.stats()
+    }
+
+    /// Counters of the persistent store (page cache, record writes).
+    pub fn store_stats(&self) -> GraphStoreStats {
+        self.inner.store.stats()
+    }
+
+    /// The most recently issued commit timestamp.
+    pub fn current_timestamp(&self) -> Timestamp {
+        self.inner.oracle.current()
+    }
+
+    /// Number of transactions currently active.
+    pub fn active_transactions(&self) -> usize {
+        self.inner.active.len()
+    }
+
+    /// Resolves a label name to its token if it exists.
+    pub fn label_token(&self, name: &str) -> Option<graphsi_storage::LabelToken> {
+        self.inner.store.tokens().existing_label(name)
+    }
+
+    /// Resolves a property key name to its token if it exists.
+    pub fn property_key_token(&self, name: &str) -> Option<PropertyKeyToken> {
+        self.inner.store.tokens().existing_property_key(name)
+    }
+
+    /// Resolves a relationship type name to its token if it exists.
+    pub fn rel_type_token(&self, name: &str) -> Option<graphsi_storage::RelTypeToken> {
+        self.inner.store.tokens().existing_rel_type(name)
+    }
+}
+
+impl GraphDbInner {
+    /// The newest fully-installed (readable) commit timestamp.
+    pub(crate) fn visible_timestamp(&self) -> Timestamp {
+        Timestamp(self.visible_ts.load(Ordering::Acquire))
+    }
+
+    /// Allocates a transaction ID and registers it as active.
+    pub(crate) fn register_transaction(&self) -> (TxnId, Timestamp) {
+        let id = TxnId(self.txn_counter.fetch_add(1, Ordering::Relaxed));
+        let start_ts = self.visible_timestamp();
+        self.active.register(id, start_ts);
+        self.metrics.record_begin();
+        (id, start_ts)
     }
 
     fn run_gc_with(&self, strategy: GcStrategy) -> GcSummary {
@@ -203,56 +353,6 @@ impl GraphDb {
         };
         self.metrics.record_gc(summary.versions_reclaimed);
         summary
-    }
-
-    /// Database-level metrics.
-    pub fn metrics(&self) -> DbMetricsSnapshot {
-        self.metrics.snapshot()
-    }
-
-    /// Counters of the node object cache.
-    pub fn node_cache_stats(&self) -> CacheStatsSnapshot {
-        self.node_cache.stats()
-    }
-
-    /// Counters of the relationship object cache.
-    pub fn relationship_cache_stats(&self) -> CacheStatsSnapshot {
-        self.rel_cache.stats()
-    }
-
-    /// Counters of the lock manager.
-    pub fn lock_stats(&self) -> LockStatsSnapshot {
-        self.locks.stats()
-    }
-
-    /// Counters of the persistent store (page cache, record writes).
-    pub fn store_stats(&self) -> GraphStoreStats {
-        self.store.stats()
-    }
-
-    /// The most recently issued commit timestamp.
-    pub fn current_timestamp(&self) -> Timestamp {
-        self.oracle.current()
-    }
-
-    /// Number of transactions currently active.
-    pub fn active_transactions(&self) -> usize {
-        self.active.len()
-    }
-
-    /// Resolves a label name to its token if it exists.
-    pub fn label_token(&self, name: &str) -> Option<graphsi_storage::LabelToken> {
-        self.store.tokens().existing_label(name)
-    }
-
-    /// Resolves a property key name to its token if it exists.
-    pub fn property_key_token(&self, name: &str) -> Option<PropertyKeyToken> {
-        self.store.tokens().existing_property_key(name)
-    }
-
-    /// Resolves a relationship type name to its token if it exists.
-    pub fn rel_type_token(&self, name: &str) -> Option<graphsi_storage::RelTypeToken> {
-        self.store.tokens().existing_rel_type(name)
     }
 
     // ------------------------------------------------------------------
@@ -350,17 +450,10 @@ impl GraphDb {
     }
 
     /// IDs of relationships attached to `node` in the persistent store
-    /// (the committed chain). Visibility filtering happens in the caller.
+    /// (the committed chain), without materialising their property chains.
+    /// Visibility filtering happens in the caller.
     pub(crate) fn stored_relationships_of(&self, node: NodeId) -> Result<Vec<RelationshipId>> {
-        if !self.store.node_exists(node)? {
-            return Ok(Vec::new());
-        }
-        Ok(self
-            .store
-            .relationships_of(node)?
-            .into_iter()
-            .map(|r| r.id)
-            .collect())
+        Ok(self.store.relationship_ids_of(node)?)
     }
 
     /// Candidate relationship IDs for `node`: the persistent chain plus
@@ -462,8 +555,19 @@ impl GraphDb {
     // Commit pipeline
     // ------------------------------------------------------------------
 
-    /// Aborts a transaction: releases its locks and removes it from the
-    /// active table.
+    /// Finishes a read-only transaction. By construction it holds no locks
+    /// and has no write set, so this never touches the lock manager.
+    pub(crate) fn finish_read_only(&self, txn: TxnId, committed: bool) {
+        let _ = self.active.deregister(txn);
+        if committed {
+            self.metrics.record_commit(true);
+        } else {
+            self.metrics.record_rollback();
+        }
+    }
+
+    /// Aborts a read-write transaction: releases its locks and removes it
+    /// from the active table.
     pub(crate) fn abort_transaction(&self, txn: TxnId, conflict: bool) {
         self.locks.release_all(txn);
         let _ = self.active.deregister(txn);
@@ -479,6 +583,7 @@ impl GraphDb {
         &self,
         txn: TxnId,
         start_ts: Timestamp,
+        strategy: ConflictStrategy,
         write_set: &WriteSet,
     ) -> Result<Timestamp> {
         if write_set.is_empty() {
@@ -491,7 +596,7 @@ impl GraphDb {
         let guard = self.commit_apply_lock.lock();
 
         // First-committer-wins validation (no-op under first-updater-wins).
-        if let Err(e) = self.validate_at_commit(start_ts, write_set) {
+        if let Err(e) = self.validate_at_commit(start_ts, strategy, write_set) {
             drop(guard);
             self.abort_transaction(txn, true);
             return Err(e);
@@ -501,8 +606,14 @@ impl GraphDb {
         let record = self.build_commit_record(commit_ts, write_set);
 
         // 1. Durability: the commit record reaches the log before any state
-        //    becomes visible.
-        self.wal.append_and_sync(&record.encode())?;
+        //    becomes visible. On failure nothing was installed yet, so the
+        //    transaction aborts cleanly (locks released, deregistered) —
+        //    otherwise its exclusive locks would wedge every later writer.
+        if let Err(e) = self.wal.append_and_sync(&record.encode()) {
+            drop(guard);
+            self.abort_transaction(txn, false);
+            return Err(e.into());
+        }
 
         // 2. Versions: install the new versions (and tombstones) into the
         //    object cache, seeding base versions so older snapshots keep
@@ -511,8 +622,16 @@ impl GraphDb {
         self.install_versions(commit_ts, write_set);
 
         // 3. Persistent store: only the newest committed version is written
-        //    (the paper's flush-through rule).
-        apply_to_store(&self.store, &record, self.commit_ts_key, false)?;
+        //    (the paper's flush-through rule). The commit record is already
+        //    durable in the WAL, so on failure the store is brought back in
+        //    sync by WAL replay at the next open; here the transaction's
+        //    locks and active-table entry must still be released so the
+        //    rest of the system keeps making progress.
+        if let Err(e) = apply_to_store(&self.store, &record, self.commit_ts_key, false) {
+            drop(guard);
+            self.abort_transaction(txn, false);
+            return Err(e);
+        }
 
         // 4. Indexes: versioned posting updates.
         self.update_indexes(commit_ts, write_set);
@@ -531,14 +650,18 @@ impl GraphDb {
             let n = self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1;
             if n >= every {
                 self.commits_since_gc.store(0, Ordering::Relaxed);
-                self.run_gc();
+                self.run_gc_with(GcStrategy::Threaded);
             }
         }
         Ok(commit_ts)
     }
 
-    fn validate_at_commit(&self, start_ts: Timestamp, write_set: &WriteSet) -> Result<()> {
-        let strategy = self.config.conflict_strategy;
+    fn validate_at_commit(
+        &self,
+        start_ts: Timestamp,
+        strategy: ConflictStrategy,
+        write_set: &WriteSet,
+    ) -> Result<()> {
         for (&id, entry) in &write_set.nodes {
             if entry.before.is_some() {
                 let newest = self.newest_node_commit_ts(id)?;
@@ -623,7 +746,8 @@ impl GraphDb {
                 continue;
             }
             if let (Some(before), Some(before_ts)) = (&entry.before, entry.before_ts) {
-                self.node_cache.ensure_base(id, before_ts, Arc::clone(before));
+                self.node_cache
+                    .ensure_base(id, before_ts, Arc::clone(before));
             }
             self.node_cache
                 .install_committed(id, commit_ts, entry.after.clone().map(Arc::new));
@@ -633,7 +757,8 @@ impl GraphDb {
                 continue;
             }
             if let (Some(before), Some(before_ts)) = (&entry.before, entry.before_ts) {
-                self.rel_cache.ensure_base(id, before_ts, Arc::clone(before));
+                self.rel_cache
+                    .ensure_base(id, before_ts, Arc::clone(before));
             }
             self.rel_cache
                 .install_committed(id, commit_ts, entry.after.clone().map(Arc::new));
@@ -679,7 +804,9 @@ impl GraphDb {
                 match before.properties.get(key) {
                     Some(old) if old == value => {}
                     Some(old) => {
-                        self.indexes.node_properties.remove(*key, old, id, commit_ts);
+                        self.indexes
+                            .node_properties
+                            .remove(*key, old, id, commit_ts);
                         self.indexes.node_properties.add(*key, value, id, commit_ts);
                     }
                     None => self.indexes.node_properties.add(*key, value, id, commit_ts),
@@ -687,7 +814,9 @@ impl GraphDb {
             }
             for (key, value) in &before.properties {
                 if !after.properties.contains_key(key) {
-                    self.indexes.node_properties.remove(*key, value, id, commit_ts);
+                    self.indexes
+                        .node_properties
+                        .remove(*key, value, id, commit_ts);
                 }
             }
         }
@@ -770,7 +899,9 @@ impl GraphDb {
                     max_ts = ts;
                 }
                 for (key, value) in &properties {
-                    self.indexes.relationship_properties.add(*key, value, id, ts);
+                    self.indexes
+                        .relationship_properties
+                        .add(*key, value, id, ts);
                 }
             }
         }
@@ -800,10 +931,73 @@ fn props_vec(
 impl std::fmt::Debug for GraphDb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GraphDb")
-            .field("dir", &self.store.dir())
-            .field("isolation", &self.config.isolation)
-            .field("current_ts", &self.oracle.current())
-            .field("active_txns", &self.active.len())
+            .field("dir", &self.inner.store.dir())
+            .field("isolation", &self.inner.config.isolation)
+            .field("current_ts", &self.inner.oracle.current())
+            .field("active_txns", &self.inner.active.len())
+            .field("handles", &Arc::strong_count(&self.inner))
             .finish()
+    }
+}
+
+// `DbError` is not `Clone`, so the closure conveniences cannot be tested
+// exhaustively here; see `tests/integration_threads.rs` for the
+// multi-threaded retry coverage.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DbError;
+    use graphsi_storage::test_util::TempDir;
+
+    #[test]
+    fn handles_are_cheap_clones_sharing_state() {
+        let dir = TempDir::new("db_handle");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let other = db.clone();
+        let mut tx = other.begin();
+        let node = tx.create_node(&["H"], &[]).unwrap();
+        tx.commit().unwrap();
+        let tx = db.begin();
+        assert!(tx.node_exists(node).unwrap());
+    }
+
+    #[test]
+    fn handle_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<GraphDb>();
+    }
+
+    #[test]
+    fn read_closure_commits_read_only() {
+        let dir = TempDir::new("db_read_closure");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let mut tx = db.begin();
+        let node = tx.create_node(&["R"], &[]).unwrap();
+        tx.commit().unwrap();
+        let before = db.metrics();
+        let found = db.read(|tx| tx.node_exists(node)).unwrap();
+        assert!(found);
+        let after = db.metrics();
+        assert_eq!(after.read_only_commits, before.read_only_commits + 1);
+    }
+
+    #[test]
+    fn write_with_retry_commits_and_returns_value() {
+        let dir = TempDir::new("db_write_retry");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let node = db
+            .write_with_retry(|tx| tx.create_node(&["W"], &[]))
+            .unwrap();
+        assert!(db.read(|tx| tx.node_exists(node)).unwrap());
+    }
+
+    #[test]
+    fn write_with_retry_propagates_non_conflict_errors() {
+        let dir = TempDir::new("db_write_retry_err");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let err = db
+            .write_with_retry(|tx| tx.node_labels(NodeId::new(404)).map(|_| ()))
+            .unwrap_err();
+        assert!(matches!(err, DbError::NodeNotFound(_)));
     }
 }

@@ -180,7 +180,10 @@ mod tests {
         let data = NodeData::new(vec![LabelToken(2)], props);
         assert!(data.has_label(LabelToken(2)));
         assert!(!data.has_label(LabelToken(3)));
-        assert_eq!(data.property(PropertyKeyToken(1)), Some(&PropertyValue::Int(5)));
+        assert_eq!(
+            data.property(PropertyKeyToken(1)),
+            Some(&PropertyValue::Int(5))
+        );
         assert_eq!(data.property(PropertyKeyToken(9)), None);
     }
 

@@ -18,6 +18,9 @@ pub enum DbError {
     Txn(TxnError),
     /// The transaction has already been committed or rolled back.
     TransactionClosed,
+    /// A write operation was attempted on a read-only transaction (one
+    /// begun with [`crate::TxnOptions::read_only`]).
+    ReadOnlyTransaction,
     /// The node does not exist in the transaction's snapshot.
     NodeNotFound(NodeId),
     /// The relationship does not exist in the transaction's snapshot.
@@ -48,6 +51,9 @@ impl fmt::Display for DbError {
             DbError::Wal(e) => write!(f, "write-ahead log error: {e}"),
             DbError::Txn(e) => write!(f, "transaction error: {e}"),
             DbError::TransactionClosed => write!(f, "transaction is already closed"),
+            DbError::ReadOnlyTransaction => {
+                write!(f, "write attempted on a read-only transaction")
+            }
             DbError::NodeNotFound(id) => write!(f, "node {id} not found in this snapshot"),
             DbError::RelationshipNotFound(id) => {
                 write!(f, "relationship {id} not found in this snapshot")
@@ -113,22 +119,33 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DbError::NodeNotFound(NodeId::new(3)).to_string().contains("node 3"));
+        assert!(DbError::NodeNotFound(NodeId::new(3))
+            .to_string()
+            .contains("node 3"));
         assert!(DbError::RelationshipNotFound(RelationshipId::new(4))
             .to_string()
             .contains("relationship 4"));
         assert!(DbError::NodeHasRelationships(NodeId::new(5))
             .to_string()
             .contains("cannot be deleted"));
-        assert!(DbError::ReservedName("__x".into()).to_string().contains("reserved"));
+        assert!(DbError::ReservedName("__x".into())
+            .to_string()
+            .contains("reserved"));
         assert!(DbError::TransactionClosed.to_string().contains("closed"));
     }
 
     #[test]
     fn from_conversions() {
-        let e: DbError = TxnError::NotActive { txn: graphsi_txn::TxnId(1) }.into();
+        let e: DbError = TxnError::NotActive {
+            txn: graphsi_txn::TxnId(1),
+        }
+        .into();
         assert!(matches!(e, DbError::Txn(_)));
-        let e: DbError = StorageError::RecordNotInUse { store: "node", id: 1 }.into();
+        let e: DbError = StorageError::RecordNotInUse {
+            store: "node",
+            id: 1,
+        }
+        .into();
         assert!(matches!(e, DbError::Storage(_)));
     }
 }

@@ -7,8 +7,8 @@
 //! ## Architecture (paper §2 + §4)
 //!
 //! ```text
-//!        GraphDb ── Transaction API, commit pipeline, recovery, GC driver
-//!        /   |   \
+//!        GraphDb ── Arc-backed handle: transactions, commit pipeline,
+//!        /   |   \             recovery, GC driver
 //!   indexes  |    MVCC object cache (graphsi-mvcc): version chains,
 //! (graphsi-  |    tombstones, threaded GC list
 //!   index)   |
@@ -27,6 +27,12 @@
 //!   locks, long write locks, reads always observe the latest committed
 //!   state — exhibiting the unrepeatable-read and phantom anomalies the
 //!   paper sets out to remove.
+//!
+//! [`GraphDb`] is a cheaply-cloneable handle and [`Transaction`] is
+//! `Send + 'static`, so worker pools can run one transaction per thread.
+//! Hot reads ([`Transaction::relationships`],
+//! [`Transaction::nodes_with_label`], ...) are lazy, snapshot-consistent
+//! iterators; `*_vec` variants collect them eagerly.
 //!
 //! ## Quick start
 //!
@@ -47,10 +53,17 @@
 //! tx.create_relationship(alice, bob, "KNOWS", &[]).unwrap();
 //! tx.commit().unwrap();
 //!
-//! // Read transaction: a stable snapshot, no read locks.
-//! let tx = db.begin();
-//! assert_eq!(tx.nodes_with_label("Person").unwrap().len(), 2);
+//! // Read-only transaction: a stable snapshot, zero lock-manager calls.
+//! let tx = db.txn().read_only().begin();
+//! assert_eq!(tx.nodes_with_label("Person").unwrap().count(), 2);
 //! assert_eq!(tx.degree(alice, graphsi_core::Direction::Both).unwrap(), 1);
+//! drop(tx);
+//!
+//! // Closure conveniences: retry write-write conflicts automatically.
+//! db.write_with_retry(|tx| tx.set_node_property(alice, "age", PropertyValue::Int(34)))
+//!     .unwrap();
+//! let age = db.read(|tx| tx.node_property(alice, "age")).unwrap();
+//! assert_eq!(age, Some(PropertyValue::Int(34)));
 //! ```
 
 #![warn(missing_docs)]
@@ -61,7 +74,9 @@ pub mod config;
 pub mod db;
 pub mod entity;
 pub mod error;
+pub mod iter;
 pub mod metrics;
+pub mod options;
 pub mod transaction;
 pub mod traversal;
 pub mod write_set;
@@ -71,7 +86,9 @@ pub use config::{DbConfig, IsolationLevel};
 pub use db::{GcSummary, GraphDb, COMMIT_TS_PROPERTY, RESERVED_PREFIX};
 pub use entity::{Direction, Node, NodeData, Relationship, RelationshipData};
 pub use error::{DbError, Result};
+pub use iter::{NeighborIter, NodeIdIter, RelIdIter, RelIter};
 pub use metrics::{DbMetrics, DbMetricsSnapshot};
+pub use options::TxnOptions;
 pub use transaction::Transaction;
 
 // Re-export the identifiers and value types users need from the substrate
@@ -80,7 +97,7 @@ pub use graphsi_mvcc::GcStrategy;
 pub use graphsi_storage::{
     LabelToken, NodeId, PropertyKeyToken, PropertyValue, RelTypeToken, RelationshipId,
 };
-pub use graphsi_txn::{ConflictStrategy, Timestamp, TxnId};
+pub use graphsi_txn::{ConflictStrategy, LockStatsSnapshot, Timestamp, TxnId};
 pub use graphsi_wal::SyncPolicy;
 
 /// Helpers shared by tests, examples and benchmarks (temporary

@@ -4,19 +4,27 @@
 //! reads either a fixed snapshot (snapshot isolation) or the latest
 //! committed state under short read locks (read committed), and installs
 //! its changes atomically at commit through the database's commit pipeline.
+//!
+//! Transactions *own* a reference to the database (`Arc`-backed), so they
+//! are `Send + 'static`: they can be parked in server-style sessions,
+//! moved across threads and driven by one-transaction-per-thread worker
+//! pools. Dropping an active transaction rolls it back.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use graphsi_storage::{
     LabelToken, NodeId, PropertyKeyToken, PropertyValue, RelTypeToken, RelationshipId,
 };
-use graphsi_txn::{check_at_update, LockKey, LockMode, Timestamp, TxnId, UpdateCheck};
+use graphsi_txn::{
+    check_at_update, ConflictStrategy, LockKey, LockMode, Timestamp, TxnId, UpdateCheck,
+};
 
 use crate::config::IsolationLevel;
-use crate::db::{GraphDb, RESERVED_PREFIX};
+use crate::db::{GraphDbInner, RESERVED_PREFIX};
 use crate::entity::{Direction, Node, NodeData, Relationship, RelationshipData};
 use crate::error::{DbError, Result};
+use crate::iter::{NeighborIter, NodeIdIter, RelIdIter, RelIter};
 use crate::write_set::WriteSet;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -26,32 +34,52 @@ enum TxnState {
     RolledBack,
 }
 
-/// A transaction over a [`GraphDb`].
+/// A transaction over a [`crate::GraphDb`].
 ///
-/// Dropping an active transaction rolls it back.
-pub struct Transaction<'db> {
-    db: &'db GraphDb,
+/// Obtained from [`crate::GraphDb::begin`] or the
+/// [`crate::TxnOptions`] builder. The transaction owns an `Arc` reference
+/// to the database, making it `Send + 'static`. Dropping an active
+/// transaction rolls it back.
+pub struct Transaction {
+    db: Arc<GraphDbInner>,
     id: TxnId,
     start_ts: Timestamp,
     isolation: IsolationLevel,
+    conflict_strategy: ConflictStrategy,
     state: TxnState,
-    write_set: WriteSet,
+    /// `None` for read-only transactions — they skip write-set allocation
+    /// entirely and reject writes.
+    write_set: Option<WriteSet>,
 }
 
-impl<'db> Transaction<'db> {
+// The public contract of the owned-handle redesign: transactions must be
+// movable across threads and free of borrowed lifetimes.
+const _: () = {
+    const fn assert_send<T: Send + 'static>() {}
+    assert_send::<Transaction>();
+};
+
+impl Transaction {
     pub(crate) fn new(
-        db: &'db GraphDb,
+        db: Arc<GraphDbInner>,
         id: TxnId,
         start_ts: Timestamp,
         isolation: IsolationLevel,
+        conflict_strategy: ConflictStrategy,
+        read_only: bool,
     ) -> Self {
         Transaction {
             db,
             id,
             start_ts,
             isolation,
+            conflict_strategy,
             state: TxnState::Active,
-            write_set: WriteSet::new(),
+            write_set: if read_only {
+                None
+            } else {
+                Some(WriteSet::new())
+            },
         }
     }
 
@@ -71,6 +99,18 @@ impl<'db> Transaction<'db> {
         self.isolation
     }
 
+    /// The write-write conflict strategy this transaction applies (the
+    /// database default unless overridden through
+    /// [`crate::TxnOptions::conflict_strategy`]).
+    pub fn conflict_strategy(&self) -> ConflictStrategy {
+        self.conflict_strategy
+    }
+
+    /// Returns `true` if this is a read-only snapshot transaction.
+    pub fn is_read_only(&self) -> bool {
+        self.write_set.is_none()
+    }
+
     /// Returns `true` while the transaction can still be used.
     pub fn is_active(&self) -> bool {
         self.state == TxnState::Active
@@ -78,18 +118,42 @@ impl<'db> Transaction<'db> {
 
     /// Number of entities with pending (uncommitted) changes.
     pub fn pending_writes(&self) -> usize {
-        self.write_set.len()
+        self.write_set.as_ref().map_or(0, WriteSet::len)
     }
 
     /// The timestamp reads are served at: the fixed start timestamp under
-    /// snapshot isolation, the latest committed timestamp under read
-    /// committed (which is exactly why read committed exhibits unrepeatable
-    /// reads and phantoms).
+    /// snapshot isolation (and for every read-only transaction), the
+    /// latest committed timestamp under read committed (which is exactly
+    /// why read committed exhibits unrepeatable reads and phantoms).
     pub fn read_timestamp(&self) -> Timestamp {
+        if self.is_read_only() {
+            return self.start_ts;
+        }
         match self.isolation {
             IsolationLevel::SnapshotIsolation => self.start_ts,
             IsolationLevel::ReadCommitted => self.db.visible_timestamp(),
         }
+    }
+
+    pub(crate) fn db(&self) -> &GraphDbInner {
+        &self.db
+    }
+
+    pub(crate) fn write_set_ref(&self) -> Option<&WriteSet> {
+        self.write_set.as_ref()
+    }
+
+    /// The mutable write set, or the read-only rejection error.
+    fn write_set_mut(&mut self) -> Result<&mut WriteSet> {
+        self.write_set.as_mut().ok_or(DbError::ReadOnlyTransaction)
+    }
+
+    fn ensure_writable(&self) -> Result<()> {
+        self.ensure_active()?;
+        if self.write_set.is_none() {
+            return Err(DbError::ReadOnlyTransaction);
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -100,9 +164,20 @@ impl<'db> Transaction<'db> {
     /// start timestamp for read-only transactions).
     pub fn commit(mut self) -> Result<Timestamp> {
         self.ensure_active()?;
-        let result = self
-            .db
-            .commit_transaction(self.id, self.start_ts, &self.write_set);
+        let result = match &self.write_set {
+            None => {
+                // Read-only fast path: no locks were ever taken, so the
+                // commit never touches the lock manager.
+                self.db.finish_read_only(self.id, true);
+                Ok(self.start_ts)
+            }
+            Some(write_set) => self.db.commit_transaction(
+                self.id,
+                self.start_ts,
+                self.conflict_strategy,
+                write_set,
+            ),
+        };
         self.state = match result {
             Ok(_) => TxnState::Committed,
             Err(_) => TxnState::RolledBack,
@@ -112,8 +187,16 @@ impl<'db> Transaction<'db> {
 
     /// Rolls the transaction back, discarding all pending changes.
     pub fn rollback(mut self) {
+        self.rollback_in_place();
+    }
+
+    fn rollback_in_place(&mut self) {
         if self.state == TxnState::Active {
-            self.db.abort_transaction(self.id, false);
+            if self.write_set.is_none() {
+                self.db.finish_read_only(self.id, false);
+            } else {
+                self.db.abort_transaction(self.id, false);
+            }
             self.state = TxnState::RolledBack;
         }
     }
@@ -137,7 +220,7 @@ impl<'db> Transaction<'db> {
     // Locking helpers
     // ------------------------------------------------------------------
 
-    /// Acquires the long write lock on `key`, applying the configured
+    /// Acquires the long write lock on `key`, applying this transaction's
     /// write-write conflict strategy. Under snapshot isolation losing the
     /// first-updater race aborts the transaction; under read committed the
     /// acquisition blocks (with deadlock detection).
@@ -157,7 +240,7 @@ impl<'db> Transaction<'db> {
             }
             IsolationLevel::SnapshotIsolation => {
                 match check_at_update(
-                    self.db.config.conflict_strategy,
+                    self.conflict_strategy,
                     &self.db.locks,
                     key,
                     self.id,
@@ -178,7 +261,7 @@ impl<'db> Transaction<'db> {
     /// cannot slip in between the check and the lock.
     fn ensure_node_unchanged(&mut self, id: NodeId) -> Result<()> {
         if self.isolation != IsolationLevel::SnapshotIsolation
-            || self.db.config.conflict_strategy != graphsi_txn::ConflictStrategy::FirstUpdaterWins
+            || self.conflict_strategy != ConflictStrategy::FirstUpdaterWins
         {
             // Read committed serialises through blocking locks; the
             // first-committer-wins strategy validates at commit time.
@@ -199,7 +282,7 @@ impl<'db> Transaction<'db> {
     /// Relationship counterpart of [`Transaction::ensure_node_unchanged`].
     fn ensure_relationship_unchanged(&mut self, id: RelationshipId) -> Result<()> {
         if self.isolation != IsolationLevel::SnapshotIsolation
-            || self.db.config.conflict_strategy != graphsi_txn::ConflictStrategy::FirstUpdaterWins
+            || self.conflict_strategy != ConflictStrategy::FirstUpdaterWins
         {
             return Ok(());
         }
@@ -216,9 +299,12 @@ impl<'db> Transaction<'db> {
     }
 
     /// Runs `f` under a short shared (read) lock when in read-committed
-    /// mode; snapshot isolation needs no read locks at all (the paper
-    /// removes them).
+    /// mode; snapshot isolation — and every read-only transaction — needs
+    /// no read locks at all (the paper removes them).
     fn with_read_lock<R>(&self, key: LockKey, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        if self.is_read_only() {
+            return f();
+        }
         match self.isolation {
             IsolationLevel::SnapshotIsolation => f(),
             IsolationLevel::ReadCommitted => {
@@ -287,8 +373,8 @@ impl<'db> Transaction<'db> {
 
     /// The node state visible to this transaction (own writes first, then
     /// the snapshot / latest committed state).
-    fn visible_node(&self, id: NodeId) -> Result<Option<NodeData>> {
-        if let Some(state) = self.write_set.node_state(id) {
+    pub(crate) fn visible_node(&self, id: NodeId) -> Result<Option<NodeData>> {
+        if let Some(state) = self.write_set.as_ref().and_then(|ws| ws.node_state(id)) {
             return Ok(state.cloned());
         }
         let read_ts = self.read_timestamp();
@@ -299,8 +385,15 @@ impl<'db> Transaction<'db> {
     }
 
     /// The relationship state visible to this transaction.
-    fn visible_relationship(&self, id: RelationshipId) -> Result<Option<RelationshipData>> {
-        if let Some(state) = self.write_set.relationship_state(id) {
+    pub(crate) fn visible_relationship(
+        &self,
+        id: RelationshipId,
+    ) -> Result<Option<RelationshipData>> {
+        if let Some(state) = self
+            .write_set
+            .as_ref()
+            .and_then(|ws| ws.relationship_state(id))
+        {
             return Ok(state.cloned());
         }
         let read_ts = self.read_timestamp();
@@ -330,7 +423,9 @@ impl<'db> Transaction<'db> {
     /// Returns the node if it exists in this transaction's view.
     pub fn get_node(&self, id: NodeId) -> Result<Option<Node>> {
         self.ensure_active()?;
-        Ok(self.visible_node(id)?.map(|data| self.to_public_node(id, &data)))
+        Ok(self
+            .visible_node(id)?
+            .map(|data| self.to_public_node(id, &data)))
     }
 
     /// Returns `true` if the node exists in this transaction's view.
@@ -401,134 +496,123 @@ impl<'db> Transaction<'db> {
         Ok(data.properties.get(&token).cloned())
     }
 
-    /// Relationships touching `node` in the given direction, in this
-    /// transaction's view (committed snapshot merged with own pending
-    /// writes — the paper's enriched iterator).
-    pub fn relationships(&self, node: NodeId, direction: Direction) -> Result<Vec<Relationship>> {
+    /// Lazily iterates the relationships touching `node` in the given
+    /// direction, in this transaction's view (committed snapshot merged
+    /// with own pending writes — the paper's enriched iterator, §4).
+    ///
+    /// Candidate IDs come from the persistent chain (IDs only, no property
+    /// materialisation) plus the version-cache overlay; each element is
+    /// resolved against the snapshot only when the iterator reaches it, so
+    /// traversals that stop early never materialise whole adjacency lists.
+    pub fn relationships(&self, node: NodeId, direction: Direction) -> Result<RelIter<'_>> {
         self.ensure_active()?;
         if self.visible_node(node)?.is_none() {
             return Err(DbError::NodeNotFound(node));
         }
-        let mut seen: HashSet<RelationshipId> = HashSet::new();
-        let mut out = Vec::new();
+        RelIter::new(self, node, direction)
+    }
 
-        // Committed candidates: persistent chain + cached versions.
-        for id in self.db.candidate_relationships_of(node)? {
-            if !seen.insert(id) {
-                continue;
-            }
-            // Own deletion wins; own update wins.
-            if let Some(state) = self.write_set.relationship_state(id) {
-                if let Some(data) = state {
-                    if data.touches(node) && direction.matches(node, data.source, data.target) {
-                        out.push(self.to_public_relationship(id, data));
-                    }
-                }
-                continue;
-            }
-            if let Some(data) = self.visible_relationship(id)? {
-                if data.touches(node) && direction.matches(node, data.source, data.target) {
-                    out.push(self.to_public_relationship(id, &data));
-                }
-            }
-        }
-
-        // Own pending creations.
-        for (id, data) in self.write_set.pending_relationships_of(node) {
-            if seen.insert(id) && direction.matches(node, data.source, data.target) {
-                out.push(self.to_public_relationship(id, data));
-            }
-        }
+    /// Eager version of [`Transaction::relationships`]: collects into a
+    /// `Vec` sorted by relationship ID.
+    pub fn relationships_vec(
+        &self,
+        node: NodeId,
+        direction: Direction,
+    ) -> Result<Vec<Relationship>> {
+        let mut out: Vec<Relationship> = self
+            .relationships(node, direction)?
+            .collect::<Result<_>>()?;
         out.sort_by_key(|r| r.id);
         Ok(out)
     }
 
-    /// IDs of the neighbouring nodes of `node`.
-    pub fn neighbors(&self, node: NodeId, direction: Direction) -> Result<Vec<NodeId>> {
-        let mut out: Vec<NodeId> = self
-            .relationships(node, direction)?
-            .into_iter()
-            .map(|r| r.other_node(node))
-            .collect();
+    /// Lazily iterates the IDs of the neighbouring nodes of `node`,
+    /// deduplicated in visit order.
+    pub fn neighbors(&self, node: NodeId, direction: Direction) -> Result<NeighborIter<'_>> {
+        Ok(NeighborIter::new(
+            self.relationships(node, direction)?,
+            node,
+        ))
+    }
+
+    /// Eager version of [`Transaction::neighbors`]: sorted, deduplicated
+    /// `Vec` of neighbour IDs.
+    pub fn neighbors_vec(&self, node: NodeId, direction: Direction) -> Result<Vec<NodeId>> {
+        let mut out: Vec<NodeId> = self.neighbors(node, direction)?.collect::<Result<_>>()?;
         out.sort();
         out.dedup();
         Ok(out)
     }
 
-    /// Number of relationships touching `node`.
+    /// Number of relationships touching `node`. Streams over the lazy
+    /// iterator without materialising the relationships.
     pub fn degree(&self, node: NodeId, direction: Direction) -> Result<usize> {
-        Ok(self.relationships(node, direction)?.len())
+        let mut count = 0usize;
+        for rel in self.relationships(node, direction)? {
+            rel?;
+            count += 1;
+        }
+        Ok(count)
     }
 
     // ------------------------------------------------------------------
     // Scans (label, property, whole graph)
     // ------------------------------------------------------------------
 
-    /// Nodes carrying `label` in this transaction's view (versioned index
-    /// lookup merged with own writes).
-    pub fn nodes_with_label(&self, label: &str) -> Result<Vec<NodeId>> {
+    /// Lazily iterates the nodes carrying `label` in this transaction's
+    /// view (versioned index lookup merged with own writes).
+    pub fn nodes_with_label(&self, label: &str) -> Result<NodeIdIter<'_>> {
         self.ensure_active()?;
         let Some(token) = self.db.store.tokens().existing_label(label) else {
             // The label name was never interned, so no committed node and no
             // pending write can carry it.
-            return Ok(Vec::new());
+            return Ok(NodeIdIter::empty(self));
         };
-        let read_ts = self.read_timestamp();
-        let mut ids: HashSet<NodeId> = self
+        let base = self
             .db
             .indexes
             .labels
-            .nodes_with_label(token, read_ts)
-            .into_iter()
-            .collect();
-        // Merge own writes: additions and removals by this transaction.
-        for (&id, entry) in &self.write_set.nodes {
-            match &entry.after {
-                Some(after) if after.has_label(token) => {
-                    ids.insert(id);
-                }
-                _ => {
-                    ids.remove(&id);
-                }
-            }
-        }
-        let mut out: Vec<NodeId> = ids.into_iter().collect();
+            .nodes_with_label(token, self.read_timestamp());
+        Ok(NodeIdIter::with_label(self, base, token))
+    }
+
+    /// Eager version of [`Transaction::nodes_with_label`]: sorted `Vec`.
+    pub fn nodes_with_label_vec(&self, label: &str) -> Result<Vec<NodeId>> {
+        let mut out: Vec<NodeId> = self.nodes_with_label(label)?.collect::<Result<_>>()?;
         out.sort();
         Ok(out)
     }
 
-    /// Nodes whose property `name` equals `value` in this transaction's
-    /// view.
-    pub fn nodes_with_property(&self, name: &str, value: &PropertyValue) -> Result<Vec<NodeId>> {
+    /// Lazily iterates the nodes whose property `name` equals `value` in
+    /// this transaction's view.
+    pub fn nodes_with_property(&self, name: &str, value: &PropertyValue) -> Result<NodeIdIter<'_>> {
         self.ensure_active()?;
         let Some(token) = self.db.store.tokens().existing_property_key(name) else {
-            return Ok(Vec::new());
+            return Ok(NodeIdIter::empty(self));
         };
-        let read_ts = self.read_timestamp();
-        let mut ids: HashSet<NodeId> = self
+        let base = self
             .db
             .indexes
             .node_properties
-            .lookup(token, value, read_ts)
-            .into_iter()
-            .collect();
-        for (&id, entry) in &self.write_set.nodes {
-            match &entry.after {
-                Some(after) if after.properties.get(&token) == Some(value) => {
-                    ids.insert(id);
-                }
-                _ => {
-                    ids.remove(&id);
-                }
-            }
-        }
-        let mut out: Vec<NodeId> = ids.into_iter().collect();
+            .lookup(token, value, self.read_timestamp());
+        Ok(NodeIdIter::with_property(self, base, token, value.clone()))
+    }
+
+    /// Eager version of [`Transaction::nodes_with_property`]: sorted `Vec`.
+    pub fn nodes_with_property_vec(
+        &self,
+        name: &str,
+        value: &PropertyValue,
+    ) -> Result<Vec<NodeId>> {
+        let mut out: Vec<NodeId> = self
+            .nodes_with_property(name, value)?
+            .collect::<Result<_>>()?;
         out.sort();
         Ok(out)
     }
 
     /// Relationships whose property `name` equals `value` in this
-    /// transaction's view.
+    /// transaction's view, sorted by ID.
     pub fn relationships_with_property(
         &self,
         name: &str,
@@ -539,20 +623,22 @@ impl<'db> Transaction<'db> {
             return Ok(Vec::new());
         };
         let read_ts = self.read_timestamp();
-        let mut ids: HashSet<RelationshipId> = self
+        let mut ids: std::collections::HashSet<RelationshipId> = self
             .db
             .indexes
             .relationship_properties
             .lookup(token, value, read_ts)
             .into_iter()
             .collect();
-        for (&id, entry) in &self.write_set.relationships {
-            match &entry.after {
-                Some(after) if after.properties.get(&token) == Some(value) => {
-                    ids.insert(id);
-                }
-                _ => {
-                    ids.remove(&id);
+        if let Some(ws) = &self.write_set {
+            for (&id, entry) in &ws.relationships {
+                match &entry.after {
+                    Some(after) if after.properties.get(&token) == Some(value) => {
+                        ids.insert(id);
+                    }
+                    _ => {
+                        ids.remove(&id);
+                    }
                 }
             }
         }
@@ -561,43 +647,53 @@ impl<'db> Transaction<'db> {
         Ok(out)
     }
 
-    /// Every node visible to this transaction. This is a full scan merging
-    /// the persistent store, the object cache and the private write set.
-    pub fn all_nodes(&self) -> Result<Vec<NodeId>> {
+    /// Lazily iterates every node visible to this transaction: the
+    /// persistent store, the object cache and the private write set are
+    /// merged, and each candidate is visibility-checked only when the
+    /// iterator reaches it.
+    pub fn all_nodes(&self) -> Result<NodeIdIter<'_>> {
         self.ensure_active()?;
-        let mut candidates: HashSet<NodeId> = self.db.stored_node_ids()?.into_iter().collect();
+        let mut candidates = self.db.stored_node_ids()?;
         candidates.extend(self.db.node_cache.all_keys());
-        candidates.extend(self.write_set.nodes.keys().copied());
-        let mut out = Vec::new();
-        for id in candidates {
-            if self.visible_node(id)?.is_some() {
-                out.push(id);
-            }
+        if let Some(ws) = &self.write_set {
+            candidates.extend(ws.nodes.keys().copied());
         }
+        Ok(NodeIdIter::all_nodes(self, candidates))
+    }
+
+    /// Eager version of [`Transaction::all_nodes`]: sorted `Vec`.
+    pub fn all_nodes_vec(&self) -> Result<Vec<NodeId>> {
+        let mut out: Vec<NodeId> = self.all_nodes()?.collect::<Result<_>>()?;
         out.sort();
         Ok(out)
     }
 
-    /// Every relationship visible to this transaction.
-    pub fn all_relationships(&self) -> Result<Vec<RelationshipId>> {
+    /// Lazily iterates every relationship visible to this transaction.
+    pub fn all_relationships(&self) -> Result<RelIdIter<'_>> {
         self.ensure_active()?;
-        let mut candidates: HashSet<RelationshipId> =
-            self.db.stored_relationship_ids()?.into_iter().collect();
+        let mut candidates = self.db.stored_relationship_ids()?;
         candidates.extend(self.db.rel_cache.all_keys());
-        candidates.extend(self.write_set.relationships.keys().copied());
-        let mut out = Vec::new();
-        for id in candidates {
-            if self.visible_relationship(id)?.is_some() {
-                out.push(id);
-            }
+        if let Some(ws) = &self.write_set {
+            candidates.extend(ws.relationships.keys().copied());
         }
+        Ok(RelIdIter::new(self, candidates))
+    }
+
+    /// Eager version of [`Transaction::all_relationships`]: sorted `Vec`.
+    pub fn all_relationships_vec(&self) -> Result<Vec<RelationshipId>> {
+        let mut out: Vec<RelationshipId> = self.all_relationships()?.collect::<Result<_>>()?;
         out.sort();
         Ok(out)
     }
 
     /// Number of nodes visible to this transaction.
     pub fn node_count(&self) -> Result<usize> {
-        Ok(self.all_nodes()?.len())
+        let mut count = 0usize;
+        for id in self.all_nodes()? {
+            id?;
+            count += 1;
+        }
+        Ok(count)
     }
 
     // ------------------------------------------------------------------
@@ -611,7 +707,7 @@ impl<'db> Transaction<'db> {
         labels: &[&str],
         properties: &[(&str, PropertyValue)],
     ) -> Result<NodeId> {
-        self.ensure_active()?;
+        self.ensure_writable()?;
         let mut label_tokens = Vec::with_capacity(labels.len());
         for name in labels {
             label_tokens.push(self.label_token(name)?);
@@ -622,7 +718,8 @@ impl<'db> Transaction<'db> {
         }
         let id = self.db.allocate_node_id();
         self.write_lock(LockKey::node(id.raw()), None)?;
-        self.write_set.create_node(id, NodeData::new(label_tokens, props));
+        self.write_set_mut()?
+            .create_node(id, NodeData::new(label_tokens, props));
         self.db.metrics.record_write();
         Ok(id)
     }
@@ -631,14 +728,14 @@ impl<'db> Transaction<'db> {
     /// set. Captures the pre-image and acquires the write lock on first
     /// touch.
     fn mutate_node(&mut self, id: NodeId, f: impl FnOnce(&mut NodeData)) -> Result<()> {
-        self.ensure_active()?;
+        self.ensure_writable()?;
         // Fast path: the node is already in our write set.
-        if let Some(state) = self.write_set.node_state(id) {
+        if let Some(state) = self.write_set.as_ref().and_then(|ws| ws.node_state(id)) {
             match state {
                 Some(data) => {
                     let mut new = data.clone();
                     f(&mut new);
-                    self.write_set.update_node(id, None, new);
+                    self.write_set_mut()?.update_node(id, None, new);
                     self.db.metrics.record_write();
                     return Ok(());
                 }
@@ -654,7 +751,7 @@ impl<'db> Transaction<'db> {
         };
         let mut new = (*before).clone();
         f(&mut new);
-        self.write_set
+        self.write_set_mut()?
             .update_node(id, Some((before, before_ts)), new);
         self.db.metrics.record_write();
         Ok(())
@@ -702,19 +799,19 @@ impl<'db> Transaction<'db> {
     /// Deletes a node. The node must have no relationships visible to this
     /// transaction (delete them first, as in Neo4j).
     pub fn delete_node(&mut self, id: NodeId) -> Result<()> {
-        self.ensure_active()?;
+        self.ensure_writable()?;
         // The node must exist in our view.
-        let exists_in_ws = match self.write_set.node_state(id) {
+        let exists_in_ws = match self.write_set.as_ref().and_then(|ws| ws.node_state(id)) {
             Some(Some(_)) => true,
             Some(None) => return Err(DbError::NodeNotFound(id)),
             None => false,
         };
         // It must have no visible relationships left.
-        if !self.relationships(id, Direction::Both)?.is_empty() {
+        if self.degree(id, Direction::Both)? > 0 {
             return Err(DbError::NodeHasRelationships(id));
         }
         if exists_in_ws {
-            self.write_set.delete_node(id, None);
+            self.write_set_mut()?.delete_node(id, None);
             self.db.metrics.record_write();
             return Ok(());
         }
@@ -723,7 +820,8 @@ impl<'db> Transaction<'db> {
         let Some((before, before_ts)) = self.node_pre_image(id)? else {
             return Err(DbError::NodeNotFound(id));
         };
-        self.write_set.delete_node(id, Some((before, before_ts)));
+        self.write_set_mut()?
+            .delete_node(id, Some((before, before_ts)));
         self.db.metrics.record_write();
         Ok(())
     }
@@ -744,7 +842,7 @@ impl<'db> Transaction<'db> {
         rel_type: &str,
         properties: &[(&str, PropertyValue)],
     ) -> Result<RelationshipId> {
-        self.ensure_active()?;
+        self.ensure_writable()?;
         let type_token = self.rel_type_token(rel_type)?;
         let mut props = BTreeMap::new();
         for (name, value) in properties {
@@ -765,7 +863,7 @@ impl<'db> Transaction<'db> {
         }
         let id = self.db.allocate_relationship_id();
         self.write_lock(LockKey::relationship(id.raw()), None)?;
-        self.write_set
+        self.write_set_mut()?
             .create_relationship(id, RelationshipData::new(source, target, type_token, props));
         self.db.metrics.record_write();
         Ok(id)
@@ -777,13 +875,17 @@ impl<'db> Transaction<'db> {
         id: RelationshipId,
         f: impl FnOnce(&mut RelationshipData),
     ) -> Result<()> {
-        self.ensure_active()?;
-        if let Some(state) = self.write_set.relationship_state(id) {
+        self.ensure_writable()?;
+        if let Some(state) = self
+            .write_set
+            .as_ref()
+            .and_then(|ws| ws.relationship_state(id))
+        {
             match state {
                 Some(data) => {
                     let mut new = data.clone();
                     f(&mut new);
-                    self.write_set.update_relationship(id, None, new);
+                    self.write_set_mut()?.update_relationship(id, None, new);
                     self.db.metrics.record_write();
                     return Ok(());
                 }
@@ -797,7 +899,7 @@ impl<'db> Transaction<'db> {
         };
         let mut new = (*before).clone();
         f(&mut new);
-        self.write_set
+        self.write_set_mut()?
             .update_relationship(id, Some((before, before_ts)), new);
         self.db.metrics.record_write();
         Ok(())
@@ -826,11 +928,15 @@ impl<'db> Transaction<'db> {
 
     /// Deletes a relationship.
     pub fn delete_relationship(&mut self, id: RelationshipId) -> Result<()> {
-        self.ensure_active()?;
-        if let Some(state) = self.write_set.relationship_state(id) {
+        self.ensure_writable()?;
+        if let Some(state) = self
+            .write_set
+            .as_ref()
+            .and_then(|ws| ws.relationship_state(id))
+        {
             match state {
                 Some(_) => {
-                    self.write_set.delete_relationship(id, None);
+                    self.write_set_mut()?.delete_relationship(id, None);
                     self.db.metrics.record_write();
                     return Ok(());
                 }
@@ -847,7 +953,8 @@ impl<'db> Transaction<'db> {
         if before.target != before.source {
             self.write_lock(LockKey::node(before.target.raw()), None)?;
         }
-        self.write_set.delete_relationship(id, Some((before, before_ts)));
+        self.write_set_mut()?
+            .delete_relationship(id, Some((before, before_ts)));
         self.db.metrics.record_write();
         Ok(())
     }
@@ -856,7 +963,7 @@ impl<'db> Transaction<'db> {
     // Conversions
     // ------------------------------------------------------------------
 
-    fn to_public_node(&self, id: NodeId, data: &NodeData) -> Node {
+    pub(crate) fn to_public_node(&self, id: NodeId, data: &NodeData) -> Node {
         Node {
             id,
             labels: data.labels.iter().map(|l| self.label_name(*l)).collect(),
@@ -868,7 +975,11 @@ impl<'db> Transaction<'db> {
         }
     }
 
-    fn to_public_relationship(&self, id: RelationshipId, data: &RelationshipData) -> Relationship {
+    pub(crate) fn to_public_relationship(
+        &self,
+        id: RelationshipId,
+        data: &RelationshipData,
+    ) -> Relationship {
         Relationship {
             id,
             source: data.source,
@@ -883,23 +994,22 @@ impl<'db> Transaction<'db> {
     }
 }
 
-impl Drop for Transaction<'_> {
+impl Drop for Transaction {
     fn drop(&mut self) {
-        if self.state == TxnState::Active {
-            self.db.abort_transaction(self.id, false);
-            self.state = TxnState::RolledBack;
-        }
+        self.rollback_in_place();
     }
 }
 
-impl std::fmt::Debug for Transaction<'_> {
+impl std::fmt::Debug for Transaction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Transaction")
             .field("id", &self.id)
             .field("start_ts", &self.start_ts)
             .field("isolation", &self.isolation)
+            .field("conflict_strategy", &self.conflict_strategy)
+            .field("read_only", &self.is_read_only())
             .field("state", &self.state)
-            .field("pending_writes", &self.write_set.len())
+            .field("pending_writes", &self.pending_writes())
             .finish()
     }
 }

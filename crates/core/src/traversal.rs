@@ -16,7 +16,7 @@ use crate::transaction::Transaction;
 
 /// Breadth-first traversal from `start`, up to `max_depth` hops, returning
 /// the visited nodes in visit order (including `start`).
-pub fn bfs(tx: &Transaction<'_>, start: NodeId, max_depth: usize) -> Result<Vec<NodeId>> {
+pub fn bfs(tx: &Transaction, start: NodeId, max_depth: usize) -> Result<Vec<NodeId>> {
     let mut visited: HashSet<NodeId> = HashSet::new();
     let mut order = Vec::new();
     let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
@@ -30,7 +30,8 @@ pub fn bfs(tx: &Transaction<'_>, start: NodeId, max_depth: usize) -> Result<Vec<
         if depth >= max_depth {
             continue;
         }
-        for neighbor in tx.neighbors(node, Direction::Both)? {
+        // Sorted expansion keeps the visit order deterministic.
+        for neighbor in tx.neighbors_vec(node, Direction::Both)? {
             if visited.insert(neighbor) {
                 order.push(neighbor);
                 queue.push_back((neighbor, depth + 1));
@@ -42,7 +43,7 @@ pub fn bfs(tx: &Transaction<'_>, start: NodeId, max_depth: usize) -> Result<Vec<
 
 /// Depth-first traversal from `start`, up to `max_depth` hops, returning
 /// the visited nodes in visit order.
-pub fn dfs(tx: &Transaction<'_>, start: NodeId, max_depth: usize) -> Result<Vec<NodeId>> {
+pub fn dfs(tx: &Transaction, start: NodeId, max_depth: usize) -> Result<Vec<NodeId>> {
     let mut visited: HashSet<NodeId> = HashSet::new();
     let mut order = Vec::new();
     let mut stack: Vec<(NodeId, usize)> = Vec::new();
@@ -58,7 +59,7 @@ pub fn dfs(tx: &Transaction<'_>, start: NodeId, max_depth: usize) -> Result<Vec<
         if depth >= max_depth {
             continue;
         }
-        let mut neighbors = tx.neighbors(node, Direction::Both)?;
+        let mut neighbors = tx.neighbors_vec(node, Direction::Both)?;
         // Reverse so that the smallest-ID neighbour is visited first.
         neighbors.reverse();
         for neighbor in neighbors {
@@ -74,7 +75,7 @@ pub fn dfs(tx: &Transaction<'_>, start: NodeId, max_depth: usize) -> Result<Vec<
 /// including both endpoints), or `None` if no path exists within
 /// `max_depth` hops.
 pub fn shortest_path(
-    tx: &Transaction<'_>,
+    tx: &Transaction,
     from: NodeId,
     to: NodeId,
     max_depth: usize,
@@ -93,7 +94,7 @@ pub fn shortest_path(
         if depth >= max_depth {
             continue;
         }
-        for neighbor in tx.neighbors(node, Direction::Both)? {
+        for neighbor in tx.neighbors_vec(node, Direction::Both)? {
             if parent.contains_key(&neighbor) {
                 continue;
             }
@@ -120,8 +121,12 @@ pub fn shortest_path(
 /// two), returning the set of nodes at distance exactly two ("friends of
 /// friends"). Under read committed the two steps may observe different
 /// graphs.
-pub fn friends_of_friends(tx: &Transaction<'_>, start: NodeId) -> Result<Vec<NodeId>> {
-    let first_hop = tx.neighbors(start, Direction::Both)?;
+pub fn friends_of_friends(tx: &Transaction, start: NodeId) -> Result<Vec<NodeId>> {
+    // The first hop is consumed twice (membership + expansion), so it is
+    // collected; the second hop streams through the lazy iterator.
+    let first_hop: Vec<NodeId> = tx
+        .neighbors(start, Direction::Both)?
+        .collect::<Result<_>>()?;
     let first_set: HashSet<NodeId> = first_hop.iter().copied().collect();
     let mut result: HashSet<NodeId> = HashSet::new();
     for friend in &first_hop {
@@ -132,6 +137,7 @@ pub fn friends_of_friends(tx: &Transaction<'_>, start: NodeId) -> Result<Vec<Nod
             continue;
         }
         for fof in tx.neighbors(*friend, Direction::Both)? {
+            let fof = fof?;
             if fof != start && !first_set.contains(&fof) {
                 result.insert(fof);
             }
@@ -147,7 +153,7 @@ pub fn friends_of_friends(tx: &Transaction<'_>, start: NodeId) -> Result<Vec<Nod
 /// `(consistent, first_walk, second_walk)`. Used by the unrepeatable-read
 /// probe (experiment E1).
 pub fn double_walk(
-    tx: &Transaction<'_>,
+    tx: &Transaction,
     start: NodeId,
     depth: usize,
 ) -> Result<(bool, Vec<NodeId>, Vec<NodeId>)> {
@@ -169,9 +175,12 @@ mod tests {
         let dir = TempDir::new("traversal");
         let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
         let mut tx = db.begin();
-        let nodes: Vec<NodeId> = (0..6).map(|_| tx.create_node(&["P"], &[]).unwrap()).collect();
+        let nodes: Vec<NodeId> = (0..6)
+            .map(|_| tx.create_node(&["P"], &[]).unwrap())
+            .collect();
         for pair in nodes.windows(2) {
-            tx.create_relationship(pair[0], pair[1], "NEXT", &[]).unwrap();
+            tx.create_relationship(pair[0], pair[1], "NEXT", &[])
+                .unwrap();
         }
         let island = tx.create_node(&["Island"], &[]).unwrap();
         tx.commit().unwrap();
@@ -230,7 +239,8 @@ mod tests {
         let (_dir, db, nodes, _island) = path_graph();
         // Add a shortcut 0 -> 4.
         let mut tx = db.begin();
-        tx.create_relationship(nodes[0], nodes[4], "NEXT", &[]).unwrap();
+        tx.create_relationship(nodes[0], nodes[4], "NEXT", &[])
+            .unwrap();
         tx.commit().unwrap();
         let tx = db.begin();
         let path = shortest_path(&tx, nodes[0], nodes[5], 10).unwrap().unwrap();
@@ -259,9 +269,13 @@ mod tests {
     fn traversal_sees_own_pending_edges() {
         let (_dir, db, nodes, island) = path_graph();
         let mut tx = db.begin();
-        tx.create_relationship(nodes[5], island, "BRIDGE", &[]).unwrap();
+        tx.create_relationship(nodes[5], island, "BRIDGE", &[])
+            .unwrap();
         let walk = bfs(&tx, nodes[0], 10).unwrap();
-        assert!(walk.contains(&island), "pending edge reachable by the writer");
+        assert!(
+            walk.contains(&island),
+            "pending edge reachable by the writer"
+        );
         drop(tx);
         let other = db.begin();
         let walk = bfs(&other, nodes[0], 10).unwrap();

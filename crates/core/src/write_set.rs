@@ -228,7 +228,10 @@ impl WriteSet {
 
     /// Relationships created or still alive in this write set that touch
     /// `node` (used for read-your-own-writes expansion).
-    pub fn pending_relationships_of(&self, node: NodeId) -> Vec<(RelationshipId, &RelationshipData)> {
+    pub fn pending_relationships_of(
+        &self,
+        node: NodeId,
+    ) -> Vec<(RelationshipId, &RelationshipData)> {
         self.relationships
             .iter()
             .filter_map(|(&id, w)| w.after.as_ref().map(|data| (id, data)))
@@ -304,7 +307,11 @@ mod tests {
     fn first_write_captures_pre_image_once() {
         let mut ws = WriteSet::new();
         let before = Arc::new(NodeData::new(vec![], BTreeMap::new()));
-        ws.update_node(NodeId::new(1), Some((Arc::clone(&before), Timestamp(7))), node_data());
+        ws.update_node(
+            NodeId::new(1),
+            Some((Arc::clone(&before), Timestamp(7))),
+            node_data(),
+        );
         // A later update must not overwrite the captured pre-image.
         ws.update_node(NodeId::new(1), None, node_data());
         let entry = &ws.nodes[&NodeId::new(1)];

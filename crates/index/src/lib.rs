@@ -64,12 +64,18 @@ mod lib_tests {
         let node = NodeId::new(1);
         indexes.labels.add(LabelToken(0), node, Timestamp(1));
         indexes.labels.remove(LabelToken(0), node, Timestamp(2));
-        indexes
-            .node_properties
-            .add(PropertyKeyToken(0), &PropertyValue::Int(1), node, Timestamp(1));
-        indexes
-            .node_properties
-            .remove(PropertyKeyToken(0), &PropertyValue::Int(1), node, Timestamp(2));
+        indexes.node_properties.add(
+            PropertyKeyToken(0),
+            &PropertyValue::Int(1),
+            node,
+            Timestamp(1),
+        );
+        indexes.node_properties.remove(
+            PropertyKeyToken(0),
+            &PropertyValue::Int(1),
+            node,
+            Timestamp(2),
+        );
         assert_eq!(indexes.gc(Timestamp(10)), 2);
     }
 }

@@ -54,7 +54,8 @@ impl<E: Copy + Eq> PropertyIndex<E> {
         entity: E,
         commit_ts: Timestamp,
     ) {
-        self.inner.remove(&(key, value.index_key()), entity, commit_ts);
+        self.inner
+            .remove(&(key, value.index_key()), entity, commit_ts);
     }
 
     /// Entities whose property `key` equals `value` in the snapshot defined
@@ -150,7 +151,12 @@ mod tests {
             NodeId::new(1),
             Timestamp(5),
         );
-        index.add(NAME, &PropertyValue::Float(1.5), NodeId::new(2), Timestamp(5));
+        index.add(
+            NAME,
+            &PropertyValue::Float(1.5),
+            NodeId::new(2),
+            Timestamp(5),
+        );
         assert_eq!(
             index.lookup(NAME, &PropertyValue::String("ada".into()), Timestamp(10)),
             vec![NodeId::new(1)]

@@ -295,7 +295,9 @@ where
             0
         };
         let removed_from_memory = outcome.reclaimed as u64 + dropped_survivors;
-        self.counters.reclaimed.fetch_add(removed_from_memory, Ordering::Relaxed);
+        self.counters
+            .reclaimed
+            .fetch_add(removed_from_memory, Ordering::Relaxed);
         self.counters
             .versions
             .fetch_sub(removed_from_memory, Ordering::Relaxed);

@@ -203,9 +203,33 @@ mod tests {
     #[test]
     fn read_rule_selects_newest_visible() {
         let c = chain(vec![alive(40, 1), alive(56, 2), alive(90, 3)]);
-        assert_eq!(*c.visible_at(Timestamp(100)).unwrap().payload.as_ref().unwrap().as_ref(), 3);
-        assert_eq!(*c.visible_at(Timestamp(60)).unwrap().payload.as_ref().unwrap().as_ref(), 2);
-        assert_eq!(*c.visible_at(Timestamp(40)).unwrap().payload.as_ref().unwrap().as_ref(), 1);
+        assert_eq!(
+            *c.visible_at(Timestamp(100))
+                .unwrap()
+                .payload
+                .as_ref()
+                .unwrap()
+                .as_ref(),
+            3
+        );
+        assert_eq!(
+            *c.visible_at(Timestamp(60))
+                .unwrap()
+                .payload
+                .as_ref()
+                .unwrap()
+                .as_ref(),
+            2
+        );
+        assert_eq!(
+            *c.visible_at(Timestamp(40))
+                .unwrap()
+                .payload
+                .as_ref()
+                .unwrap()
+                .as_ref(),
+            1
+        );
         assert!(c.visible_at(Timestamp(39)).is_none());
     }
 

@@ -23,7 +23,9 @@ pub mod gc;
 pub mod gc_list;
 pub mod version;
 
-pub use cache::{CacheLookup, CacheRead, CacheStatsSnapshot, PruneOutcome, ReadVersion, VersionedCache};
+pub use cache::{
+    CacheLookup, CacheRead, CacheStatsSnapshot, PruneOutcome, ReadVersion, VersionedCache,
+};
 pub use chain::{PruneResult, VersionChain};
 pub use gc::{run_threaded, run_vacuum, GcRunStats, GcStrategy};
 pub use gc_list::GcList;

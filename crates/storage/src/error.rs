@@ -100,13 +100,19 @@ impl fmt::Display for StorageError {
                 write!(f, "{store} record {id} is not in use")
             }
             StorageError::RecordOutOfBounds { store, id, high_id } => {
-                write!(f, "{store} record {id} is out of bounds (high id {high_id})")
+                write!(
+                    f,
+                    "{store} record {id} is out of bounds (high id {high_id})"
+                )
             }
             StorageError::Corrupt { store, id, reason } => {
                 write!(f, "{store} record {id} is corrupt: {reason}")
             }
             StorageError::ValueTooLarge { size, max } => {
-                write!(f, "value of {size} bytes exceeds the maximum of {max} bytes")
+                write!(
+                    f,
+                    "value of {size} bytes exceeds the maximum of {max} bytes"
+                )
             }
             StorageError::TokenLimitExceeded { kind } => {
                 write!(f, "too many {kind} tokens")
@@ -142,7 +148,7 @@ mod tests {
 
     #[test]
     fn display_io_error() {
-        let err = StorageError::io("reading page 3", io::Error::new(io::ErrorKind::Other, "boom"));
+        let err = StorageError::io("reading page 3", io::Error::other("boom"));
         let s = err.to_string();
         assert!(s.contains("reading page 3"));
         assert!(s.contains("boom"));
@@ -150,7 +156,10 @@ mod tests {
 
     #[test]
     fn display_not_in_use() {
-        let err = StorageError::RecordNotInUse { store: "node", id: 7 };
+        let err = StorageError::RecordNotInUse {
+            store: "node",
+            id: 7,
+        };
         assert_eq!(err.to_string(), "node record 7 is not in use");
     }
 
@@ -178,7 +187,7 @@ mod tests {
 
     #[test]
     fn error_source_is_preserved() {
-        let err = StorageError::io("x", io::Error::new(io::ErrorKind::Other, "inner"));
+        let err = StorageError::io("x", io::Error::other("inner"));
         let src = std::error::Error::source(&err).expect("source");
         assert!(src.to_string().contains("inner"));
     }

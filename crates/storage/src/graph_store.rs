@@ -378,9 +378,38 @@ impl GraphStore {
         Ok(out)
     }
 
+    /// IDs of every relationship attached to `node`, walking its chain
+    /// without loading property chains. This is the hot path behind the
+    /// lazy relationship iterators: resolving full relationship state is
+    /// deferred to whoever consumes the IDs.
+    pub fn relationship_ids_of(&self, node: NodeId) -> Result<Vec<RelationshipId>> {
+        let node_rec = match self.read_node_record(node)? {
+            Some(rec) => rec,
+            None => return Ok(Vec::new()),
+        };
+        let mut out = Vec::new();
+        let mut current = node_rec.first_rel;
+        let mut steps = 0usize;
+        while current.is_some() {
+            if steps > MAX_CHAIN_LENGTH {
+                return Err(StorageError::corrupt(
+                    "relationship",
+                    node.raw(),
+                    "relationship chain exceeds maximum length (cycle?)",
+                ));
+            }
+            steps += 1;
+            let rel = self.relationships.load_in_use(current.raw())?;
+            out.push(current);
+            let (_, next) = rel.chain_for(node);
+            current = next;
+        }
+        Ok(out)
+    }
+
     /// Number of relationships attached to `node`.
     pub fn node_degree(&self, node: NodeId) -> Result<usize> {
-        Ok(self.relationships_of(node)?.len())
+        Ok(self.relationship_ids_of(node)?.len())
     }
 
     // ----- Scans -------------------------------------------------------------
@@ -538,12 +567,22 @@ mod tests {
         let r1 = store.allocate_relationship_id();
         let r2 = store.allocate_relationship_id();
         let r3 = store.allocate_relationship_id();
-        store.create_relationship(r1, a, b, RelTypeToken(0), &[]).unwrap();
-        store.create_relationship(r2, a, c, RelTypeToken(1), &[]).unwrap();
-        store.create_relationship(r3, b, c, RelTypeToken(0), &[]).unwrap();
+        store
+            .create_relationship(r1, a, b, RelTypeToken(0), &[])
+            .unwrap();
+        store
+            .create_relationship(r2, a, c, RelTypeToken(1), &[])
+            .unwrap();
+        store
+            .create_relationship(r3, b, c, RelTypeToken(0), &[])
+            .unwrap();
 
-        let a_rels: Vec<RelationshipId> =
-            store.relationships_of(a).unwrap().iter().map(|r| r.id).collect();
+        let a_rels: Vec<RelationshipId> = store
+            .relationships_of(a)
+            .unwrap()
+            .iter()
+            .map(|r| r.id)
+            .collect();
         assert_eq!(a_rels.len(), 2);
         assert!(a_rels.contains(&r1) && a_rels.contains(&r2));
         assert_eq!(store.node_degree(b).unwrap(), 2);
@@ -565,7 +604,9 @@ mod tests {
         let rels: Vec<RelationshipId> = (0..5)
             .map(|_| {
                 let r = store.allocate_relationship_id();
-                store.create_relationship(r, a, b, RelTypeToken(0), &[]).unwrap();
+                store
+                    .create_relationship(r, a, b, RelTypeToken(0), &[])
+                    .unwrap();
                 r
             })
             .collect();
@@ -573,8 +614,12 @@ mod tests {
         store.delete_relationship(rels[2]).unwrap();
         store.delete_relationship(rels[4]).unwrap();
         store.delete_relationship(rels[0]).unwrap();
-        let remaining: Vec<RelationshipId> =
-            store.relationships_of(a).unwrap().iter().map(|r| r.id).collect();
+        let remaining: Vec<RelationshipId> = store
+            .relationships_of(a)
+            .unwrap()
+            .iter()
+            .map(|r| r.id)
+            .collect();
         assert_eq!(remaining.len(), 2);
         assert!(remaining.contains(&rels[1]) && remaining.contains(&rels[3]));
         assert_eq!(store.node_degree(b).unwrap(), 2);
@@ -588,7 +633,9 @@ mod tests {
         let a = store.allocate_node_id();
         store.create_node(a, &[], &[]).unwrap();
         let r = store.allocate_relationship_id();
-        store.create_relationship(r, a, a, RelTypeToken(0), &[]).unwrap();
+        store
+            .create_relationship(r, a, a, RelTypeToken(0), &[])
+            .unwrap();
         let rels = store.relationships_of(a).unwrap();
         assert_eq!(rels.len(), 1);
         assert_eq!(rels[0].source, a);
@@ -609,7 +656,9 @@ mod tests {
         store
             .create_relationship(r, a, b, RelTypeToken(7), &props(&[(0, 10)]))
             .unwrap();
-        store.update_relationship(r, &props(&[(0, 20), (1, 30)])).unwrap();
+        store
+            .update_relationship(r, &props(&[(0, 20), (1, 30)]))
+            .unwrap();
         let rel = store.read_relationship(r).unwrap().unwrap();
         assert_eq!(rel.rel_type, RelTypeToken(7));
         assert_eq!(rel.properties, props(&[(0, 20), (1, 30)]));
@@ -646,7 +695,9 @@ mod tests {
             let store = open(&dir);
             a = store.allocate_node_id();
             b = store.allocate_node_id();
-            store.create_node(a, &[LabelToken(0)], &props(&[(0, 1)])).unwrap();
+            store
+                .create_node(a, &[LabelToken(0)], &props(&[(0, 1)]))
+                .unwrap();
             store.create_node(b, &[LabelToken(1)], &[]).unwrap();
             r = store.allocate_relationship_id();
             store
@@ -680,9 +731,6 @@ mod tests {
         let store = open(&dir);
         let person = store.tokens().label("Person").unwrap();
         assert_eq!(store.tokens().label("Person").unwrap(), person);
-        assert_eq!(
-            store.tokens().label_name(person),
-            Some("Person".to_owned())
-        );
+        assert_eq!(store.tokens().label_name(person), Some("Person".to_owned()));
     }
 }

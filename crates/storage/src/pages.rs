@@ -124,9 +124,21 @@ mod tests {
     #[test]
     fn locate_record_small_ids() {
         let loc = locate_record(0, 64);
-        assert_eq!(loc, RecordLocation { page_no: 0, offset_in_page: 0 });
+        assert_eq!(
+            loc,
+            RecordLocation {
+                page_no: 0,
+                offset_in_page: 0
+            }
+        );
         let loc = locate_record(1, 64);
-        assert_eq!(loc, RecordLocation { page_no: 0, offset_in_page: 64 });
+        assert_eq!(
+            loc,
+            RecordLocation {
+                page_no: 0,
+                offset_in_page: 64
+            }
+        );
     }
 
     #[test]

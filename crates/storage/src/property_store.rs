@@ -46,7 +46,10 @@ impl PropertyStore {
         if properties.is_empty() {
             return Ok(PropertyRecordId::NONE);
         }
-        let ids: Vec<u64> = properties.iter().map(|_| self.records.allocate_id()).collect();
+        let ids: Vec<u64> = properties
+            .iter()
+            .map(|_| self.records.allocate_id())
+            .collect();
         for (i, (key, value)) in properties.iter().enumerate() {
             let stored = self.store_value(value)?;
             let mut record = PropertyRecord::new_in_use(*key, stored);
@@ -100,10 +103,14 @@ impl PropertyStore {
             }
             steps += 1;
             let record = self.records.load_in_use(current.raw())?;
-            if let StoredValue::DynamicString { first: dyn_first, .. } = record.value {
+            if let StoredValue::DynamicString {
+                first: dyn_first, ..
+            } = record.value
+            {
                 self.free_dynamic_chain(dyn_first)?;
             }
-            self.records.write(current.raw(), &PropertyRecord::default())?;
+            self.records
+                .write(current.raw(), &PropertyRecord::default())?;
             self.records.release_id(current.raw());
             current = record.next;
         }
@@ -229,7 +236,8 @@ impl PropertyStore {
             }
             steps += 1;
             let record = self.dynamics.load_in_use(current.raw())?;
-            self.dynamics.write(current.raw(), &DynamicRecord::default())?;
+            self.dynamics
+                .write(current.raw(), &DynamicRecord::default())?;
             self.dynamics.release_id(current.raw());
             current = record.next;
         }
@@ -320,7 +328,9 @@ mod tests {
         assert_eq!(store.count_in_use(), 0);
         assert_eq!(store.count_dynamic_in_use(), 0);
         // Freed slots are reused by the next chain.
-        let again = store.write_chain(&[(key(5), PropertyValue::Int(2))]).unwrap();
+        let again = store
+            .write_chain(&[(key(5), PropertyValue::Int(2))])
+            .unwrap();
         assert!(again.raw() < 3);
     }
 
@@ -350,7 +360,10 @@ mod tests {
             .write_chain(&[(key(0), PropertyValue::String(s.clone()))])
             .unwrap();
         assert_eq!(store.count_dynamic_in_use(), 0);
-        assert_eq!(store.read_chain(first).unwrap()[0].1.as_str(), Some(s.as_str()));
+        assert_eq!(
+            store.read_chain(first).unwrap()[0].1.as_str(),
+            Some(s.as_str())
+        );
 
         let s2 = "a".repeat(PROPERTY_INLINE_STRING_MAX + 1);
         store
@@ -365,7 +378,10 @@ mod tests {
         let store = PropertyStore::open(dir.path(), 8).unwrap();
         let mut firsts = Vec::new();
         for i in 0..100i64 {
-            let props = vec![(key(0), PropertyValue::Int(i)), (key(1), PropertyValue::Int(i * 2))];
+            let props = vec![
+                (key(0), PropertyValue::Int(i)),
+                (key(1), PropertyValue::Int(i * 2)),
+            ];
             firsts.push((store.write_chain(&props).unwrap(), props));
         }
         for (first, props) in firsts {

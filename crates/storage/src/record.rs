@@ -505,10 +505,10 @@ impl DynamicRecord {
 /// Sanity check: all record sizes must evenly divide the page size so that
 /// no record straddles a page boundary.
 pub const fn record_sizes_divide_page(page_size: usize) -> bool {
-    page_size % NODE_RECORD_SIZE == 0
-        && page_size % RELATIONSHIP_RECORD_SIZE == 0
-        && page_size % PROPERTY_RECORD_SIZE == 0
-        && page_size % DYNAMIC_RECORD_SIZE == 0
+    page_size.is_multiple_of(NODE_RECORD_SIZE)
+        && page_size.is_multiple_of(RELATIONSHIP_RECORD_SIZE)
+        && page_size.is_multiple_of(PROPERTY_RECORD_SIZE)
+        && page_size.is_multiple_of(DYNAMIC_RECORD_SIZE)
 }
 
 /// Helper re-exported for chain manipulation: the raw `NO_ID` sentinel.
@@ -572,7 +572,11 @@ mod tests {
             RelationshipRecord::new_in_use(NodeId::new(1), NodeId::new(2), RelTypeToken(0));
         assert_eq!(rec.other_node(NodeId::new(1)), NodeId::new(2));
         assert_eq!(rec.other_node(NodeId::new(2)), NodeId::new(1));
-        rec.set_chain_for(NodeId::new(1), RelationshipId::new(7), RelationshipId::new(8));
+        rec.set_chain_for(
+            NodeId::new(1),
+            RelationshipId::new(7),
+            RelationshipId::new(8),
+        );
         assert_eq!(
             rec.chain_for(NodeId::new(1)),
             (RelationshipId::new(7), RelationshipId::new(8))
@@ -587,7 +591,11 @@ mod tests {
     fn self_loop_chain_updates_both_ends() {
         let mut rec =
             RelationshipRecord::new_in_use(NodeId::new(3), NodeId::new(3), RelTypeToken(0));
-        rec.set_chain_for(NodeId::new(3), RelationshipId::new(1), RelationshipId::new(2));
+        rec.set_chain_for(
+            NodeId::new(3),
+            RelationshipId::new(1),
+            RelationshipId::new(2),
+        );
         assert_eq!(rec.source_prev, RelationshipId::new(1));
         assert_eq!(rec.target_prev, RelationshipId::new(1));
         assert_eq!(rec.other_node(NodeId::new(3)), NodeId::new(3));

@@ -278,11 +278,8 @@ mod tests {
             let store: RecordStore<RelationshipRecord> =
                 RecordStore::open(dir.path(), "rels.db", 8).unwrap();
             id = store.allocate_id();
-            let rec = RelationshipRecord::new_in_use(
-                NodeId::new(3),
-                NodeId::new(9),
-                RelTypeToken(2),
-            );
+            let rec =
+                RelationshipRecord::new_in_use(NodeId::new(3), NodeId::new(9), RelTypeToken(2));
             store.write(id, &rec).unwrap();
             store.flush().unwrap();
         }

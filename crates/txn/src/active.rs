@@ -73,12 +73,7 @@ impl ActiveTransactionTable {
 
     /// The start timestamp of the oldest active transaction, if any.
     pub fn oldest_active_start(&self) -> Option<Timestamp> {
-        self.inner
-            .read()
-            .by_start
-            .keys()
-            .next()
-            .copied()
+        self.inner.read().by_start.keys().next().copied()
     }
 
     /// The garbage-collection watermark: versions with a commit timestamp
@@ -216,10 +211,7 @@ mod tests {
             .copied()
             .unwrap();
         assert_eq!(newest_visible, Timestamp(90));
-        let reclaimable: Vec<_> = versions
-            .iter()
-            .filter(|&&v| v < newest_visible)
-            .collect();
+        let reclaimable: Vec<_> = versions.iter().filter(|&&v| v < newest_visible).collect();
         assert_eq!(reclaimable.len(), 2);
     }
 }

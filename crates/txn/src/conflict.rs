@@ -208,11 +208,17 @@ mod tests {
 
     #[test]
     fn strategy_names() {
-        assert_eq!(ConflictStrategy::FirstUpdaterWins.name(), "first-updater-wins");
+        assert_eq!(
+            ConflictStrategy::FirstUpdaterWins.name(),
+            "first-updater-wins"
+        );
         assert_eq!(
             ConflictStrategy::FirstCommitterWins.to_string(),
             "first-committer-wins"
         );
-        assert_eq!(ConflictStrategy::default(), ConflictStrategy::FirstUpdaterWins);
+        assert_eq!(
+            ConflictStrategy::default(),
+            ConflictStrategy::FirstUpdaterWins
+        );
     }
 }

@@ -197,11 +197,15 @@ impl LockManager {
             state.exclusive = Some(txn);
             drop(table);
             self.remember(key, txn);
-            self.stats.exclusive_acquired.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .exclusive_acquired
+                .fetch_add(1, Ordering::Relaxed);
             Ok(())
         } else {
             let other = state.blockers(txn).first().copied();
-            self.stats.immediate_conflicts.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .immediate_conflicts
+                .fetch_add(1, Ordering::Relaxed);
             Err(TxnError::WriteWriteConflict { key, other })
         }
     }
@@ -237,7 +241,9 @@ impl LockManager {
                     }
                     LockMode::Exclusive => {
                         state.exclusive = Some(txn);
-                        self.stats.exclusive_acquired.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .exclusive_acquired
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 drop(table);
@@ -318,7 +324,9 @@ impl LockManager {
     pub fn release_all(&self, txn: TxnId) -> Vec<LockKey> {
         let keys: Vec<LockKey> = {
             let mut held = self.held.lock();
-            held.remove(&txn).map(|s| s.into_iter().collect()).unwrap_or_default()
+            held.remove(&txn)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default()
         };
         {
             let mut table = self.table.lock();
@@ -499,7 +507,9 @@ mod tests {
         let locks = LockManager::with_default_timeout();
         locks.try_exclusive(LockKey::node(1), T1).unwrap();
         locks.try_exclusive(LockKey::node(2), T1).unwrap();
-        locks.acquire(LockKey::node(3), LockMode::Shared, T1).unwrap();
+        locks
+            .acquire(LockKey::node(3), LockMode::Shared, T1)
+            .unwrap();
         assert_eq!(locks.locks_of(T1).len(), 3);
         let released = locks.release_all(T1);
         assert_eq!(released.len(), 3);

@@ -44,7 +44,9 @@ impl WalError {
 impl fmt::Display for WalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WalError::Io { context, source } => write!(f, "WAL I/O error while {context}: {source}"),
+            WalError::Io { context, source } => {
+                write!(f, "WAL I/O error while {context}: {source}")
+            }
             WalError::OpenFailed { path, source } => {
                 write!(f, "failed to open WAL {}: {source}", path.display())
             }
@@ -73,7 +75,7 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = WalError::io("appending", io::Error::new(io::ErrorKind::Other, "disk full"));
+        let e = WalError::io("appending", io::Error::other("disk full"));
         assert!(e.to_string().contains("appending"));
         let e = WalError::Corrupt {
             offset: 16,
@@ -89,7 +91,7 @@ mod tests {
 
     #[test]
     fn io_source_preserved() {
-        let e = WalError::io("x", io::Error::new(io::ErrorKind::Other, "inner"));
+        let e = WalError::io("x", io::Error::other("inner"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

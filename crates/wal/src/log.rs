@@ -286,7 +286,8 @@ mod tests {
         {
             use std::io::Write as _;
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&crate::record::ENTRY_MAGIC.to_le_bytes()).unwrap();
+            f.write_all(&crate::record::ENTRY_MAGIC.to_le_bytes())
+                .unwrap();
             f.write_all(&[200u8, 0, 0, 0, 1, 2, 3]).unwrap();
         }
         let wal = Wal::open(&path, SyncPolicy::Always).unwrap();
@@ -361,7 +362,9 @@ mod tests {
         for t in 0..4u8 {
             let wal = Arc::clone(&wal);
             handles.push(std::thread::spawn(move || {
-                (0..100u8).map(|i| wal.append(&[t, i]).unwrap()).collect::<Vec<_>>()
+                (0..100u8)
+                    .map(|i| wal.append(&[t, i]).unwrap())
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<u64> = handles

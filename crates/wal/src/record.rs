@@ -126,7 +126,10 @@ mod tests {
         let bytes = entry.encode();
         // Cut anywhere inside the entry.
         for cut in [0, 3, HEADER_SIZE - 1, HEADER_SIZE + 10, bytes.len() - 1] {
-            assert!(LogEntry::decode(&bytes[..cut], 0).unwrap().is_none(), "cut {cut}");
+            assert!(
+                LogEntry::decode(&bytes[..cut], 0).unwrap().is_none(),
+                "cut {cut}"
+            );
         }
     }
 
@@ -145,14 +148,20 @@ mod tests {
         let mut bytes = LogEntry::new(1, vec![0xAA; 16]).encode();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
-        assert!(matches!(LogEntry::decode(&bytes, 0), Err(WalError::Corrupt { .. })));
+        assert!(matches!(
+            LogEntry::decode(&bytes, 0),
+            Err(WalError::Corrupt { .. })
+        ));
     }
 
     #[test]
     fn insane_length_is_corruption() {
         let mut bytes = LogEntry::new(1, vec![1, 2, 3]).encode();
         bytes[4..8].copy_from_slice(&(u32::MAX).to_le_bytes());
-        assert!(matches!(LogEntry::decode(&bytes, 0), Err(WalError::Corrupt { .. })));
+        assert!(matches!(
+            LogEntry::decode(&bytes, 0),
+            Err(WalError::Corrupt { .. })
+        ));
     }
 
     proptest! {

@@ -121,7 +121,7 @@ pub fn build_graph(db: &GraphDb, spec: &GraphSpec) -> Result<GeneratedGraph> {
                     tx.create_relationship(nodes[i], nodes[next], "KNOWS", &[])?;
                     relationships += 1;
                 }
-                if relationships % batch == 0 {
+                if relationships.is_multiple_of(batch) {
                     let full = std::mem::replace(&mut tx, db.begin());
                     full.commit()?;
                 }
@@ -212,7 +212,7 @@ mod tests {
         let graph = build_graph(&db, &GraphSpec::random(20, 50)).unwrap();
         assert_eq!(graph.relationships, 50);
         let tx = db.begin();
-        assert_eq!(tx.nodes_with_label("Person").unwrap().len(), 20);
+        assert_eq!(tx.nodes_with_label("Person").unwrap().count(), 20);
         let total_degree: usize = graph
             .nodes
             .iter()

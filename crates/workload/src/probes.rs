@@ -6,8 +6,6 @@
 //! reports the number of anomalous observations, so experiments E1–E3 can
 //! print an "anomalies observed" table per isolation level.
 
-use std::sync::Arc;
-
 use graphsi_core::traversal;
 use graphsi_core::{Direction, GraphDb, IsolationLevel, NodeId, PropertyValue, Result};
 
@@ -37,7 +35,7 @@ impl ProbeReport {
 /// inside one transaction while a concurrent writer rewires one spoke in
 /// between. A round counts as anomalous if the two walks differ.
 pub fn unrepeatable_read_probe(
-    db: &Arc<GraphDb>,
+    db: &GraphDb,
     isolation: IsolationLevel,
     rounds: u64,
 ) -> Result<ProbeReport> {
@@ -54,14 +52,14 @@ pub fn unrepeatable_read_probe(
 
     let mut report = ProbeReport::default();
     for round in 0..rounds {
-        let reader = db.begin_with_isolation(isolation);
-        let first = reader.neighbors(hub, Direction::Both)?;
+        let reader = db.txn().isolation(isolation).begin();
+        let first = reader.neighbors_vec(hub, Direction::Both)?;
 
         // Concurrent writer: detach one spoke and attach a fresh one.
         let victim_idx = (round % spokes.len() as u64) as usize;
         let victim = spokes[victim_idx];
         let mut writer = db.begin();
-        for rel in writer.relationships(victim, Direction::Both)? {
+        for rel in writer.relationships_vec(victim, Direction::Both)? {
             writer.delete_relationship(rel.id)?;
         }
         let fresh = writer.create_node(&["ProbeSpoke"], &[])?;
@@ -69,7 +67,7 @@ pub fn unrepeatable_read_probe(
         writer.commit()?;
         spokes[victim_idx] = fresh;
 
-        let second = reader.neighbors(hub, Direction::Both)?;
+        let second = reader.neighbors_vec(hub, Direction::Both)?;
         report.rounds += 1;
         if first != second {
             report.anomalies += 1;
@@ -85,7 +83,7 @@ pub fn unrepeatable_read_probe(
 /// concurrent writer inserts a new matching node in between. A round counts
 /// as anomalous if the two result sets differ in size.
 pub fn phantom_read_probe(
-    db: &Arc<GraphDb>,
+    db: &GraphDb,
     isolation: IsolationLevel,
     rounds: u64,
 ) -> Result<ProbeReport> {
@@ -97,14 +95,14 @@ pub fn phantom_read_probe(
 
     let mut report = ProbeReport::default();
     for _ in 0..rounds {
-        let reader = db.begin_with_isolation(isolation);
-        let first = reader.nodes_with_label("ProbePerson")?.len();
+        let reader = db.txn().isolation(isolation).begin();
+        let first = reader.nodes_with_label("ProbePerson")?.count();
 
         let mut writer = db.begin();
         writer.create_node(&["ProbePerson"], &[])?;
         writer.commit()?;
 
-        let second = reader.nodes_with_label("ProbePerson")?.len();
+        let second = reader.nodes_with_label("ProbePerson")?.count();
         report.rounds += 1;
         if first != second {
             report.anomalies += 1;
@@ -124,7 +122,7 @@ pub fn phantom_read_probe(
 /// transactions to update a shared constraint token, turning the skew into
 /// a write-write conflict.
 pub fn write_skew_probe(
-    db: &Arc<GraphDb>,
+    db: &GraphDb,
     rounds: u64,
     materialize_conflict: bool,
 ) -> Result<ProbeReport> {
@@ -138,7 +136,7 @@ pub fn write_skew_probe(
         let token = tx.create_node(&[&label], &[("guard", PropertyValue::Int(0))])?;
         tx.commit()?;
 
-        let on_call = |tx: &graphsi_core::Transaction<'_>, id: NodeId| -> Result<bool> {
+        let on_call = |tx: &graphsi_core::Transaction, id: NodeId| -> Result<bool> {
             Ok(tx
                 .node_property(id, "oncall")?
                 .and_then(|v| v.as_bool())
@@ -189,15 +187,19 @@ pub fn write_skew_probe(
     Ok(report)
 }
 
+// Re-export traversal so probe users can run the two-step algorithms
+// directly (kept here to mirror the experiment descriptions).
+pub use traversal::friends_of_friends;
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use graphsi_core::test_support::TempDir;
     use graphsi_core::DbConfig;
 
-    fn db() -> (TempDir, Arc<GraphDb>) {
+    fn db() -> (TempDir, GraphDb) {
         let dir = TempDir::new("probes");
-        let db = Arc::new(GraphDb::open(dir.path(), DbConfig::default()).unwrap());
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
         (dir, db)
     }
 
@@ -246,7 +248,3 @@ mod tests {
         assert_eq!(ProbeReport::default().anomaly_rate(), 0.0);
     }
 }
-
-// Re-export traversal so probe users can run the two-step algorithms
-// directly (kept here to mirror the experiment descriptions).
-pub use traversal::friends_of_friends;

@@ -31,7 +31,9 @@ fn main() -> Result<()> {
         store_stats.total_record_writes()
     );
     for file in ["nodes.db", "relationships.db", "properties.db", "wal.log"] {
-        let len = std::fs::metadata(dir.path().join(file)).map(|m| m.len()).unwrap_or(0);
+        let len = std::fs::metadata(dir.path().join(file))
+            .map(|m| m.len())
+            .unwrap_or(0);
         println!("[storage]   {file}: {len} bytes");
     }
 
@@ -73,11 +75,11 @@ fn main() -> Result<()> {
     let tx = db.begin();
     println!(
         "\n[index] nodes with label Person: {:?}",
-        tx.nodes_with_label("Person")?
+        tx.nodes_with_label_vec("Person")?
     );
     println!(
         "[index] nodes with name = \"Bert\": {:?}",
-        tx.nodes_with_property("name", &PropertyValue::from("Bert"))?
+        tx.nodes_with_property_vec("name", &PropertyValue::from("Bert"))?
     );
     drop(tx);
 

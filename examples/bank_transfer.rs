@@ -7,8 +7,6 @@
 //! cargo run -p graphsi-core --example bank_transfer --release
 //! ```
 
-use std::sync::Arc;
-
 use graphsi_core::test_support::TempDir;
 use graphsi_core::{DbConfig, GraphDb, NodeId, PropertyValue, Result};
 
@@ -28,7 +26,7 @@ fn balance(db: &GraphDb, account: NodeId) -> i64 {
 
 fn main() -> Result<()> {
     let dir = TempDir::new("bank_transfer");
-    let db = Arc::new(GraphDb::open(dir.path(), DbConfig::default())?);
+    let db = GraphDb::open(dir.path(), DbConfig::default())?;
 
     // Create the accounts.
     let mut tx = db.begin();
@@ -49,52 +47,44 @@ fn main() -> Result<()> {
     // Concurrent random transfers with retry on write-write conflicts.
     let mut handles = Vec::new();
     for t in 0..THREADS {
-        let db = Arc::clone(&db);
+        let db = db.clone();
         let accounts = accounts.clone();
         handles.push(std::thread::spawn(move || {
-            let mut retries = 0u64;
+            // `write_with_retry` re-runs the closure on write-write
+            // conflicts with capped backoff; the retry count is visible in
+            // the database metrics as conflict aborts.
             for i in 0..TRANSFERS_PER_THREAD {
                 let from = accounts[(t * 7 + i * 3) % ACCOUNTS];
                 let to = accounts[(t * 11 + i * 5 + 1) % ACCOUNTS];
                 if from == to {
                     continue;
                 }
-                loop {
-                    let mut tx = db.begin();
-                    let read = |tx: &graphsi_core::Transaction<'_>, a| {
+                let amount = 10;
+                db.write_with_retry(|tx| {
+                    let read = |tx: &graphsi_core::Transaction, a| {
                         tx.node_property(a, "balance")
                             .unwrap()
                             .unwrap()
                             .as_int()
                             .unwrap()
                     };
-                    let amount = 10;
-                    let from_balance = read(&tx, from);
-                    let to_balance = read(&tx, to);
-                    let ok = tx
-                        .set_node_property(from, "balance", PropertyValue::Int(from_balance - amount))
-                        .and_then(|_| {
-                            tx.set_node_property(
-                                to,
-                                "balance",
-                                PropertyValue::Int(to_balance + amount),
-                            )
-                        });
-                    match ok {
-                        Ok(()) => match tx.commit() {
-                            Ok(_) => break,
-                            Err(e) if e.is_conflict() => retries += 1,
-                            Err(e) => panic!("commit failed: {e}"),
-                        },
-                        Err(e) if e.is_conflict() => retries += 1,
-                        Err(e) => panic!("transfer failed: {e}"),
-                    }
-                }
+                    let from_balance = read(tx, from);
+                    let to_balance = read(tx, to);
+                    tx.set_node_property(
+                        from,
+                        "balance",
+                        PropertyValue::Int(from_balance - amount),
+                    )?;
+                    tx.set_node_property(to, "balance", PropertyValue::Int(to_balance + amount))
+                })
+                .expect("transfer failed");
             }
-            retries
         }));
     }
-    let total_retries: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total_retries = db.metrics().conflict_aborts;
 
     let total: i64 = accounts.iter().map(|&a| balance(&db, a)).sum();
     println!(
@@ -117,11 +107,18 @@ fn main() -> Result<()> {
 
     let mut t1 = db.begin();
     let mut t2 = db.begin();
-    let combined =
-        |tx: &graphsi_core::Transaction<'_>| -> i64 {
-            tx.node_property(audit_a, "balance").unwrap().unwrap().as_int().unwrap()
-                + tx.node_property(audit_b, "balance").unwrap().unwrap().as_int().unwrap()
-        };
+    let combined = |tx: &graphsi_core::Transaction| -> i64 {
+        tx.node_property(audit_a, "balance")
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap()
+            + tx.node_property(audit_b, "balance")
+                .unwrap()
+                .unwrap()
+                .as_int()
+                .unwrap()
+    };
     if combined(&t1) >= 100 {
         t1.set_node_property(audit_a, "balance", PropertyValue::Int(-40))?;
     }

@@ -36,9 +36,9 @@ fn main() -> Result<()> {
     let commit_ts = tx.commit()?;
     println!("committed the seed graph at timestamp {commit_ts}");
 
-    // --- Read transaction (a stable snapshot, no read locks) ---------------
-    let tx = db.begin();
-    let people = tx.nodes_with_label("Person")?;
+    // --- Read-only transaction (a stable snapshot, zero lock-manager calls)
+    let tx = db.txn().read_only().begin();
+    let people = tx.nodes_with_label_vec("Person")?;
     println!("{} people in the snapshot", people.len());
     for id in people {
         let node = tx.get_node(id)?.expect("node visible");
@@ -48,8 +48,10 @@ fn main() -> Result<()> {
             node.property("age").unwrap()
         );
     }
-    let colleagues = tx.neighbors(acme, Direction::Incoming)?;
-    println!("{} people work at ACME", colleagues.len());
+    // Lazy iterator: colleagues stream out of the snapshot one at a time.
+    let colleagues = tx.neighbors(acme, Direction::Incoming)?.count();
+    println!("{colleagues} people work at ACME");
+    drop(tx);
 
     // --- Snapshot stability demo -------------------------------------------
     let reader = db.begin();

@@ -77,8 +77,8 @@ fn main() -> Result<()> {
         fresh.degree(hub, Direction::Both)?
     );
 
-    // Label scan + property filter, the phantom-prone query shape.
-    let handles = fresh.nodes_with_label("Person")?;
-    println!("{} Person nodes in the latest snapshot", handles.len());
+    // Label scan, the phantom-prone query shape — now a lazy iterator.
+    let person_count = fresh.nodes_with_label("Person")?.count();
+    println!("{person_count} Person nodes in the latest snapshot");
     Ok(())
 }

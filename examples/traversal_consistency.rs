@@ -33,7 +33,7 @@ fn run(isolation: IsolationLevel) -> Result<()> {
     let db = GraphDb::open(dir.path(), DbConfig::default())?;
     let (hub, mids) = build(&db, 6)?;
 
-    let reader = db.begin_with_isolation(isolation);
+    let reader = db.txn().isolation(isolation).begin();
     // Step one of the algorithm: enumerate the two-hop neighbourhood.
     let step_one = traversal::bfs(&reader, hub, 2)?;
 
@@ -41,7 +41,7 @@ fn run(isolation: IsolationLevel) -> Result<()> {
     // disconnected and removed.
     let mut vandal = db.begin();
     let victim = mids[2];
-    for rel in vandal.relationships(victim, Direction::Both)? {
+    for rel in vandal.relationships_vec(victim, Direction::Both)? {
         vandal.delete_relationship(rel.id)?;
     }
     vandal.delete_node(victim)?;
@@ -60,11 +60,13 @@ fn run(isolation: IsolationLevel) -> Result<()> {
     println!("  step two visited {} nodes", step_two.len());
     println!(
         "  traversal repeatable: {}",
-        if step_one == step_two { "yes" } else { "NO (unrepeatable read)" }
+        if step_one == step_two {
+            "yes"
+        } else {
+            "NO (unrepeatable read)"
+        }
     );
-    println!(
-        "  nodes from step one that vanished before step two: {broken_paths}"
-    );
+    println!("  nodes from step one that vanished before step two: {broken_paths}");
     drop(reader);
 
     let fresh = db.begin();

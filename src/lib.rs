@@ -1,0 +1,10 @@
+//! # graphsi
+//!
+//! Facade crate for the graphsi workspace: an embedded, Neo4j-style graph
+//! database with snapshot isolation, reproducing *"Snapshot Isolation for
+//! Neo4j"* (Patiño-Martínez et al., EDBT 2016).
+//!
+//! Everything re-exported here comes from [`graphsi_core`]; depend on this
+//! crate (or on `graphsi-core` directly) to use the database.
+
+pub use graphsi_core::*;

@@ -27,10 +27,13 @@ fn unrepeatable_read_on_property_rc_vs_si() {
         (IsolationLevel::ReadCommitted, false),
         (IsolationLevel::SnapshotIsolation, true),
     ] {
-        let reader = db.begin_with_isolation(isolation);
+        let reader = db.txn().isolation(isolation).begin();
         let first = reader.node_property(node, "value").unwrap().unwrap();
 
-        let mut writer = db.begin_with_isolation(IsolationLevel::SnapshotIsolation);
+        let mut writer = db
+            .txn()
+            .isolation(IsolationLevel::SnapshotIsolation)
+            .begin();
         let bumped = match first {
             PropertyValue::Int(v) => PropertyValue::Int(v + 100),
             _ => unreachable!(),
@@ -73,7 +76,7 @@ fn unrepeatable_traversal_two_step_algorithm() {
         tx.create_relationship(m2, leaf2, "LINK", &[]).unwrap();
         tx.commit().unwrap();
 
-        let reader = db.begin_with_isolation(isolation);
+        let reader = db.txn().isolation(isolation).begin();
         // Step one: BFS over the whole reachable graph.
         let first_walk = traversal::bfs(&reader, hub, 3).unwrap();
         assert_eq!(first_walk.len(), 5);
@@ -82,7 +85,7 @@ fn unrepeatable_traversal_two_step_algorithm() {
         let mut vandal = db.begin();
         vandal.delete_relationship(hub_m1).unwrap();
         // m1 still has the edge to leaf1; remove it too, then the node.
-        let m1_rels = vandal.relationships(m1, Direction::Both).unwrap();
+        let m1_rels = vandal.relationships_vec(m1, Direction::Both).unwrap();
         for rel in m1_rels {
             vandal.delete_relationship(rel.id).unwrap();
         }
@@ -118,8 +121,8 @@ fn phantom_read_on_label_predicate() {
         }
         tx.commit().unwrap();
 
-        let reader = db.begin_with_isolation(isolation);
-        let first = reader.nodes_with_label("Person").unwrap().len();
+        let reader = db.txn().isolation(isolation).begin();
+        let first = reader.nodes_with_label("Person").unwrap().count();
         assert_eq!(first, 5);
 
         // A concurrent transaction inserts two more matching nodes and
@@ -127,11 +130,11 @@ fn phantom_read_on_label_predicate() {
         let mut writer = db.begin();
         writer.create_node(&["Person"], &[]).unwrap();
         writer.create_node(&["Person"], &[]).unwrap();
-        let victim = writer.nodes_with_label("Person").unwrap()[0];
+        let victim = writer.nodes_with_label_vec("Person").unwrap()[0];
         writer.remove_label(victim, "Person").unwrap();
         writer.commit().unwrap();
 
-        let second = reader.nodes_with_label("Person").unwrap().len();
+        let second = reader.nodes_with_label("Person").unwrap().count();
         let stable = first == second;
         assert_eq!(
             stable, expect_stable,
@@ -154,15 +157,15 @@ fn phantom_read_on_property_predicate() {
     tx.commit().unwrap();
 
     let si_reader = db.begin(); // snapshot isolation
-    let rc_reader = db.begin_with_isolation(IsolationLevel::ReadCommitted);
+    let rc_reader = db.txn().isolation(IsolationLevel::ReadCommitted).begin();
     let si_first = si_reader
         .nodes_with_property("balance", &PropertyValue::Int(100))
         .unwrap()
-        .len();
+        .count();
     let rc_first = rc_reader
         .nodes_with_property("balance", &PropertyValue::Int(100))
         .unwrap()
-        .len();
+        .count();
 
     let mut writer = db.begin();
     writer
@@ -173,14 +176,21 @@ fn phantom_read_on_property_predicate() {
     let si_second = si_reader
         .nodes_with_property("balance", &PropertyValue::Int(100))
         .unwrap()
-        .len();
+        .count();
     let rc_second = rc_reader
         .nodes_with_property("balance", &PropertyValue::Int(100))
         .unwrap()
-        .len();
+        .count();
 
-    assert_eq!(si_first, si_second, "snapshot isolation must not see phantoms");
-    assert_eq!(rc_first + 1, rc_second, "read committed sees the phantom row");
+    assert_eq!(
+        si_first, si_second,
+        "snapshot isolation must not see phantoms"
+    );
+    assert_eq!(
+        rc_first + 1,
+        rc_second,
+        "read committed sees the phantom row"
+    );
 }
 
 /// Write skew: the one anomaly snapshot isolation admits (paper §1/§3).
@@ -201,8 +211,12 @@ fn write_skew_is_admitted_under_snapshot_isolation() {
         .unwrap();
     tx.commit().unwrap();
 
-    let read_balance = |txn: &graphsi_core::Transaction<'_>, id| -> i64 {
-        txn.node_property(id, "balance").unwrap().unwrap().as_int().unwrap()
+    let read_balance = |txn: &graphsi_core::Transaction, id| -> i64 {
+        txn.node_property(id, "balance")
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .unwrap()
     };
 
     let mut t1 = db.begin();
@@ -213,14 +227,19 @@ fn write_skew_is_admitted_under_snapshot_isolation() {
     assert!(t1_sum - 80 >= 0 && t2_sum - 80 >= 0);
     // T1 withdraws from a, T2 from b: disjoint write sets, no write-write
     // conflict, so both commit under SI.
-    t1.set_node_property(a, "balance", PropertyValue::Int(50 - 80)).unwrap();
-    t2.set_node_property(b, "balance", PropertyValue::Int(50 - 80)).unwrap();
+    t1.set_node_property(a, "balance", PropertyValue::Int(50 - 80))
+        .unwrap();
+    t2.set_node_property(b, "balance", PropertyValue::Int(50 - 80))
+        .unwrap();
     t1.commit().expect("t1 commits");
     t2.commit().expect("t2 commits (write skew admitted)");
 
     let check = db.begin();
     let total = read_balance(&check, a) + read_balance(&check, b);
-    assert!(total < 0, "write skew violated the constraint: total={total}");
+    assert!(
+        total < 0,
+        "write skew violated the constraint: total={total}"
+    );
 }
 
 /// The same workload with both withdrawals hitting the same account is a
@@ -237,7 +256,8 @@ fn same_account_conflict_is_prevented() {
 
     let mut t1 = db.begin();
     let mut t2 = db.begin();
-    t1.set_node_property(a, "balance", PropertyValue::Int(20)).unwrap();
+    t1.set_node_property(a, "balance", PropertyValue::Int(20))
+        .unwrap();
     assert!(t2
         .set_node_property(a, "balance", PropertyValue::Int(20))
         .unwrap_err()
@@ -280,8 +300,10 @@ fn friends_of_friends_is_stable_under_si() {
     // Concurrently add and remove friend-of-friend edges.
     let mut writer = db.begin();
     let extra = writer.create_node(&["Person"], &[]).unwrap();
-    writer.create_relationship(friends[0], extra, "KNOWS", &[]).unwrap();
-    let doomed_rels = writer.relationships(fofs[1], Direction::Both).unwrap();
+    writer
+        .create_relationship(friends[0], extra, "KNOWS", &[])
+        .unwrap();
+    let doomed_rels = writer.relationships_vec(fofs[1], Direction::Both).unwrap();
     for rel in doomed_rels {
         writer.delete_relationship(rel.id).unwrap();
     }

@@ -152,7 +152,8 @@ fn long_reader_never_blocks_writers_under_si() {
     let writer = std::thread::spawn(move || {
         for i in 1..=20i64 {
             let mut tx = writer_db.begin();
-            tx.set_node_property(node, "value", PropertyValue::Int(i)).unwrap();
+            tx.set_node_property(node, "value", PropertyValue::Int(i))
+                .unwrap();
             tx.commit().unwrap();
         }
     });
@@ -195,13 +196,16 @@ fn rc_readers_block_on_writers() {
         .unwrap();
 
     // An RC reader now times out trying to take its short read lock.
-    let reader = db.begin_with_isolation(IsolationLevel::ReadCommitted);
+    let reader = db.txn().isolation(IsolationLevel::ReadCommitted).begin();
     let err = reader.node_property(node, "value").unwrap_err();
     assert!(err.is_conflict(), "expected a lock timeout, got {err}");
     drop(reader);
 
     // An SI reader is not affected at all.
-    let si_reader = db.begin_with_isolation(IsolationLevel::SnapshotIsolation);
+    let si_reader = db
+        .txn()
+        .isolation(IsolationLevel::SnapshotIsolation)
+        .begin();
     assert_eq!(
         si_reader.node_property(node, "value").unwrap(),
         Some(PropertyValue::Int(0))
@@ -232,13 +236,11 @@ fn concurrent_graph_construction_is_consistent() {
             let mut created = 0;
             while created < per_thread {
                 let mut tx = db.begin();
-                let spoke = match tx.create_node(
-                    &["Spoke"],
-                    &[("thread", PropertyValue::Int(t as i64))],
-                ) {
-                    Ok(n) => n,
-                    Err(_) => continue,
-                };
+                let spoke =
+                    match tx.create_node(&["Spoke"], &[("thread", PropertyValue::Int(t as i64))]) {
+                        Ok(n) => n,
+                        Err(_) => continue,
+                    };
                 // Creating a relationship locks the hub; concurrent
                 // creators may lose the first-updater race and retry.
                 match tx.create_relationship(hub, spoke, "SPOKE", &[]) {
@@ -259,8 +261,11 @@ fn concurrent_graph_construction_is_consistent() {
     }
     let tx = db.begin();
     let expected = threads * per_thread;
-    assert_eq!(tx.degree(hub, graphsi_core::Direction::Both).unwrap(), expected);
-    assert_eq!(tx.nodes_with_label("Spoke").unwrap().len(), expected);
+    assert_eq!(
+        tx.degree(hub, graphsi_core::Direction::Both).unwrap(),
+        expected
+    );
+    assert_eq!(tx.nodes_with_label("Spoke").unwrap().count(), expected);
 }
 
 /// Read-committed lost-update demonstration is prevented because writers

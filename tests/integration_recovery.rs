@@ -36,7 +36,7 @@ fn committed_data_survives_reopen_without_checkpoint() {
     let r = tx.get_relationship(rel).unwrap().expect("rel recovered");
     assert_eq!(r.target, bob);
     assert_eq!(r.property("w"), Some(&PropertyValue::Float(0.5)));
-    assert_eq!(tx.neighbors(alice, Direction::Both).unwrap(), vec![bob]);
+    assert_eq!(tx.neighbors_vec(alice, Direction::Both).unwrap(), vec![bob]);
 }
 
 #[test]
@@ -53,7 +53,8 @@ fn updates_and_deletes_survive_reopen() {
         tx.commit().unwrap();
 
         let mut tx = db.begin();
-        tx.set_node_property(keep, "v", PropertyValue::Int(2)).unwrap();
+        tx.set_node_property(keep, "v", PropertyValue::Int(2))
+            .unwrap();
         tx.delete_node(gone).unwrap();
         tx.commit().unwrap();
     }
@@ -64,7 +65,7 @@ fn updates_and_deletes_survive_reopen() {
         Some(PropertyValue::Int(2))
     );
     assert!(!tx.node_exists(gone).unwrap());
-    assert!(tx.nodes_with_label("Gone").unwrap().is_empty());
+    assert_eq!(tx.nodes_with_label("Gone").unwrap().count(), 0);
 }
 
 #[test]
@@ -85,10 +86,12 @@ fn indexes_are_rebuilt_after_reopen() {
     }
     let db = GraphDb::open(dir.path(), config()).unwrap();
     let tx = db.begin();
-    assert_eq!(tx.nodes_with_label("Even").unwrap().len(), 5);
-    assert_eq!(tx.nodes_with_label("Odd").unwrap().len(), 5);
+    assert_eq!(tx.nodes_with_label("Even").unwrap().count(), 5);
+    assert_eq!(tx.nodes_with_label("Odd").unwrap().count(), 5);
     assert_eq!(
-        tx.nodes_with_property("i", &PropertyValue::Int(7)).unwrap().len(),
+        tx.nodes_with_property("i", &PropertyValue::Int(7))
+            .unwrap()
+            .count(),
         1
     );
     assert_eq!(tx.node_count().unwrap(), 10);
@@ -132,7 +135,8 @@ fn snapshot_timestamps_resume_after_reopen() {
             .unwrap();
         tx.commit().unwrap();
         let mut tx = db.begin();
-        tx.set_node_property(node, "v", PropertyValue::Int(2)).unwrap();
+        tx.set_node_property(node, "v", PropertyValue::Int(2))
+            .unwrap();
         tx.commit().unwrap();
         ts_before = db.current_timestamp();
     }
@@ -141,7 +145,8 @@ fn snapshot_timestamps_resume_after_reopen() {
     // commits could be ordered before already-persisted ones.
     assert!(db.current_timestamp() >= ts_before);
     let mut tx = db.begin();
-    tx.set_node_property(node, "v", PropertyValue::Int(3)).unwrap();
+    tx.set_node_property(node, "v", PropertyValue::Int(3))
+        .unwrap();
     let commit_ts = tx.commit().unwrap();
     assert!(commit_ts > ts_before);
     let check = db.begin();
@@ -175,7 +180,7 @@ fn repeated_reopen_cycles_are_stable() {
     assert_eq!(tx.node_count().unwrap(), expected_nodes);
     for round in 0..5i64 {
         assert_eq!(
-            tx.nodes_with_property("round", &PropertyValue::Int(round))
+            tx.nodes_with_property_vec("round", &PropertyValue::Int(round))
                 .unwrap()
                 .len(),
             1
@@ -201,8 +206,8 @@ fn uncommitted_work_is_not_recovered() {
     let db = GraphDb::open(dir.path(), config()).unwrap();
     let tx = db.begin();
     assert!(tx.node_exists(committed).unwrap());
-    assert!(tx.nodes_with_label("Uncommitted").unwrap().is_empty());
-    assert_eq!(tx.nodes_with_label("Committed").unwrap().len(), 1);
+    assert_eq!(tx.nodes_with_label("Uncommitted").unwrap().count(), 0);
+    assert_eq!(tx.nodes_with_label("Committed").unwrap().count(), 1);
 }
 
 #[test]
@@ -232,7 +237,7 @@ fn relationship_chains_survive_partial_flush_plus_replay() {
     }
     let db = GraphDb::open(dir.path(), config()).unwrap();
     let tx = db.begin();
-    let neighbors = tx.neighbors(hub, Direction::Both).unwrap();
+    let neighbors = tx.neighbors_vec(hub, Direction::Both).unwrap();
     assert_eq!(neighbors.len(), spokes.len());
     for spoke in &spokes {
         assert!(neighbors.contains(spoke));

@@ -3,9 +3,7 @@
 //! (first-updater-wins), exercised through the public `graphsi-core` API.
 
 use graphsi_core::test_support::TempDir;
-use graphsi_core::{
-    ConflictStrategy, DbConfig, Direction, GraphDb, IsolationLevel, PropertyValue,
-};
+use graphsi_core::{ConflictStrategy, DbConfig, Direction, GraphDb, IsolationLevel, PropertyValue};
 
 fn open_si(dir: &TempDir) -> GraphDb {
     GraphDb::open(dir.path(), DbConfig::default()).expect("open db")
@@ -24,7 +22,12 @@ fn committed_data_is_visible_to_later_transactions() {
         .create_node(&["Person"], &[("name", PropertyValue::from("Bob"))])
         .unwrap();
     let knows = tx
-        .create_relationship(alice, bob, "KNOWS", &[("since", PropertyValue::from(2016i64))])
+        .create_relationship(
+            alice,
+            bob,
+            "KNOWS",
+            &[("since", PropertyValue::from(2016i64))],
+        )
         .unwrap();
     tx.commit().unwrap();
 
@@ -36,7 +39,7 @@ fn committed_data_is_visible_to_later_transactions() {
     assert_eq!(rel.rel_type, "KNOWS");
     assert_eq!(rel.source, alice);
     assert_eq!(rel.target, bob);
-    assert_eq!(tx.neighbors(alice, Direction::Both).unwrap(), vec![bob]);
+    assert_eq!(tx.neighbors_vec(alice, Direction::Both).unwrap(), vec![bob]);
     assert_eq!(tx.degree(bob, Direction::Both).unwrap(), 1);
 }
 
@@ -57,7 +60,9 @@ fn uncommitted_writes_are_private_but_readable_by_the_writer() {
     writer
         .set_node_property(seed, "touched", PropertyValue::Bool(true))
         .unwrap();
-    let pending_rel = writer.create_relationship(fresh, seed, "TOUCHES", &[]).unwrap();
+    let pending_rel = writer
+        .create_relationship(fresh, seed, "TOUCHES", &[])
+        .unwrap();
 
     // The writer reads its own writes...
     assert!(writer.node_exists(fresh).unwrap());
@@ -67,14 +72,14 @@ fn uncommitted_writes_are_private_but_readable_by_the_writer() {
     );
     assert_eq!(writer.degree(fresh, Direction::Both).unwrap(), 1);
     assert!(writer.get_relationship(pending_rel).unwrap().is_some());
-    assert_eq!(writer.nodes_with_label("Person").unwrap(), vec![fresh]);
+    assert_eq!(writer.nodes_with_label_vec("Person").unwrap(), vec![fresh]);
 
     // ...while a concurrent reader sees none of it.
     let reader = db.begin();
     assert!(!reader.node_exists(fresh).unwrap());
     assert_eq!(reader.node_property(seed, "touched").unwrap(), None);
     assert_eq!(reader.degree(seed, Direction::Both).unwrap(), 0);
-    assert!(reader.nodes_with_label("Person").unwrap().is_empty());
+    assert_eq!(reader.nodes_with_label("Person").unwrap().count(), 0);
     drop(reader);
 
     writer.commit().unwrap();
@@ -148,14 +153,14 @@ fn snapshot_readers_still_see_entities_deleted_after_their_start() {
     // The old snapshot still sees both.
     assert!(reader.node_exists(b).unwrap());
     assert!(reader.get_relationship(rel).unwrap().is_some());
-    assert_eq!(reader.neighbors(a, Direction::Both).unwrap(), vec![b]);
+    assert_eq!(reader.neighbors_vec(a, Direction::Both).unwrap(), vec![b]);
     drop(reader);
 
     // A fresh snapshot does not.
     let fresh = db.begin();
     assert!(!fresh.node_exists(b).unwrap());
     assert!(fresh.get_relationship(rel).unwrap().is_none());
-    assert!(fresh.neighbors(a, Direction::Both).unwrap().is_empty());
+    assert_eq!(fresh.neighbors(a, Direction::Both).unwrap().count(), 0);
 }
 
 #[test]
@@ -171,12 +176,16 @@ fn first_updater_wins_aborts_the_second_writer() {
 
     let mut t1 = db.begin();
     let mut t2 = db.begin();
-    t1.set_node_property(node, "value", PropertyValue::Int(1)).unwrap();
+    t1.set_node_property(node, "value", PropertyValue::Int(1))
+        .unwrap();
     // T2 is the second updater of the same node: it must abort right away.
     let err = t2
         .set_node_property(node, "value", PropertyValue::Int(2))
         .unwrap_err();
-    assert!(err.is_conflict(), "expected a write-write conflict, got {err}");
+    assert!(
+        err.is_conflict(),
+        "expected a write-write conflict, got {err}"
+    );
     assert!(!t2.is_active());
 
     t1.commit().unwrap();
@@ -202,7 +211,8 @@ fn writer_that_commits_first_invalidates_stale_snapshots_under_fuw() {
     // T2 starts before T1 commits a newer version.
     let mut t2 = db.begin();
     let mut t1 = db.begin();
-    t1.set_node_property(node, "value", PropertyValue::Int(1)).unwrap();
+    t1.set_node_property(node, "value", PropertyValue::Int(1))
+        .unwrap();
     t1.commit().unwrap();
 
     // T2 now tries to update based on its stale snapshot: abort.
@@ -229,9 +239,11 @@ fn first_committer_wins_defers_the_abort_to_commit_time() {
 
     let mut t1 = db.begin();
     let mut t2 = db.begin();
-    t1.set_node_property(node, "value", PropertyValue::Int(1)).unwrap();
+    t1.set_node_property(node, "value", PropertyValue::Int(1))
+        .unwrap();
     // Under first-committer-wins the second updater is not aborted yet.
-    t2.set_node_property(node, "value", PropertyValue::Int(2)).unwrap();
+    t2.set_node_property(node, "value", PropertyValue::Int(2))
+        .unwrap();
 
     t1.commit().unwrap();
     // T2 loses at commit time.
@@ -256,7 +268,7 @@ fn rollback_discards_everything() {
 
     let check = db.begin();
     assert!(!check.node_exists(node).unwrap());
-    assert!(check.nodes_with_label("Person").unwrap().is_empty());
+    assert_eq!(check.nodes_with_label("Person").unwrap().count(), 0);
     assert_eq!(db.metrics().rollbacks, 1);
 }
 
@@ -292,14 +304,15 @@ fn label_and_property_index_lookups_respect_snapshots() {
         .create_node(&["Person"], &[("age", PropertyValue::Int(30))])
         .unwrap();
     tx.remove_label(a, "Person").unwrap();
-    tx.set_node_property(a, "age", PropertyValue::Int(31)).unwrap();
+    tx.set_node_property(a, "age", PropertyValue::Int(31))
+        .unwrap();
     tx.commit().unwrap();
 
     // Old snapshot: only `a`, with its old label and value.
-    assert_eq!(old_reader.nodes_with_label("Person").unwrap(), vec![a]);
+    assert_eq!(old_reader.nodes_with_label_vec("Person").unwrap(), vec![a]);
     assert_eq!(
         old_reader
-            .nodes_with_property("age", &PropertyValue::Int(30))
+            .nodes_with_property_vec("age", &PropertyValue::Int(30))
             .unwrap(),
         vec![a]
     );
@@ -307,16 +320,16 @@ fn label_and_property_index_lookups_respect_snapshots() {
 
     // New snapshot: only `b` matches both predicates now.
     let fresh = db.begin();
-    assert_eq!(fresh.nodes_with_label("Person").unwrap(), vec![b]);
+    assert_eq!(fresh.nodes_with_label_vec("Person").unwrap(), vec![b]);
     assert_eq!(
         fresh
-            .nodes_with_property("age", &PropertyValue::Int(30))
+            .nodes_with_property_vec("age", &PropertyValue::Int(30))
             .unwrap(),
         vec![b]
     );
     assert_eq!(
         fresh
-            .nodes_with_property("age", &PropertyValue::Int(31))
+            .nodes_with_property_vec("age", &PropertyValue::Int(31))
             .unwrap(),
         vec![a]
     );
@@ -371,7 +384,7 @@ fn read_committed_transactions_see_latest_committed_state() {
 
     // An RC reader started before an update still observes the newer value
     // afterwards (no snapshot).
-    let rc_reader = db.begin_with_isolation(IsolationLevel::ReadCommitted);
+    let rc_reader = db.txn().isolation(IsolationLevel::ReadCommitted).begin();
     assert_eq!(
         rc_reader.node_property(node, "value").unwrap(),
         Some(PropertyValue::Int(1))
@@ -394,14 +407,21 @@ fn update_properties_and_labels_roundtrip() {
     let db = open_si(&dir);
     let mut tx = db.begin();
     let node = tx
-        .create_node(&["A"], &[("p", PropertyValue::Int(1)), ("q", PropertyValue::Bool(true))])
+        .create_node(
+            &["A"],
+            &[
+                ("p", PropertyValue::Int(1)),
+                ("q", PropertyValue::Bool(true)),
+            ],
+        )
         .unwrap();
     tx.commit().unwrap();
 
     let mut tx = db.begin();
     tx.add_label(node, "B").unwrap();
     tx.remove_label(node, "A").unwrap();
-    tx.set_node_property(node, "p", PropertyValue::from("text")).unwrap();
+    tx.set_node_property(node, "p", PropertyValue::from("text"))
+        .unwrap();
     tx.remove_node_property(node, "q").unwrap();
     tx.commit().unwrap();
 

@@ -1,0 +1,274 @@
+//! Minimal, API-compatible stand-in for `criterion` for offline builds
+//! (see `vendor/README.md`).
+//!
+//! Benchmarks compile and run with plain mean-time reporting (no
+//! statistics, no plots). Pass `--bench` on the command line as the real
+//! harness does; every other flag is ignored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for compatibility; ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an ID from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an ID from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by the `iter*` calls.
+    mean_nanos: f64,
+    iters_done: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher {
+            mean_nanos: 0.0,
+            iters_done: 0,
+            measure_for,
+        }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: one call, also provides a duration estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+
+        let budget = self.measure_for;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget || iters < 10 {
+            black_box(routine());
+            iters += 1;
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        let total = start.elapsed() + first;
+        self.iters_done = iters + 1;
+        self.mean_nanos = total.as_nanos() as f64 / self.iters_done as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only `routine` is
+    /// on the clock.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let budget = self.measure_for;
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        while (timed < budget || iters < 10) && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+            // Bail out early when a single iteration blows the budget —
+            // probe-style benchmarks run whole workloads per iteration.
+            if iters >= 10 && timed > budget * 4 {
+                break;
+            }
+        }
+        self.iters_done = iters;
+        self.mean_nanos = timed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(group: &str, name: &str, bencher: &Bencher) {
+    let mean = bencher.mean_nanos;
+    let human = if mean >= 1e9 {
+        format!("{:.3} s", mean / 1e9)
+    } else if mean >= 1e6 {
+        format!("{:.3} ms", mean / 1e6)
+    } else if mean >= 1e3 {
+        format!("{:.3} us", mean / 1e3)
+    } else {
+        format!("{mean:.1} ns")
+    };
+    println!(
+        "{group}/{name}: {human}/iter ({} iters)",
+        bencher.iters_done
+    );
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; scales the per-benchmark time budget.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // Fewer samples => caller expects slow iterations; keep the budget
+        // proportional so whole-workload benches stay fast.
+        self.sample_budget = Duration::from_millis((samples as u64).clamp(5, 100) * 10);
+        self
+    }
+
+    /// Accepted for compatibility; ignored.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.sample_budget = budget;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut bencher = Bencher::new(self.sample_budget);
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &bencher);
+        let _ = self.criterion;
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut bencher = Bencher::new(self.sample_budget);
+        f(&mut bencher, input);
+        report(&self.name, &id.to_string(), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_budget: self.default_budget,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut bencher = Bencher::new(self.default_budget);
+        f(&mut bencher);
+        report("bench", &name.to_string(), &bencher);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loops_produce_positive_means() {
+        let mut criterion = Criterion {
+            default_budget: Duration::from_millis(5),
+        };
+        let mut group = criterion.benchmark_group("test");
+        group.sample_size(10);
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("batched", 1), &1u64, |b, &n| {
+            b.iter_batched(|| n, |x| x + 1, BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("read", "si").to_string(), "read/si");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,269 @@
+//! Minimal, API-compatible stand-in for `rand` 0.8 for offline builds
+//! (see `vendor/README.md`).
+//!
+//! Provides [`rngs::StdRng`] (a SplitMix64/xoshiro-style generator — fast,
+//! deterministic, NOT cryptographically secure) plus the [`Rng`] and
+//! [`SeedableRng`] traits with the `gen_range` / `gen_bool` / `gen`
+//! methods this workspace uses.
+
+/// Sampling ranges for [`Rng::gen_range`].
+pub mod distributions {
+    use std::ops::{Range, RangeInclusive};
+
+    /// A half-open or inclusive integer/float range that can be sampled.
+    pub trait SampleRange<T> {
+        /// Bounds as (low, high, inclusive).
+        fn bounds(self) -> (T, T, bool);
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn bounds(self) -> ($t, $t, bool) {
+                    (self.start, self.end, false)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn bounds(self) -> ($t, $t, bool) {
+                    (*self.start(), *self.end(), true)
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+}
+
+/// A value that can be produced uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `next_u64` outputs.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniformly random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: distributions::SampleRange<T>,
+    {
+        let (low, high, inclusive) = range.bounds();
+        T::sample(self, low, high, inclusive)
+    }
+
+    /// Returns `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        f64::from_rng(self) < p
+    }
+
+    /// Draws one uniformly distributed value.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Integer/float types uniform-sampleable by [`Rng::gen_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform sample in `[low, high)` (or `[low, high]` when `inclusive`).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (high as u128).wrapping_sub(low as u128).wrapping_add(1)
+                } else {
+                    assert!(low < high, "gen_range: empty range");
+                    (high as u128) - (low as u128)
+                };
+                if span == 0 {
+                    // Inclusive full-width range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                let value = ((rng.next_u64() as u128) % span) as $t;
+                low.wrapping_add(value)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let ulow = low as $u;
+                let uhigh = high as $u;
+                let span = if inclusive {
+                    uhigh.wrapping_sub(ulow).wrapping_add(1) as u128
+                } else {
+                    assert!(low < high, "gen_range: empty range");
+                    uhigh.wrapping_sub(ulow) as u128
+                };
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let value = ((rng.next_u64() as u128) % span) as $u;
+                ulow.wrapping_add(value) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl UniformInt for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+        low + f64::from_rng(rng) * (high - low)
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds the generator from OS entropy (here: clock + address).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9);
+        let local = 0u8;
+        Self::seed_from_u64(t ^ (&local as *const u8 as u64))
+    }
+}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** seeded via
+    /// SplitMix64, matching the statistical quality the workloads need.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let x = rng.gen_range(0..=3u32);
+            assert!(x <= 3);
+            let f = rng.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn distribution_covers_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
