@@ -1,0 +1,66 @@
+//! Criterion benchmark backing experiment E11: k-hop expansion cost of
+//! the chunked cursor pipeline (`tx.query().expand(..)`) against the eager
+//! `*_vec` traversal path, across tree fanout and depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{DbConfig, Direction, GraphDb};
+use graphsi_workload::build_tree;
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("khop_expansion");
+    group.sample_size(20);
+    for &(fanout, depth) in &[(4usize, 3usize), (8, 3), (16, 2)] {
+        let dir = TempDir::new("bench_expansion");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let root = build_tree(&db, fanout, depth).unwrap();
+        let label = format!("f{fanout}_d{depth}");
+
+        group.bench_with_input(BenchmarkId::new("cursor_stream", &label), &(), |b, ()| {
+            b.iter(|| {
+                let tx = db.txn().read_only().begin();
+                let mut query = tx.query().start_nodes([root]);
+                for _ in 0..depth {
+                    query = query.expand(Direction::Outgoing, Some("CHILD"));
+                }
+                query.distinct().count().unwrap()
+            })
+        });
+
+        // Tighter chunks trade refill overhead for a smaller memory bound.
+        group.bench_with_input(
+            BenchmarkId::new("cursor_stream_chunk8", &label),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let tx = db.txn().read_only().scan_chunk_size(8).begin();
+                    let mut query = tx.query().start_nodes([root]);
+                    for _ in 0..depth {
+                        query = query.expand(Direction::Outgoing, Some("CHILD"));
+                    }
+                    query.distinct().count().unwrap()
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("vec_frontier", &label), &(), |b, ()| {
+            b.iter(|| {
+                let tx = db.txn().read_only().begin();
+                let mut frontier = vec![root];
+                for _ in 0..depth {
+                    let mut next = Vec::new();
+                    for &node in &frontier {
+                        next.extend(tx.neighbors_vec(node, Direction::Outgoing).unwrap());
+                    }
+                    frontier = next;
+                }
+                frontier.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

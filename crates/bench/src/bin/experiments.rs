@@ -17,8 +17,8 @@ use graphsi_core::{
 };
 use graphsi_workload::report::{f1, f3, Table};
 use graphsi_workload::{
-    build_graph, phantom_read_probe, run_mix, unrepeatable_read_probe, write_skew_probe, GraphSpec,
-    MixSpec,
+    build_graph, build_tree, phantom_read_probe, run_mix, unrepeatable_read_probe,
+    write_skew_probe, GraphSpec, MixSpec,
 };
 
 struct Scale {
@@ -28,6 +28,8 @@ struct Scale {
     gc_nodes: usize,
     gc_rounds: usize,
     threads: usize,
+    /// (fanout, depth) tree shapes for the E11 expansion experiment.
+    expansion_shapes: &'static [(usize, usize)],
 }
 
 const FULL: Scale = Scale {
@@ -37,6 +39,7 @@ const FULL: Scale = Scale {
     gc_nodes: 500,
     gc_rounds: 20,
     threads: 4,
+    expansion_shapes: &[(4, 2), (4, 3), (8, 2), (8, 3), (16, 2)],
 };
 
 const QUICK: Scale = Scale {
@@ -46,6 +49,7 @@ const QUICK: Scale = Scale {
     gc_nodes: 100,
     gc_rounds: 5,
     threads: 2,
+    expansion_shapes: &[(3, 2), (4, 2)],
 };
 
 fn main() {
@@ -95,6 +99,9 @@ fn main() {
     }
     if want("e10") {
         e10_thread_scaling(&scale);
+    }
+    if want("e11") {
+        e11_expansion_scaling(&scale);
     }
 }
 
@@ -449,6 +456,67 @@ fn e10_thread_scaling(scale: &Scale) {
             ]);
             threads *= 2;
         }
+    }
+    println!("{}", table.render());
+}
+
+/// E11 — depth × fanout traversal cost of the chunked cursor expansion
+/// (`tx.query().expand(..)`) against the eager `*_vec` path
+/// (`neighbors_vec` per frontier node), plus the bounded-buffering
+/// evidence: the peak number of candidate IDs any cursor refill buffered.
+fn e11_expansion_scaling(scale: &Scale) {
+    println!("## E11 — streaming cursor expansion vs eager *_vec traversal (depth x fanout)");
+    let mut table = Table::new(&[
+        "fanout",
+        "depth",
+        "leaves reached",
+        "cursor expand (us)",
+        "*_vec expand (us)",
+        "peak buffered ids (chunk=16)",
+    ]);
+    const CHUNK: usize = 16;
+    for &(fanout, depth) in scale.expansion_shapes {
+        // Streaming run in its own database so the peak-buffer gauge only
+        // reflects this query.
+        let dir = TempDir::new("e11_cursor");
+        let db = open(&dir, DbConfig::default());
+        let root = build_tree(&db, fanout, depth).unwrap();
+        let tx = db.txn().read_only().scan_chunk_size(CHUNK).begin();
+        let start = Instant::now();
+        let mut query = tx.query().start_nodes([root]);
+        for _ in 0..depth {
+            query = query.expand(Direction::Outgoing, Some("CHILD"));
+        }
+        let cursor_count = query.distinct().count().unwrap();
+        let cursor_time = start.elapsed();
+        let peak = db.metrics().candidate_buffer_peak;
+        drop(tx);
+
+        // Eager run: collect every frontier node's full neighbour Vec.
+        let dir = TempDir::new("e11_vec");
+        let db = open(&dir, DbConfig::default());
+        let root = build_tree(&db, fanout, depth).unwrap();
+        let tx = db.txn().read_only().begin();
+        let start = Instant::now();
+        let mut frontier = vec![root];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                next.extend(tx.neighbors_vec(node, Direction::Outgoing).unwrap());
+            }
+            frontier = next;
+        }
+        let vec_time = start.elapsed();
+        assert_eq!(cursor_count, frontier.len(), "both paths agree");
+
+        table.row(&[
+            fanout.to_string(),
+            depth.to_string(),
+            cursor_count.to_string(),
+            f1(cursor_time.as_micros() as f64),
+            f1(vec_time.as_micros() as f64),
+            peak.to_string(),
+        ]);
     }
     println!("{}", table.render());
 }

@@ -63,6 +63,12 @@ pub struct DbConfig {
     /// If set, the threaded garbage collector runs automatically after
     /// every N commits.
     pub auto_gc_every_commits: Option<u64>,
+    /// Chunk size of the streaming read cursors: how many candidate IDs a
+    /// scan or expansion buffers per refill. Smaller chunks bound memory
+    /// tighter; larger chunks amortise refill overhead. Can be overridden
+    /// per transaction ([`crate::TxnOptions::scan_chunk_size`]) and per
+    /// query ([`crate::QueryBuilder::chunk_size`]).
+    pub scan_chunk_size: usize,
 }
 
 impl Default for DbConfig {
@@ -75,11 +81,15 @@ impl Default for DbConfig {
             cache_shards: 16,
             lock_timeout: Duration::from_millis(500),
             auto_gc_every_commits: None,
+            scan_chunk_size: DbConfig::DEFAULT_SCAN_CHUNK_SIZE,
         }
     }
 }
 
 impl DbConfig {
+    /// Default [`DbConfig::scan_chunk_size`].
+    pub const DEFAULT_SCAN_CHUNK_SIZE: usize = 256;
+
     /// A configuration reproducing stock Neo4j (the read-committed
     /// baseline).
     pub fn read_committed() -> Self {
@@ -121,6 +131,13 @@ impl DbConfig {
     /// Builder-style setter for the blocking-lock timeout.
     pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
         self.lock_timeout = timeout;
+        self
+    }
+
+    /// Builder-style setter for the streaming-cursor chunk size (clamped to
+    /// at least 1).
+    pub fn with_scan_chunk_size(mut self, chunk: usize) -> Self {
+        self.scan_chunk_size = chunk.max(1);
         self
     }
 }

@@ -85,9 +85,11 @@ pub(crate) struct GraphDbInner {
     /// snapshot traversing a node must additionally consider relationships
     /// whose deletion it cannot yet see; those live in the relationship
     /// cache and are found through this overlay (the paper's "enriched
-    /// iterator").
+    /// iterator"). Per-node sets are ordered (`BTreeSet`) so the chunked
+    /// cursors can page them with a resume marker instead of copying the
+    /// whole set.
     rel_overlay:
-        RwLock<std::collections::HashMap<NodeId, std::collections::HashSet<RelationshipId>>>,
+        RwLock<std::collections::HashMap<NodeId, std::collections::BTreeSet<RelationshipId>>>,
     /// The newest commit timestamp whose versions are fully installed (in
     /// the cache, store and indexes). New transactions snapshot at this
     /// value rather than at the raw oracle counter, because a commit
@@ -449,35 +451,43 @@ impl GraphDbInner {
         }
     }
 
-    /// IDs of relationships attached to `node` in the persistent store
-    /// (the committed chain), without materialising their property chains.
-    /// Visibility filtering happens in the caller.
-    pub(crate) fn stored_relationships_of(&self, node: NodeId) -> Result<Vec<RelationshipId>> {
-        Ok(self.store.relationship_ids_of(node)?)
-    }
-
-    /// Candidate relationship IDs for `node`: the persistent chain plus
-    /// every relationship with cached versions touching the node (the
-    /// enriched-iterator merge). The caller filters by snapshot visibility.
-    pub(crate) fn candidate_relationships_of(&self, node: NodeId) -> Result<Vec<RelationshipId>> {
-        let mut ids = self.stored_relationships_of(node)?;
-        let overlay_ids: Vec<RelationshipId> = self
-            .rel_overlay
-            .read()
-            .get(&node)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default();
+    /// Pages the relationship overlay of `node`: appends up to `chunk`
+    /// overlay IDs that still have cached versions to `buf` (cleared
+    /// first), resuming after `after`. Returns the resume marker for the
+    /// next page, or `None` once the set is exhausted. Overlay entries
+    /// whose versions GC has dropped are pruned lazily along the way —
+    /// they are dead for every active snapshot, so no cursor can need
+    /// them.
+    pub(crate) fn overlay_page(
+        &self,
+        node: NodeId,
+        after: Option<RelationshipId>,
+        chunk: usize,
+        buf: &mut Vec<RelationshipId>,
+    ) -> Option<RelationshipId> {
+        buf.clear();
         let mut stale = Vec::new();
-        for id in overlay_ids {
-            if ids.contains(&id) {
-                continue;
-            }
-            if self.rel_cache.contains(id) {
-                ids.push(id);
-            } else {
-                // Neither in the store chain nor in the cache any more —
-                // GC dropped it; prune the overlay lazily.
-                stale.push(id);
+        let mut last = None;
+        {
+            let overlay = self.rel_overlay.read();
+            if let Some(set) = overlay.get(&node) {
+                let range: Box<dyn Iterator<Item = &RelationshipId>> = match after {
+                    None => Box::new(set.iter()),
+                    Some(a) => Box::new(
+                        set.range((std::ops::Bound::Excluded(a), std::ops::Bound::Unbounded)),
+                    ),
+                };
+                for &id in range {
+                    last = Some(id);
+                    if self.rel_cache.contains(id) {
+                        buf.push(id);
+                    } else {
+                        stale.push(id);
+                    }
+                    if buf.len() >= chunk {
+                        break;
+                    }
+                }
             }
         }
         if !stale.is_empty() {
@@ -491,7 +501,7 @@ impl GraphDbInner {
                 }
             }
         }
-        Ok(ids)
+        last
     }
 
     fn overlay_add(&self, node: NodeId, rel: RelationshipId) {
@@ -539,16 +549,6 @@ impl GraphDbInner {
     /// Allocates a fresh relationship ID.
     pub(crate) fn allocate_relationship_id(&self) -> RelationshipId {
         self.store.allocate_relationship_id()
-    }
-
-    /// Every node ID present in the persistent store (committed nodes).
-    pub(crate) fn stored_node_ids(&self) -> Result<Vec<NodeId>> {
-        Ok(self.store.scan_node_ids()?)
-    }
-
-    /// Every relationship ID present in the persistent store.
-    pub(crate) fn stored_relationship_ids(&self) -> Result<Vec<RelationshipId>> {
-        Ok(self.store.scan_relationship_ids()?)
     }
 
     // ------------------------------------------------------------------

@@ -33,6 +33,9 @@ pub enum DbError {
     ReservedName(String),
     /// A WAL commit record could not be decoded during recovery.
     CorruptCommitRecord(String),
+    /// A query pipeline was composed incorrectly (e.g. a source set after
+    /// stages were added).
+    InvalidQuery(String),
 }
 
 impl DbError {
@@ -65,6 +68,7 @@ impl fmt::Display for DbError {
             DbError::CorruptCommitRecord(reason) => {
                 write!(f, "corrupt WAL commit record: {reason}")
             }
+            DbError::InvalidQuery(reason) => write!(f, "invalid query: {reason}"),
         }
     }
 }

@@ -1,42 +1,154 @@
-//! Snapshot-consistent lazy iterators over a transaction's view.
+//! Snapshot-consistent, **chunked** lazy iterators over a transaction's
+//! view.
 //!
-//! These replace the eager `Vec`-returning read paths: candidates are
-//! enumerated as bare IDs (persistent chain, versioned-cache overlay,
-//! index postings) and each element is resolved against the snapshot — and
-//! merged with the transaction's private write set — only when the
-//! iterator reaches it. The paper's *enriched iterator* (§4) lives here:
-//! relationship expansion merges the committed chain with cached versions
-//! an older snapshot must still observe and with the transaction's own
-//! pending writes, without ever materialising the whole adjacency list.
+//! PR 1 made the read paths lazy but still buffered full candidate-ID
+//! lists at creation; this layer removes even that. Candidates now come
+//! from resumable, GC-safe cursors — the store's relationship/slot chains
+//! ([`graphsi_storage::RelChainCursor`], [`graphsi_storage::NodeScanCursor`]),
+//! the versioned index postings ([`graphsi_index::PostingCursor`]) and the
+//! MVCC cache's shard pages — each buffering at most one fixed-size chunk
+//! of bare IDs and re-validating its position on every refill, so
+//! concurrent commits and GC above the watermark are safe. (One scoped
+//! exception: the whole-graph scans' cache stage transiently stages one
+//! cache shard's key set at a time, bounded by the largest shard and
+//! tracked by the `shard_key_buffer_peak` metric — see [`ScanSource`].)
+//! The paper's
+//! *enriched iterator* (§4) still happens here, but per element: every
+//! candidate is merged with the version cache overlay and the
+//! transaction's private write set only when the iterator reaches it, so a
+//! k-hop expansion over a million-node graph holds O(frontier + chunk)
+//! memory instead of O(candidates).
 
 use std::collections::HashSet;
 
-use graphsi_storage::{LabelToken, NodeId, PropertyKeyToken, PropertyValue, RelationshipId};
+use graphsi_index::{PostingCursor, PropertyIndexKey};
+use graphsi_storage::{
+    LabelToken, NodeId, NodeScanCursor, PropertyKeyToken, PropertyValue, RelChainCursor,
+    RelScanCursor, RelationshipId,
+};
 
-use crate::entity::{Direction, Relationship};
+use crate::entity::{Direction, Relationship, RelationshipData};
 use crate::error::Result;
 use crate::transaction::Transaction;
 
-/// Lazy iterator over the relationships touching one node, in the
-/// transaction's view. Yields `Result<Relationship>`; an error aborts the
-/// iteration (subsequent `next` calls return `None`).
-///
-/// Created by [`Transaction::relationships`].
-pub struct RelIter<'tx> {
+// ----------------------------------------------------------------------
+// Committed relationship candidates: chain cursor ∪ overlay pages
+// ----------------------------------------------------------------------
+
+/// Where the committed-candidate cursor currently draws IDs from.
+enum RelStage<'tx> {
+    /// The persistent relationship chain, paged by the store cursor.
+    Chain(RelChainCursor<'tx>),
+    /// The version-cache overlay (relationships with cached versions
+    /// touching the node), paged by ID order with a resume marker.
+    Overlay {
+        marker: Option<RelationshipId>,
+    },
+    Done,
+}
+
+/// Chunked source of committed candidate relationship IDs for one node:
+/// first the persistent chain, then the overlay of relationships whose
+/// versions live only in the MVCC cache (the enriched-iterator merge).
+/// Buffers at most one chunk; holds no lock between refills.
+struct RelCandidateCursor<'tx> {
+    tx: &'tx Transaction,
+    node: NodeId,
+    chunk: usize,
+    buf: Vec<RelationshipId>,
+    pos: usize,
+    /// Chain-cursor restarts already flushed to the metrics. Flushing the
+    /// delta after every refill (not at exhaustion) keeps the
+    /// `cursor_restarts` counter accurate even when the iterator is
+    /// dropped early (a `limit`, an aborted traversal).
+    restarts_reported: u64,
+    stage: RelStage<'tx>,
+}
+
+impl<'tx> RelCandidateCursor<'tx> {
+    fn new(tx: &'tx Transaction, node: NodeId, chunk: usize) -> Result<Self> {
+        let cursor = tx.db().store.rel_chain_cursor(node, chunk)?;
+        Ok(RelCandidateCursor {
+            tx,
+            node,
+            chunk,
+            buf: Vec::new(),
+            pos: 0,
+            restarts_reported: 0,
+            stage: RelStage::Chain(cursor),
+        })
+    }
+
+    fn next_id(&mut self) -> Result<Option<RelationshipId>> {
+        loop {
+            if self.pos < self.buf.len() {
+                let id = self.buf[self.pos];
+                self.pos += 1;
+                return Ok(Some(id));
+            }
+            self.pos = 0;
+            match &mut self.stage {
+                RelStage::Chain(cursor) => {
+                    let result = cursor.next_chunk(&mut self.buf);
+                    let restarts = cursor.restarts();
+                    self.tx
+                        .db()
+                        .metrics
+                        .record_cursor_restarts(restarts - self.restarts_reported);
+                    self.restarts_reported = restarts;
+                    if !result? {
+                        self.stage = RelStage::Overlay { marker: None };
+                        continue;
+                    }
+                    self.tx.db().metrics.record_chunk_refill(self.buf.len());
+                }
+                RelStage::Overlay { marker } => {
+                    let next =
+                        self.tx
+                            .db()
+                            .overlay_page(self.node, *marker, self.chunk, &mut self.buf);
+                    if !self.buf.is_empty() {
+                        self.tx.db().metrics.record_chunk_refill(self.buf.len());
+                    }
+                    match next {
+                        Some(m) => *marker = Some(m),
+                        None => self.stage = RelStage::Done,
+                    }
+                }
+                RelStage::Done => return Ok(None),
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Relationship iterators
+// ----------------------------------------------------------------------
+
+/// Internal engine iterator over the relationships touching one node in
+/// the transaction's view, yielding raw `(id, data)` pairs without
+/// resolving token names. [`RelIter`], [`NeighborIter`] and the query
+/// expansion stage all ride on it.
+pub(crate) struct RelEntryIter<'tx> {
     tx: &'tx Transaction,
     node: NodeId,
     direction: Direction,
-    /// Committed candidates: persistent chain + overlay, bare IDs.
-    committed: std::vec::IntoIter<RelationshipId>,
-    /// This transaction's pending creations touching the node.
+    candidates: RelCandidateCursor<'tx>,
+    /// This transaction's pending creations touching the node (small:
+    /// bounded by the write set).
     pending: std::vec::IntoIter<RelationshipId>,
     seen: HashSet<RelationshipId>,
     failed: bool,
 }
 
-impl<'tx> RelIter<'tx> {
-    pub(crate) fn new(tx: &'tx Transaction, node: NodeId, direction: Direction) -> Result<Self> {
-        let committed = tx.db().candidate_relationships_of(node)?;
+impl<'tx> RelEntryIter<'tx> {
+    pub(crate) fn new(
+        tx: &'tx Transaction,
+        node: NodeId,
+        direction: Direction,
+        chunk: usize,
+    ) -> Result<Self> {
+        let candidates = RelCandidateCursor::new(tx, node, chunk)?;
         let pending: Vec<RelationshipId> = tx
             .write_set_ref()
             .map(|ws| {
@@ -46,28 +158,42 @@ impl<'tx> RelIter<'tx> {
                     .collect()
             })
             .unwrap_or_default();
-        Ok(RelIter {
+        Ok(RelEntryIter {
             tx,
             node,
             direction,
-            committed: committed.into_iter(),
+            candidates,
             pending: pending.into_iter(),
             seen: HashSet::new(),
             failed: false,
         })
     }
+
+    pub(crate) fn node(&self) -> NodeId {
+        self.node
+    }
 }
 
-impl Iterator for RelIter<'_> {
-    type Item = Result<Relationship>;
+impl Iterator for RelEntryIter<'_> {
+    type Item = Result<(RelationshipId, RelationshipData)>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.failed {
             return None;
         }
         // Committed candidates first: own deletions and updates win, the
-        // snapshot decides the rest.
-        for id in self.committed.by_ref() {
+        // snapshot decides the rest. The `seen` set both deduplicates the
+        // chain ∪ overlay merge and absorbs re-yields after a chain-cursor
+        // restart.
+        loop {
+            let id = match self.candidates.next_id() {
+                Ok(Some(id)) => id,
+                Ok(None) => break,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
             if !self.seen.insert(id) {
                 continue;
             }
@@ -80,7 +206,7 @@ impl Iterator for RelIter<'_> {
                     if data.touches(self.node)
                         && self.direction.matches(self.node, data.source, data.target)
                     {
-                        return Some(Ok(self.tx.to_public_relationship(id, data)));
+                        return Some(Ok((id, data.clone())));
                     }
                 }
                 continue;
@@ -90,7 +216,7 @@ impl Iterator for RelIter<'_> {
                     if data.touches(self.node)
                         && self.direction.matches(self.node, data.source, data.target)
                     {
-                        return Some(Ok(self.tx.to_public_relationship(id, &data)));
+                        return Some(Ok((id, data)));
                     }
                 }
                 Ok(None) => {}
@@ -113,32 +239,78 @@ impl Iterator for RelIter<'_> {
                 continue;
             };
             if self.direction.matches(self.node, data.source, data.target) {
-                return Some(Ok(self.tx.to_public_relationship(id, data)));
+                return Some(Ok((id, data.clone())));
             }
         }
         None
     }
 }
 
-impl std::fmt::Debug for RelIter<'_> {
+impl std::fmt::Debug for RelEntryIter<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RelIter")
+        f.debug_struct("RelEntryIter")
             .field("node", &self.node)
             .field("direction", &self.direction)
             .finish_non_exhaustive()
     }
 }
 
+/// Lazy iterator over the relationships touching one node, in the
+/// transaction's view. Yields `Result<Relationship>`; an error aborts the
+/// iteration (subsequent `next` calls return `None`).
+///
+/// Created by [`Transaction::relationships`].
+pub struct RelIter<'tx> {
+    entries: RelEntryIter<'tx>,
+}
+
+impl<'tx> RelIter<'tx> {
+    pub(crate) fn new(
+        tx: &'tx Transaction,
+        node: NodeId,
+        direction: Direction,
+        chunk: usize,
+    ) -> Result<Self> {
+        Ok(RelIter {
+            entries: RelEntryIter::new(tx, node, direction, chunk)?,
+        })
+    }
+}
+
+impl Iterator for RelIter<'_> {
+    type Item = Result<Relationship>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let tx = self.entries.tx;
+        match self.entries.next()? {
+            Ok((id, data)) => Some(Ok(tx.to_public_relationship(id, &data))),
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+impl std::fmt::Debug for RelIter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelIter")
+            .field("node", &self.entries.node)
+            .field("direction", &self.entries.direction)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Lazy iterator over the IDs of a node's neighbours, deduplicated in
-/// visit order. Created by [`Transaction::neighbors`].
+/// visit order. Created by [`Transaction::neighbors`]. Rides directly on
+/// the raw entry iterator, so neighbour expansion never materialises
+/// property maps or token names.
 pub struct NeighborIter<'tx> {
-    rels: RelIter<'tx>,
+    rels: RelEntryIter<'tx>,
     node: NodeId,
     yielded: HashSet<NodeId>,
 }
 
 impl<'tx> NeighborIter<'tx> {
-    pub(crate) fn new(rels: RelIter<'tx>, node: NodeId) -> Self {
+    pub(crate) fn new(rels: RelEntryIter<'tx>) -> Self {
+        let node = rels.node();
         NeighborIter {
             rels,
             node,
@@ -153,8 +325,8 @@ impl Iterator for NeighborIter<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         for rel in self.rels.by_ref() {
             match rel {
-                Ok(rel) => {
-                    let other = rel.other_node(self.node);
+                Ok((_, data)) => {
+                    let other = data.other_node(self.node);
                     if self.yielded.insert(other) {
                         return Some(Ok(other));
                     }
@@ -174,8 +346,11 @@ impl std::fmt::Debug for NeighborIter<'_> {
     }
 }
 
-/// What a [`NodeIdIter`] checks before yielding a base candidate, and
-/// which write-set additions it appends.
+// ----------------------------------------------------------------------
+// Node scans
+// ----------------------------------------------------------------------
+
+/// What a [`NodeIdIter`] checks before yielding a base candidate.
 enum NodeScan {
     /// Index-backed label scan: write-set state decides membership.
     Label(LabelToken),
@@ -187,78 +362,256 @@ enum NodeScan {
     Empty,
 }
 
-/// Lazy iterator over node IDs from a label scan, a property scan or a
-/// whole-graph scan, merged with the transaction's write set. Yields
+/// The shape both store slot-scan cursors share, so the whole-graph scan
+/// source can be written once for nodes and relationships.
+trait SlotScanCursor {
+    type Id: Copy + Eq + std::hash::Hash;
+    fn next_chunk(&mut self, buf: &mut Vec<Self::Id>) -> graphsi_storage::Result<bool>;
+}
+
+impl SlotScanCursor for NodeScanCursor<'_> {
+    type Id = NodeId;
+    fn next_chunk(&mut self, buf: &mut Vec<NodeId>) -> graphsi_storage::Result<bool> {
+        NodeScanCursor::next_chunk(self, buf)
+    }
+}
+
+impl SlotScanCursor for RelScanCursor<'_> {
+    type Id = RelationshipId;
+    fn next_chunk(&mut self, buf: &mut Vec<RelationshipId>) -> graphsi_storage::Result<bool> {
+        RelScanCursor::next_chunk(self, buf)
+    }
+}
+
+/// Chunked source of whole-graph candidates, shared by [`NodeIdIter`]'s
+/// `All` scan and [`RelIdIter`]: the store's slot scan, then the MVCC
+/// cache's keys (entities whose only versions live in the cache, e.g.
+/// deleted-but-still-visible ones), then the write set's keys.
+///
+/// The cache stage pages one shard at a time: a shard's key set is copied
+/// atomically under its lock and then drained in chunks, so this stage's
+/// *transient* buffering is bounded by the largest cache shard rather than
+/// the chunk size (recorded in the `shard_key_buffer_peak` metric; closing
+/// the gap needs a sorted per-shard key structure — see ROADMAP).
+/// Pages one cache shard's keys into the out-vector; `false` = no such
+/// shard (the cache stage is exhausted).
+type ShardKeysFn<'tx, Id> = Box<dyn Fn(usize, &mut Vec<Id>) -> bool + 'tx>;
+
+struct ScanSource<'tx, C: SlotScanCursor> {
+    store: C,
+    store_done: bool,
+    shard: usize,
+    shard_keys_fn: ShardKeysFn<'tx, C::Id>,
+    shard_keys: Vec<C::Id>,
+    shard_pos: usize,
+    ws_keys: std::vec::IntoIter<C::Id>,
+}
+
+impl<C: SlotScanCursor> ScanSource<'_, C> {
+    /// Refills `buf` with up to `chunk` candidates; `false` = exhausted.
+    fn refill(&mut self, tx: &Transaction, chunk: usize, buf: &mut Vec<C::Id>) -> Result<bool> {
+        buf.clear();
+        if !self.store_done {
+            if self.store.next_chunk(buf)? {
+                return Ok(true);
+            }
+            self.store_done = true;
+        }
+        loop {
+            if self.shard_pos < self.shard_keys.len() {
+                let end = (self.shard_pos + chunk).min(self.shard_keys.len());
+                buf.extend_from_slice(&self.shard_keys[self.shard_pos..end]);
+                self.shard_pos = end;
+                return Ok(true);
+            }
+            self.shard_keys.clear();
+            self.shard_pos = 0;
+            if !(self.shard_keys_fn)(self.shard, &mut self.shard_keys) {
+                break;
+            }
+            tx.db().metrics.record_shard_page(self.shard_keys.len());
+            self.shard += 1;
+        }
+        while buf.len() < chunk {
+            match self.ws_keys.next() {
+                Some(id) => buf.push(id),
+                None => break,
+            }
+        }
+        Ok(!buf.is_empty())
+    }
+}
+
+/// Source of base candidates for a [`NodeIdIter`].
+enum NodeBase<'tx> {
+    Empty,
+    Label(PostingCursor<'tx, LabelToken, NodeId>),
+    Property(PostingCursor<'tx, PropertyIndexKey, NodeId>),
+    All(Box<ScanSource<'tx, NodeScanCursor<'tx>>>),
+}
+
+/// Lazy, chunked iterator over node IDs from a label scan, a property scan
+/// or a whole-graph scan, merged with the transaction's write set. Yields
 /// `Result<NodeId>` in no particular order; use the `*_vec` shims on
 /// [`Transaction`] for sorted output.
 pub struct NodeIdIter<'tx> {
     tx: &'tx Transaction,
-    base: std::vec::IntoIter<NodeId>,
-    /// Write-set additions not present in the base listing (computed
-    /// eagerly over the — small — write set at construction time).
+    base: NodeBase<'tx>,
+    base_done: bool,
+    chunk: usize,
+    buf: Vec<NodeId>,
+    pos: usize,
+    /// Write-set additions the index/base listing cannot know about
+    /// (computed eagerly over the — small — write set at construction).
     pending: std::vec::IntoIter<NodeId>,
     scan: NodeScan,
+    /// Deduplication for the whole-graph scan (store ∪ cache ∪ write set).
     seen: HashSet<NodeId>,
     failed: bool,
 }
 
 impl<'tx> NodeIdIter<'tx> {
     pub(crate) fn empty(tx: &'tx Transaction) -> Self {
-        Self::build(tx, Vec::new(), NodeScan::Empty)
+        Self::build(tx, NodeBase::Empty, NodeScan::Empty, Vec::new(), 1)
     }
 
-    pub(crate) fn with_label(tx: &'tx Transaction, base: Vec<NodeId>, token: LabelToken) -> Self {
-        Self::build(tx, base, NodeScan::Label(token))
+    pub(crate) fn with_label(tx: &'tx Transaction, token: LabelToken, chunk: usize) -> Self {
+        let read_ts = tx.read_timestamp();
+        let cursor = tx.db().indexes.labels.cursor(token, read_ts, chunk);
+        // Write-set additions the versioned index cannot know about: nodes
+        // whose pending state carries the label but whose visible index
+        // membership says otherwise.
+        let pending: Vec<NodeId> = match tx.write_set_ref() {
+            Some(ws) if !ws.nodes.is_empty() => ws
+                .nodes
+                .iter()
+                .filter(|(id, entry)| {
+                    entry.after.as_ref().is_some_and(|a| a.has_label(token))
+                        && !tx.db().indexes.labels.has_label(token, **id, read_ts)
+                })
+                .map(|(&id, _)| id)
+                .collect(),
+            _ => Vec::new(),
+        };
+        Self::build(
+            tx,
+            NodeBase::Label(cursor),
+            NodeScan::Label(token),
+            pending,
+            chunk,
+        )
     }
 
     pub(crate) fn with_property(
         tx: &'tx Transaction,
-        base: Vec<NodeId>,
         token: PropertyKeyToken,
         value: PropertyValue,
+        chunk: usize,
     ) -> Self {
-        Self::build(tx, base, NodeScan::Property(token, value))
-    }
-
-    pub(crate) fn all_nodes(tx: &'tx Transaction, candidates: Vec<NodeId>) -> Self {
-        Self::build(tx, candidates, NodeScan::All)
-    }
-
-    fn build(tx: &'tx Transaction, base: Vec<NodeId>, scan: NodeScan) -> Self {
-        // Write-set additions that the index/base listing cannot know
-        // about. The base membership check goes through a set built once,
-        // keeping construction O(|base| + |write set|); read-only
-        // transactions (no write set) skip all of this.
-        let pending: Vec<NodeId> = match (&scan, tx.write_set_ref()) {
-            (NodeScan::Label(..) | NodeScan::Property(..), Some(ws)) if !ws.nodes.is_empty() => {
-                let in_base: HashSet<NodeId> = base.iter().copied().collect();
-                ws.nodes
-                    .iter()
-                    .filter(|(id, entry)| {
-                        let matches = match &scan {
-                            NodeScan::Label(token) => {
-                                entry.after.as_ref().is_some_and(|a| a.has_label(*token))
-                            }
-                            NodeScan::Property(token, value) => entry
-                                .after
-                                .as_ref()
-                                .is_some_and(|a| a.properties.get(token) == Some(value)),
-                            _ => false,
-                        };
-                        matches && !in_base.contains(id)
-                    })
-                    .map(|(&id, _)| id)
-                    .collect()
-            }
+        let read_ts = tx.read_timestamp();
+        let cursor = tx
+            .db()
+            .indexes
+            .node_properties
+            .cursor(token, &value, read_ts, chunk);
+        let pending: Vec<NodeId> = match tx.write_set_ref() {
+            Some(ws) if !ws.nodes.is_empty() => ws
+                .nodes
+                .iter()
+                .filter(|(id, entry)| {
+                    entry
+                        .after
+                        .as_ref()
+                        .is_some_and(|a| a.properties.get(&token) == Some(&value))
+                        && !tx
+                            .db()
+                            .indexes
+                            .node_properties
+                            .contains(token, &value, **id, read_ts)
+                })
+                .map(|(&id, _)| id)
+                .collect(),
             _ => Vec::new(),
         };
+        Self::build(
+            tx,
+            NodeBase::Property(cursor),
+            NodeScan::Property(token, value),
+            pending,
+            chunk,
+        )
+    }
+
+    pub(crate) fn all_nodes(tx: &'tx Transaction, chunk: usize) -> Self {
+        let ws_keys: Vec<NodeId> = tx
+            .write_set_ref()
+            .map(|ws| ws.nodes.keys().copied().collect())
+            .unwrap_or_default();
+        let db = tx.db();
+        let source = ScanSource {
+            store: db.store.node_scan_cursor(chunk),
+            store_done: false,
+            shard: 0,
+            shard_keys_fn: Box::new(move |shard, out| db.node_cache.shard_keys(shard, out)),
+            shard_keys: Vec::new(),
+            shard_pos: 0,
+            ws_keys: ws_keys.into_iter(),
+        };
+        Self::build(
+            tx,
+            NodeBase::All(Box::new(source)),
+            NodeScan::All,
+            Vec::new(),
+            chunk,
+        )
+    }
+
+    fn build(
+        tx: &'tx Transaction,
+        base: NodeBase<'tx>,
+        scan: NodeScan,
+        pending: Vec<NodeId>,
+        chunk: usize,
+    ) -> Self {
         NodeIdIter {
             tx,
-            base: base.into_iter(),
+            base,
+            base_done: false,
+            chunk,
+            buf: Vec::new(),
+            pos: 0,
             pending: pending.into_iter(),
             scan,
             seen: HashSet::new(),
             failed: false,
+        }
+    }
+
+    /// Pulls the next base candidate, refilling the chunk buffer on demand.
+    fn next_base(&mut self) -> Result<Option<NodeId>> {
+        loop {
+            if self.pos < self.buf.len() {
+                let id = self.buf[self.pos];
+                self.pos += 1;
+                return Ok(Some(id));
+            }
+            if self.base_done {
+                return Ok(None);
+            }
+            self.pos = 0;
+            let refilled = match &mut self.base {
+                NodeBase::Empty => false,
+                NodeBase::Label(cursor) => cursor.next_chunk(&mut self.buf),
+                NodeBase::Property(cursor) => cursor.next_chunk(&mut self.buf),
+                NodeBase::All(source) => source.refill(self.tx, self.chunk, &mut self.buf)?,
+            };
+            if !refilled {
+                // Not a refill: nothing was buffered and the base is done
+                // for good (the pending drain must not re-poll it).
+                self.base_done = true;
+                return Ok(None);
+            }
+            self.tx.db().metrics.record_chunk_refill(self.buf.len());
         }
     }
 }
@@ -270,7 +623,15 @@ impl Iterator for NodeIdIter<'_> {
         if self.failed {
             return None;
         }
-        for id in self.base.by_ref() {
+        loop {
+            let id = match self.next_base() {
+                Ok(Some(id)) => id,
+                Ok(None) => break,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
             match &self.scan {
                 NodeScan::Empty => return None,
                 NodeScan::Label(token) => {
@@ -320,24 +681,50 @@ impl Iterator for NodeIdIter<'_> {
 
 impl std::fmt::Debug for NodeIdIter<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeIdIter").finish_non_exhaustive()
+        f.debug_struct("NodeIdIter")
+            .field("chunk", &self.chunk)
+            .finish_non_exhaustive()
     }
 }
 
-/// Lazy iterator over every relationship ID visible to the transaction.
-/// Created by [`Transaction::all_relationships`].
+// ----------------------------------------------------------------------
+// Whole-graph relationship scan
+// ----------------------------------------------------------------------
+
+/// Lazy, chunked iterator over every relationship ID visible to the
+/// transaction. Created by [`Transaction::all_relationships`]. Rides on
+/// the same three-stage [`ScanSource`] as the whole-graph node scan.
 pub struct RelIdIter<'tx> {
     tx: &'tx Transaction,
-    candidates: std::vec::IntoIter<RelationshipId>,
+    source: ScanSource<'tx, RelScanCursor<'tx>>,
+    chunk: usize,
+    buf: Vec<RelationshipId>,
+    pos: usize,
     seen: HashSet<RelationshipId>,
     failed: bool,
 }
 
 impl<'tx> RelIdIter<'tx> {
-    pub(crate) fn new(tx: &'tx Transaction, candidates: Vec<RelationshipId>) -> Self {
+    pub(crate) fn new(tx: &'tx Transaction, chunk: usize) -> Self {
+        let ws_keys: Vec<RelationshipId> = tx
+            .write_set_ref()
+            .map(|ws| ws.relationships.keys().copied().collect())
+            .unwrap_or_default();
+        let db = tx.db();
         RelIdIter {
             tx,
-            candidates: candidates.into_iter(),
+            source: ScanSource {
+                store: db.store.rel_scan_cursor(chunk),
+                store_done: false,
+                shard: 0,
+                shard_keys_fn: Box::new(move |shard, out| db.rel_cache.shard_keys(shard, out)),
+                shard_keys: Vec::new(),
+                shard_pos: 0,
+                ws_keys: ws_keys.into_iter(),
+            },
+            chunk,
+            buf: Vec::new(),
+            pos: 0,
             seen: HashSet::new(),
             failed: false,
         }
@@ -351,7 +738,22 @@ impl Iterator for RelIdIter<'_> {
         if self.failed {
             return None;
         }
-        for id in self.candidates.by_ref() {
+        loop {
+            if self.pos >= self.buf.len() {
+                self.pos = 0;
+                match self.source.refill(self.tx, self.chunk, &mut self.buf) {
+                    Ok(true) => {
+                        self.tx.db().metrics.record_chunk_refill(self.buf.len());
+                    }
+                    Ok(false) => return None,
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            let id = self.buf[self.pos];
+            self.pos += 1;
             if !self.seen.insert(id) {
                 continue;
             }
@@ -364,13 +766,14 @@ impl Iterator for RelIdIter<'_> {
                 }
             }
         }
-        None
     }
 }
 
 impl std::fmt::Debug for RelIdIter<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RelIdIter").finish_non_exhaustive()
+        f.debug_struct("RelIdIter")
+            .field("chunk", &self.chunk)
+            .finish_non_exhaustive()
     }
 }
 
@@ -477,5 +880,61 @@ mod tests {
         let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
         let tx = db.begin();
         assert_eq!(tx.nodes_with_label("Nope").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn scans_work_at_every_chunk_size() {
+        let dir = TempDir::new("iter_chunks");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let mut tx = db.begin();
+        let hub = tx.create_node(&["C"], &[]).unwrap();
+        for _ in 0..7 {
+            let n = tx.create_node(&["C"], &[]).unwrap();
+            tx.create_relationship(hub, n, "T", &[]).unwrap();
+        }
+        tx.commit().unwrap();
+
+        let baseline: Vec<_> = {
+            let tx = db.begin();
+            tx.nodes_with_label_vec("C").unwrap()
+        };
+        for chunk in [1usize, 2, 3, 256] {
+            let tx = db.txn().scan_chunk_size(chunk).begin();
+            assert_eq!(tx.nodes_with_label_vec("C").unwrap(), baseline);
+            assert_eq!(tx.all_nodes_vec().unwrap(), baseline);
+            assert_eq!(tx.degree(hub, Direction::Both).unwrap(), 7);
+            assert_eq!(tx.all_relationships_vec().unwrap().len(), 7);
+        }
+    }
+
+    #[test]
+    fn candidate_buffering_is_bounded_by_the_chunk_size() {
+        let dir = TempDir::new("iter_bounded");
+        // Open with a tiny chunk so even the seeding writes obey the bound.
+        let db = GraphDb::open(dir.path(), DbConfig::default().with_scan_chunk_size(4)).unwrap();
+        let mut tx = db.begin();
+        let hub = tx.create_node(&["B"], &[]).unwrap();
+        for _ in 0..100 {
+            let n = tx.create_node(&["B"], &[]).unwrap();
+            tx.create_relationship(hub, n, "T", &[]).unwrap();
+        }
+        tx.commit().unwrap();
+
+        let tx = db.begin();
+        assert_eq!(tx.nodes_with_label("B").unwrap().count(), 101);
+        let mut degree = 0;
+        for rel in tx.relationships(hub, Direction::Both).unwrap() {
+            rel.unwrap();
+            degree += 1;
+        }
+        assert_eq!(degree, 100);
+        let metrics = db.metrics();
+        assert!(metrics.chunk_refills > 0, "cursors must have refilled");
+        assert!(
+            metrics.candidate_buffer_peak <= 4,
+            "a 100-way scan must never buffer more than one chunk \
+             (peak {} > 4)",
+            metrics.candidate_buffer_peak
+        );
     }
 }

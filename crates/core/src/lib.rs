@@ -32,7 +32,11 @@
 //! `Send + 'static`, so worker pools can run one transaction per thread.
 //! Hot reads ([`Transaction::relationships`],
 //! [`Transaction::nodes_with_label`], ...) are lazy, snapshot-consistent
-//! iterators; `*_vec` variants collect them eagerly.
+//! iterators fed by chunked, GC-safe cursors — candidate IDs are paged at
+//! most one chunk ([`DbConfig::scan_chunk_size`]) at a time — and
+//! [`Transaction::query`] composes them into streaming pipelines
+//! (label/property match → filter → multi-hop expand → distinct → limit);
+//! `*_vec` variants collect eagerly.
 //!
 //! ## Quick start
 //!
@@ -77,6 +81,7 @@ pub mod error;
 pub mod iter;
 pub mod metrics;
 pub mod options;
+pub mod query;
 pub mod transaction;
 pub mod traversal;
 pub mod write_set;
@@ -89,6 +94,7 @@ pub use error::{DbError, Result};
 pub use iter::{NeighborIter, NodeIdIter, RelIdIter, RelIter};
 pub use metrics::{DbMetrics, DbMetricsSnapshot};
 pub use options::TxnOptions;
+pub use query::{QueryBuilder, QueryStream};
 pub use transaction::Transaction;
 
 // Re-export the identifiers and value types users need from the substrate

@@ -15,6 +15,10 @@ pub struct DbMetrics {
     writes: AtomicU64,
     gc_runs: AtomicU64,
     versions_reclaimed: AtomicU64,
+    chunk_refills: AtomicU64,
+    candidate_buffer_peak: AtomicU64,
+    shard_key_buffer_peak: AtomicU64,
+    cursor_restarts: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DbMetrics`].
@@ -39,6 +43,22 @@ pub struct DbMetricsSnapshot {
     pub gc_runs: u64,
     /// Versions reclaimed by garbage collection.
     pub versions_reclaimed: u64,
+    /// Chunk refills performed by the streaming read cursors.
+    pub chunk_refills: u64,
+    /// Largest number of candidate IDs any single cursor refill buffered —
+    /// the knob the chunked redesign bounds: with chunk size `c`, this
+    /// never exceeds `c` no matter how large the scanned label, posting
+    /// list or relationship chain is.
+    pub candidate_buffer_peak: u64,
+    /// Largest cache-shard key set a whole-graph scan staged before
+    /// draining it in chunks. Whole-graph scans (`all_nodes`,
+    /// `all_relationships`) transiently buffer one MVCC cache shard's keys
+    /// at a time, so this peak is bounded by the largest shard rather than
+    /// the chunk size — the remaining gap the ROADMAP tracks.
+    pub shard_key_buffer_peak: u64,
+    /// Times a chain cursor had to restart from the head because a
+    /// concurrent commit rewired the chain under it.
+    pub cursor_restarts: u64,
 }
 
 impl DbMetricsSnapshot {
@@ -92,6 +112,23 @@ impl DbMetrics {
             .fetch_add(versions_reclaimed, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_chunk_refill(&self, buffered: usize) {
+        self.chunk_refills.fetch_add(1, Ordering::Relaxed);
+        self.candidate_buffer_peak
+            .fetch_max(buffered as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shard_page(&self, buffered: usize) {
+        self.shard_key_buffer_peak
+            .fetch_max(buffered as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cursor_restarts(&self, restarts: u64) {
+        if restarts > 0 {
+            self.cursor_restarts.fetch_add(restarts, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a snapshot of every counter.
     pub fn snapshot(&self) -> DbMetricsSnapshot {
         DbMetricsSnapshot {
@@ -104,6 +141,10 @@ impl DbMetrics {
             writes: self.writes.load(Ordering::Relaxed),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
             versions_reclaimed: self.versions_reclaimed.load(Ordering::Relaxed),
+            chunk_refills: self.chunk_refills.load(Ordering::Relaxed),
+            candidate_buffer_peak: self.candidate_buffer_peak.load(Ordering::Relaxed),
+            shard_key_buffer_peak: self.shard_key_buffer_peak.load(Ordering::Relaxed),
+            cursor_restarts: self.cursor_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -124,6 +165,13 @@ mod tests {
         m.record_read();
         m.record_write();
         m.record_gc(5);
+        m.record_chunk_refill(3);
+        m.record_chunk_refill(7);
+        m.record_chunk_refill(2);
+        m.record_shard_page(31);
+        m.record_shard_page(12);
+        m.record_cursor_restarts(0);
+        m.record_cursor_restarts(2);
         let s = m.snapshot();
         assert_eq!(s.begins, 2);
         assert_eq!(s.commits, 2);
@@ -134,6 +182,10 @@ mod tests {
         assert_eq!(s.writes, 1);
         assert_eq!(s.gc_runs, 1);
         assert_eq!(s.versions_reclaimed, 5);
+        assert_eq!(s.chunk_refills, 3);
+        assert_eq!(s.candidate_buffer_peak, 7, "peak is a max, not a sum");
+        assert_eq!(s.shard_key_buffer_peak, 31);
+        assert_eq!(s.cursor_restarts, 2);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub struct TxnOptions {
     isolation: IsolationLevel,
     read_only: bool,
     conflict_strategy: Option<ConflictStrategy>,
+    scan_chunk_size: Option<usize>,
 }
 
 impl TxnOptions {
@@ -45,6 +46,7 @@ impl TxnOptions {
             isolation,
             read_only: false,
             conflict_strategy: None,
+            scan_chunk_size: None,
         }
     }
 
@@ -72,6 +74,15 @@ impl TxnOptions {
         self
     }
 
+    /// Overrides the streaming-cursor chunk size for this transaction only
+    /// (defaults to [`crate::DbConfig::scan_chunk_size`]; clamped to at
+    /// least 1). Every scan and expansion the transaction runs buffers at
+    /// most this many candidate IDs per refill.
+    pub fn scan_chunk_size(mut self, chunk: usize) -> Self {
+        self.scan_chunk_size = Some(chunk.max(1));
+        self
+    }
+
     /// Begins the transaction. The returned [`Transaction`] owns a
     /// reference to the database and is `Send + 'static`.
     pub fn begin(self) -> Transaction {
@@ -79,6 +90,10 @@ impl TxnOptions {
         let strategy = self
             .conflict_strategy
             .unwrap_or(self.db.config.conflict_strategy);
+        let chunk = self
+            .scan_chunk_size
+            .unwrap_or(self.db.config.scan_chunk_size)
+            .max(1);
         Transaction::new(
             self.db,
             id,
@@ -86,6 +101,7 @@ impl TxnOptions {
             self.isolation,
             strategy,
             self.read_only,
+            chunk,
         )
     }
 }

@@ -1,0 +1,728 @@
+//! The composable, streaming query builder — `tx.query()`.
+//!
+//! A [`QueryBuilder`] describes a pipeline of relational-ish stages over
+//! the graph (CrocoPat-style composition on top of the paper's enriched
+//! iterators): a *source* (label scan, property scan, whole-graph scan or
+//! an explicit start set) followed by *stages* (property/label filters,
+//! multi-hop `expand`, `distinct`, `limit`). Terminal calls
+//! ([`QueryBuilder::stream`], [`QueryBuilder::ids`], [`QueryBuilder::count`],
+//! [`QueryBuilder::nodes`]) compile it into a [`QueryStream`]: a
+//! snapshot-consistent iterator with read-your-own-writes that pulls
+//! results element by element through the chunked, GC-safe cursors of
+//! [`crate::iter`] — peak candidate buffering stays bounded by the chunk
+//! size no matter how many nodes a stage scans (the `all_nodes` source
+//! additionally stages one MVCC cache shard's keys at a time; see
+//! `crate::iter` for the bound).
+
+use std::collections::HashSet;
+
+use graphsi_storage::{NodeId, PropertyValue, RelTypeToken};
+
+use crate::entity::{Direction, Node};
+use crate::error::Result;
+use crate::iter::RelEntryIter;
+use crate::transaction::Transaction;
+
+/// Where the pipeline draws its initial node stream from.
+enum Source {
+    /// Every node visible to the transaction (the default).
+    AllNodes,
+    /// Index-backed label scan.
+    Label(String),
+    /// Index-backed property scan.
+    Property(String, PropertyValue),
+    /// An explicit start set (visibility-checked when streamed).
+    Fixed(Vec<NodeId>),
+}
+
+/// A boxed snapshot predicate over one node, as stored by filter stages.
+type NodePredicate<'tx> = Box<dyn Fn(&Transaction, NodeId) -> Result<bool> + 'tx>;
+
+/// One pipeline stage.
+enum Stage<'tx> {
+    FilterProperty(String, Box<dyn Fn(&PropertyValue) -> bool + 'tx>),
+    FilterLabel(String),
+    Filter(NodePredicate<'tx>),
+    Expand {
+        direction: Direction,
+        rel_type: Option<String>,
+    },
+    Distinct,
+    Limit(usize),
+}
+
+/// A composable, streaming query over one transaction's view; created by
+/// [`Transaction::query`]. See the method docs there for an example.
+#[must_use = "finish the builder with `.stream()`, `.ids()`, `.count()` or `.nodes()`"]
+pub struct QueryBuilder<'tx> {
+    tx: &'tx Transaction,
+    source: Source,
+    source_set: bool,
+    stages: Vec<Stage<'tx>>,
+    chunk_size: Option<usize>,
+    /// Set when the builder was composed illegally (a source after
+    /// stages); reported as an error by the terminal calls, so a
+    /// mis-composed query can never silently return wrong data.
+    compose_error: Option<&'static str>,
+}
+
+impl<'tx> QueryBuilder<'tx> {
+    pub(crate) fn new(tx: &'tx Transaction) -> Self {
+        QueryBuilder {
+            tx,
+            source: Source::AllNodes,
+            source_set: false,
+            stages: Vec::new(),
+            chunk_size: None,
+            compose_error: None,
+        }
+    }
+
+    fn set_source(mut self, source: Source) -> Self {
+        if self.source_set || !self.stages.is_empty() {
+            self.compose_error = Some(
+                "query source must be set first and at most once (after stages, \
+                      use has_label / filter_property / filter instead)",
+            );
+            return self;
+        }
+        self.source = source;
+        self.source_set = true;
+        self
+    }
+
+    /// Starts from the nodes carrying `label` (index-backed). If stages
+    /// were already added, acts as a label filter instead.
+    pub fn nodes_with_label(self, label: &str) -> Self {
+        if self.source_set || !self.stages.is_empty() {
+            return self.has_label(label);
+        }
+        self.set_source(Source::Label(label.to_owned()))
+    }
+
+    /// Starts from the nodes whose property `name` equals `value`
+    /// (index-backed). If stages were already added, acts as a filter
+    /// instead — with the same equality semantics as the index
+    /// (`PropertyValue::index_key`, so e.g. float `NaN` matches itself).
+    pub fn nodes_with_property(self, name: &str, value: PropertyValue) -> Self {
+        if self.source_set || !self.stages.is_empty() {
+            let wanted = value.index_key();
+            return self
+                .filter_property_opt(name, move |v| v.is_some_and(|v| v.index_key() == wanted));
+        }
+        self.set_source(Source::Property(name.to_owned(), value))
+    }
+
+    /// Starts from every node visible to the transaction (the default
+    /// source).
+    pub fn all_nodes(self) -> Self {
+        self.set_source(Source::AllNodes)
+    }
+
+    /// Starts from an explicit set of node IDs. Nodes invisible to the
+    /// transaction's snapshot are silently dropped when streamed.
+    pub fn start_nodes(self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.set_source(Source::Fixed(nodes.into_iter().collect()))
+    }
+
+    /// Keeps only nodes whose property `name` exists and satisfies `pred`.
+    pub fn filter_property(
+        mut self,
+        name: &str,
+        pred: impl Fn(&PropertyValue) -> bool + 'tx,
+    ) -> Self {
+        self.stages
+            .push(Stage::FilterProperty(name.to_owned(), Box::new(pred)));
+        self
+    }
+
+    fn filter_property_opt(
+        mut self,
+        name: &str,
+        pred: impl Fn(Option<&PropertyValue>) -> bool + 'tx,
+    ) -> Self {
+        // Resolve the token once: the builder's shared borrow of the
+        // transaction rules out interleaved writes, so a key unknown here
+        // stays unknown for the whole query.
+        let token = self.tx.db().store.tokens().existing_property_key(name);
+        self.stages.push(Stage::Filter(Box::new(
+            move |tx: &Transaction, id: NodeId| {
+                let Some(data) = tx.visible_node(id)? else {
+                    return Ok(false);
+                };
+                Ok(pred(token.and_then(|t| data.properties.get(&t))))
+            },
+        )));
+        self
+    }
+
+    /// Keeps only nodes carrying `label`.
+    pub fn has_label(mut self, label: &str) -> Self {
+        self.stages.push(Stage::FilterLabel(label.to_owned()));
+        self
+    }
+
+    /// Keeps only nodes for which `pred` returns `true`. The predicate
+    /// receives the transaction, so it can run arbitrary snapshot reads.
+    pub fn filter(mut self, pred: impl Fn(&Transaction, NodeId) -> Result<bool> + 'tx) -> Self {
+        self.stages.push(Stage::Filter(Box::new(pred)));
+        self
+    }
+
+    /// Expands every incoming node one hop along its relationships in
+    /// `direction`, optionally restricted to relationships of type
+    /// `rel_type`, yielding the far endpoints. Chain `expand` calls for
+    /// multi-hop (k-hop) expansion; add [`QueryBuilder::distinct`] to
+    /// deduplicate the frontier.
+    pub fn expand(mut self, direction: Direction, rel_type: Option<&str>) -> Self {
+        self.stages.push(Stage::Expand {
+            direction,
+            rel_type: rel_type.map(str::to_owned),
+        });
+        self
+    }
+
+    /// Deduplicates the stream from this point on (keeps first
+    /// occurrences, in stream order). Memory is proportional to the number
+    /// of *distinct* rows that pass, not to the candidates scanned.
+    pub fn distinct(mut self) -> Self {
+        self.stages.push(Stage::Distinct);
+        self
+    }
+
+    /// Stops after `n` results. Upstream cursors stop being pulled — and
+    /// stop refilling chunks — as soon as the limit is reached.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.stages.push(Stage::Limit(n));
+        self
+    }
+
+    /// Overrides the cursor chunk size for this query only (defaults to
+    /// the transaction's [`Transaction::scan_chunk_size`]).
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_size = Some(chunk.max(1));
+        self
+    }
+
+    /// Compiles the pipeline into a streaming, snapshot-consistent
+    /// iterator over node IDs.
+    pub fn stream(self) -> Result<QueryStream<'tx>> {
+        if let Some(reason) = self.compose_error {
+            return Err(crate::error::DbError::InvalidQuery(reason.to_owned()));
+        }
+        let tx = self.tx;
+        let chunk = self.chunk_size.unwrap_or(tx.scan_chunk_size());
+        let mut it: BoxedIdIter<'tx> = match self.source {
+            Source::AllNodes => Box::new(tx.all_nodes_chunked(chunk)?),
+            Source::Label(label) => Box::new(tx.nodes_with_label_chunked(&label, chunk)?),
+            Source::Property(name, value) => {
+                Box::new(tx.nodes_with_property_chunked(&name, &value, chunk)?)
+            }
+            Source::Fixed(ids) => Box::new(FixedSource {
+                tx,
+                ids: ids.into_iter(),
+                failed: false,
+            }),
+        };
+        for stage in self.stages {
+            it = match stage {
+                Stage::FilterProperty(name, pred) => {
+                    let token = tx.db().store.tokens().existing_property_key(&name);
+                    Box::new(FilterIter {
+                        tx,
+                        upstream: it,
+                        failed: false,
+                        pred: Box::new(move |tx: &Transaction, id: NodeId| {
+                            let Some(data) = tx.visible_node(id)? else {
+                                return Ok(false);
+                            };
+                            Ok(token
+                                .and_then(|t| data.properties.get(&t))
+                                .is_some_and(&pred))
+                        }),
+                    })
+                }
+                Stage::FilterLabel(label) => {
+                    let token = tx.db().store.tokens().existing_label(&label);
+                    Box::new(FilterIter {
+                        tx,
+                        upstream: it,
+                        failed: false,
+                        pred: Box::new(move |tx: &Transaction, id: NodeId| {
+                            let Some(data) = tx.visible_node(id)? else {
+                                return Ok(false);
+                            };
+                            Ok(token.is_some_and(|t| data.has_label(t)))
+                        }),
+                    })
+                }
+                Stage::Filter(pred) => Box::new(FilterIter {
+                    tx,
+                    upstream: it,
+                    pred,
+                    failed: false,
+                }),
+                Stage::Expand {
+                    direction,
+                    rel_type,
+                } => {
+                    let type_token = match &rel_type {
+                        None => TypeFilter::Any,
+                        Some(name) => match tx.db().store.tokens().existing_rel_type(name) {
+                            Some(t) => TypeFilter::Only(t),
+                            // Name never interned: no relationship can match.
+                            None => TypeFilter::NoMatch,
+                        },
+                    };
+                    Box::new(ExpandIter {
+                        tx,
+                        upstream: it,
+                        direction,
+                        type_filter: type_token,
+                        current: None,
+                        chunk,
+                        failed: false,
+                    })
+                }
+                Stage::Distinct => Box::new(DistinctIter {
+                    upstream: it,
+                    seen: HashSet::new(),
+                }),
+                Stage::Limit(n) => Box::new(LimitIter {
+                    upstream: it,
+                    remaining: n,
+                }),
+            };
+        }
+        Ok(QueryStream { inner: it })
+    }
+
+    /// Runs the query and collects the resulting node IDs (in stream
+    /// order).
+    pub fn ids(self) -> Result<Vec<NodeId>> {
+        self.stream()?.collect()
+    }
+
+    /// Runs the query and counts the results without collecting them.
+    pub fn count(self) -> Result<usize> {
+        let mut n = 0;
+        for id in self.stream()? {
+            id?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Runs the query and materialises the resulting nodes (labels and
+    /// properties resolved to names).
+    pub fn nodes(self) -> Result<Vec<Node>> {
+        let tx = self.tx;
+        let mut out = Vec::new();
+        for id in self.stream()? {
+            let id = id?;
+            if let Some(node) = tx.get_node(id)? {
+                out.push(node);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for QueryBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBuilder")
+            .field("stages", &self.stages.len())
+            .field("chunk_size", &self.chunk_size)
+            .finish_non_exhaustive()
+    }
+}
+
+type BoxedIdIter<'tx> = Box<dyn Iterator<Item = Result<NodeId>> + 'tx>;
+
+/// The compiled, streaming result of a [`QueryBuilder`]. Yields
+/// `Result<NodeId>`; an error fuses the stream.
+pub struct QueryStream<'tx> {
+    inner: BoxedIdIter<'tx>,
+}
+
+impl Iterator for QueryStream<'_> {
+    type Item = Result<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl std::fmt::Debug for QueryStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryStream").finish_non_exhaustive()
+    }
+}
+
+/// Explicit start set, visibility-checked as it streams.
+struct FixedSource<'tx> {
+    tx: &'tx Transaction,
+    ids: std::vec::IntoIter<NodeId>,
+    failed: bool,
+}
+
+impl Iterator for FixedSource<'_> {
+    type Item = Result<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        for id in self.ids.by_ref() {
+            match self.tx.visible_node(id) {
+                Ok(Some(_)) => return Some(Ok(id)),
+                Ok(None) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Filter stage: keeps nodes satisfying a snapshot predicate.
+struct FilterIter<'tx> {
+    tx: &'tx Transaction,
+    upstream: BoxedIdIter<'tx>,
+    pred: NodePredicate<'tx>,
+    failed: bool,
+}
+
+impl Iterator for FilterIter<'_> {
+    type Item = Result<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        for id in self.upstream.by_ref() {
+            match id.and_then(|id| (self.pred)(self.tx, id).map(|keep| (id, keep))) {
+                Ok((id, true)) => return Some(Ok(id)),
+                Ok((_, false)) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// How an expansion stage restricts relationship types.
+enum TypeFilter {
+    Any,
+    Only(RelTypeToken),
+    /// The requested type name was never interned: nothing matches.
+    NoMatch,
+}
+
+/// Expansion stage: one hop along the relationships of each upstream node,
+/// streaming the far endpoints. Holds one upstream node's enriched
+/// relationship iterator at a time — O(frontier + chunk) memory.
+struct ExpandIter<'tx> {
+    tx: &'tx Transaction,
+    upstream: BoxedIdIter<'tx>,
+    direction: Direction,
+    type_filter: TypeFilter,
+    current: Option<(NodeId, RelEntryIter<'tx>)>,
+    chunk: usize,
+    failed: bool,
+}
+
+impl Iterator for ExpandIter<'_> {
+    type Item = Result<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if matches!(self.type_filter, TypeFilter::NoMatch) {
+            return None;
+        }
+        loop {
+            if let Some((node, rels)) = &mut self.current {
+                let node = *node;
+                for rel in rels.by_ref() {
+                    match rel {
+                        Ok((_, data)) => {
+                            if let TypeFilter::Only(t) = self.type_filter {
+                                if data.rel_type != t {
+                                    continue;
+                                }
+                            }
+                            return Some(Ok(data.other_node(node)));
+                        }
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                self.current = None;
+            }
+            match self.upstream.next() {
+                Some(Ok(node)) => {
+                    match self.tx.neighbors_or_empty(node, self.direction, self.chunk) {
+                        Ok(rels) => self.current = Some((node, rels)),
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                Some(Err(e)) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+/// Distinct stage: keeps first occurrences.
+struct DistinctIter<'tx> {
+    upstream: BoxedIdIter<'tx>,
+    seen: HashSet<NodeId>,
+}
+
+impl Iterator for DistinctIter<'_> {
+    type Item = Result<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for id in self.upstream.by_ref() {
+            match id {
+                Ok(id) => {
+                    if self.seen.insert(id) {
+                        return Some(Ok(id));
+                    }
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        None
+    }
+}
+
+/// Limit stage: stops pulling upstream once `remaining` results streamed.
+struct LimitIter<'tx> {
+    upstream: BoxedIdIter<'tx>,
+    remaining: usize,
+}
+
+impl Iterator for LimitIter<'_> {
+    type Item = Result<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.upstream.next() {
+            Some(Ok(id)) => {
+                self.remaining -= 1;
+                Some(Ok(id))
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::DbConfig;
+    use crate::db::GraphDb;
+    use crate::entity::Direction;
+    use graphsi_storage::test_util::TempDir;
+    use graphsi_storage::{NodeId, PropertyValue};
+
+    fn social_graph(db: &GraphDb) -> (Vec<NodeId>, Vec<NodeId>) {
+        let mut tx = db.begin();
+        let people: Vec<NodeId> = (0..6)
+            .map(|i| {
+                tx.create_node(
+                    &["Person"],
+                    &[("age", PropertyValue::Int(20 + 5 * i as i64))],
+                )
+                .unwrap()
+            })
+            .collect();
+        let cities: Vec<NodeId> = (0..2)
+            .map(|_| tx.create_node(&["City"], &[]).unwrap())
+            .collect();
+        // people[i] KNOWS people[i+1]; everyone LIVES_IN a city.
+        for pair in people.windows(2) {
+            tx.create_relationship(pair[0], pair[1], "KNOWS", &[])
+                .unwrap();
+        }
+        for (i, &p) in people.iter().enumerate() {
+            tx.create_relationship(p, cities[i % 2], "LIVES_IN", &[])
+                .unwrap();
+        }
+        tx.commit().unwrap();
+        (people, cities)
+    }
+
+    #[test]
+    fn label_filter_expand_distinct_limit_compose() {
+        let dir = TempDir::new("query_compose");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, cities) = social_graph(&db);
+        let tx = db.txn().read_only().begin();
+
+        // Cities where people aged >= 30 live.
+        let mut homes = tx
+            .query()
+            .nodes_with_label("Person")
+            .filter_property("age", |v| v.as_int().is_some_and(|a| a >= 30))
+            .expand(Direction::Outgoing, Some("LIVES_IN"))
+            .distinct()
+            .ids()
+            .unwrap();
+        homes.sort();
+        let mut expected = cities.clone();
+        expected.sort();
+        assert_eq!(homes, expected);
+
+        // Two-hop KNOWS expansion from the chain head.
+        let two_hops = tx
+            .query()
+            .start_nodes([people[0]])
+            .expand(Direction::Outgoing, Some("KNOWS"))
+            .expand(Direction::Outgoing, Some("KNOWS"))
+            .ids()
+            .unwrap();
+        assert_eq!(two_hops, vec![people[2]]);
+
+        // Limit stops the stream early.
+        let limited = tx
+            .query()
+            .nodes_with_label("Person")
+            .limit(2)
+            .count()
+            .unwrap();
+        assert_eq!(limited, 2);
+    }
+
+    #[test]
+    fn query_is_snapshot_consistent_and_reads_own_writes() {
+        let dir = TempDir::new("query_snapshot");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+
+        let mut tx = db.begin();
+        let fresh = tx.create_node(&["Person"], &[]).unwrap();
+        tx.create_relationship(people[0], fresh, "KNOWS", &[])
+            .unwrap();
+        // Own pending writes are visible...
+        let own = tx
+            .query()
+            .start_nodes([people[0]])
+            .expand(Direction::Outgoing, Some("KNOWS"))
+            .ids()
+            .unwrap();
+        assert!(own.contains(&fresh));
+        assert!(own.contains(&people[1]));
+        // ...but invisible to a concurrent snapshot.
+        let other = db.txn().read_only().begin();
+        let others = other.query().nodes_with_label("Person").count().unwrap();
+        assert_eq!(others, 6);
+        drop(other);
+    }
+
+    #[test]
+    fn unknown_names_yield_empty_streams() {
+        let dir = TempDir::new("query_unknown");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.begin();
+        assert_eq!(tx.query().nodes_with_label("Nope").count().unwrap(), 0);
+        assert_eq!(
+            tx.query()
+                .start_nodes(people.clone())
+                .expand(Direction::Both, Some("NO_SUCH_TYPE"))
+                .count()
+                .unwrap(),
+            0
+        );
+        // Unknown property key filters everything out.
+        assert_eq!(
+            tx.query()
+                .nodes_with_label("Person")
+                .filter_property("nope", |_| true)
+                .count()
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn nodes_terminal_materialises_public_nodes() {
+        let dir = TempDir::new("query_nodes");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        social_graph(&db);
+        let tx = db.begin();
+        let nodes = tx
+            .query()
+            .nodes_with_label("Person")
+            .filter_property("age", |v| v == &PropertyValue::Int(20))
+            .nodes()
+            .unwrap();
+        assert_eq!(nodes.len(), 1);
+        assert!(nodes[0].labels.contains(&"Person".to_owned()));
+    }
+
+    #[test]
+    fn source_after_stages_is_an_error_not_silent_misbehavior() {
+        let dir = TempDir::new("query_compose_err");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.begin();
+        let err = tx
+            .query()
+            .nodes_with_label("Person")
+            .expand(Direction::Outgoing, None)
+            .start_nodes(people)
+            .ids()
+            .unwrap_err();
+        assert!(matches!(err, crate::error::DbError::InvalidQuery(_)));
+    }
+
+    #[test]
+    fn per_query_chunk_size_applies_to_every_source() {
+        let dir = TempDir::new("query_chunk_all");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        social_graph(&db);
+        let tx = db.txn().read_only().begin();
+        assert_eq!(tx.query().all_nodes().chunk_size(2).count().unwrap(), 8);
+        let peak = db.metrics().candidate_buffer_peak;
+        assert!(
+            peak <= 2,
+            "all_nodes must honor the per-query chunk override (peak {peak})"
+        );
+    }
+
+    #[test]
+    fn chained_source_calls_degrade_to_filters() {
+        let dir = TempDir::new("query_chain_src");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, cities) = social_graph(&db);
+        let _ = (people, cities);
+        let tx = db.begin();
+        // Person ∩ (age == 25): second call becomes a filter.
+        let count = tx
+            .query()
+            .nodes_with_label("Person")
+            .nodes_with_property("age", PropertyValue::Int(25))
+            .count()
+            .unwrap();
+        assert_eq!(count, 1);
+    }
+}

@@ -24,7 +24,8 @@ use crate::config::IsolationLevel;
 use crate::db::{GraphDbInner, RESERVED_PREFIX};
 use crate::entity::{Direction, Node, NodeData, Relationship, RelationshipData};
 use crate::error::{DbError, Result};
-use crate::iter::{NeighborIter, NodeIdIter, RelIdIter, RelIter};
+use crate::iter::{NeighborIter, NodeIdIter, RelEntryIter, RelIdIter, RelIter};
+use crate::query::QueryBuilder;
 use crate::write_set::WriteSet;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,6 +51,8 @@ pub struct Transaction {
     /// `None` for read-only transactions — they skip write-set allocation
     /// entirely and reject writes.
     write_set: Option<WriteSet>,
+    /// Chunk size of the streaming read cursors this transaction opens.
+    scan_chunk_size: usize,
 }
 
 // The public contract of the owned-handle redesign: transactions must be
@@ -67,6 +70,7 @@ impl Transaction {
         isolation: IsolationLevel,
         conflict_strategy: ConflictStrategy,
         read_only: bool,
+        scan_chunk_size: usize,
     ) -> Self {
         Transaction {
             db,
@@ -80,7 +84,15 @@ impl Transaction {
             } else {
                 Some(WriteSet::new())
             },
+            scan_chunk_size: scan_chunk_size.max(1),
         }
+    }
+
+    /// Chunk size of the streaming read cursors this transaction opens
+    /// (set through [`crate::TxnOptions::scan_chunk_size`], defaulting to
+    /// [`crate::DbConfig::scan_chunk_size`]).
+    pub fn scan_chunk_size(&self) -> usize {
+        self.scan_chunk_size
     }
 
     /// The transaction's ID.
@@ -500,16 +512,19 @@ impl Transaction {
     /// direction, in this transaction's view (committed snapshot merged
     /// with own pending writes — the paper's enriched iterator, §4).
     ///
-    /// Candidate IDs come from the persistent chain (IDs only, no property
-    /// materialisation) plus the version-cache overlay; each element is
-    /// resolved against the snapshot only when the iterator reaches it, so
-    /// traversals that stop early never materialise whole adjacency lists.
+    /// Candidate IDs are paged from resumable cursors — the persistent
+    /// chain and the version-cache overlay — at most one chunk
+    /// ([`Transaction::scan_chunk_size`]) at a time, and each element is
+    /// resolved against the snapshot only when the iterator reaches it:
+    /// traversals that stop early never materialise whole adjacency lists,
+    /// and even full traversals never buffer more than one chunk of
+    /// candidates.
     pub fn relationships(&self, node: NodeId, direction: Direction) -> Result<RelIter<'_>> {
         self.ensure_active()?;
         if self.visible_node(node)?.is_none() {
             return Err(DbError::NodeNotFound(node));
         }
-        RelIter::new(self, node, direction)
+        RelIter::new(self, node, direction, self.scan_chunk_size)
     }
 
     /// Eager version of [`Transaction::relationships`]: collects into a
@@ -529,10 +544,30 @@ impl Transaction {
     /// Lazily iterates the IDs of the neighbouring nodes of `node`,
     /// deduplicated in visit order.
     pub fn neighbors(&self, node: NodeId, direction: Direction) -> Result<NeighborIter<'_>> {
-        Ok(NeighborIter::new(
-            self.relationships(node, direction)?,
+        self.ensure_active()?;
+        if self.visible_node(node)?.is_none() {
+            return Err(DbError::NodeNotFound(node));
+        }
+        Ok(NeighborIter::new(RelEntryIter::new(
+            self,
             node,
-        ))
+            direction,
+            self.scan_chunk_size,
+        )?))
+    }
+
+    /// [`Transaction::neighbors`] without the node-existence error: a
+    /// missing or invisible start node simply expands to nothing. Used by
+    /// the query expansion stage, where upstream nodes may have been
+    /// deleted by this very transaction mid-stream.
+    pub(crate) fn neighbors_or_empty(
+        &self,
+        node: NodeId,
+        direction: Direction,
+        chunk: usize,
+    ) -> Result<RelEntryIter<'_>> {
+        self.ensure_active()?;
+        RelEntryIter::new(self, node, direction, chunk)
     }
 
     /// Eager version of [`Transaction::neighbors`]: sorted, deduplicated
@@ -560,20 +595,24 @@ impl Transaction {
     // ------------------------------------------------------------------
 
     /// Lazily iterates the nodes carrying `label` in this transaction's
-    /// view (versioned index lookup merged with own writes).
+    /// view (versioned index cursor merged with own writes), paging the
+    /// posting list one chunk at a time.
     pub fn nodes_with_label(&self, label: &str) -> Result<NodeIdIter<'_>> {
+        self.nodes_with_label_chunked(label, self.scan_chunk_size)
+    }
+
+    pub(crate) fn nodes_with_label_chunked(
+        &self,
+        label: &str,
+        chunk: usize,
+    ) -> Result<NodeIdIter<'_>> {
         self.ensure_active()?;
         let Some(token) = self.db.store.tokens().existing_label(label) else {
             // The label name was never interned, so no committed node and no
             // pending write can carry it.
             return Ok(NodeIdIter::empty(self));
         };
-        let base = self
-            .db
-            .indexes
-            .labels
-            .nodes_with_label(token, self.read_timestamp());
-        Ok(NodeIdIter::with_label(self, base, token))
+        Ok(NodeIdIter::with_label(self, token, chunk))
     }
 
     /// Eager version of [`Transaction::nodes_with_label`]: sorted `Vec`.
@@ -584,18 +623,23 @@ impl Transaction {
     }
 
     /// Lazily iterates the nodes whose property `name` equals `value` in
-    /// this transaction's view.
+    /// this transaction's view, paging the posting list one chunk at a
+    /// time.
     pub fn nodes_with_property(&self, name: &str, value: &PropertyValue) -> Result<NodeIdIter<'_>> {
+        self.nodes_with_property_chunked(name, value, self.scan_chunk_size)
+    }
+
+    pub(crate) fn nodes_with_property_chunked(
+        &self,
+        name: &str,
+        value: &PropertyValue,
+        chunk: usize,
+    ) -> Result<NodeIdIter<'_>> {
         self.ensure_active()?;
         let Some(token) = self.db.store.tokens().existing_property_key(name) else {
             return Ok(NodeIdIter::empty(self));
         };
-        let base = self
-            .db
-            .indexes
-            .node_properties
-            .lookup(token, value, self.read_timestamp());
-        Ok(NodeIdIter::with_property(self, base, token, value.clone()))
+        Ok(NodeIdIter::with_property(self, token, value.clone(), chunk))
     }
 
     /// Eager version of [`Transaction::nodes_with_property`]: sorted `Vec`.
@@ -623,13 +667,13 @@ impl Transaction {
             return Ok(Vec::new());
         };
         let read_ts = self.read_timestamp();
-        let mut ids: std::collections::HashSet<RelationshipId> = self
-            .db
+        let mut ids: std::collections::HashSet<RelationshipId> = std::collections::HashSet::new();
+        self.db
             .indexes
             .relationship_properties
-            .lookup(token, value, read_ts)
-            .into_iter()
-            .collect();
+            .lookup_with(token, value, read_ts, |id| {
+                ids.insert(id);
+            });
         if let Some(ws) = &self.write_set {
             for (&id, entry) in &ws.relationships {
                 match &entry.after {
@@ -648,17 +692,16 @@ impl Transaction {
     }
 
     /// Lazily iterates every node visible to this transaction: the
-    /// persistent store, the object cache and the private write set are
-    /// merged, and each candidate is visibility-checked only when the
-    /// iterator reaches it.
+    /// persistent store's slot scan, the object cache's shard pages and
+    /// the private write set are merged chunk by chunk, and each candidate
+    /// is visibility-checked only when the iterator reaches it.
     pub fn all_nodes(&self) -> Result<NodeIdIter<'_>> {
+        self.all_nodes_chunked(self.scan_chunk_size)
+    }
+
+    pub(crate) fn all_nodes_chunked(&self, chunk: usize) -> Result<NodeIdIter<'_>> {
         self.ensure_active()?;
-        let mut candidates = self.db.stored_node_ids()?;
-        candidates.extend(self.db.node_cache.all_keys());
-        if let Some(ws) = &self.write_set {
-            candidates.extend(ws.nodes.keys().copied());
-        }
-        Ok(NodeIdIter::all_nodes(self, candidates))
+        Ok(NodeIdIter::all_nodes(self, chunk))
     }
 
     /// Eager version of [`Transaction::all_nodes`]: sorted `Vec`.
@@ -668,15 +711,12 @@ impl Transaction {
         Ok(out)
     }
 
-    /// Lazily iterates every relationship visible to this transaction.
+    /// Lazily iterates every relationship visible to this transaction,
+    /// merging the store's slot scan, the cache's shard pages and the
+    /// write set chunk by chunk.
     pub fn all_relationships(&self) -> Result<RelIdIter<'_>> {
         self.ensure_active()?;
-        let mut candidates = self.db.stored_relationship_ids()?;
-        candidates.extend(self.db.rel_cache.all_keys());
-        if let Some(ws) = &self.write_set {
-            candidates.extend(ws.relationships.keys().copied());
-        }
-        Ok(RelIdIter::new(self, candidates))
+        Ok(RelIdIter::new(self, self.scan_chunk_size))
     }
 
     /// Eager version of [`Transaction::all_relationships`]: sorted `Vec`.
@@ -684,6 +724,44 @@ impl Transaction {
         let mut out: Vec<RelationshipId> = self.all_relationships()?.collect::<Result<_>>()?;
         out.sort();
         Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Query builder
+    // ------------------------------------------------------------------
+
+    /// Starts a composable, streaming query over this transaction's
+    /// snapshot (merged with its own pending writes):
+    ///
+    /// ```
+    /// # use graphsi_core::{DbConfig, Direction, GraphDb, PropertyValue, Result};
+    /// # fn main() -> Result<()> {
+    /// # let dir = graphsi_core::test_support::TempDir::new("doc-query");
+    /// # let db = GraphDb::open(dir.path(), DbConfig::default())?;
+    /// # let mut tx = db.begin();
+    /// # let ada = tx.create_node(&["Person"], &[("age", PropertyValue::Int(36))])?;
+    /// # let lin = tx.create_node(&["Person"], &[("age", PropertyValue::Int(21))])?;
+    /// # tx.create_relationship(ada, lin, "KNOWS", &[])?;
+    /// # tx.commit()?;
+    /// # let tx = db.txn().read_only().begin();
+    /// let friends_of_adults = tx
+    ///     .query()
+    ///     .nodes_with_label("Person")
+    ///     .filter_property("age", |v| v.as_int().is_some_and(|age| age >= 30))
+    ///     .expand(Direction::Outgoing, Some("KNOWS"))
+    ///     .distinct()
+    ///     .limit(10)
+    ///     .ids()?;
+    /// assert_eq!(friends_of_adults, vec![lin]);
+    /// # Ok(()) }
+    /// ```
+    ///
+    /// The pipeline streams: results are produced element by element from
+    /// the chunked cursors, never buffering more than one chunk of
+    /// candidates per stage (plus the deduplication set a `distinct()`
+    /// stage needs for the rows it has already emitted).
+    pub fn query(&self) -> QueryBuilder<'_> {
+        QueryBuilder::new(self)
     }
 
     /// Number of nodes visible to this transaction.

@@ -5,6 +5,13 @@
 //! level. Under read committed a path observed in one step "might not exist
 //! when trying to go through it later in the same transaction"; under
 //! snapshot isolation every step sees the same snapshot.
+//!
+//! Since the streaming-query redesign, all of them are thin shims over the
+//! [`Transaction::query`] expansion pipeline: each visited node is
+//! expanded through the chunked, GC-safe cursors, so a traversal's memory
+//! footprint is O(frontier) — the per-node sort that keeps visit orders
+//! deterministic touches one node's neighbours at a time, never a whole
+//! candidate list.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -13,6 +20,20 @@ use graphsi_storage::NodeId;
 use crate::entity::Direction;
 use crate::error::Result;
 use crate::transaction::Transaction;
+
+/// One sorted expansion step through the streaming query pipeline: the
+/// deduplicated neighbours of `node`, ascending. Memory is O(degree of
+/// `node`), the frontier unit every traversal below works in.
+fn expand_sorted(tx: &Transaction, node: NodeId, direction: Direction) -> Result<Vec<NodeId>> {
+    let mut out = tx
+        .query()
+        .start_nodes([node])
+        .expand(direction, None)
+        .distinct()
+        .ids()?;
+    out.sort();
+    Ok(out)
+}
 
 /// Breadth-first traversal from `start`, up to `max_depth` hops, returning
 /// the visited nodes in visit order (including `start`).
@@ -31,7 +52,7 @@ pub fn bfs(tx: &Transaction, start: NodeId, max_depth: usize) -> Result<Vec<Node
             continue;
         }
         // Sorted expansion keeps the visit order deterministic.
-        for neighbor in tx.neighbors_vec(node, Direction::Both)? {
+        for neighbor in expand_sorted(tx, node, Direction::Both)? {
             if visited.insert(neighbor) {
                 order.push(neighbor);
                 queue.push_back((neighbor, depth + 1));
@@ -59,7 +80,7 @@ pub fn dfs(tx: &Transaction, start: NodeId, max_depth: usize) -> Result<Vec<Node
         if depth >= max_depth {
             continue;
         }
-        let mut neighbors = tx.neighbors_vec(node, Direction::Both)?;
+        let mut neighbors = expand_sorted(tx, node, Direction::Both)?;
         // Reverse so that the smallest-ID neighbour is visited first.
         neighbors.reverse();
         for neighbor in neighbors {
@@ -94,7 +115,7 @@ pub fn shortest_path(
         if depth >= max_depth {
             continue;
         }
-        for neighbor in tx.neighbors_vec(node, Direction::Both)? {
+        for neighbor in expand_sorted(tx, node, Direction::Both)? {
             if parent.contains_key(&neighbor) {
                 continue;
             }
@@ -123,24 +144,28 @@ pub fn shortest_path(
 /// graphs.
 pub fn friends_of_friends(tx: &Transaction, start: NodeId) -> Result<Vec<NodeId>> {
     // The first hop is consumed twice (membership + expansion), so it is
-    // collected; the second hop streams through the lazy iterator.
-    let first_hop: Vec<NodeId> = tx
-        .neighbors(start, Direction::Both)?
-        .collect::<Result<_>>()?;
+    // collected — it is exactly the frontier. The second hop streams
+    // through the query pipeline; re-reading the frontier as a start set
+    // re-checks each friend's visibility, which is where read committed
+    // exhibits the anomaly experiment E1 counts (a friend observed in step
+    // one may have vanished by step two).
+    let first_hop = tx
+        .query()
+        .start_nodes([start])
+        .expand(Direction::Both, None)
+        .distinct()
+        .ids()?;
     let first_set: HashSet<NodeId> = first_hop.iter().copied().collect();
     let mut result: HashSet<NodeId> = HashSet::new();
-    for friend in &first_hop {
-        // The friend observed in step one may have vanished by step two
-        // under read committed; skip it if so (this is exactly the anomaly
-        // experiment E1 counts).
-        if !tx.node_exists(*friend)? {
-            continue;
-        }
-        for fof in tx.neighbors(*friend, Direction::Both)? {
-            let fof = fof?;
-            if fof != start && !first_set.contains(&fof) {
-                result.insert(fof);
-            }
+    for fof in tx
+        .query()
+        .start_nodes(first_hop)
+        .expand(Direction::Both, None)
+        .stream()?
+    {
+        let fof = fof?;
+        if fof != start && !first_set.contains(&fof) {
+            result.insert(fof);
         }
     }
     let mut out: Vec<NodeId> = result.into_iter().collect();

@@ -8,7 +8,7 @@
 use graphsi_storage::{LabelToken, NodeId};
 use graphsi_txn::Timestamp;
 
-use crate::posting::{IndexStats, VersionedPostingIndex};
+use crate::posting::{IndexStats, PostingCursor, VersionedPostingIndex};
 
 /// Snapshot-visible index from label tokens to node IDs.
 #[derive(Debug, Default)]
@@ -36,6 +36,18 @@ impl LabelIndex {
     /// Nodes carrying `label` in the snapshot defined by `start_ts`.
     pub fn nodes_with_label(&self, label: LabelToken, start_ts: Timestamp) -> Vec<NodeId> {
         self.inner.lookup(&label, start_ts)
+    }
+
+    /// Opens a chunked, GC-safe cursor over the nodes carrying `label` in
+    /// the snapshot defined by `start_ts` (see
+    /// [`crate::posting::PostingCursor`]).
+    pub fn cursor(
+        &self,
+        label: LabelToken,
+        start_ts: Timestamp,
+        chunk_size: usize,
+    ) -> PostingCursor<'_, LabelToken, NodeId> {
+        self.inner.cursor(label, start_ts, chunk_size)
     }
 
     /// Returns `true` if `node` carries `label` in the given snapshot.

@@ -19,7 +19,7 @@ pub mod posting;
 pub mod property_index;
 
 pub use label_index::LabelIndex;
-pub use posting::{IndexStats, PostingEntry, VersionedPostingIndex};
+pub use posting::{IndexStats, PostingCursor, PostingEntry, VersionedPostingIndex};
 pub use property_index::{
     NodePropertyIndex, PropertyIndex, PropertyIndexKey, RelationshipPropertyIndex,
 };

@@ -141,19 +141,55 @@ where
     /// reader's snapshot the whole entry is discarded without looking at
     /// its postings.
     pub fn lookup(&self, key: &K, start_ts: Timestamp) -> Vec<E> {
+        let mut out = Vec::new();
+        self.lookup_with(key, start_ts, |e| out.push(e));
+        out
+    }
+
+    /// Borrowing variant of [`VersionedPostingIndex::lookup`]: calls `f`
+    /// for every visible member instead of allocating a `Vec`. The posting
+    /// list's read lock is held for the duration of the walk, so `f` should
+    /// be cheap.
+    pub fn lookup_with(&self, key: &K, start_ts: Timestamp, mut f: impl FnMut(E)) {
         let entries = self.entries.read();
         let Some(entry) = entries.get(key) else {
-            return Vec::new();
+            return;
         };
         if !entry.created_ts.visible_to(start_ts) {
-            return Vec::new();
+            return;
         }
-        entry
-            .postings
-            .iter()
-            .filter(|p| p.visible_to(start_ts))
-            .map(|p| p.entity)
-            .collect()
+        for p in &entry.postings {
+            if p.visible_to(start_ts) {
+                f(p.entity);
+            }
+        }
+    }
+
+    /// Opens a chunked, GC-safe cursor over the visible members of `key`.
+    ///
+    /// The cursor holds no lock between refills and buffers at most
+    /// `chunk_size` entities at a time; each refill re-locates its position
+    /// in the posting list and re-applies snapshot visibility, so postings
+    /// physically reclaimed (or appended) by concurrent GC and commits
+    /// cannot be handed out. A posting *visible* to the cursor's snapshot
+    /// is never reclaimable while that snapshot's transaction is active
+    /// (the GC watermark is at or below every active start timestamp), so
+    /// resumption is lossless.
+    pub fn cursor(
+        &self,
+        key: K,
+        start_ts: Timestamp,
+        chunk_size: usize,
+    ) -> PostingCursor<'_, K, E> {
+        PostingCursor {
+            index: self,
+            key,
+            start_ts,
+            chunk: chunk_size.max(1),
+            marker: None,
+            pos_hint: 0,
+            done: false,
+        }
     }
 
     /// Returns `true` if `entity` is a visible member of `key` for the
@@ -164,7 +200,18 @@ where
 
     /// Every key currently present (regardless of snapshot visibility).
     pub fn keys(&self) -> Vec<K> {
-        self.entries.read().keys().cloned().collect()
+        let mut out = Vec::new();
+        self.for_each_key(|k| out.push(k.clone()));
+        out
+    }
+
+    /// Borrowing variant of [`VersionedPostingIndex::keys`]: calls `f` for
+    /// every key without allocating. The index's read lock is held for the
+    /// duration of the walk.
+    pub fn for_each_key(&self, mut f: impl FnMut(&K)) {
+        for key in self.entries.read().keys() {
+            f(key);
+        }
     }
 
     /// Physically removes postings that are dead for every active reader
@@ -200,6 +247,124 @@ where
                 .count() as u64;
         }
         stats
+    }
+}
+
+/// A resumable, chunked cursor over one posting list, created by
+/// [`VersionedPostingIndex::cursor`].
+///
+/// Between [`PostingCursor::next_chunk`] calls the cursor holds **no lock**
+/// and remembers only a resume marker — the `(added_ts, entity)` pair of
+/// the last posting it handed out. Each refill re-locates that marker in
+/// the (possibly GC-compacted, possibly appended-to) posting list and
+/// continues from there:
+///
+/// * postings removed by GC were dead for every active snapshot, so they
+///   were never part of this cursor's result set;
+/// * postings appended by concurrent commits carry a commit timestamp above
+///   the cursor's snapshot and are filtered by visibility;
+/// * the marker posting itself is visible to the snapshot and therefore
+///   not reclaimable while the owning transaction is active.
+pub struct PostingCursor<'a, K, E> {
+    index: &'a VersionedPostingIndex<K, E>,
+    key: K,
+    start_ts: Timestamp,
+    chunk: usize,
+    /// `(added_ts, entity)` of the last yielded posting. `(added_ts,
+    /// entity)` is unique within one key: a single commit adds at most one
+    /// posting per (key, entity), and commit timestamps are distinct.
+    marker: Option<(Timestamp, E)>,
+    /// Index at which the marker posting was last seen. Checked first on
+    /// refill so the common case (no GC compaction in between) resumes in
+    /// O(1) instead of rescanning the list.
+    pos_hint: usize,
+    done: bool,
+}
+
+impl<K, E> PostingCursor<'_, K, E>
+where
+    K: Hash + Eq + Clone,
+    E: Copy + Eq,
+{
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Refills `buf` (cleared first) with up to `chunk_size` visible
+    /// entities, resuming after the last posting handed out. Returns
+    /// `false` once the posting list is exhausted and `buf` stayed empty.
+    pub fn next_chunk(&mut self, buf: &mut Vec<E>) -> bool {
+        buf.clear();
+        if self.done {
+            return false;
+        }
+        let entries = self.index.entries.read();
+        let Some(entry) = entries.get(&self.key) else {
+            // Key never existed — or GC dropped it, which requires every
+            // posting to be dead for every active snapshot, ours included.
+            self.done = true;
+            return false;
+        };
+        if !entry.created_ts.visible_to(self.start_ts) {
+            self.done = true;
+            return false;
+        }
+        let postings = &entry.postings;
+        let start = match &self.marker {
+            None => 0,
+            Some((ts, e)) => {
+                let hinted = postings
+                    .get(self.pos_hint)
+                    .is_some_and(|p| p.added_ts == *ts && p.entity == *e);
+                if hinted {
+                    self.pos_hint + 1
+                } else {
+                    match postings
+                        .iter()
+                        .position(|p| p.added_ts == *ts && p.entity == *e)
+                    {
+                        Some(i) => i + 1,
+                        // Defensive: the marker vanished (only possible when
+                        // the cursor outlived its transaction and GC
+                        // reclaimed the posting). Resume at the first
+                        // posting of the marker's commit — the list is
+                        // append-ordered by commit timestamp, and `>=`
+                        // rather than `>` so still-live postings added by
+                        // the same commit as the lost marker are re-yielded
+                        // instead of skipped (duplicates beat lost entries).
+                        None => postings
+                            .iter()
+                            .position(|p| p.added_ts >= *ts)
+                            .unwrap_or(postings.len()),
+                    }
+                }
+            }
+        };
+        for (off, p) in postings[start..].iter().enumerate() {
+            if p.visible_to(self.start_ts) {
+                buf.push(p.entity);
+                self.marker = Some((p.added_ts, p.entity));
+                self.pos_hint = start + off;
+                if buf.len() >= self.chunk {
+                    return true;
+                }
+            }
+        }
+        // Walked off the end of the list: whatever was collected is the
+        // final chunk.
+        self.done = true;
+        !buf.is_empty()
+    }
+}
+
+impl<K, E> std::fmt::Debug for PostingCursor<'_, K, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PostingCursor")
+            .field("chunk", &self.chunk)
+            .field("start_ts", &self.start_ts)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
     }
 }
 
@@ -334,6 +499,96 @@ mod tests {
         let mut keys = index.keys();
         keys.sort_unstable();
         assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn cursor_pages_through_visible_postings() {
+        let index = Index::new();
+        for e in 0..10u64 {
+            index.add(1, e, Timestamp(e + 1));
+        }
+        // e=3 removed before the snapshot, e=9 added after it.
+        index.remove(&1, 3, Timestamp(8));
+        let mut cursor = index.cursor(1, Timestamp(8), 3);
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        while cursor.next_chunk(&mut buf) {
+            assert!(buf.len() <= 3, "chunk bound violated: {}", buf.len());
+            out.extend_from_slice(&buf);
+        }
+        assert_eq!(out, vec![0, 1, 2, 4, 5, 6, 7]);
+        // Exhausted cursor stays exhausted.
+        assert!(!cursor.next_chunk(&mut buf));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn cursor_survives_concurrent_append_and_gc() {
+        let index = Index::new();
+        for e in 0..6u64 {
+            index.add(1, e, Timestamp(e + 1));
+        }
+        // Dead postings below the future watermark, interleaved.
+        index.remove(&1, 0, Timestamp(7));
+        index.remove(&1, 2, Timestamp(7));
+
+        let mut cursor = index.cursor(1, Timestamp(10), 2);
+        let mut buf = Vec::new();
+        assert!(cursor.next_chunk(&mut buf));
+        assert_eq!(buf, vec![1, 3]);
+
+        // Concurrent world: GC compacts the list and a new commit appends.
+        assert_eq!(index.gc(Timestamp(10)), 2);
+        index.add(1, 99, Timestamp(20));
+
+        let mut out = buf.clone();
+        while cursor.next_chunk(&mut buf) {
+            out.extend_from_slice(&buf);
+        }
+        // No lost entries (4, 5 still arrive), no phantoms (99 is above the
+        // snapshot and never appears).
+        assert_eq!(out, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cursor_on_unknown_or_future_key_is_empty() {
+        let index = Index::new();
+        index.add(5, 1, Timestamp(50));
+        let mut buf = Vec::new();
+        assert!(!index.cursor(9, Timestamp(100), 4).next_chunk(&mut buf));
+        // Key created after the snapshot: discarded wholesale.
+        assert!(!index.cursor(5, Timestamp(40), 4).next_chunk(&mut buf));
+    }
+
+    #[test]
+    fn chunk_size_one_yields_single_entities() {
+        let index = Index::new();
+        for e in 0..4u64 {
+            index.add(1, e, Timestamp(e + 1));
+        }
+        let mut cursor = index.cursor(1, Timestamp(100), 1);
+        assert_eq!(cursor.chunk_size(), 1);
+        let mut buf = Vec::new();
+        let mut count = 0;
+        while cursor.next_chunk(&mut buf) {
+            assert_eq!(buf.len(), 1);
+            count += 1;
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn lookup_with_matches_lookup() {
+        let index = Index::new();
+        index.add(1, 10, Timestamp(1));
+        index.add(1, 20, Timestamp(2));
+        index.remove(&1, 10, Timestamp(3));
+        let mut streamed = Vec::new();
+        index.lookup_with(&1, Timestamp(5), |e| streamed.push(e));
+        assert_eq!(streamed, index.lookup(&1, Timestamp(5)));
+        let mut keys = Vec::new();
+        index.for_each_key(|k| keys.push(*k));
+        assert_eq!(keys, vec![1]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use graphsi_storage::{NodeId, PropertyKeyToken, PropertyValue, RelationshipId, ValueKey};
 use graphsi_txn::Timestamp;
 
-use crate::posting::{IndexStats, VersionedPostingIndex};
+use crate::posting::{IndexStats, PostingCursor, VersionedPostingIndex};
 
 /// Index key: a property key token plus the canonical form of the value.
 pub type PropertyIndexKey = (PropertyKeyToken, ValueKey);
@@ -67,6 +67,33 @@ impl<E: Copy + Eq> PropertyIndex<E> {
         start_ts: Timestamp,
     ) -> Vec<E> {
         self.inner.lookup(&(key, value.index_key()), start_ts)
+    }
+
+    /// Borrowing variant of [`PropertyIndex::lookup`]: streams every
+    /// visible entity through `f` without allocating a `Vec`.
+    pub fn lookup_with(
+        &self,
+        key: PropertyKeyToken,
+        value: &PropertyValue,
+        start_ts: Timestamp,
+        f: impl FnMut(E),
+    ) {
+        self.inner
+            .lookup_with(&(key, value.index_key()), start_ts, f);
+    }
+
+    /// Opens a chunked, GC-safe cursor over the entities whose property
+    /// `key` equals `value` in the snapshot defined by `start_ts` (see
+    /// [`crate::posting::PostingCursor`]).
+    pub fn cursor(
+        &self,
+        key: PropertyKeyToken,
+        value: &PropertyValue,
+        start_ts: Timestamp,
+        chunk_size: usize,
+    ) -> PostingCursor<'_, PropertyIndexKey, E> {
+        self.inner
+            .cursor((key, value.index_key()), start_ts, chunk_size)
     }
 
     /// Returns `true` if `entity` has `key = value` in the given snapshot.

@@ -326,10 +326,41 @@ where
     /// must visit all chains).
     pub fn all_keys(&self) -> Vec<K> {
         let mut keys = Vec::new();
-        for shard in &self.shards {
-            keys.extend(shard.read().keys().copied());
-        }
+        self.for_each_key(|k| keys.push(k));
         keys
+    }
+
+    /// Borrowing variant of [`VersionedCache::all_keys`]: streams every
+    /// cached key through `f`, locking one shard at a time, without
+    /// allocating a full key `Vec`. Keys inserted or removed concurrently
+    /// in shards not yet visited may or may not be observed — the same
+    /// guarantee `all_keys` gives.
+    pub fn for_each_key(&self, mut f: impl FnMut(K)) {
+        for shard in &self.shards {
+            for key in shard.read().keys() {
+                f(*key);
+            }
+        }
+    }
+
+    /// Number of shards (for chunked key enumeration via
+    /// [`VersionedCache::shard_keys`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Appends every key of one shard to `out`, returning `false` when
+    /// `shard` is out of range. Chunked cursors page the cache shard by
+    /// shard so their peak buffering is bounded by the largest shard rather
+    /// than the whole cache; a shard's key set is copied atomically under
+    /// its read lock, so a key that exists for the whole enumeration is
+    /// never missed.
+    pub fn shard_keys(&self, shard: usize, out: &mut Vec<K>) -> bool {
+        let Some(shard) = self.shards.get(shard) else {
+            return false;
+        };
+        out.extend(shard.read().keys().copied());
+        true
     }
 
     /// Number of entries currently threaded in the GC list.
@@ -485,6 +516,30 @@ mod tests {
         let mut keys = cache.all_keys();
         keys.sort_unstable();
         assert_eq!(keys, (0..20u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_paging_covers_every_key_exactly_once() {
+        let cache = Cache::new(4);
+        for k in 0..32u64 {
+            cache.install_committed(k, Timestamp(k + 1), Some(payload("x")));
+        }
+        assert_eq!(cache.shard_count(), 4);
+        let mut paged = Vec::new();
+        let mut buf = Vec::new();
+        for shard in 0..cache.shard_count() {
+            buf.clear();
+            assert!(cache.shard_keys(shard, &mut buf));
+            paged.extend_from_slice(&buf);
+        }
+        assert!(!cache.shard_keys(cache.shard_count(), &mut buf));
+        paged.sort_unstable();
+        assert_eq!(paged, (0..32u64).collect::<Vec<_>>());
+
+        let mut streamed = Vec::new();
+        cache.for_each_key(|k| streamed.push(k));
+        streamed.sort_unstable();
+        assert_eq!(streamed, paged);
     }
 
     #[test]

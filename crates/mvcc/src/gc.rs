@@ -105,17 +105,23 @@ where
     K: Hash + Eq + Copy,
 {
     let start = Instant::now();
-    let keys = cache.all_keys();
     let mut reclaimed = 0u64;
     let mut dropped = 0u64;
     let mut examined = 0u64;
     let mut visited = 0u64;
-    for key in keys {
-        examined += cache.chain_len(key) as u64;
-        let outcome = cache.prune_key(key, watermark);
-        visited += 1;
-        reclaimed += outcome.reclaimed as u64;
-        dropped += u64::from(outcome.dropped_chain);
+    // Page the key space one shard at a time (the iterator-based key
+    // access) instead of materialising every cached key up front.
+    let mut keys = Vec::new();
+    for shard in 0..cache.shard_count() {
+        keys.clear();
+        cache.shard_keys(shard, &mut keys);
+        for &key in &keys {
+            examined += cache.chain_len(key) as u64;
+            let outcome = cache.prune_key(key, watermark);
+            visited += 1;
+            reclaimed += outcome.reclaimed as u64;
+            dropped += u64::from(outcome.dropped_chain);
+        }
     }
     GcRunStats {
         strategy: GcStrategy::Vacuum,

@@ -412,6 +412,49 @@ impl GraphStore {
         Ok(self.relationship_ids_of(node)?.len())
     }
 
+    /// Opens a resumable, chunked cursor over the relationship chain of
+    /// `node` (see [`RelChainCursor`]). Buffers nothing at creation; each
+    /// [`RelChainCursor::next_chunk`] call walks at most one chunk of chain
+    /// links.
+    pub fn rel_chain_cursor(&self, node: NodeId, chunk_size: usize) -> Result<RelChainCursor<'_>> {
+        let first = match self.read_node_record(node)? {
+            Some(rec) => rec.first_rel,
+            None => RelationshipId::NONE,
+        };
+        Ok(RelChainCursor {
+            store: self,
+            node,
+            chunk: chunk_size.max(1),
+            next: first,
+            steps: 0,
+            restarts: 0,
+        })
+    }
+
+    /// Opens a resumable, chunked cursor over every in-use node slot (see
+    /// [`NodeScanCursor`]). The scan is bounded by the high-water mark at
+    /// creation time: slots allocated later belong to commits newer than
+    /// any snapshot that could be driving the cursor.
+    pub fn node_scan_cursor(&self, chunk_size: usize) -> NodeScanCursor<'_> {
+        NodeScanCursor {
+            store: self,
+            next_raw: 0,
+            high: self.nodes.high_id(),
+            chunk: chunk_size.max(1),
+        }
+    }
+
+    /// Opens a resumable, chunked cursor over every in-use relationship
+    /// slot (see [`RelScanCursor`]).
+    pub fn rel_scan_cursor(&self, chunk_size: usize) -> RelScanCursor<'_> {
+        RelScanCursor {
+            store: self,
+            next_raw: 0,
+            high: self.relationships.high_id(),
+            chunk: chunk_size.max(1),
+        }
+    }
+
     // ----- Scans -------------------------------------------------------------
 
     /// IDs of every in-use node, in ID order.
@@ -465,6 +508,173 @@ impl GraphStore {
         } else {
             Ok(None)
         }
+    }
+}
+
+/// Cap on chain-restart attempts before a cursor declares the chain
+/// corrupt. Restarts only happen when a concurrent committer rewires the
+/// chain between two refills, so hitting this bound requires pathological,
+/// unending churn on a single node.
+const MAX_CHAIN_RESTARTS: u64 = 1024;
+
+/// A resumable, chunked cursor over the relationship chain of one node,
+/// created by [`GraphStore::rel_chain_cursor`].
+///
+/// The cursor holds **no lock** and buffers at most one chunk of
+/// relationship IDs per [`RelChainCursor::next_chunk`] call; between calls
+/// it remembers only the next chain link. Because concurrent commits may
+/// unlink (delete) or head-insert (create) records while the cursor is
+/// parked, every resumed link is re-validated: if the record was freed or
+/// reused for a relationship that no longer touches the node, the cursor
+/// **restarts from the chain head**. Restarting can hand out IDs a
+/// previous chunk already contained — callers are expected to deduplicate
+/// (the transactional layer does, via its visit-set) and to filter every
+/// ID by snapshot visibility, which also makes concurrently inserted
+/// (newer-than-snapshot) records harmless. Relationships unlinked by a
+/// commit the snapshot must not observe are *not* the cursor's job: their
+/// versions live in the MVCC cache and reach readers through the
+/// relationship overlay.
+pub struct RelChainCursor<'s> {
+    store: &'s GraphStore,
+    node: NodeId,
+    chunk: usize,
+    next: RelationshipId,
+    steps: usize,
+    restarts: u64,
+}
+
+impl RelChainCursor<'_> {
+    /// Times the cursor had to restart from the chain head because a
+    /// concurrent commit invalidated its parked position.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Refills `buf` (cleared first) with up to one chunk of relationship
+    /// IDs, resuming at the parked chain link. Returns `false` once the
+    /// chain is exhausted and `buf` stayed empty.
+    pub fn next_chunk(&mut self, buf: &mut Vec<RelationshipId>) -> Result<bool> {
+        buf.clear();
+        while self.next.is_some() && buf.len() < self.chunk {
+            if self.steps > MAX_CHAIN_LENGTH {
+                return Err(StorageError::corrupt(
+                    "relationship",
+                    self.node.raw(),
+                    "relationship chain exceeds maximum length (cycle?)",
+                ));
+            }
+            let record = self.store.relationships.load(self.next.raw())?;
+            if !record.in_use || !(record.source == self.node || record.target == self.node) {
+                // The parked link was deleted (or its slot reused) by a
+                // concurrent commit: the chain was rewired under us.
+                // Restart from the head; downstream dedup + visibility
+                // filtering absorb the re-yielded prefix.
+                self.restarts += 1;
+                if self.restarts > MAX_CHAIN_RESTARTS {
+                    return Err(StorageError::corrupt(
+                        "relationship",
+                        self.node.raw(),
+                        "relationship chain kept changing under a cursor",
+                    ));
+                }
+                self.steps = 0;
+                self.next = match self.store.read_node_record(self.node)? {
+                    Some(rec) => rec.first_rel,
+                    None => RelationshipId::NONE,
+                };
+                continue;
+            }
+            self.steps += 1;
+            buf.push(self.next);
+            let (_, next) = record.chain_for(self.node);
+            self.next = next;
+        }
+        Ok(!buf.is_empty())
+    }
+}
+
+impl std::fmt::Debug for RelChainCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelChainCursor")
+            .field("node", &self.node)
+            .field("chunk", &self.chunk)
+            .field("restarts", &self.restarts)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A resumable, chunked cursor over every in-use node slot, created by
+/// [`GraphStore::node_scan_cursor`]. Holds no lock; each refill examines
+/// record headers from the parked slot onward until one chunk of in-use
+/// IDs is collected. Slots freed concurrently are skipped and slots
+/// allocated after creation are out of scan range — both only affect
+/// entities invisible to any snapshot that existed when the cursor was
+/// opened.
+pub struct NodeScanCursor<'s> {
+    store: &'s GraphStore,
+    next_raw: u64,
+    high: u64,
+    chunk: usize,
+}
+
+impl NodeScanCursor<'_> {
+    /// Refills `buf` (cleared first) with up to one chunk of in-use node
+    /// IDs. Returns `false` once the slot space is exhausted and `buf`
+    /// stayed empty.
+    pub fn next_chunk(&mut self, buf: &mut Vec<NodeId>) -> Result<bool> {
+        buf.clear();
+        while self.next_raw < self.high && buf.len() < self.chunk {
+            let raw = self.next_raw;
+            self.next_raw += 1;
+            if self.store.nodes.load(raw)?.in_use {
+                buf.push(NodeId::new(raw));
+            }
+        }
+        Ok(!buf.is_empty())
+    }
+}
+
+impl std::fmt::Debug for NodeScanCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeScanCursor")
+            .field("next", &self.next_raw)
+            .field("high", &self.high)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Relationship counterpart of [`NodeScanCursor`], created by
+/// [`GraphStore::rel_scan_cursor`].
+pub struct RelScanCursor<'s> {
+    store: &'s GraphStore,
+    next_raw: u64,
+    high: u64,
+    chunk: usize,
+}
+
+impl RelScanCursor<'_> {
+    /// Refills `buf` (cleared first) with up to one chunk of in-use
+    /// relationship IDs. Returns `false` once the slot space is exhausted
+    /// and `buf` stayed empty.
+    pub fn next_chunk(&mut self, buf: &mut Vec<RelationshipId>) -> Result<bool> {
+        buf.clear();
+        while self.next_raw < self.high && buf.len() < self.chunk {
+            let raw = self.next_raw;
+            self.next_raw += 1;
+            if self.store.relationships.load(raw)?.in_use {
+                buf.push(RelationshipId::new(raw));
+            }
+        }
+        Ok(!buf.is_empty())
+    }
+}
+
+impl std::fmt::Debug for RelScanCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelScanCursor")
+            .field("next", &self.next_raw)
+            .field("high", &self.high)
+            .finish_non_exhaustive()
     }
 }
 
@@ -732,5 +942,99 @@ mod tests {
         let person = store.tokens().label("Person").unwrap();
         assert_eq!(store.tokens().label("Person").unwrap(), person);
         assert_eq!(store.tokens().label_name(person), Some("Person".to_owned()));
+    }
+
+    /// Builds a hub with `n` spokes; returns (hub, spoke rel IDs).
+    fn hub_graph(store: &GraphStore, n: usize) -> (NodeId, Vec<RelationshipId>) {
+        let hub = store.allocate_node_id();
+        store.create_node(hub, &[], &[]).unwrap();
+        let rels = (0..n)
+            .map(|_| {
+                let spoke = store.allocate_node_id();
+                store.create_node(spoke, &[], &[]).unwrap();
+                let rel = store.allocate_relationship_id();
+                store
+                    .create_relationship(rel, hub, spoke, RelTypeToken(0), &[])
+                    .unwrap();
+                rel
+            })
+            .collect();
+        (hub, rels)
+    }
+
+    #[test]
+    fn rel_chain_cursor_pages_the_whole_chain() {
+        let dir = TempDir::new("gs_chain_cursor");
+        let store = open(&dir);
+        let (hub, rels) = hub_graph(&store, 10);
+        for chunk in [1usize, 3, 100] {
+            let mut cursor = store.rel_chain_cursor(hub, chunk).unwrap();
+            let mut buf = Vec::new();
+            let mut out = Vec::new();
+            while cursor.next_chunk(&mut buf).unwrap() {
+                assert!(buf.len() <= chunk);
+                out.extend_from_slice(&buf);
+            }
+            assert_eq!(cursor.restarts(), 0);
+            let mut expected = rels.clone();
+            expected.sort();
+            out.sort();
+            assert_eq!(out, expected, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn rel_chain_cursor_restarts_after_concurrent_unlink() {
+        let dir = TempDir::new("gs_chain_restart");
+        let store = open(&dir);
+        let (hub, rels) = hub_graph(&store, 6);
+        // Chain order is head-insert: the cursor sees rels in reverse
+        // creation order. Take one chunk of two, then delete the rel the
+        // cursor is parked on (the 3rd-newest) plus one it already saw.
+        let mut cursor = store.rel_chain_cursor(hub, 2).unwrap();
+        let mut buf = Vec::new();
+        assert!(cursor.next_chunk(&mut buf).unwrap());
+        assert_eq!(buf.len(), 2);
+        let seen_first: Vec<RelationshipId> = buf.clone();
+        store.delete_relationship(rels[3]).unwrap(); // parked link
+        store.delete_relationship(rels[5]).unwrap(); // already yielded
+        let mut out = seen_first.clone();
+        while cursor.next_chunk(&mut buf).unwrap() {
+            out.extend_from_slice(&buf);
+        }
+        assert!(cursor.restarts() >= 1, "cursor must detect the rewiring");
+        out.sort();
+        out.dedup();
+        // Every still-linked relationship is delivered at least once.
+        for (i, rel) in rels.iter().enumerate() {
+            if i != 3 && i != 5 {
+                assert!(out.contains(rel), "lost rel {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_cursors_match_the_eager_scans() {
+        let dir = TempDir::new("gs_scan_cursor");
+        let store = open(&dir);
+        let (_hub, rels) = hub_graph(&store, 7);
+        store.delete_relationship(rels[2]).unwrap();
+
+        let mut nodes = Vec::new();
+        let mut buf = Vec::new();
+        let mut cursor = store.node_scan_cursor(3);
+        while cursor.next_chunk(&mut buf).unwrap() {
+            assert!(buf.len() <= 3);
+            nodes.extend_from_slice(&buf);
+        }
+        assert_eq!(nodes, store.scan_node_ids().unwrap());
+
+        let mut rel_ids = Vec::new();
+        let mut cursor = store.rel_scan_cursor(2);
+        let mut rbuf = Vec::new();
+        while cursor.next_chunk(&mut rbuf).unwrap() {
+            rel_ids.extend_from_slice(&rbuf);
+        }
+        assert_eq!(rel_ids, store.scan_relationship_ids().unwrap());
     }
 }

@@ -43,7 +43,8 @@ pub mod value;
 
 pub use error::{Result, StorageError};
 pub use graph_store::{
-    GraphStore, GraphStoreConfig, GraphStoreStats, StoredNode, StoredRelationship,
+    GraphStore, GraphStoreConfig, GraphStoreStats, NodeScanCursor, RelChainCursor, RelScanCursor,
+    StoredNode, StoredRelationship,
 };
 pub use ids::{
     DynamicRecordId, EntityId, LabelToken, NodeId, PropertyKeyToken, PropertyRecordId,

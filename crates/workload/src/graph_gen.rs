@@ -83,6 +83,30 @@ pub struct GeneratedGraph {
     pub relationships: usize,
 }
 
+/// Builds a complete `fanout`-ary tree of the given `depth` in one
+/// transaction, returning the root. Every node carries the label `Tree`
+/// and every edge is a `CHILD` relationship pointing away from the root.
+/// Used by the E11 expansion experiment and the `expansion` bench so both
+/// measure the same graph shape.
+pub fn build_tree(db: &GraphDb, fanout: usize, depth: usize) -> Result<NodeId> {
+    let mut tx = db.begin();
+    let root = tx.create_node(&["Tree"], &[])?;
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &parent in &frontier {
+            for _ in 0..fanout {
+                let child = tx.create_node(&["Tree"], &[])?;
+                tx.create_relationship(parent, child, "CHILD", &[])?;
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    tx.commit()?;
+    Ok(root)
+}
+
 /// Builds the graph described by `spec` inside `db`. Every node gets the
 /// label `Person` and properties `uid` (its creation index) and `balance`
 /// (initial 100); every relationship has type `KNOWS`.

@@ -24,7 +24,7 @@ pub mod probes;
 pub mod report;
 pub mod zipf;
 
-pub use graph_gen::{build_graph, GeneratedGraph, GraphShape, GraphSpec};
+pub use graph_gen::{build_graph, build_tree, GeneratedGraph, GraphShape, GraphSpec};
 pub use mixes::{run_mix, MixReport, MixSpec};
 pub use probes::{phantom_read_probe, unrepeatable_read_probe, write_skew_probe, ProbeReport};
 pub use report::Table;

@@ -50,10 +50,23 @@ pub fn unrepeatable_read_probe(
     }
     tx.commit()?;
 
+    // The two-step read, expressed through the streaming query builder:
+    // one sorted hub expansion per step.
+    let hub_neighbors = |tx: &graphsi_core::Transaction| -> Result<Vec<NodeId>> {
+        let mut out = tx
+            .query()
+            .start_nodes([hub])
+            .expand(Direction::Both, Some("SPOKE"))
+            .distinct()
+            .ids()?;
+        out.sort();
+        Ok(out)
+    };
+
     let mut report = ProbeReport::default();
     for round in 0..rounds {
         let reader = db.txn().isolation(isolation).begin();
-        let first = reader.neighbors_vec(hub, Direction::Both)?;
+        let first = hub_neighbors(&reader)?;
 
         // Concurrent writer: detach one spoke and attach a fresh one.
         let victim_idx = (round % spokes.len() as u64) as usize;
@@ -67,7 +80,7 @@ pub fn unrepeatable_read_probe(
         writer.commit()?;
         spokes[victim_idx] = fresh;
 
-        let second = reader.neighbors_vec(hub, Direction::Both)?;
+        let second = hub_neighbors(&reader)?;
         report.rounds += 1;
         if first != second {
             report.anomalies += 1;
@@ -96,13 +109,13 @@ pub fn phantom_read_probe(
     let mut report = ProbeReport::default();
     for _ in 0..rounds {
         let reader = db.txn().isolation(isolation).begin();
-        let first = reader.nodes_with_label("ProbePerson")?.count();
+        let first = reader.query().nodes_with_label("ProbePerson").count()?;
 
         let mut writer = db.begin();
         writer.create_node(&["ProbePerson"], &[])?;
         writer.commit()?;
 
-        let second = reader.nodes_with_label("ProbePerson")?.count();
+        let second = reader.query().nodes_with_label("ProbePerson").count()?;
         report.rounds += 1;
         if first != second {
             report.anomalies += 1;

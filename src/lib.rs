@@ -8,3 +8,11 @@
 //! crate (or on `graphsi-core` directly) to use the database.
 
 pub use graphsi_core::*;
+
+/// Compiles and runs the README's code blocks (the quickstart and the
+/// Query API tour) as doctests, so the front-page documentation cannot
+/// rot.
+#[cfg(doctest)]
+mod readme_doctests {
+    #![doc = include_str!("../README.md")]
+}
