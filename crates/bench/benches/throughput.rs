@@ -154,5 +154,71 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reads, bench_writes, bench_thread_scaling);
+/// The commit-throughput axis: pure write-commit workloads (one node per
+/// thread, no conflicts) at 1..=8 OS threads, comparing the staged
+/// group-commit pipeline (`SyncPolicy::OnDemand`, batched leader syncs)
+/// against sync-per-append (`SyncPolicy::Always`). The per-run mean is the
+/// commits-per-second scaling measurement behind experiment E12.
+fn bench_commit_throughput(c: &mut Criterion) {
+    use std::time::Duration;
+    let mut group = c.benchmark_group("commit_throughput");
+    group.sample_size(10);
+    for group_commit in [false, true] {
+        let label = if group_commit {
+            "group_commit"
+        } else {
+            "sync_per_append"
+        };
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                let config = if group_commit {
+                    DbConfig::default()
+                        .with_sync_policy(graphsi_core::SyncPolicy::OnDemand)
+                        .with_group_commit_max_batch(64)
+                        .with_group_commit_max_delay(Duration::from_micros(200))
+                } else {
+                    DbConfig::default().with_sync_policy(graphsi_core::SyncPolicy::Always)
+                };
+                let dir = TempDir::new("bench_commit_throughput");
+                let db = GraphDb::open(dir.path(), config).unwrap();
+                let mut tx = db.begin();
+                let nodes: Vec<NodeId> = (0..threads)
+                    .map(|_| {
+                        tx.create_node(&["W"], &[("v", PropertyValue::Int(0))])
+                            .unwrap()
+                    })
+                    .collect();
+                tx.commit().unwrap();
+                b.iter(|| {
+                    let handles: Vec<_> = nodes
+                        .iter()
+                        .map(|&node| {
+                            let db = db.clone();
+                            std::thread::spawn(move || {
+                                for i in 0..50i64 {
+                                    let mut tx = db.begin();
+                                    tx.set_node_property(node, "v", PropertyValue::Int(i))
+                                        .unwrap();
+                                    tx.commit().unwrap();
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reads,
+    bench_writes,
+    bench_thread_scaling,
+    bench_commit_throughput
+);
 criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Experiment harness: regenerates one table per experiment (E1–E9) from
+//! Experiment harness: regenerates one table per experiment (E1–E12) from
 //! DESIGN.md / EXPERIMENTS.md.
 //!
 //! Usage:
@@ -102,6 +102,9 @@ fn main() {
     }
     if want("e11") {
         e11_expansion_scaling(&scale);
+    }
+    if want("e12") {
+        e12_group_commit(&scale);
     }
 }
 
@@ -517,6 +520,99 @@ fn e11_expansion_scaling(scale: &Scale) {
             f1(vec_time.as_micros() as f64),
             peak.to_string(),
         ]);
+    }
+    println!("{}", table.render());
+}
+
+/// E12 — the staged commit pipeline's WAL group commit: as writer threads
+/// are added, concurrent committers share one fsync per batch, so the sync
+/// count falls far below the commit count while the per-commit durability
+/// guarantee is unchanged. `sync-per-append` is the baseline
+/// (`SyncPolicy::Always`, every commit pays its own fsync).
+fn e12_group_commit(scale: &Scale) {
+    use std::time::Duration;
+    println!("## E12 — WAL group commit: fsyncs amortised across concurrent committers");
+    let mut table = Table::new(&[
+        "variant",
+        "threads",
+        "committed",
+        "wal syncs",
+        "commits/sync",
+        "batches",
+        "max batch",
+        "throughput (txn/s)",
+    ]);
+    let commits_per_thread = scale.mix_txns_per_thread;
+    let max_threads = scale.threads.max(4);
+    for group_commit in [false, true] {
+        let mut threads = 1usize;
+        while threads <= max_threads {
+            let config = if group_commit {
+                DbConfig::default()
+                    .with_sync_policy(graphsi_core::SyncPolicy::OnDemand)
+                    .with_group_commit_max_batch(64)
+                    .with_group_commit_max_delay(Duration::from_micros(500))
+            } else {
+                DbConfig::default().with_sync_policy(graphsi_core::SyncPolicy::Always)
+            };
+            let dir = TempDir::new("e12");
+            let db = open(&dir, config);
+            // One node per thread: pure commit-pipeline contention, no
+            // write-write conflicts.
+            let mut tx = db.begin();
+            let nodes: Vec<_> = (0..threads)
+                .map(|_| {
+                    tx.create_node(&["W"], &[("v", PropertyValue::Int(0))])
+                        .unwrap()
+                })
+                .collect();
+            tx.commit().unwrap();
+            let before = db.metrics();
+            let start = Instant::now();
+            let handles: Vec<_> = nodes
+                .iter()
+                .map(|&node| {
+                    let db = db.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..commits_per_thread {
+                            let mut tx = db.begin();
+                            tx.set_node_property(node, "v", PropertyValue::Int(i as i64))
+                                .unwrap();
+                            tx.commit().unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let elapsed = start.elapsed();
+            let m = db.metrics();
+            let committed = (m.commits - m.read_only_commits) - 1; // minus setup
+            let syncs = m.wal_syncs - before.wal_syncs;
+            if group_commit && threads >= 4 {
+                assert!(
+                    syncs < committed,
+                    "group commit must batch syncs under contention \
+                     ({syncs} syncs for {committed} commits)"
+                );
+            }
+            table.row(&[
+                if group_commit {
+                    "group commit".to_string()
+                } else {
+                    "sync-per-append".to_string()
+                },
+                threads.to_string(),
+                committed.to_string(),
+                syncs.to_string(),
+                f1(committed as f64 / syncs.max(1) as f64),
+                (m.group_commit_batches - before.group_commit_batches).to_string(),
+                m.group_commit_batch_size_max.to_string(),
+                f1(committed as f64 / elapsed.as_secs_f64()),
+            ]);
+            threads *= 2;
+        }
     }
     println!("{}", table.render());
 }

@@ -79,15 +79,13 @@ pub struct CommitRecord {
 }
 
 impl CommitRecord {
-    /// Serialises the record to bytes for the WAL.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
-        out.extend_from_slice(&self.commit_ts.raw().to_le_bytes());
-        out.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
-        for op in &self.ops {
-            encode_op(op, &mut out);
-        }
-        out
+    /// Serialises the record to bytes for the WAL. Fails with
+    /// [`DbError::CommitRecordOverflow`] if any field exceeds the format's
+    /// limits (e.g. more than 255 labels on one entity) — the limits are
+    /// validated here rather than silently truncated, so a malformed record
+    /// can never reach the log.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        Ok(frame_record(self.commit_ts, &encode_ops(&self.ops)?))
     }
 
     /// Deserialises a record previously produced by [`CommitRecord::encode`].
@@ -103,7 +101,45 @@ impl CommitRecord {
     }
 }
 
-fn encode_op(op: &CommitOp, out: &mut Vec<u8>) {
+/// Maximum number of labels one entity can carry in a commit record (the
+/// label count is encoded as a single byte).
+pub const MAX_LABELS_PER_ENTITY: usize = u8::MAX as usize;
+
+/// Maximum number of properties one entity can carry in a commit record
+/// (the property count is encoded as a `u16`).
+pub const MAX_PROPS_PER_ENTITY: usize = u16::MAX as usize;
+
+/// Serialises a list of operations *without* the record header. The commit
+/// pipeline encodes the (potentially large) op list outside its sequencing
+/// critical section and frames it with the commit timestamp only once the
+/// timestamp is assigned — see [`frame_record`].
+pub fn encode_ops(ops: &[CommitOp]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        encode_op(op, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Prepends the commit-timestamp header to an op body produced by
+/// [`encode_ops`], yielding the final WAL payload.
+pub fn frame_record(commit_ts: Timestamp, ops_body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + ops_body.len());
+    out.extend_from_slice(&commit_ts.raw().to_le_bytes());
+    out.extend_from_slice(ops_body);
+    out
+}
+
+/// Overwrites the commit-timestamp header of an already-framed payload.
+/// The commit pipeline frames the payload with a placeholder *outside*
+/// its sequencing lock and patches the real timestamp in place once it is
+/// drawn, so the critical section never copies the record.
+pub fn patch_commit_ts(payload: &mut [u8], commit_ts: Timestamp) {
+    payload[..8].copy_from_slice(&commit_ts.raw().to_le_bytes());
+}
+
+fn encode_op(op: &CommitOp, out: &mut Vec<u8>) -> Result<()> {
     match op {
         CommitOp::CreateNode {
             id,
@@ -112,8 +148,8 @@ fn encode_op(op: &CommitOp, out: &mut Vec<u8>) {
         } => {
             out.push(1);
             out.extend_from_slice(&id.raw().to_le_bytes());
-            encode_labels(labels, out);
-            encode_props(properties, out);
+            encode_labels(labels, out)?;
+            encode_props(properties, out)?;
         }
         CommitOp::UpdateNode {
             id,
@@ -122,8 +158,8 @@ fn encode_op(op: &CommitOp, out: &mut Vec<u8>) {
         } => {
             out.push(2);
             out.extend_from_slice(&id.raw().to_le_bytes());
-            encode_labels(labels, out);
-            encode_props(properties, out);
+            encode_labels(labels, out)?;
+            encode_props(properties, out)?;
         }
         CommitOp::DeleteNode { id } => {
             out.push(3);
@@ -141,28 +177,42 @@ fn encode_op(op: &CommitOp, out: &mut Vec<u8>) {
             out.extend_from_slice(&source.raw().to_le_bytes());
             out.extend_from_slice(&target.raw().to_le_bytes());
             out.extend_from_slice(&rel_type.0.to_le_bytes());
-            encode_props(properties, out);
+            encode_props(properties, out)?;
         }
         CommitOp::UpdateRelationship { id, properties } => {
             out.push(5);
             out.extend_from_slice(&id.raw().to_le_bytes());
-            encode_props(properties, out);
+            encode_props(properties, out)?;
         }
         CommitOp::DeleteRelationship { id } => {
             out.push(6);
             out.extend_from_slice(&id.raw().to_le_bytes());
         }
     }
+    Ok(())
 }
 
-fn encode_labels(labels: &[LabelToken], out: &mut Vec<u8>) {
+fn encode_labels(labels: &[LabelToken], out: &mut Vec<u8>) -> Result<()> {
+    if labels.len() > MAX_LABELS_PER_ENTITY {
+        return Err(DbError::CommitRecordOverflow(format!(
+            "{} labels on one entity (maximum {MAX_LABELS_PER_ENTITY})",
+            labels.len()
+        )));
+    }
     out.push(labels.len() as u8);
     for l in labels {
         out.extend_from_slice(&l.0.to_le_bytes());
     }
+    Ok(())
 }
 
-fn encode_props(props: &[(PropertyKeyToken, PropertyValue)], out: &mut Vec<u8>) {
+fn encode_props(props: &[(PropertyKeyToken, PropertyValue)], out: &mut Vec<u8>) -> Result<()> {
+    if props.len() > MAX_PROPS_PER_ENTITY {
+        return Err(DbError::CommitRecordOverflow(format!(
+            "{} properties on one entity (maximum {MAX_PROPS_PER_ENTITY})",
+            props.len()
+        )));
+    }
     out.extend_from_slice(&(props.len() as u16).to_le_bytes());
     for (key, value) in props {
         out.extend_from_slice(&key.0.to_le_bytes());
@@ -186,6 +236,7 @@ fn encode_props(props: &[(PropertyKeyToken, PropertyValue)], out: &mut Vec<u8>) 
             }
         }
     }
+    Ok(())
 }
 
 struct Cursor<'a> {
@@ -324,10 +375,14 @@ pub fn apply_to_store(
     commit_ts_key: PropertyKeyToken,
     idempotent: bool,
 ) -> Result<()> {
+    // The reserved commit-ts property is appended to each entity's chain by
+    // the store layer itself (`extra` parameter), so no op ever clones its
+    // property list just to attach the timestamp.
     let ts_prop = (
         commit_ts_key,
         PropertyValue::Int(record.commit_ts.raw() as i64),
     );
+    let extra = Some(&ts_prop);
     for op in &record.ops {
         match op {
             CommitOp::CreateNode {
@@ -340,16 +395,14 @@ pub fn apply_to_store(
                 labels,
                 properties,
             } => {
-                let mut props = properties.clone();
-                props.push(ts_prop.clone());
                 let exists = store.node_exists(*id)?;
                 if exists {
-                    store.update_node(*id, labels, &props)?;
+                    store.update_node_with(*id, labels, properties, extra)?;
                 } else {
                     if matches!(op, CommitOp::UpdateNode { .. }) && !idempotent {
                         return Err(DbError::NodeNotFound(*id));
                     }
-                    store.create_node(*id, labels, &props)?;
+                    store.create_node_with(*id, labels, properties, extra)?;
                     store.bump_high_ids(id.raw() + 1, 0);
                 }
             }
@@ -367,21 +420,19 @@ pub fn apply_to_store(
                 rel_type,
                 properties,
             } => {
-                let mut props = properties.clone();
-                props.push(ts_prop.clone());
                 if store.relationship_exists(*id)? {
                     // Already applied (recovery after a partial flush).
-                    store.update_relationship(*id, &props)?;
+                    store.update_relationship_with(*id, properties, extra)?;
                 } else {
-                    store.create_relationship(*id, *source, *target, *rel_type, &props)?;
+                    store.create_relationship_with(
+                        *id, *source, *target, *rel_type, properties, extra,
+                    )?;
                     store.bump_high_ids(0, id.raw() + 1);
                 }
             }
             CommitOp::UpdateRelationship { id, properties } => {
-                let mut props = properties.clone();
-                props.push(ts_prop.clone());
                 if store.relationship_exists(*id)? {
-                    store.update_relationship(*id, &props)?;
+                    store.update_relationship_with(*id, properties, extra)?;
                 } else if !idempotent {
                     return Err(DbError::RelationshipNotFound(*id));
                 }
@@ -465,14 +516,24 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let record = sample_record();
-        let bytes = record.encode();
+        let bytes = record.encode().unwrap();
         let decoded = CommitRecord::decode(&bytes).unwrap();
         assert_eq!(decoded, record);
     }
 
     #[test]
+    fn frame_record_matches_whole_record_encoding() {
+        let record = sample_record();
+        let body = encode_ops(&record.ops).unwrap();
+        assert_eq!(
+            frame_record(record.commit_ts, &body),
+            record.encode().unwrap()
+        );
+    }
+
+    #[test]
     fn truncated_record_is_rejected() {
-        let bytes = sample_record().encode();
+        let bytes = sample_record().encode().unwrap();
         for cut in [0, 5, 11, bytes.len() / 2, bytes.len() - 1] {
             assert!(CommitRecord::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
@@ -480,9 +541,58 @@ mod tests {
 
     #[test]
     fn unknown_tag_is_rejected() {
-        let mut bytes = sample_record().encode();
+        let mut bytes = sample_record().encode().unwrap();
         bytes[12] = 200; // first op tag
         assert!(CommitRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn too_many_labels_is_an_encode_error_not_truncation() {
+        // Regression: `labels.len() as u8` used to wrap past 255, producing
+        // a corrupt-but-checksummed record (the decoder would read a tiny
+        // label count and misparse everything after it).
+        let at_limit = CommitRecord {
+            commit_ts: Timestamp(1),
+            ops: vec![CommitOp::CreateNode {
+                id: NodeId::new(0),
+                labels: (0..255).map(LabelToken).collect(),
+                properties: vec![],
+            }],
+        };
+        let bytes = at_limit.encode().unwrap();
+        assert_eq!(CommitRecord::decode(&bytes).unwrap(), at_limit);
+
+        let over_limit = CommitRecord {
+            commit_ts: Timestamp(1),
+            ops: vec![CommitOp::CreateNode {
+                id: NodeId::new(0),
+                labels: (0..256).map(LabelToken).collect(),
+                properties: vec![],
+            }],
+        };
+        let err = over_limit.encode().unwrap_err();
+        assert!(
+            matches!(err, DbError::CommitRecordOverflow(_)),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("256 labels"));
+    }
+
+    #[test]
+    fn too_many_properties_is_an_encode_error() {
+        let over_limit = CommitRecord {
+            commit_ts: Timestamp(1),
+            ops: vec![CommitOp::UpdateRelationship {
+                id: RelationshipId::new(0),
+                properties: (0..=u16::MAX as u32)
+                    .map(|i| (PropertyKeyToken(i), PropertyValue::Bool(true)))
+                    .collect(),
+            }],
+        };
+        assert!(matches!(
+            over_limit.encode(),
+            Err(DbError::CommitRecordOverflow(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! The staged commit pipeline: WAL group commit with strictly in-order
+//! snapshot publication.
+//!
+//! The paper's durable-commit protocol (WAL record → version install →
+//! flush-through of the newest committed version → snapshot visibility)
+//! used to run as one monolithic critical section, so commit throughput
+//! was flat no matter how many writer threads were committing. The
+//! pipeline splits it into three stages that overlap across threads:
+//!
+//! * **Stage A — sequencing** ([`CommitPipeline::sequence`]): a short
+//!   lock under which a committer validates (first-committer-wins),
+//!   draws its commit timestamp and appends its record to the WAL, so
+//!   records land in the log in commit-timestamp order. The committer
+//!   also registers itself with the publication queue before leaving the
+//!   lock, fixing its position in the publication order.
+//! * **Stage B — group durability** ([`CommitPipeline::wait_durable`]):
+//!   concurrent committers park on a leader/follower batcher; one leader
+//!   issues a single [`Wal::sync_appended`] covering every record
+//!   appended so far, amortising the `fsync` across the whole batch.
+//!   [`DbConfig::group_commit_max_batch`] and
+//!   [`DbConfig::group_commit_max_delay`] bound how long a leader waits
+//!   for more committers to join.
+//! * **Stage C — installation and publication**: after durability each
+//!   committer installs its versions, applies its record to the store
+//!   (under the narrow [`CommitPipeline::store_apply`] lock — see
+//!   ROADMAP for the per-shard follow-on) and updates the indexes
+//!   concurrently with other committers; [`CommitPipeline::publish`]
+//!   then advances the visible timestamp as a low-water mark, strictly
+//!   in commit-timestamp order, so no snapshot ever observes commit
+//!   `N+1` without commit `N` even though post-sync work overlaps.
+//!
+//! Because versions are installed *after* the sequencing lock is
+//! released, first-committer-wins validation consults the pipeline's
+//! pending-commit table ([`CommitPipeline::pending_for`]) in
+//! addition to the version cache: a commit that has drawn its timestamp
+//! but not yet installed its versions is visible to validators through
+//! that table, and is removed from it only once the cache can answer for
+//! it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use graphsi_txn::{LockKey, Timestamp};
+use graphsi_wal::{SyncPolicy, Wal, WalError};
+
+use crate::error::{DbError, Result};
+use crate::metrics::DbMetrics;
+
+/// Stage-B state of the leader/follower group-sync batcher.
+struct GroupState {
+    /// Highest WAL LSN known durable.
+    durable_lsn: u64,
+    /// A leader is currently syncing (or gathering its batch).
+    syncing: bool,
+    /// Committers currently parked on the batcher (including the leader).
+    waiters: usize,
+    /// A sync failed for all LSNs at or below `.0`; waiters covered by it
+    /// abort with `.1` instead of retrying a log the kernel already
+    /// refused to flush.
+    failed: Option<(u64, String)>,
+}
+
+/// One commit registered for publication (stage C).
+struct PendingPublication {
+    commit_ts: Timestamp,
+    /// Versions installed, store applied, indexes updated — the visible
+    /// watermark may advance past this commit.
+    done: bool,
+    /// The commit aborted after sequencing (sync or store-apply failure);
+    /// the watermark skips it.
+    withdrawn: bool,
+}
+
+/// The shared commit-pipeline state of one open database.
+pub(crate) struct CommitPipeline {
+    /// Stage A: serialises validation, timestamp assignment and WAL append.
+    seq_lock: Mutex<()>,
+    group: Mutex<GroupState>,
+    group_cvar: Condvar,
+    publish: Mutex<VecDeque<PendingPublication>>,
+    publish_cvar: Condvar,
+    /// Write-set keys of commits between sequencing and version install,
+    /// with their commit timestamps, for first-committer-wins validation.
+    pending_keys: Mutex<HashMap<LockKey, Timestamp>>,
+    /// Serialises the flush-through of commit records to the persistent
+    /// store. Narrow by design: the store's relationship-chain splices are
+    /// multi-record read-modify-write sequences, and under
+    /// first-committer-wins two pipelined commits may touch the same
+    /// node's chain (locks are advisory there). Sharding this lock is the
+    /// ROADMAP's next step.
+    store_apply_lock: Mutex<()>,
+    /// The newest commit timestamp whose effects are fully installed and
+    /// published. New transactions snapshot at this value.
+    visible_ts: AtomicU64,
+    max_batch: usize,
+    max_delay: Duration,
+}
+
+impl CommitPipeline {
+    /// Creates the pipeline. `durable_lsn` seeds the batcher's durable
+    /// watermark — on open every LSN already in the log is durable (it was
+    /// read back from disk), so the first post-recovery sync must not
+    /// count replayed records as part of its batch.
+    pub(crate) fn new(max_batch: usize, max_delay: Duration, durable_lsn: u64) -> Self {
+        CommitPipeline {
+            seq_lock: Mutex::new(()),
+            group: Mutex::new(GroupState {
+                durable_lsn,
+                syncing: false,
+                waiters: 0,
+                failed: None,
+            }),
+            group_cvar: Condvar::new(),
+            publish: Mutex::new(VecDeque::new()),
+            publish_cvar: Condvar::new(),
+            pending_keys: Mutex::new(HashMap::new()),
+            store_apply_lock: Mutex::new(()),
+            visible_ts: AtomicU64::new(0),
+            max_batch: max_batch.max(1),
+            max_delay,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Visible timestamp
+    // ------------------------------------------------------------------
+
+    /// The newest published (fully installed) commit timestamp.
+    pub(crate) fn visible_timestamp(&self) -> Timestamp {
+        Timestamp(self.visible_ts.load(Ordering::Acquire))
+    }
+
+    /// Sets the visible timestamp directly; recovery only (no commits are
+    /// in flight while the database is opening).
+    pub(crate) fn set_visible_timestamp(&self, ts: Timestamp) {
+        self.visible_ts.store(ts.raw(), Ordering::Release);
+    }
+
+    // ------------------------------------------------------------------
+    // Stage A — sequencing
+    // ------------------------------------------------------------------
+
+    /// Enters the sequencing critical section. While the guard is held the
+    /// caller validates, draws its commit timestamp, appends to the WAL
+    /// and calls [`CommitPipeline::register`]; the section must stay
+    /// short — no fsync, no store writes.
+    pub(crate) fn sequence(&self) -> MutexGuard<'_, ()> {
+        self.seq_lock.lock()
+    }
+
+    /// The pending (sequenced but not yet installed) commit timestamps for
+    /// a batch of keys, probed under one table lock. Must be consulted
+    /// *before* the version cache: a pending commit leaves this table only
+    /// after its versions are installed, so checking in that order can
+    /// never miss it.
+    pub(crate) fn pending_for(&self, keys: &[LockKey]) -> Vec<Option<Timestamp>> {
+        let pending = self.pending_keys.lock();
+        keys.iter().map(|key| pending.get(key).copied()).collect()
+    }
+
+    /// Registers a sequenced commit for in-order publication and makes its
+    /// write-set keys visible to validators. Must be called while the
+    /// [`CommitPipeline::sequence`] guard is held so queue order equals
+    /// commit-timestamp order.
+    pub(crate) fn register(&self, commit_ts: Timestamp, keys: &[LockKey]) {
+        {
+            let mut pending = self.pending_keys.lock();
+            for &key in keys {
+                pending.insert(key, commit_ts);
+            }
+        }
+        self.publish.lock().push_back(PendingPublication {
+            commit_ts,
+            done: false,
+            withdrawn: false,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Stage B — group durability
+    // ------------------------------------------------------------------
+
+    /// Blocks until the WAL entry `lsn` is durable, joining (or leading) a
+    /// group-commit batch. Exactly one parked committer acts as leader: it
+    /// optionally waits up to the configured delay for more committers,
+    /// then issues a single sync covering every record appended so far.
+    pub(crate) fn wait_durable(&self, wal: &Wal, lsn: u64, metrics: &DbMetrics) -> Result<()> {
+        if wal.sync_policy() == SyncPolicy::Always {
+            // The append already synced itself: a degenerate batch of one.
+            metrics.record_group_sync(1);
+            return Ok(());
+        }
+        let mut state = self.group.lock();
+        state.waiters += 1;
+        // A joiner may be what a gathering leader is waiting for.
+        self.group_cvar.notify_all();
+        loop {
+            // Durability first: a record made durable by an *earlier*
+            // successful sync is committed no matter what happened to
+            // later batches, so it must never see their failure marker.
+            if state.durable_lsn >= lsn {
+                state.waiters -= 1;
+                return Ok(());
+            }
+            if let Some((failed_upto, reason)) = &state.failed {
+                if lsn <= *failed_upto {
+                    let err = group_sync_error(reason);
+                    state.waiters -= 1;
+                    return Err(err);
+                }
+            }
+            if !state.syncing {
+                // Become the leader: gather a batch, sync once, publish
+                // the new durable watermark to every follower.
+                state.syncing = true;
+                if !self.max_delay.is_zero() {
+                    let deadline = Instant::now() + self.max_delay;
+                    while state.waiters < self.max_batch {
+                        if self.group_cvar.wait_until(&mut state, deadline).timed_out() {
+                            break;
+                        }
+                    }
+                }
+                let previous_durable = state.durable_lsn;
+                // Bound a possible failure to records appended *before*
+                // the attempt: anything appended during the failing fsync
+                // was never part of it and deserves its own sync attempt.
+                let attempt_upto = wal.last_appended_lsn();
+                // The fsync runs without the batcher lock so followers of
+                // the *next* batch can keep appending and parking.
+                drop(state);
+                let result = wal.sync_appended();
+                state = self.group.lock();
+                state.syncing = false;
+                match result {
+                    Ok(durable) => {
+                        if durable > state.durable_lsn {
+                            // Every LSN is one commit record, so the LSN
+                            // span is the number of commits this one fsync
+                            // made durable.
+                            metrics.record_group_sync(durable - previous_durable);
+                            state.durable_lsn = durable;
+                        }
+                        state.failed = None;
+                    }
+                    Err(e) => {
+                        state.failed = Some((attempt_upto, e.to_string()));
+                    }
+                }
+                self.group_cvar.notify_all();
+                // Re-check from the top: our own LSN is covered on
+                // success, or the failure branch picks up the error.
+            } else {
+                self.group_cvar.wait(&mut state);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage C — installation and publication
+    // ------------------------------------------------------------------
+
+    /// Removes a commit's keys from the pending-validation table. Call
+    /// once its versions are installed in the cache (the cache answers
+    /// validators from then on), or when the commit aborts.
+    pub(crate) fn clear_pending(&self, keys: &[LockKey]) {
+        let mut pending = self.pending_keys.lock();
+        for key in keys {
+            pending.remove(key);
+        }
+    }
+
+    /// Serialises the flush-through of commit records to the persistent
+    /// store (stage C's narrow critical section).
+    pub(crate) fn store_apply(&self) -> MutexGuard<'_, ()> {
+        self.store_apply_lock.lock()
+    }
+
+    /// Marks a registered commit as fully installed and blocks until the
+    /// visible timestamp has advanced to (at least) its commit timestamp —
+    /// i.e. until every earlier commit has published too. This is the
+    /// low-water mark that keeps publication gap-free in commit-ts order.
+    pub(crate) fn publish(&self, commit_ts: Timestamp) {
+        let mut queue = self.publish.lock();
+        if let Some(entry) = queue.iter_mut().find(|e| e.commit_ts == commit_ts) {
+            entry.done = true;
+        }
+        self.advance_watermark(&mut queue);
+        while self.visible_ts.load(Ordering::Acquire) < commit_ts.raw() {
+            self.publish_cvar.wait(&mut queue);
+        }
+    }
+
+    /// Withdraws a registered commit that aborted after sequencing (failed
+    /// sync or store apply): the publication watermark skips it so later
+    /// commits are not wedged behind a commit that will never publish.
+    pub(crate) fn withdraw(&self, commit_ts: Timestamp) {
+        let mut queue = self.publish.lock();
+        if let Some(entry) = queue.iter_mut().find(|e| e.commit_ts == commit_ts) {
+            entry.withdrawn = true;
+        }
+        self.advance_watermark(&mut queue);
+    }
+
+    /// Pops the contiguous prefix of finished commits off the publication
+    /// queue and advances the visible timestamp to the newest published
+    /// one. Withdrawn commits are skipped without becoming visible.
+    fn advance_watermark(&self, queue: &mut MutexGuard<'_, VecDeque<PendingPublication>>) {
+        let mut newest_published = None;
+        while let Some(front) = queue.front() {
+            if front.withdrawn {
+                queue.pop_front();
+            } else if front.done {
+                newest_published = Some(front.commit_ts);
+                queue.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(ts) = newest_published {
+            // Monotone by construction: queue order is commit-ts order.
+            self.visible_ts.store(ts.raw(), Ordering::Release);
+        }
+        // Wake publication waiters and checkpoint drains on any change.
+        self.publish_cvar.notify_all();
+    }
+
+    /// Blocks until no commit is in flight between sequencing and
+    /// publication. The caller must hold the [`CommitPipeline::sequence`]
+    /// guard (blocking new entrants), so on return the WAL and the store
+    /// are mutually consistent — the checkpoint's precondition.
+    pub(crate) fn wait_drained(&self) {
+        let mut queue = self.publish.lock();
+        while !queue.is_empty() {
+            self.publish_cvar.wait(&mut queue);
+        }
+    }
+}
+
+/// Error reported to group-commit followers when their batch's sync
+/// failed. The original `io::Error` cannot be cloned across waiters, so
+/// they share its rendered form.
+fn group_sync_error(reason: &str) -> DbError {
+    DbError::Wal(WalError::io(
+        "group commit sync failed",
+        std::io::Error::other(reason.to_string()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn pipeline() -> CommitPipeline {
+        CommitPipeline::new(8, Duration::ZERO, 0)
+    }
+
+    #[test]
+    fn watermark_advances_only_through_contiguous_prefix() {
+        let p = pipeline();
+        p.register(Timestamp(1), &[]);
+        p.register(Timestamp(2), &[]);
+        p.register(Timestamp(3), &[]);
+        // Finishing out of order publishes nothing until the prefix closes.
+        let p = Arc::new(p);
+        let p3 = Arc::clone(&p);
+        let t3 = std::thread::spawn(move || p3.publish(Timestamp(3)));
+        let p2 = Arc::clone(&p);
+        let t2 = std::thread::spawn(move || p2.publish(Timestamp(2)));
+        // Give the out-of-order publishers a moment to park; commits 2 and
+        // 3 must stay invisible while 1 is unfinished.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(p.visible_timestamp(), Timestamp(0));
+        p.publish(Timestamp(1));
+        t2.join().unwrap();
+        t3.join().unwrap();
+        assert_eq!(p.visible_timestamp(), Timestamp(3));
+    }
+
+    #[test]
+    fn withdrawn_commits_are_skipped_without_becoming_visible() {
+        let p = pipeline();
+        p.register(Timestamp(1), &[]);
+        p.register(Timestamp(2), &[]);
+        p.withdraw(Timestamp(1));
+        assert_eq!(
+            p.visible_timestamp(),
+            Timestamp(0),
+            "a withdrawn commit never publishes"
+        );
+        p.publish(Timestamp(2));
+        assert_eq!(p.visible_timestamp(), Timestamp(2));
+    }
+
+    #[test]
+    fn pending_keys_cover_the_install_window() {
+        let p = pipeline();
+        let key = LockKey::node(7);
+        let other = LockKey::node(8);
+        assert_eq!(p.pending_for(&[key]), vec![None]);
+        p.register(Timestamp(5), &[key]);
+        assert_eq!(p.pending_for(&[key, other]), vec![Some(Timestamp(5)), None]);
+        p.clear_pending(&[key]);
+        assert_eq!(p.pending_for(&[key]), vec![None]);
+        p.publish(Timestamp(5));
+    }
+
+    #[test]
+    fn wait_drained_returns_once_queue_empties() {
+        let p = Arc::new(pipeline());
+        p.register(Timestamp(1), &[]);
+        let drained = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || {
+                let _seq = p.sequence();
+                p.wait_drained();
+            })
+        };
+        p.publish(Timestamp(1));
+        drained.join().unwrap();
+        assert_eq!(p.visible_timestamp(), Timestamp(1));
+    }
+
+    #[test]
+    fn group_sync_batches_concurrent_commits() {
+        use graphsi_storage::test_util::TempDir;
+        let dir = TempDir::new("pipeline_group");
+        let wal = Arc::new(Wal::open(dir.path().join("wal.log"), SyncPolicy::OnDemand).unwrap());
+        let p = Arc::new(CommitPipeline::new(16, Duration::from_millis(5), 0));
+        let metrics = Arc::new(DbMetrics::new());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let wal = Arc::clone(&wal);
+            let p = Arc::clone(&p);
+            let metrics = Arc::clone(&metrics);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u8 {
+                    let lsn = {
+                        let _seq = p.sequence();
+                        wal.append(&[t, i]).unwrap()
+                    };
+                    p.wait_durable(&wal, lsn, &metrics).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = metrics.snapshot();
+        assert_eq!(wal.scan().unwrap().entries.len(), 100);
+        assert!(s.wal_syncs >= 1);
+        assert!(
+            s.wal_syncs < 100,
+            "100 concurrent commits must share syncs, got {}",
+            s.wal_syncs
+        );
+        assert_eq!(s.wal_syncs, s.group_commit_batches);
+        assert!(s.group_commit_batch_size_max >= 2);
+    }
+}

@@ -69,6 +69,19 @@ pub struct DbConfig {
     /// per transaction ([`crate::TxnOptions::scan_chunk_size`]) and per
     /// query ([`crate::QueryBuilder::chunk_size`]).
     pub scan_chunk_size: usize,
+    /// Group commit: maximum number of committers one WAL sync may cover.
+    /// A group-commit leader stops waiting for more committers to join its
+    /// batch once this many are parked on the batcher. Only meaningful
+    /// under [`SyncPolicy::OnDemand`] (under [`SyncPolicy::Always`] every
+    /// append syncs itself).
+    pub group_commit_max_batch: usize,
+    /// Group commit: how long a leader waits for additional committers to
+    /// join its batch before issuing the sync. `Duration::ZERO` (the
+    /// default) syncs immediately — batching still emerges naturally while
+    /// a sync is in flight, because committers that append during it park
+    /// and are covered by the next leader's single sync. A small positive
+    /// delay trades commit latency for larger batches (fewer fsyncs).
+    pub group_commit_max_delay: Duration,
 }
 
 impl Default for DbConfig {
@@ -82,6 +95,8 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_millis(500),
             auto_gc_every_commits: None,
             scan_chunk_size: DbConfig::DEFAULT_SCAN_CHUNK_SIZE,
+            group_commit_max_batch: DbConfig::DEFAULT_GROUP_COMMIT_MAX_BATCH,
+            group_commit_max_delay: Duration::ZERO,
         }
     }
 }
@@ -89,6 +104,9 @@ impl Default for DbConfig {
 impl DbConfig {
     /// Default [`DbConfig::scan_chunk_size`].
     pub const DEFAULT_SCAN_CHUNK_SIZE: usize = 256;
+
+    /// Default [`DbConfig::group_commit_max_batch`].
+    pub const DEFAULT_GROUP_COMMIT_MAX_BATCH: usize = 64;
 
     /// A configuration reproducing stock Neo4j (the read-committed
     /// baseline).
@@ -140,6 +158,19 @@ impl DbConfig {
         self.scan_chunk_size = chunk.max(1);
         self
     }
+
+    /// Builder-style setter for the group-commit batch cap (clamped to at
+    /// least 1).
+    pub fn with_group_commit_max_batch(mut self, batch: usize) -> Self {
+        self.group_commit_max_batch = batch.max(1);
+        self
+    }
+
+    /// Builder-style setter for the group-commit batching delay.
+    pub fn with_group_commit_max_delay(mut self, delay: Duration) -> Self {
+        self.group_commit_max_delay = delay;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +201,21 @@ mod tests {
         );
         let config = config.with_isolation(IsolationLevel::SnapshotIsolation);
         assert_eq!(config.isolation, IsolationLevel::SnapshotIsolation);
+    }
+
+    #[test]
+    fn group_commit_builders() {
+        let config = DbConfig::default();
+        assert_eq!(
+            config.group_commit_max_batch,
+            DbConfig::DEFAULT_GROUP_COMMIT_MAX_BATCH
+        );
+        assert_eq!(config.group_commit_max_delay, Duration::ZERO);
+        let config = config
+            .with_group_commit_max_batch(0)
+            .with_group_commit_max_delay(Duration::from_micros(250));
+        assert_eq!(config.group_commit_max_batch, 1, "clamped to at least 1");
+        assert_eq!(config.group_commit_max_delay, Duration::from_micros(250));
     }
 
     #[test]

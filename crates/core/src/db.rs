@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use graphsi_index::GraphIndexes;
 use graphsi_mvcc::{gc, CacheLookup, CacheStatsSnapshot, GcStrategy, VersionedCache};
@@ -27,7 +27,8 @@ use graphsi_txn::{
 };
 use graphsi_wal::Wal;
 
-use crate::commit::{apply_to_store, split_commit_ts, CommitOp, CommitRecord};
+use crate::commit::{self, apply_to_store, split_commit_ts, CommitOp, CommitRecord};
+use crate::commit_pipeline::CommitPipeline;
 use crate::config::{DbConfig, IsolationLevel};
 use crate::entity::{NodeData, RelationshipData};
 use crate::error::Result;
@@ -90,14 +91,14 @@ pub(crate) struct GraphDbInner {
     /// whole set.
     rel_overlay:
         RwLock<std::collections::HashMap<NodeId, std::collections::BTreeSet<RelationshipId>>>,
-    /// The newest commit timestamp whose versions are fully installed (in
-    /// the cache, store and indexes). New transactions snapshot at this
-    /// value rather than at the raw oracle counter, because a commit
-    /// timestamp is allocated *before* installation: a transaction that
-    /// started in between would otherwise own a snapshot it cannot read.
-    visible_ts: AtomicU64,
+    /// The staged commit pipeline: stage-A sequencing, stage-B WAL group
+    /// commit and stage-C in-order publication of the visible timestamp.
+    /// New transactions snapshot at the pipeline's published watermark
+    /// rather than at the raw oracle counter, because a commit timestamp
+    /// is allocated *before* installation: a transaction that started in
+    /// between would otherwise own a snapshot it cannot read.
+    pipeline: CommitPipeline,
     txn_counter: AtomicU64,
-    commit_apply_lock: Mutex<()>,
     commits_since_gc: AtomicU64,
 }
 
@@ -136,9 +137,12 @@ impl GraphDb {
             metrics: DbMetrics::new(),
             commit_ts_key,
             rel_overlay: RwLock::new(std::collections::HashMap::new()),
-            visible_ts: AtomicU64::new(0),
+            pipeline: CommitPipeline::new(
+                config.group_commit_max_batch,
+                config.group_commit_max_delay,
+                wal.durable_lsn(),
+            ),
             txn_counter: AtomicU64::new(1),
-            commit_apply_lock: Mutex::new(()),
             commits_since_gc: AtomicU64::new(0),
             config,
             store,
@@ -245,7 +249,13 @@ impl GraphDb {
 
     /// Flushes every store to disk and truncates the WAL (a checkpoint).
     pub fn checkpoint(&self) -> Result<()> {
-        let _guard = self.inner.commit_apply_lock.lock();
+        // Quiesce the commit pipeline: hold the sequencing lock so no new
+        // commit can append to the WAL, then wait until every in-flight
+        // commit has finished its store flush-through and published. Only
+        // then does the store contain everything the log does, which is
+        // the precondition for truncating the log.
+        let _seq = self.inner.pipeline.sequence();
+        self.inner.pipeline.wait_drained();
         self.inner.store.flush()?;
         self.inner.wal.reset()?;
         Ok(())
@@ -318,7 +328,7 @@ impl GraphDb {
 impl GraphDbInner {
     /// The newest fully-installed (readable) commit timestamp.
     pub(crate) fn visible_timestamp(&self) -> Timestamp {
-        Timestamp(self.visible_ts.load(Ordering::Acquire))
+        self.pipeline.visible_timestamp()
     }
 
     /// Allocates a transaction ID and registers it as active.
@@ -578,7 +588,18 @@ impl GraphDbInner {
         }
     }
 
-    /// Commits a transaction's write set, returning the commit timestamp.
+    /// Commits a transaction's write set through the staged pipeline,
+    /// returning the commit timestamp.
+    ///
+    /// * **Stage A** (short sequencing lock): first-committer-wins
+    ///   validation, commit-timestamp assignment and WAL append, so
+    ///   records land in the log in commit-timestamp order.
+    /// * **Stage B** (no lock): leader/follower group sync — one fsync per
+    ///   batch of concurrent committers.
+    /// * **Stage C** (concurrent, narrow store-apply lock): version
+    ///   install, store flush-through and index updates overlap across
+    ///   committers; the publication queue then advances the visible
+    ///   timestamp strictly in commit-timestamp order.
     pub(crate) fn commit_transaction(
         &self,
         txn: TxnId,
@@ -593,54 +614,105 @@ impl GraphDbInner {
             return Ok(start_ts);
         }
 
-        let guard = self.commit_apply_lock.lock();
+        // Off the sequencing critical path: snapshot the write set into
+        // commit ops and pre-encode the WAL payload body (the header is
+        // framed once the commit timestamp is known). Encoding validates
+        // format limits, so an over-limit record aborts here — before a
+        // timestamp is drawn or anything reaches the log.
+        let ops = Self::build_commit_ops(write_set);
+        let mut payload = match commit::encode_ops(&ops) {
+            // Framed with a placeholder timestamp; the real one is patched
+            // in place (8 bytes) once it is drawn under the lock, so the
+            // critical section never copies the record.
+            Ok(body) => commit::frame_record(Timestamp::BOOTSTRAP, &body),
+            Err(e) => {
+                self.abort_transaction(txn, false);
+                return Err(e);
+            }
+        };
+        let keys = commit_lock_keys(write_set);
 
-        // First-committer-wins validation (no-op under first-updater-wins).
-        if let Err(e) = self.validate_at_commit(start_ts, strategy, write_set) {
-            drop(guard);
-            self.abort_transaction(txn, true);
+        // Stage A — sequencing.
+        let (commit_ts, lsn) = {
+            let seq = self.pipeline.sequence();
+
+            // First-committer-wins validation (skipped entirely under
+            // first-updater-wins, where the long write locks already
+            // decided every race at update time).
+            if let Err(e) = self.validate_at_commit(start_ts, strategy, write_set) {
+                drop(seq);
+                self.abort_transaction(txn, true);
+                return Err(e);
+            }
+
+            let commit_ts = self.oracle.commit_timestamp();
+            commit::patch_commit_ts(&mut payload, commit_ts);
+            match self.wal.append(&payload) {
+                Ok(lsn) => {
+                    // Fix this commit's position in the publication order
+                    // and expose its keys to validators before leaving the
+                    // lock.
+                    self.pipeline.register(commit_ts, &keys);
+                    (commit_ts, lsn)
+                }
+                Err(e) => {
+                    drop(seq);
+                    self.abort_transaction(txn, false);
+                    return Err(e.into());
+                }
+            }
+        };
+
+        // Stage B — durability: the commit record reaches stable storage
+        // (one group sync covering the whole batch) before any state
+        // becomes visible. On failure nothing was installed yet, so the
+        // transaction aborts cleanly (locks released, deregistered, its
+        // publication slot withdrawn) — otherwise its exclusive locks
+        // would wedge every later writer.
+        if let Err(e) = self.pipeline.wait_durable(&self.wal, lsn, &self.metrics) {
+            self.pipeline.clear_pending(&keys);
+            self.pipeline.withdraw(commit_ts);
+            self.abort_transaction(txn, false);
             return Err(e);
         }
 
-        let commit_ts = self.oracle.commit_timestamp();
-        let record = self.build_commit_record(commit_ts, write_set);
-
-        // 1. Durability: the commit record reaches the log before any state
-        //    becomes visible. On failure nothing was installed yet, so the
-        //    transaction aborts cleanly (locks released, deregistered) —
-        //    otherwise its exclusive locks would wedge every later writer.
-        if let Err(e) = self.wal.append_and_sync(&record.encode()) {
-            drop(guard);
-            self.abort_transaction(txn, false);
-            return Err(e.into());
-        }
-
-        // 2. Versions: install the new versions (and tombstones) into the
+        // Stage C — installation, overlapping across committers.
+        //
+        // 1. Versions: install the new versions (and tombstones) into the
         //    object cache, seeding base versions so older snapshots keep
         //    reading their state. This happens *before* the store is
         //    overwritten so concurrent readers never observe a torn state.
+        //    From here the cache answers validators, so the pipeline's
+        //    pending table no longer needs this commit's keys.
         self.install_versions(commit_ts, write_set);
+        self.pipeline.clear_pending(&keys);
 
-        // 3. Persistent store: only the newest committed version is written
-        //    (the paper's flush-through rule). The commit record is already
-        //    durable in the WAL, so on failure the store is brought back in
-        //    sync by WAL replay at the next open; here the transaction's
-        //    locks and active-table entry must still be released so the
-        //    rest of the system keeps making progress.
-        if let Err(e) = apply_to_store(&self.store, &record, self.commit_ts_key, false) {
-            drop(guard);
-            self.abort_transaction(txn, false);
-            return Err(e);
+        // 2. Persistent store: only the newest committed version is
+        //    written (the paper's flush-through rule), serialised under
+        //    the pipeline's narrow store-apply lock. The commit record is
+        //    already durable in the WAL, so on failure the store is
+        //    brought back in sync by WAL replay at the next open; here the
+        //    transaction's locks and active-table entry must still be
+        //    released so the rest of the system keeps making progress.
+        let record = CommitRecord { commit_ts, ops };
+        {
+            let _apply = self.pipeline.store_apply();
+            if let Err(e) = apply_to_store(&self.store, &record, self.commit_ts_key, false) {
+                self.pipeline.withdraw(commit_ts);
+                self.abort_transaction(txn, false);
+                return Err(e);
+            }
         }
 
-        // 4. Indexes: versioned posting updates.
+        // 3. Indexes: versioned posting updates.
         self.update_indexes(commit_ts, write_set);
 
-        // 5. Only now may new transactions snapshot at (or past) this
-        //    commit timestamp.
-        self.visible_ts.store(commit_ts.raw(), Ordering::Release);
-
-        drop(guard);
+        // 4. Publication: advance the visible timestamp in strict
+        //    commit-timestamp order (low-water mark). Returns once every
+        //    earlier commit has published too, so when this commit is
+        //    acknowledged a new transaction on the same thread is
+        //    guaranteed to snapshot at (or past) it.
+        self.pipeline.publish(commit_ts);
 
         self.locks.release_all(txn);
         self.active.deregister(txn)?;
@@ -662,22 +734,52 @@ impl GraphDbInner {
         strategy: ConflictStrategy,
         write_set: &WriteSet,
     ) -> Result<()> {
-        for (&id, entry) in &write_set.nodes {
-            if entry.before.is_some() {
-                let newest = self.newest_node_commit_ts(id)?;
-                check_at_commit(strategy, LockKey::node(id.raw()), start_ts, newest)?;
-            }
+        // Under first-updater-wins every write-write race was already
+        // decided at update time through the long write locks; skip the
+        // walk so stage A stays short.
+        if strategy == ConflictStrategy::FirstUpdaterWins {
+            return Ok(());
         }
-        for (&id, entry) in &write_set.relationships {
-            if entry.before.is_some() {
-                let newest = self.newest_rel_commit_ts(id)?;
-                check_at_commit(strategy, LockKey::relationship(id.raw()), start_ts, newest)?;
-            }
+        let nodes: Vec<NodeId> = write_set
+            .nodes
+            .iter()
+            .filter(|(_, entry)| entry.before.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        let rels: Vec<RelationshipId> = write_set
+            .relationships
+            .iter()
+            .filter(|(_, entry)| entry.before.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        // The pipeline's pending table is probed first (one lock for the
+        // whole write set), *before* any cache read: a commit between
+        // sequencing and version install is visible only there, and it
+        // leaves the table only after the cache can answer for it.
+        let keys: Vec<LockKey> = nodes
+            .iter()
+            .map(|id| LockKey::node(id.raw()))
+            .chain(rels.iter().map(|id| LockKey::relationship(id.raw())))
+            .collect();
+        let pending = self.pipeline.pending_for(&keys);
+        let (pending_nodes, pending_rels) = pending.split_at(nodes.len());
+        for (&id, &p) in nodes.iter().zip(pending_nodes) {
+            let newest = max_ts(p, self.newest_node_commit_ts(id)?);
+            check_at_commit(strategy, LockKey::node(id.raw()), start_ts, newest)?;
+        }
+        for (&id, &p) in rels.iter().zip(pending_rels) {
+            let newest = max_ts(p, self.newest_rel_commit_ts(id)?);
+            check_at_commit(strategy, LockKey::relationship(id.raw()), start_ts, newest)?;
         }
         Ok(())
     }
 
-    fn build_commit_record(&self, commit_ts: Timestamp, write_set: &WriteSet) -> CommitRecord {
+    /// Snapshots a write set into commit-record operations, in
+    /// store-application order (creates before deletes of dependent
+    /// entities; relationship deletions before node deletions). Runs
+    /// outside the sequencing lock — the ops carry no commit timestamp;
+    /// [`CommitRecord`] gains one when the record is framed.
+    fn build_commit_ops(write_set: &WriteSet) -> Vec<CommitOp> {
         let mut creates_nodes = Vec::new();
         let mut updates_nodes = Vec::new();
         let mut deletes_nodes = Vec::new();
@@ -737,7 +839,7 @@ impl GraphDbInner {
         ops.extend(updates_rels);
         ops.extend(deletes_rels);
         ops.extend(deletes_nodes);
-        CommitRecord { commit_ts, ops }
+        ops
     }
 
     fn install_versions(&self, commit_ts: Timestamp, write_set: &WriteSet) {
@@ -908,7 +1010,7 @@ impl GraphDbInner {
 
         // 3. Resume the logical clock after the newest commit seen anywhere.
         self.oracle.advance_to(max_ts);
-        self.visible_ts.store(max_ts.raw(), Ordering::Release);
+        self.pipeline.set_visible_timestamp(max_ts);
 
         // 4. Checkpoint: the store now reflects everything in the log, so
         //    the log can start fresh.
@@ -921,6 +1023,33 @@ impl GraphDbInner {
 }
 
 static EMPTY_PROPS: BTreeMap<PropertyKeyToken, PropertyValue> = BTreeMap::new();
+
+/// Lock keys of every effective (non-noop) entry of a write set — the keys
+/// the pipeline's pending-commit table exposes to validators between
+/// sequencing and version install.
+fn commit_lock_keys(write_set: &WriteSet) -> Vec<LockKey> {
+    let mut keys = Vec::with_capacity(write_set.nodes.len() + write_set.relationships.len());
+    for (&id, entry) in &write_set.nodes {
+        if !entry.is_noop() {
+            keys.push(LockKey::node(id.raw()));
+        }
+    }
+    for (&id, entry) in &write_set.relationships {
+        if !entry.is_noop() {
+            keys.push(LockKey::relationship(id.raw()));
+        }
+    }
+    keys
+}
+
+/// The newer of two optional timestamps.
+fn max_ts(a: Option<Timestamp>, b: Option<Timestamp>) -> Option<Timestamp> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
 
 fn props_vec(
     props: &BTreeMap<PropertyKeyToken, PropertyValue>,

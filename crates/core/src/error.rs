@@ -33,6 +33,12 @@ pub enum DbError {
     ReservedName(String),
     /// A WAL commit record could not be decoded during recovery.
     CorruptCommitRecord(String),
+    /// A commit record cannot be encoded because a field exceeds the
+    /// format's limits (e.g. more than 255 labels on one entity). Detected
+    /// at encode time, *before* anything reaches the log, so the
+    /// transaction aborts cleanly instead of writing a
+    /// corrupt-but-checksummed record.
+    CommitRecordOverflow(String),
     /// A query pipeline was composed incorrectly (e.g. a source set after
     /// stages were added).
     InvalidQuery(String),
@@ -67,6 +73,9 @@ impl fmt::Display for DbError {
             DbError::ReservedName(name) => write!(f, "{name:?} is reserved for internal use"),
             DbError::CorruptCommitRecord(reason) => {
                 write!(f, "corrupt WAL commit record: {reason}")
+            }
+            DbError::CommitRecordOverflow(reason) => {
+                write!(f, "commit record exceeds encoding limits: {reason}")
             }
             DbError::InvalidQuery(reason) => write!(f, "invalid query: {reason}"),
         }

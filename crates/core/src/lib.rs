@@ -74,6 +74,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod commit;
+pub(crate) mod commit_pipeline;
 pub mod config;
 pub mod db;
 pub mod entity;

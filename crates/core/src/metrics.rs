@@ -19,6 +19,9 @@ pub struct DbMetrics {
     candidate_buffer_peak: AtomicU64,
     shard_key_buffer_peak: AtomicU64,
     cursor_restarts: AtomicU64,
+    wal_syncs: AtomicU64,
+    group_commit_batches: AtomicU64,
+    group_commit_batch_size_max: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DbMetrics`].
@@ -59,6 +62,17 @@ pub struct DbMetricsSnapshot {
     /// Times a chain cursor had to restart from the head because a
     /// concurrent commit rewired the chain under it.
     pub cursor_restarts: u64,
+    /// WAL `fsync`s issued by the commit pipeline. Under group commit this
+    /// is the number that proves batching: with concurrent committers it
+    /// stays strictly below the committed-transaction count, because one
+    /// leader sync covers every committer parked on the batcher.
+    pub wal_syncs: u64,
+    /// Group-commit batches completed (leader sync rounds). Equal to
+    /// `wal_syncs` when every sync goes through the batcher.
+    pub group_commit_batches: u64,
+    /// Largest number of commit records any single group-commit sync made
+    /// durable at once.
+    pub group_commit_batch_size_max: u64,
 }
 
 impl DbMetricsSnapshot {
@@ -129,6 +143,14 @@ impl DbMetrics {
         }
     }
 
+    /// Records one WAL sync that made `batch_size` commit records durable.
+    pub(crate) fn record_group_sync(&self, batch_size: u64) {
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        self.group_commit_batches.fetch_add(1, Ordering::Relaxed);
+        self.group_commit_batch_size_max
+            .fetch_max(batch_size, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of every counter.
     pub fn snapshot(&self) -> DbMetricsSnapshot {
         DbMetricsSnapshot {
@@ -145,6 +167,9 @@ impl DbMetrics {
             candidate_buffer_peak: self.candidate_buffer_peak.load(Ordering::Relaxed),
             shard_key_buffer_peak: self.shard_key_buffer_peak.load(Ordering::Relaxed),
             cursor_restarts: self.cursor_restarts.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
+            group_commit_batch_size_max: self.group_commit_batch_size_max.load(Ordering::Relaxed),
         }
     }
 }
@@ -172,6 +197,9 @@ mod tests {
         m.record_shard_page(12);
         m.record_cursor_restarts(0);
         m.record_cursor_restarts(2);
+        m.record_group_sync(4);
+        m.record_group_sync(9);
+        m.record_group_sync(1);
         let s = m.snapshot();
         assert_eq!(s.begins, 2);
         assert_eq!(s.commits, 2);
@@ -186,6 +214,9 @@ mod tests {
         assert_eq!(s.candidate_buffer_peak, 7, "peak is a max, not a sum");
         assert_eq!(s.shard_key_buffer_peak, 31);
         assert_eq!(s.cursor_restarts, 2);
+        assert_eq!(s.wal_syncs, 3);
+        assert_eq!(s.group_commit_batches, 3);
+        assert_eq!(s.group_commit_batch_size_max, 9, "max, not sum");
     }
 
     #[test]

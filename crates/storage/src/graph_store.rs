@@ -166,7 +166,20 @@ impl GraphStore {
         labels: &[LabelToken],
         properties: &[(PropertyKeyToken, PropertyValue)],
     ) -> Result<()> {
-        let first_prop = self.properties.write_chain(properties)?;
+        self.create_node_with(id, labels, properties, None)
+    }
+
+    /// [`GraphStore::create_node`] with an optional extra property appended
+    /// to the chain (the commit pipeline's reserved commit-ts property),
+    /// avoiding a clone of the whole property list at the call site.
+    pub fn create_node_with(
+        &self,
+        id: NodeId,
+        labels: &[LabelToken],
+        properties: &[(PropertyKeyToken, PropertyValue)],
+        extra: Option<&(PropertyKeyToken, PropertyValue)>,
+    ) -> Result<()> {
+        let first_prop = self.properties.write_chain_with(properties, extra)?;
         let mut record = NodeRecord::new_in_use();
         record.labels = labels.to_vec();
         record.first_prop = first_prop;
@@ -182,9 +195,21 @@ impl GraphStore {
         labels: &[LabelToken],
         properties: &[(PropertyKeyToken, PropertyValue)],
     ) -> Result<()> {
+        self.update_node_with(id, labels, properties, None)
+    }
+
+    /// [`GraphStore::update_node`] with an optional extra property appended
+    /// to the chain.
+    pub fn update_node_with(
+        &self,
+        id: NodeId,
+        labels: &[LabelToken],
+        properties: &[(PropertyKeyToken, PropertyValue)],
+        extra: Option<&(PropertyKeyToken, PropertyValue)>,
+    ) -> Result<()> {
         let mut record = self.nodes.load_in_use(id.raw())?;
         self.properties.free_chain(record.first_prop)?;
-        record.first_prop = self.properties.write_chain(properties)?;
+        record.first_prop = self.properties.write_chain_with(properties, extra)?;
         record.labels = labels.to_vec();
         self.nodes.write(id.raw(), &record)
     }
@@ -244,7 +269,21 @@ impl GraphStore {
         rel_type: RelTypeToken,
         properties: &[(PropertyKeyToken, PropertyValue)],
     ) -> Result<()> {
-        let first_prop = self.properties.write_chain(properties)?;
+        self.create_relationship_with(id, source, target, rel_type, properties, None)
+    }
+
+    /// [`GraphStore::create_relationship`] with an optional extra property
+    /// appended to the chain.
+    pub fn create_relationship_with(
+        &self,
+        id: RelationshipId,
+        source: NodeId,
+        target: NodeId,
+        rel_type: RelTypeToken,
+        properties: &[(PropertyKeyToken, PropertyValue)],
+        extra: Option<&(PropertyKeyToken, PropertyValue)>,
+    ) -> Result<()> {
+        let first_prop = self.properties.write_chain_with(properties, extra)?;
         let mut rel = RelationshipRecord::new_in_use(source, target, rel_type);
         rel.first_prop = first_prop;
 
@@ -275,9 +314,20 @@ impl GraphStore {
         id: RelationshipId,
         properties: &[(PropertyKeyToken, PropertyValue)],
     ) -> Result<()> {
+        self.update_relationship_with(id, properties, None)
+    }
+
+    /// [`GraphStore::update_relationship`] with an optional extra property
+    /// appended to the chain.
+    pub fn update_relationship_with(
+        &self,
+        id: RelationshipId,
+        properties: &[(PropertyKeyToken, PropertyValue)],
+        extra: Option<&(PropertyKeyToken, PropertyValue)>,
+    ) -> Result<()> {
         let mut record = self.relationships.load_in_use(id.raw())?;
         self.properties.free_chain(record.first_prop)?;
-        record.first_prop = self.properties.write_chain(properties)?;
+        record.first_prop = self.properties.write_chain_with(properties, extra)?;
         self.relationships.write(id.raw(), &record)
     }
 

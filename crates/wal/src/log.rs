@@ -46,6 +46,8 @@ struct WalInner {
     next_lsn: u64,
     appended_bytes: u64,
     unsynced: bool,
+    /// Highest LSN known to have reached stable storage.
+    synced_lsn: u64,
 }
 
 /// The write-ahead log.
@@ -53,6 +55,12 @@ pub struct Wal {
     path: PathBuf,
     sync_policy: SyncPolicy,
     inner: Mutex<WalInner>,
+    /// A second handle onto the same open file description, used by
+    /// [`Wal::sync_appended`] so a group-commit leader can fsync *without*
+    /// holding the append lock — concurrent committers keep appending (and
+    /// joining the next batch) while the current batch is being made
+    /// durable.
+    sync_file: File,
 }
 
 impl Wal {
@@ -78,6 +86,9 @@ impl Wal {
         file.set_len(scan.valid_bytes)
             .map_err(|e| WalError::io("truncating torn WAL tail", e))?;
         let next_lsn = scan.entries.last().map_or(1, |e| e.lsn + 1);
+        let sync_file = file
+            .try_clone()
+            .map_err(|e| WalError::io("cloning WAL handle for group sync", e))?;
         Ok(Wal {
             path,
             sync_policy,
@@ -86,7 +97,9 @@ impl Wal {
                 next_lsn,
                 appended_bytes: scan.valid_bytes,
                 unsynced: false,
+                synced_lsn: next_lsn - 1,
             }),
+            sync_file,
         })
     }
 
@@ -95,14 +108,18 @@ impl Wal {
         &self.path
     }
 
+    /// The sync policy this log was opened with.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
+    }
+
     /// Appends a payload, returning its LSN. Syncs immediately under
     /// [`SyncPolicy::Always`].
     pub fn append(&self, payload: &[u8]) -> Result<u64> {
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
         let lsn = inner.next_lsn;
-        let entry = LogEntry::new(lsn, payload.to_vec());
-        let bytes = entry.encode();
+        let bytes = crate::record::encode_frame(lsn, payload);
         inner
             .file
             .seek(SeekFrom::Start(inner.appended_bytes))
@@ -120,6 +137,7 @@ impl Wal {
                 .sync_data()
                 .map_err(|e| WalError::io("syncing WAL", e))?;
             inner.unsynced = false;
+            inner.synced_lsn = lsn;
         }
         Ok(lsn)
     }
@@ -141,8 +159,47 @@ impl Wal {
                 .sync_data()
                 .map_err(|e| WalError::io("syncing WAL", e))?;
             inner.unsynced = false;
+            inner.synced_lsn = inner.next_lsn - 1;
         }
         Ok(())
+    }
+
+    /// Makes every entry appended so far durable **without blocking
+    /// concurrent appends**, and returns the highest LSN guaranteed stable.
+    ///
+    /// This is the group-commit leader's sync: the target LSN is snapshotted
+    /// under the append lock, but the `fsync` itself runs on a second handle
+    /// to the same file description, so followers of the *next* batch can
+    /// keep appending while this batch is flushed. Entries appended after
+    /// the target snapshot may or may not be covered; they stay marked
+    /// unsynced and the next sync picks them up.
+    pub fn sync_appended(&self) -> Result<u64> {
+        let target = {
+            let inner = self.inner.lock();
+            if inner.synced_lsn >= inner.next_lsn - 1 {
+                return Ok(inner.synced_lsn);
+            }
+            inner.next_lsn - 1
+        };
+        self.sync_file
+            .sync_data()
+            .map_err(|e| WalError::io("group-syncing WAL", e))?;
+        let mut inner = self.inner.lock();
+        if target > inner.synced_lsn {
+            inner.synced_lsn = target;
+        }
+        inner.unsynced = inner.next_lsn - 1 > inner.synced_lsn;
+        Ok(target)
+    }
+
+    /// Highest LSN known durable on stable storage.
+    pub fn durable_lsn(&self) -> u64 {
+        self.inner.lock().synced_lsn
+    }
+
+    /// Highest LSN appended so far (durable or not).
+    pub fn last_appended_lsn(&self) -> u64 {
+        self.inner.lock().next_lsn - 1
     }
 
     /// Scans the log from disk and returns every valid entry.
@@ -172,6 +229,7 @@ impl Wal {
             .map_err(|e| WalError::io("syncing truncated WAL", e))?;
         inner.appended_bytes = 0;
         inner.unsynced = false;
+        inner.synced_lsn = inner.next_lsn - 1;
         // LSNs keep increasing across checkpoints so they stay unique for
         // the lifetime of the database.
         Ok(())
@@ -351,6 +409,59 @@ mod tests {
         assert!(scan.entries.is_empty());
         assert_eq!(scan.valid_bytes, 0);
         assert_eq!(wal.next_lsn(), 1);
+    }
+
+    #[test]
+    fn sync_appended_reports_durable_watermark() {
+        let dir = TempDir::new("wal_sync_appended");
+        let wal = Wal::open(wal_path(&dir), SyncPolicy::OnDemand).unwrap();
+        assert_eq!(wal.durable_lsn(), 0);
+        assert_eq!(wal.last_appended_lsn(), 0);
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        assert_eq!(wal.last_appended_lsn(), 2);
+        assert_eq!(wal.durable_lsn(), 0, "nothing synced yet");
+        assert_eq!(wal.sync_appended().unwrap(), 2);
+        assert_eq!(wal.durable_lsn(), 2);
+        // Idempotent when nothing new was appended.
+        assert_eq!(wal.sync_appended().unwrap(), 2);
+        wal.append(b"c").unwrap();
+        assert_eq!(wal.durable_lsn(), 2);
+        assert_eq!(wal.sync_appended().unwrap(), 3);
+    }
+
+    #[test]
+    fn always_policy_keeps_durable_watermark_current() {
+        let dir = TempDir::new("wal_always_watermark");
+        let wal = Wal::open(wal_path(&dir), SyncPolicy::Always).unwrap();
+        assert_eq!(wal.sync_policy(), SyncPolicy::Always);
+        wal.append(b"a").unwrap();
+        assert_eq!(wal.durable_lsn(), 1);
+        wal.append(b"b").unwrap();
+        assert_eq!(wal.durable_lsn(), 2);
+    }
+
+    #[test]
+    fn appends_proceed_while_group_sync_runs() {
+        use std::sync::Arc;
+        let dir = TempDir::new("wal_overlap");
+        let wal = Arc::new(Wal::open(wal_path(&dir), SyncPolicy::OnDemand).unwrap());
+        wal.append(b"seed").unwrap();
+        let syncer = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    wal.sync_appended().unwrap();
+                }
+            })
+        };
+        for i in 0..200u8 {
+            wal.append(&[i]).unwrap();
+        }
+        syncer.join().unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_lsn(), 201);
+        assert_eq!(wal.scan().unwrap().entries.len(), 201);
     }
 
     #[test]

@@ -33,6 +33,21 @@ pub struct LogEntry {
     pub payload: Vec<u8>,
 }
 
+/// Serialises one framed entry from a borrowed payload — the append path
+/// uses this directly so it never clones the payload into a [`LogEntry`]
+/// first.
+pub fn encode_frame(lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let lsn_bytes = lsn.to_le_bytes();
+    let crc = crc32_parts(&[&lsn_bytes, payload]);
+    let mut out = Vec::with_capacity(HEADER_SIZE + payload.len());
+    out.extend_from_slice(&ENTRY_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&lsn_bytes);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
 impl LogEntry {
     /// Creates an entry.
     pub fn new(lsn: u64, payload: Vec<u8>) -> Self {
@@ -41,15 +56,7 @@ impl LogEntry {
 
     /// Serialises the entry (header + payload) into a byte buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let lsn_bytes = self.lsn.to_le_bytes();
-        let crc = crc32_parts(&[&lsn_bytes, &self.payload]);
-        let mut out = Vec::with_capacity(HEADER_SIZE + self.payload.len());
-        out.extend_from_slice(&ENTRY_MAGIC.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&lsn_bytes);
-        out.extend_from_slice(&crc.to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        out
+        encode_frame(self.lsn, &self.payload)
     }
 
     /// Attempts to decode one entry from the beginning of `buf`.
