@@ -214,11 +214,75 @@ fn bench_commit_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The store-apply-shards axis behind experiment E13: 4 writers on
+/// disjoint 16-node keyspaces, with stage C either serialised on one
+/// global apply lock (`shards = 1`) or sharded by footprint
+/// (`shards = 64`). Multi-node write sets make the flush-through long
+/// enough that the per-shard overlap shows up in the per-run mean.
+fn bench_store_apply_shards(c: &mut Criterion) {
+    use std::time::Duration;
+    let mut group = c.benchmark_group("store_apply_shards");
+    group.sample_size(10);
+    const THREADS: usize = 4;
+    const NODES_PER_THREAD: usize = 16;
+    for shards in [1usize, DbConfig::DEFAULT_STORE_APPLY_SHARDS] {
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_committers", shards),
+            &shards,
+            |b, &shards| {
+                let config = DbConfig::default()
+                    .with_sync_policy(graphsi_core::SyncPolicy::OnDemand)
+                    .with_group_commit_max_batch(64)
+                    .with_group_commit_max_delay(Duration::from_micros(200))
+                    .with_store_apply_shards(shards);
+                let dir = TempDir::new("bench_store_apply_shards");
+                let db = GraphDb::open(dir.path(), config).unwrap();
+                let mut tx = db.begin();
+                let groups: Vec<Vec<NodeId>> = (0..THREADS)
+                    .map(|_| {
+                        (0..NODES_PER_THREAD)
+                            .map(|_| {
+                                tx.create_node(&["W"], &[("v", PropertyValue::Int(0))])
+                                    .unwrap()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                tx.commit().unwrap();
+                b.iter(|| {
+                    let handles: Vec<_> = groups
+                        .iter()
+                        .map(|nodes| {
+                            let db = db.clone();
+                            let nodes = nodes.clone();
+                            std::thread::spawn(move || {
+                                for i in 0..20i64 {
+                                    let mut tx = db.begin();
+                                    for &node in &nodes {
+                                        tx.set_node_property(node, "v", PropertyValue::Int(i))
+                                            .unwrap();
+                                    }
+                                    tx.commit().unwrap();
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_reads,
     bench_writes,
     bench_thread_scaling,
-    bench_commit_throughput
+    bench_commit_throughput,
+    bench_store_apply_shards
 );
 criterion_main!(benches);

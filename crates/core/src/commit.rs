@@ -12,6 +12,7 @@ use graphsi_storage::{
     GraphStore, LabelToken, NodeId, PropertyKeyToken, PropertyValue, RelTypeToken, RelationshipId,
 };
 use graphsi_txn::Timestamp;
+use graphsi_wal::record::PAYLOAD_KIND_COMMIT;
 
 use crate::error::{DbError, Result};
 
@@ -91,6 +92,12 @@ impl CommitRecord {
     /// Deserialises a record previously produced by [`CommitRecord::encode`].
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         let mut cursor = Cursor { bytes, pos: 0 };
+        let kind = cursor.u8()?;
+        if kind != PAYLOAD_KIND_COMMIT {
+            return Err(DbError::CorruptCommitRecord(format!(
+                "payload kind {kind:#04x} is not a commit record"
+            )));
+        }
         let commit_ts = Timestamp(cursor.u64()?);
         let count = cursor.u32()? as usize;
         let mut ops = Vec::with_capacity(count.min(1024));
@@ -122,10 +129,13 @@ pub fn encode_ops(ops: &[CommitOp]) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Prepends the commit-timestamp header to an op body produced by
-/// [`encode_ops`], yielding the final WAL payload.
+/// Prepends the payload-kind tag and the commit-timestamp header to an op
+/// body produced by [`encode_ops`], yielding the final WAL payload. The
+/// kind byte lets recovery tell commit records from the pipeline's abort
+/// records ([`graphsi_wal::AbortRecord`]) before decoding either.
 pub fn frame_record(commit_ts: Timestamp, ops_body: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + ops_body.len());
+    let mut out = Vec::with_capacity(1 + 8 + ops_body.len());
+    out.push(PAYLOAD_KIND_COMMIT);
     out.extend_from_slice(&commit_ts.raw().to_le_bytes());
     out.extend_from_slice(ops_body);
     out
@@ -136,7 +146,7 @@ pub fn frame_record(commit_ts: Timestamp, ops_body: &[u8]) -> Vec<u8> {
 /// its sequencing lock and patches the real timestamp in place once it is
 /// drawn, so the critical section never copies the record.
 pub fn patch_commit_ts(payload: &mut [u8], commit_ts: Timestamp) {
-    payload[..8].copy_from_slice(&commit_ts.raw().to_le_bytes());
+    payload[1..9].copy_from_slice(&commit_ts.raw().to_le_bytes());
 }
 
 fn encode_op(op: &CommitOp, out: &mut Vec<u8>) -> Result<()> {
@@ -361,6 +371,98 @@ fn decode_props(cursor: &mut Cursor<'_>) -> Result<Vec<(PropertyKeyToken, Proper
     Ok(props)
 }
 
+// ---------------------------------------------------------------------
+// Store-apply shard footprints
+// ---------------------------------------------------------------------
+
+/// The shard a node's page *and* its relationship chain map to. One shard
+/// space covers both: a chain splice rewrites the node record (head
+/// pointer) as well as neighbouring relationship records, so node writes
+/// and chain writes on the same node must collide on the same lock.
+pub fn node_shard(id: NodeId, shard_count: usize) -> usize {
+    // Fibonacci multiplicative hashing; distinct odd multipliers keep the
+    // node and relationship key spaces from aliasing systematically.
+    (id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize % shard_count.max(1)
+}
+
+/// The shard a relationship's own page maps to.
+pub fn rel_shard(id: RelationshipId, shard_count: usize) -> usize {
+    (id.raw().wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 17) as usize % shard_count.max(1)
+}
+
+/// Extracts the store-apply shard footprint of a commit record's ops: the
+/// sorted, deduplicated set of shard indexes covering every store record
+/// the flush-through may read-modify-write. Two commits whose footprints
+/// are disjoint can apply concurrently; overlapping ones queue on the
+/// shared shards.
+///
+/// Per op this is:
+///
+/// * node create/update/delete — the node's shard (its record + property
+///   chain);
+/// * relationship create/update/delete — the relationship's own shard
+///   *plus both endpoint nodes' shards*. The chain splices in
+///   `GraphStore` are multi-record sequences: creating a relationship
+///   rewrites the endpoint node records and the old chain-head
+///   relationship records, deleting one rewrites the chain neighbours.
+///
+/// The safety argument has two halves. Node records and the spliced
+/// relationship's own record are serialised by the shards themselves:
+/// every writer of node `n`'s record holds `n`'s shard, and a
+/// relationship op holds both endpoint shards, so it excludes every
+/// splice that could rewrite its record. Chain-*neighbour* records are
+/// the subtle half: a neighbour touched through `n`'s chain also sits on
+/// its other endpoint `m`'s chain, and a concurrent splice over `m`
+/// (holding only `m`'s shard) may rewrite the same record. Those
+/// rewrites touch disjoint per-endpoint pointer pairs and are performed
+/// as atomic single-call read-modify-writes under the record's page lock
+/// (`RecordStore::update_in_use`), so they commute instead of losing an
+/// update.
+///
+/// `rel_endpoints` resolves the endpoints of relationships whose ops do
+/// not carry them (update/delete, which encode only the ID); the commit
+/// path answers from the write set's before-images. If an endpoint cannot
+/// be resolved the footprint degrades to *every* shard — correct, merely
+/// serial.
+pub fn record_footprint(
+    ops: &[CommitOp],
+    shard_count: usize,
+    mut rel_endpoints: impl FnMut(RelationshipId) -> Option<(NodeId, NodeId)>,
+) -> Vec<usize> {
+    let shard_count = shard_count.max(1);
+    let mut shards = std::collections::BTreeSet::new();
+    for op in ops {
+        match op {
+            CommitOp::CreateNode { id, .. }
+            | CommitOp::UpdateNode { id, .. }
+            | CommitOp::DeleteNode { id } => {
+                shards.insert(node_shard(*id, shard_count));
+            }
+            CommitOp::CreateRelationship {
+                id, source, target, ..
+            } => {
+                shards.insert(rel_shard(*id, shard_count));
+                shards.insert(node_shard(*source, shard_count));
+                shards.insert(node_shard(*target, shard_count));
+            }
+            CommitOp::UpdateRelationship { id, .. } | CommitOp::DeleteRelationship { id } => {
+                shards.insert(rel_shard(*id, shard_count));
+                match rel_endpoints(*id) {
+                    Some((source, target)) => {
+                        shards.insert(node_shard(source, shard_count));
+                        shards.insert(node_shard(target, shard_count));
+                    }
+                    None => return (0..shard_count).collect(),
+                }
+            }
+        }
+        if shards.len() == shard_count {
+            break;
+        }
+    }
+    shards.into_iter().collect()
+}
+
 /// Applies a commit record to the persistent store, installing the newest
 /// committed version of every touched entity. The commit timestamp is
 /// persisted as an extra, reserved property on each entity — exactly the
@@ -542,8 +644,14 @@ mod tests {
     #[test]
     fn unknown_tag_is_rejected() {
         let mut bytes = sample_record().encode().unwrap();
-        bytes[12] = 200; // first op tag
+        bytes[13] = 200; // first op tag (after kind byte, ts, op count)
         assert!(CommitRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn abort_payload_is_not_a_commit_record() {
+        let abort = graphsi_wal::AbortRecord { commit_ts: 9 }.encode();
+        assert!(CommitRecord::decode(&abort).is_err());
     }
 
     #[test]
@@ -593,6 +701,89 @@ mod tests {
             over_limit.encode(),
             Err(DbError::CommitRecordOverflow(_))
         ));
+    }
+
+    #[test]
+    fn footprint_covers_rel_endpoints_and_is_sorted() {
+        const SHARDS: usize = 64;
+        let ops = vec![CommitOp::CreateRelationship {
+            id: RelationshipId::new(3),
+            source: NodeId::new(10),
+            target: NodeId::new(20),
+            rel_type: RelTypeToken(0),
+            properties: vec![],
+        }];
+        let footprint = record_footprint(&ops, SHARDS, |_| None);
+        let mut expected = vec![
+            rel_shard(RelationshipId::new(3), SHARDS),
+            node_shard(NodeId::new(10), SHARDS),
+            node_shard(NodeId::new(20), SHARDS),
+        ];
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(footprint, expected);
+        assert!(footprint.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn footprint_resolves_update_and_delete_endpoints() {
+        const SHARDS: usize = 64;
+        let ops = vec![
+            CommitOp::UpdateRelationship {
+                id: RelationshipId::new(5),
+                properties: vec![],
+            },
+            CommitOp::DeleteRelationship {
+                id: RelationshipId::new(6),
+            },
+        ];
+        let footprint = record_footprint(&ops, SHARDS, |id| {
+            Some((NodeId::new(id.raw() * 10), NodeId::new(id.raw() * 10 + 1)))
+        });
+        for shard in [
+            rel_shard(RelationshipId::new(5), SHARDS),
+            node_shard(NodeId::new(50), SHARDS),
+            node_shard(NodeId::new(51), SHARDS),
+            rel_shard(RelationshipId::new(6), SHARDS),
+            node_shard(NodeId::new(60), SHARDS),
+            node_shard(NodeId::new(61), SHARDS),
+        ] {
+            assert!(footprint.contains(&shard));
+        }
+    }
+
+    #[test]
+    fn unresolvable_endpoints_degrade_to_every_shard() {
+        let ops = vec![CommitOp::DeleteRelationship {
+            id: RelationshipId::new(1),
+        }];
+        let footprint = record_footprint(&ops, 8, |_| None);
+        assert_eq!(footprint, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disjoint_node_commits_usually_have_disjoint_footprints() {
+        // Not a guarantee (hashing can collide) — but with 2 nodes over
+        // 1024 shards a collision would point at a broken shard function.
+        let a = record_footprint(
+            &[CommitOp::UpdateNode {
+                id: NodeId::new(1),
+                labels: vec![],
+                properties: vec![],
+            }],
+            1024,
+            |_| None,
+        );
+        let b = record_footprint(
+            &[CommitOp::UpdateNode {
+                id: NodeId::new(2),
+                labels: vec![],
+                properties: vec![],
+            }],
+            1024,
+            |_| None,
+        );
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -22,12 +22,17 @@
 //!   for more committers to join.
 //! * **Stage C — installation and publication**: after durability each
 //!   committer installs its versions, applies its record to the store
-//!   (under the narrow [`CommitPipeline::store_apply`] lock — see
-//!   ROADMAP for the per-shard follow-on) and updates the indexes
-//!   concurrently with other committers; [`CommitPipeline::publish`]
-//!   then advances the visible timestamp as a low-water mark, strictly
-//!   in commit-timestamp order, so no snapshot ever observes commit
-//!   `N+1` without commit `N` even though post-sync work overlaps.
+//!   under the per-shard [`CommitPipeline::store_apply`] locks — the
+//!   commit's ops are partitioned into a shard footprint
+//!   ([`crate::commit::record_footprint`]) covering every node page and
+//!   relationship chain the flush-through touches, the shard locks are
+//!   taken in canonical ascending order, and commits with disjoint
+//!   footprints flush through concurrently while overlapping ones queue
+//!   per shard — and updates the indexes concurrently with other
+//!   committers; [`CommitPipeline::publish`] then advances the visible
+//!   timestamp as a low-water mark, strictly in commit-timestamp order,
+//!   so no snapshot ever observes commit `N+1` without commit `N` even
+//!   though post-sync work overlaps.
 //!
 //! Because versions are installed *after* the sequencing lock is
 //! released, first-committer-wins validation consults the pipeline's
@@ -44,7 +49,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use graphsi_txn::{LockKey, Timestamp};
-use graphsi_wal::{SyncPolicy, Wal, WalError};
+use graphsi_wal::{AbortRangeRecord, SyncPolicy, Wal, WalError};
 
 use crate::error::{DbError, Result};
 use crate::metrics::DbMetrics;
@@ -57,10 +62,19 @@ struct GroupState {
     syncing: bool,
     /// Committers currently parked on the batcher (including the leader).
     waiters: usize,
-    /// A sync failed for all LSNs at or below `.0`; waiters covered by it
-    /// abort with `.1` instead of retrying a log the kernel already
-    /// refused to flush.
-    failed: Option<(u64, String)>,
+    /// LSN ranges invalidated by failed syncs. A committer whose record
+    /// falls in a range aborts with the range's reason instead of retrying
+    /// a log the kernel already refused to flush — even if a *later*
+    /// successful sync reports the LSN durable, because the matching
+    /// [`graphsi_wal::AbortRangeRecord`] already invalidated the record.
+    aborted: Vec<AbortedRange>,
+}
+
+/// One failed group sync's invalidated LSN range.
+struct AbortedRange {
+    from_lsn: u64,
+    to_lsn: u64,
+    reason: String,
 }
 
 /// One commit registered for publication (stage C).
@@ -85,13 +99,18 @@ pub(crate) struct CommitPipeline {
     /// Write-set keys of commits between sequencing and version install,
     /// with their commit timestamps, for first-committer-wins validation.
     pending_keys: Mutex<HashMap<LockKey, Timestamp>>,
-    /// Serialises the flush-through of commit records to the persistent
-    /// store. Narrow by design: the store's relationship-chain splices are
+    /// Per-shard locks serialising the flush-through of commit records to
+    /// the persistent store. The store's relationship-chain splices are
     /// multi-record read-modify-write sequences, and under
     /// first-committer-wins two pipelined commits may touch the same
-    /// node's chain (locks are advisory there). Sharding this lock is the
-    /// ROADMAP's next step.
-    store_apply_lock: Mutex<()>,
+    /// node's chain (locks are advisory there) — so each commit acquires
+    /// the shards of its footprint ([`crate::commit::record_footprint`])
+    /// in canonical (ascending) order; commits with disjoint footprints
+    /// flush through concurrently, overlapping ones queue per shard.
+    store_shards: Vec<Mutex<()>>,
+    /// Commits currently inside their store flush-through, for the
+    /// `store_apply_concurrency_peak` metric.
+    store_apply_in_flight: AtomicU64,
     /// The newest commit timestamp whose effects are fully installed and
     /// published. New transactions snapshot at this value.
     visible_ts: AtomicU64,
@@ -99,29 +118,59 @@ pub(crate) struct CommitPipeline {
     max_delay: Duration,
 }
 
+/// Holds a commit's store-apply shard locks for the duration of its
+/// flush-through; created by [`CommitPipeline::store_apply`].
+pub(crate) struct StoreApplyGuard<'p> {
+    pipeline: &'p CommitPipeline,
+    /// Guards in ascending shard order; dropped together (reverse order —
+    /// release order does not matter for correctness).
+    _guards: Vec<MutexGuard<'p, ()>>,
+}
+
+impl Drop for StoreApplyGuard<'_> {
+    fn drop(&mut self) {
+        self.pipeline
+            .store_apply_in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl CommitPipeline {
     /// Creates the pipeline. `durable_lsn` seeds the batcher's durable
     /// watermark — on open every LSN already in the log is durable (it was
     /// read back from disk), so the first post-recovery sync must not
-    /// count replayed records as part of its batch.
-    pub(crate) fn new(max_batch: usize, max_delay: Duration, durable_lsn: u64) -> Self {
+    /// count replayed records as part of its batch. `store_shards` is the
+    /// size of the stage-C store-apply lock table (1 = the old single
+    /// lock).
+    pub(crate) fn new(
+        max_batch: usize,
+        max_delay: Duration,
+        durable_lsn: u64,
+        store_shards: usize,
+    ) -> Self {
         CommitPipeline {
             seq_lock: Mutex::new(()),
             group: Mutex::new(GroupState {
                 durable_lsn,
                 syncing: false,
                 waiters: 0,
-                failed: None,
+                aborted: Vec::new(),
             }),
             group_cvar: Condvar::new(),
             publish: Mutex::new(VecDeque::new()),
             publish_cvar: Condvar::new(),
             pending_keys: Mutex::new(HashMap::new()),
-            store_apply_lock: Mutex::new(()),
+            store_shards: (0..store_shards.max(1)).map(|_| Mutex::new(())).collect(),
+            store_apply_in_flight: AtomicU64::new(0),
             visible_ts: AtomicU64::new(0),
             max_batch: max_batch.max(1),
             max_delay,
         }
+    }
+
+    /// Number of store-apply shards (the valid footprint index range).
+    pub(crate) fn store_shard_count(&self) -> usize {
+        self.store_shards.len()
     }
 
     // ------------------------------------------------------------------
@@ -165,6 +214,13 @@ impl CommitPipeline {
     /// write-set keys visible to validators. Must be called while the
     /// [`CommitPipeline::sequence`] guard is held so queue order equals
     /// commit-timestamp order.
+    ///
+    /// **Every** drawn commit timestamp must be registered (a commit whose
+    /// WAL append fails registers and immediately withdraws): the queue
+    /// then always holds a contiguous commit-ts range, which is what lets
+    /// [`CommitPipeline::publish`] and [`CommitPipeline::withdraw`] index
+    /// an entry by its offset from the front in O(1) instead of scanning
+    /// the in-flight window.
     pub(crate) fn register(&self, commit_ts: Timestamp, keys: &[LockKey]) {
         {
             let mut pending = self.pending_keys.lock();
@@ -198,19 +254,25 @@ impl CommitPipeline {
         // A joiner may be what a gathering leader is waiting for.
         self.group_cvar.notify_all();
         loop {
-            // Durability first: a record made durable by an *earlier*
-            // successful sync is committed no matter what happened to
-            // later batches, so it must never see their failure marker.
+            // Invalidation first: a record in an aborted range is dead even
+            // if a later successful sync has made the bytes durable — the
+            // range-abort record in the log (appended before any such sync
+            // could start) tells recovery to skip it, so acknowledging it
+            // now would *lose* the commit instead. Ranges only ever cover
+            // records that were not durable when their sync failed, so
+            // this can never fail a commit an earlier sync acknowledged.
+            if let Some(range) = state
+                .aborted
+                .iter()
+                .find(|r| r.from_lsn <= lsn && lsn <= r.to_lsn)
+            {
+                let err = group_sync_error(&range.reason);
+                state.waiters -= 1;
+                return Err(err);
+            }
             if state.durable_lsn >= lsn {
                 state.waiters -= 1;
                 return Ok(());
-            }
-            if let Some((failed_upto, reason)) = &state.failed {
-                if lsn <= *failed_upto {
-                    let err = group_sync_error(reason);
-                    state.waiters -= 1;
-                    return Err(err);
-                }
             }
             if !state.syncing {
                 // Become the leader: gather a batch, sync once, publish
@@ -244,10 +306,33 @@ impl CommitPipeline {
                             metrics.record_group_sync(durable - previous_durable);
                             state.durable_lsn = durable;
                         }
-                        state.failed = None;
                     }
                     Err(e) => {
-                        state.failed = Some((attempt_upto, e.to_string()));
+                        // Invalidate the whole failed batch — every record
+                        // in (durable, attempt_upto] belongs to a committer
+                        // this failure will abort — with one range-abort
+                        // record, appended *while still holding the
+                        // batcher*: no new leader can be elected (and so
+                        // no later sync can durably persist the failed
+                        // records) before their invalidation is in the
+                        // log. If even this append fails, the in-memory
+                        // range still aborts the committers; only the
+                        // durable invalidation is lost (the documented
+                        // double-failure stance).
+                        let (from_lsn, to_lsn) = (previous_durable + 1, attempt_upto);
+                        if to_lsn >= from_lsn {
+                            if wal
+                                .append(&AbortRangeRecord { from_lsn, to_lsn }.encode())
+                                .is_ok()
+                            {
+                                metrics.record_wal_abort();
+                            }
+                            state.aborted.push(AbortedRange {
+                                from_lsn,
+                                to_lsn,
+                                reason: e.to_string(),
+                            });
+                        }
                     }
                 }
                 self.group_cvar.notify_all();
@@ -273,10 +358,40 @@ impl CommitPipeline {
         }
     }
 
-    /// Serialises the flush-through of commit records to the persistent
-    /// store (stage C's narrow critical section).
-    pub(crate) fn store_apply(&self) -> MutexGuard<'_, ()> {
-        self.store_apply_lock.lock()
+    /// Acquires the store-apply locks of `footprint` (shard indexes,
+    /// **sorted ascending and deduplicated** — the canonical acquisition
+    /// order that makes multi-shard acquisition deadlock-free) and returns
+    /// a guard holding them for the flush-through. Commits with disjoint
+    /// footprints proceed concurrently; each contended shard is counted in
+    /// `store_apply_shard_conflicts`, and the number of commits
+    /// simultaneously inside their flush-through feeds
+    /// `store_apply_concurrency_peak`.
+    pub(crate) fn store_apply(
+        &self,
+        footprint: &[usize],
+        metrics: &DbMetrics,
+    ) -> StoreApplyGuard<'_> {
+        debug_assert!(
+            footprint.windows(2).all(|w| w[0] < w[1]),
+            "footprint must be sorted and deduplicated"
+        );
+        let mut guards = Vec::with_capacity(footprint.len());
+        for &shard in footprint {
+            let lock = &self.store_shards[shard];
+            match lock.try_lock() {
+                Some(guard) => guards.push(guard),
+                None => {
+                    metrics.record_store_apply_conflict();
+                    guards.push(lock.lock());
+                }
+            }
+        }
+        let in_flight = self.store_apply_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        metrics.record_store_apply_concurrency(in_flight);
+        StoreApplyGuard {
+            pipeline: self,
+            _guards: guards,
+        }
     }
 
     /// Marks a registered commit as fully installed and blocks until the
@@ -285,7 +400,7 @@ impl CommitPipeline {
     /// low-water mark that keeps publication gap-free in commit-ts order.
     pub(crate) fn publish(&self, commit_ts: Timestamp) {
         let mut queue = self.publish.lock();
-        if let Some(entry) = queue.iter_mut().find(|e| e.commit_ts == commit_ts) {
+        if let Some(entry) = Self::entry_mut(&mut queue, commit_ts) {
             entry.done = true;
         }
         self.advance_watermark(&mut queue);
@@ -299,10 +414,31 @@ impl CommitPipeline {
     /// commits are not wedged behind a commit that will never publish.
     pub(crate) fn withdraw(&self, commit_ts: Timestamp) {
         let mut queue = self.publish.lock();
-        if let Some(entry) = queue.iter_mut().find(|e| e.commit_ts == commit_ts) {
+        if let Some(entry) = Self::entry_mut(&mut queue, commit_ts) {
             entry.withdrawn = true;
         }
         self.advance_watermark(&mut queue);
+    }
+
+    /// O(1) lookup of a registered commit's queue entry. Because every
+    /// drawn commit timestamp is registered exactly once (see
+    /// [`CommitPipeline::register`]) and entries only ever leave from the
+    /// front, the queue holds a contiguous commit-ts range at all times:
+    /// an entry's index is its timestamp's offset from the front. The old
+    /// `iter_mut().find()` here made every `publish`/`withdraw` walk the
+    /// in-flight window — O(in-flight²) aggregate under load.
+    fn entry_mut<'q>(
+        queue: &'q mut MutexGuard<'_, VecDeque<PendingPublication>>,
+        commit_ts: Timestamp,
+    ) -> Option<&'q mut PendingPublication> {
+        let front_ts = queue.front()?.commit_ts;
+        let idx = commit_ts.raw().checked_sub(front_ts.raw())? as usize;
+        let entry = queue.get_mut(idx)?;
+        debug_assert_eq!(
+            entry.commit_ts, commit_ts,
+            "publication queue lost commit-ts contiguity"
+        );
+        (entry.commit_ts == commit_ts).then_some(entry)
     }
 
     /// Pops the contiguous prefix of finished commits off the publication
@@ -356,7 +492,7 @@ mod tests {
     use std::sync::Arc;
 
     fn pipeline() -> CommitPipeline {
-        CommitPipeline::new(8, Duration::ZERO, 0)
+        CommitPipeline::new(8, Duration::ZERO, 0, 4)
     }
 
     #[test]
@@ -426,11 +562,62 @@ mod tests {
     }
 
     #[test]
+    fn disjoint_footprints_apply_concurrently_overlapping_ones_queue() {
+        let p = Arc::new(pipeline());
+        let metrics = Arc::new(DbMetrics::new());
+
+        // Disjoint: thread holds shard 0 while we hold shard 1.
+        let guard_a = p.store_apply(&[1], &metrics);
+        let (p2, m2) = (Arc::clone(&p), Arc::clone(&metrics));
+        let t = std::thread::spawn(move || {
+            let _guard_b = p2.store_apply(&[0], &m2);
+            // Both commits are in flight at this point.
+        });
+        t.join().unwrap();
+        assert!(
+            metrics.snapshot().store_apply_concurrency_peak >= 2,
+            "disjoint footprints must overlap"
+        );
+        drop(guard_a);
+
+        // Overlapping: the second acquisition must block until release.
+        let before = metrics.snapshot().store_apply_shard_conflicts;
+        let guard_a = p.store_apply(&[1, 2], &metrics);
+        let blocked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let t = {
+            let (p2, m2) = (Arc::clone(&p), Arc::clone(&metrics));
+            let blocked = Arc::clone(&blocked);
+            std::thread::spawn(move || {
+                let _guard_b = p2.store_apply(&[2, 3], &m2);
+                blocked.store(true, std::sync::atomic::Ordering::SeqCst);
+            })
+        };
+        // The thread records its conflict *before* parking on the
+        // contended shard, so waiting for the counter is a deterministic
+        // "it reached the lock" signal — no sleep-and-hope.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while metrics.snapshot().store_apply_shard_conflicts == before {
+            assert!(
+                Instant::now() < deadline,
+                "thread never reached the contended shard"
+            );
+            std::thread::yield_now();
+        }
+        assert!(
+            !blocked.load(std::sync::atomic::Ordering::SeqCst),
+            "overlapping footprints must queue on the shared shard"
+        );
+        drop(guard_a);
+        t.join().unwrap();
+        assert!(blocked.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
     fn group_sync_batches_concurrent_commits() {
         use graphsi_storage::test_util::TempDir;
         let dir = TempDir::new("pipeline_group");
         let wal = Arc::new(Wal::open(dir.path().join("wal.log"), SyncPolicy::OnDemand).unwrap());
-        let p = Arc::new(CommitPipeline::new(16, Duration::from_millis(5), 0));
+        let p = Arc::new(CommitPipeline::new(16, Duration::from_millis(5), 0, 4));
         let metrics = Arc::new(DbMetrics::new());
         let mut handles = Vec::new();
         for t in 0..4u8 {

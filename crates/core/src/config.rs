@@ -82,6 +82,12 @@ pub struct DbConfig {
     /// and are covered by the next leader's single sync. A small positive
     /// delay trades commit latency for larger batches (fewer fsyncs).
     pub group_commit_max_delay: Duration,
+    /// Size of the stage-C store-apply shard lock table. Each commit's
+    /// flush-through acquires only the shards its ops touch (node pages +
+    /// relationship chains), so commits with disjoint footprints apply to
+    /// the persistent store concurrently. `1` restores the old behaviour
+    /// of one global store-apply lock.
+    pub store_apply_shards: usize,
 }
 
 impl Default for DbConfig {
@@ -97,6 +103,7 @@ impl Default for DbConfig {
             scan_chunk_size: DbConfig::DEFAULT_SCAN_CHUNK_SIZE,
             group_commit_max_batch: DbConfig::DEFAULT_GROUP_COMMIT_MAX_BATCH,
             group_commit_max_delay: Duration::ZERO,
+            store_apply_shards: DbConfig::DEFAULT_STORE_APPLY_SHARDS,
         }
     }
 }
@@ -107,6 +114,9 @@ impl DbConfig {
 
     /// Default [`DbConfig::group_commit_max_batch`].
     pub const DEFAULT_GROUP_COMMIT_MAX_BATCH: usize = 64;
+
+    /// Default [`DbConfig::store_apply_shards`].
+    pub const DEFAULT_STORE_APPLY_SHARDS: usize = 64;
 
     /// A configuration reproducing stock Neo4j (the read-committed
     /// baseline).
@@ -171,6 +181,13 @@ impl DbConfig {
         self.group_commit_max_delay = delay;
         self
     }
+
+    /// Builder-style setter for the stage-C store-apply shard count
+    /// (clamped to at least 1; 1 = one global store-apply lock).
+    pub fn with_store_apply_shards(mut self, shards: usize) -> Self {
+        self.store_apply_shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +233,26 @@ mod tests {
             .with_group_commit_max_delay(Duration::from_micros(250));
         assert_eq!(config.group_commit_max_batch, 1, "clamped to at least 1");
         assert_eq!(config.group_commit_max_delay, Duration::from_micros(250));
+    }
+
+    #[test]
+    fn store_apply_shard_builders() {
+        let config = DbConfig::default();
+        assert_eq!(
+            config.store_apply_shards,
+            DbConfig::DEFAULT_STORE_APPLY_SHARDS
+        );
+        assert_eq!(
+            config.with_store_apply_shards(0).store_apply_shards,
+            1,
+            "clamped to at least 1"
+        );
+        assert_eq!(
+            DbConfig::default()
+                .with_store_apply_shards(128)
+                .store_apply_shards,
+            128
+        );
     }
 
     #[test]

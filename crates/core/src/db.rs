@@ -25,7 +25,7 @@ use graphsi_txn::{
     check_at_commit, ActiveTransactionTable, ConflictStrategy, LockKey, LockManager,
     LockStatsSnapshot, Timestamp, TimestampOracle, TxnId,
 };
-use graphsi_wal::Wal;
+use graphsi_wal::{payload_kind, AbortRangeRecord, AbortRecord, PayloadKind, Wal};
 
 use crate::commit::{self, apply_to_store, split_commit_ts, CommitOp, CommitRecord};
 use crate::commit_pipeline::CommitPipeline;
@@ -141,6 +141,7 @@ impl GraphDb {
                 config.group_commit_max_batch,
                 config.group_commit_max_delay,
                 wal.durable_lsn(),
+                config.store_apply_shards,
             ),
             txn_counter: AtomicU64::new(1),
             commits_since_gc: AtomicU64::new(0),
@@ -307,6 +308,16 @@ impl GraphDb {
     /// Number of transactions currently active.
     pub fn active_transactions(&self) -> usize {
         self.inner.active.len()
+    }
+
+    /// Crash-testing hook: makes the next `n` WAL sync operations fail
+    /// with an injected I/O error, exercising the pipeline's failed-fsync
+    /// paths (batch abort, abort-record invalidation). The commit records
+    /// of failed committers stay in the log — exactly like a kernel-level
+    /// sync failure — so recovery tests can assert they are never
+    /// resurrected.
+    pub fn inject_wal_sync_failures(&self, n: u32) {
+        self.inner.wal.fail_syncs(n);
     }
 
     /// Resolves a label name to its token if it exists.
@@ -596,10 +607,12 @@ impl GraphDbInner {
     ///   records land in the log in commit-timestamp order.
     /// * **Stage B** (no lock): leader/follower group sync — one fsync per
     ///   batch of concurrent committers.
-    /// * **Stage C** (concurrent, narrow store-apply lock): version
+    /// * **Stage C** (concurrent, per-shard store-apply locks): version
     ///   install, store flush-through and index updates overlap across
-    ///   committers; the publication queue then advances the visible
-    ///   timestamp strictly in commit-timestamp order.
+    ///   committers — the flush-through holds only the shard locks of the
+    ///   commit's node-page/relationship-chain footprint, so disjoint
+    ///   commits apply concurrently; the publication queue then advances
+    ///   the visible timestamp strictly in commit-timestamp order.
     pub(crate) fn commit_transaction(
         &self,
         txn: TxnId,
@@ -656,6 +669,12 @@ impl GraphDbInner {
                     (commit_ts, lsn)
                 }
                 Err(e) => {
+                    // The drawn timestamp still gets a (withdrawn) queue
+                    // slot: every drawn commit-ts must be registered so
+                    // the publication queue stays contiguous in ts, which
+                    // is what its O(1) offset indexing relies on.
+                    self.pipeline.register(commit_ts, &[]);
+                    self.pipeline.withdraw(commit_ts);
                     drop(seq);
                     self.abort_transaction(txn, false);
                     return Err(e.into());
@@ -668,7 +687,12 @@ impl GraphDbInner {
         // becomes visible. On failure nothing was installed yet, so the
         // transaction aborts cleanly (locks released, deregistered, its
         // publication slot withdrawn) — otherwise its exclusive locks
-        // would wedge every later writer.
+        // would wedge every later writer. The commit record stays in the
+        // log, but the failing group-commit leader already invalidated
+        // the whole failed batch with a range-abort record (appended
+        // before any later sync could run), so a later successful sync
+        // plus crash recovery can never resurrect this caller-visible
+        // abort.
         if let Err(e) = self.pipeline.wait_durable(&self.wal, lsn, &self.metrics) {
             self.pipeline.clear_pending(&keys);
             self.pipeline.withdraw(commit_ts);
@@ -688,16 +712,44 @@ impl GraphDbInner {
         self.pipeline.clear_pending(&keys);
 
         // 2. Persistent store: only the newest committed version is
-        //    written (the paper's flush-through rule), serialised under
-        //    the pipeline's narrow store-apply lock. The commit record is
-        //    already durable in the WAL, so on failure the store is
-        //    brought back in sync by WAL replay at the next open; here the
-        //    transaction's locks and active-table entry must still be
-        //    released so the rest of the system keeps making progress.
+        //    written (the paper's flush-through rule), under the shard
+        //    locks of this commit's footprint — commits touching disjoint
+        //    node pages / relationship chains flush through concurrently,
+        //    overlapping ones queue per shard. Endpoints of relationship
+        //    updates/deletes come from the write set's before-images (the
+        //    ops encode only the ID). On failure the caller sees an abort
+        //    while the record is already durable, so an abort record must
+        //    invalidate it before recovery can replay it.
         let record = CommitRecord { commit_ts, ops };
+        let footprint =
+            commit::record_footprint(&record.ops, self.pipeline.store_shard_count(), |id| {
+                rel_endpoints(write_set, id)
+            });
         {
-            let _apply = self.pipeline.store_apply();
+            let _apply = self.pipeline.store_apply(&footprint, &self.metrics);
             if let Err(e) = apply_to_store(&self.store, &record, self.commit_ts_key, false) {
+                // A failed apply may have written *part* of the commit.
+                // Undo it from the write set's before-images (still under
+                // the shard locks) so the store returns to its pre-commit
+                // state; only then is it safe to invalidate the WAL record
+                // — with an abort record in the log, replay will never
+                // re-apply this commit, so nothing else could repair a
+                // half-applied store. If the undo itself fails (the disk
+                // is failing under us), the WAL record is left *valid*:
+                // recovery replays the whole commit and restores store
+                // consistency — at the price of resurrecting a
+                // caller-visible abort, the documented double-failure
+                // stance (see ROADMAP).
+                if self.undo_partial_apply(write_set).is_ok() {
+                    self.append_abort_record(commit_ts);
+                }
+                // Roll the already-installed cache versions back *before*
+                // withdrawing: the visible timestamp never reaches a
+                // withdrawn commit, so nothing has observed them yet —
+                // but once later commits publish past the gap they would
+                // become visible, leaking writes the caller was told
+                // failed.
+                self.rollback_installed_versions(commit_ts, write_set);
                 self.pipeline.withdraw(commit_ts);
                 self.abort_transaction(txn, false);
                 return Err(e);
@@ -726,6 +778,29 @@ impl GraphDbInner {
             }
         }
         Ok(commit_ts)
+    }
+
+    /// Appends an abort (invalidation) record for a commit whose caller is
+    /// about to observe a failure even though its commit record is — or
+    /// can still become — durable in the log, and syncs it. Replay skips
+    /// every commit timestamp named by an abort record, so a
+    /// caller-visible abort can never be resurrected by recovery.
+    ///
+    /// Best-effort by necessity: if appending or syncing the abort record
+    /// fails as well, the original abort is still reported and the commit
+    /// record remains at risk of resurrection. That residual window is
+    /// unavoidable on Linux, where a failed `fsync` may drop the dirty
+    /// pages it could not write — a later "successful" sync then proves
+    /// nothing about them (see ROADMAP).
+    fn append_abort_record(&self, commit_ts: Timestamp) {
+        let payload = AbortRecord {
+            commit_ts: commit_ts.raw(),
+        }
+        .encode();
+        if let Ok(lsn) = self.wal.append(&payload) {
+            self.metrics.record_wal_abort();
+            let _ = self.pipeline.wait_durable(&self.wal, lsn, &self.metrics);
+        }
     }
 
     fn validate_at_commit(
@@ -881,6 +956,100 @@ impl GraphDbInner {
         }
     }
 
+    /// Restores the persistent store to a commit's pre-image after a
+    /// failed (possibly partial) `apply_to_store`, using the write set's
+    /// before-images. Must run under the commit's store-apply shard locks
+    /// so no concurrent commit observes — or splices into — the half
+    /// state.
+    ///
+    /// Every step is guarded by an existence probe, so entities the
+    /// failed apply never reached are untouched. Restored entities get
+    /// their *original* commit-timestamp property back (`before_ts`), so
+    /// a later cold read or reopen seeds base versions exactly as before
+    /// the aborted commit. Order mirrors reverse dependency: node
+    /// pre-images first (relationship restores need their endpoints),
+    /// then created relationships out, then relationship pre-images back,
+    /// then created nodes out.
+    fn undo_partial_apply(&self, write_set: &WriteSet) -> Result<()> {
+        let ts_prop = |ts: Option<Timestamp>| {
+            ts.map(|t| (self.commit_ts_key, PropertyValue::Int(t.raw() as i64)))
+        };
+        // 1. Node pre-images (updated or deleted nodes back to before).
+        for (&id, entry) in &write_set.nodes {
+            if entry.is_noop() {
+                continue;
+            }
+            let Some(before) = entry.before.as_deref() else {
+                continue;
+            };
+            let extra = ts_prop(entry.before_ts);
+            let props = props_vec(&before.properties);
+            if self.store.node_exists(id)? {
+                self.store
+                    .update_node_with(id, &before.labels, &props, extra.as_ref())?;
+            } else {
+                self.store
+                    .create_node_with(id, &before.labels, &props, extra.as_ref())?;
+            }
+        }
+        // 2. Created relationships out (before their created endpoints).
+        for (&id, entry) in &write_set.relationships {
+            if entry.before.is_none() && !entry.is_noop() && self.store.relationship_exists(id)? {
+                self.store.delete_relationship(id)?;
+            }
+        }
+        // 3. Relationship pre-images (updated back, deleted re-spliced).
+        for (&id, entry) in &write_set.relationships {
+            if entry.is_noop() {
+                continue;
+            }
+            let Some(before) = entry.before.as_deref() else {
+                continue;
+            };
+            let extra = ts_prop(entry.before_ts);
+            let props = props_vec(&before.properties);
+            if self.store.relationship_exists(id)? {
+                self.store
+                    .update_relationship_with(id, &props, extra.as_ref())?;
+            } else {
+                self.store.create_relationship_with(
+                    id,
+                    before.source,
+                    before.target,
+                    before.rel_type,
+                    &props,
+                    extra.as_ref(),
+                )?;
+            }
+        }
+        // 4. Created nodes out (their created relationships are gone).
+        for (&id, entry) in &write_set.nodes {
+            if entry.before.is_none() && !entry.is_noop() && self.store.node_exists(id)? {
+                self.store.delete_node(id)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the versions [`Self::install_versions`] installed at
+    /// `commit_ts` from the caches — the rollback half of a stage-C abort.
+    /// Base (pre-image) versions seeded alongside them stay: they mirror
+    /// state the persistent store really holds. Overlay entries added for
+    /// the commit's relationships are pruned lazily by `overlay_page`
+    /// once the cache no longer answers for them.
+    fn rollback_installed_versions(&self, commit_ts: Timestamp, write_set: &WriteSet) {
+        for (&id, entry) in &write_set.nodes {
+            if !entry.is_noop() {
+                self.node_cache.remove_version(id, commit_ts);
+            }
+        }
+        for (&id, entry) in &write_set.relationships {
+            if !entry.is_noop() {
+                self.rel_cache.remove_version(id, commit_ts);
+            }
+        }
+    }
+
     fn update_indexes(&self, commit_ts: Timestamp, write_set: &WriteSet) {
         for (&id, entry) in &write_set.nodes {
             if entry.is_noop() {
@@ -967,15 +1136,43 @@ impl GraphDbInner {
 
     fn recover(&self) -> Result<()> {
         // 1. Replay the WAL: re-apply committed transactions that may not
-        //    have reached the store files before the crash.
+        //    have reached the store files before the crash. Abort records
+        //    are collected first: a commit record they invalidate (by
+        //    commit timestamp — stage-C apply failure — or by LSN range —
+        //    a failed group sync) belongs to a transaction whose caller
+        //    saw it fail, so replaying it would resurrect an acknowledged
+        //    abort.
         let scan = self.wal.scan()?;
+        let mut aborted_ts = std::collections::HashSet::new();
+        let mut aborted_ranges = Vec::new();
+        for entry in &scan.entries {
+            match payload_kind(&entry.payload, entry.lsn)? {
+                PayloadKind::Abort => {
+                    aborted_ts.insert(AbortRecord::decode(&entry.payload, entry.lsn)?.commit_ts);
+                }
+                PayloadKind::AbortRange => {
+                    aborted_ranges.push(AbortRangeRecord::decode(&entry.payload, entry.lsn)?);
+                }
+                PayloadKind::Commit => {}
+            }
+        }
         let mut max_ts = Timestamp::BOOTSTRAP;
         for entry in &scan.entries {
+            if payload_kind(&entry.payload, entry.lsn)? != PayloadKind::Commit {
+                continue;
+            }
             let record = CommitRecord::decode(&entry.payload)?;
-            apply_to_store(&self.store, &record, self.commit_ts_key, true)?;
             if record.commit_ts > max_ts {
+                // Dead or alive, the timestamp is consumed: the clock must
+                // never hand it out again.
                 max_ts = record.commit_ts;
             }
+            if aborted_ts.contains(&record.commit_ts.raw())
+                || aborted_ranges.iter().any(|r| r.covers(entry.lsn))
+            {
+                continue;
+            }
+            apply_to_store(&self.store, &record, self.commit_ts_key, true)?;
         }
 
         // 2. Rebuild the in-memory indexes from the store, using each
@@ -1040,6 +1237,21 @@ fn commit_lock_keys(write_set: &WriteSet) -> Vec<LockKey> {
         }
     }
     keys
+}
+
+/// Endpoints of a relationship in a write set, for store-apply footprint
+/// extraction: update/delete ops encode only the relationship ID, but the
+/// write set's before-image (or the buffered after-state, for entries that
+/// never had one) always knows the endpoints — they are immutable for the
+/// lifetime of a relationship.
+fn rel_endpoints(write_set: &WriteSet, id: RelationshipId) -> Option<(NodeId, NodeId)> {
+    write_set.relationships.get(&id).and_then(|entry| {
+        entry
+            .before
+            .as_deref()
+            .map(|d| (d.source, d.target))
+            .or_else(|| entry.after.as_ref().map(|d| (d.source, d.target)))
+    })
 }
 
 /// The newer of two optional timestamps.

@@ -388,22 +388,24 @@ impl SlotScanCursor for RelScanCursor<'_> {
 /// cache's keys (entities whose only versions live in the cache, e.g.
 /// deleted-but-still-visible ones), then the write set's keys.
 ///
-/// The cache stage pages one shard at a time: a shard's key set is copied
-/// atomically under its lock and then drained in chunks, so this stage's
-/// *transient* buffering is bounded by the largest cache shard rather than
-/// the chunk size (recorded in the `shard_key_buffer_peak` metric; closing
-/// the gap needs a sorted per-shard key structure — see ROADMAP).
-/// Pages one cache shard's keys into the out-vector; `false` = no such
-/// shard (the cache stage is exhausted).
-type ShardKeysFn<'tx, Id> = Box<dyn Fn(usize, &mut Vec<Id>) -> bool + 'tx>;
+/// The cache stage pages each shard through the cache's sorted
+/// range-resume pages (`shard_keys_page`): between refills only a resume
+/// marker is retained, so the stage's *transient* buffering is bounded by
+/// the chunk size — not by the largest shard, no matter how skewed the
+/// key distribution is (recorded in the `shard_key_buffer_peak` metric).
+/// Pages up to one chunk of a cache shard's keys into the out-vector,
+/// resuming after the marker; `false` = no such shard (the cache stage is
+/// exhausted).
+type ShardKeysFn<'tx, Id> = Box<dyn Fn(usize, Option<Id>, usize, &mut Vec<Id>) -> bool + 'tx>;
 
 struct ScanSource<'tx, C: SlotScanCursor> {
     store: C,
     store_done: bool,
     shard: usize,
     shard_keys_fn: ShardKeysFn<'tx, C::Id>,
-    shard_keys: Vec<C::Id>,
-    shard_pos: usize,
+    /// Resume marker within the current shard: the last key the previous
+    /// page yielded.
+    shard_after: Option<C::Id>,
     ws_keys: std::vec::IntoIter<C::Id>,
 }
 
@@ -418,19 +420,21 @@ impl<C: SlotScanCursor> ScanSource<'_, C> {
             self.store_done = true;
         }
         loop {
-            if self.shard_pos < self.shard_keys.len() {
-                let end = (self.shard_pos + chunk).min(self.shard_keys.len());
-                buf.extend_from_slice(&self.shard_keys[self.shard_pos..end]);
-                self.shard_pos = end;
-                return Ok(true);
-            }
-            self.shard_keys.clear();
-            self.shard_pos = 0;
-            if !(self.shard_keys_fn)(self.shard, &mut self.shard_keys) {
+            if !(self.shard_keys_fn)(self.shard, self.shard_after, chunk, buf) {
                 break;
             }
-            tx.db().metrics.record_shard_page(self.shard_keys.len());
-            self.shard += 1;
+            match buf.last() {
+                Some(&last) => {
+                    self.shard_after = Some(last);
+                    tx.db().metrics.record_shard_page(buf.len());
+                    return Ok(true);
+                }
+                None => {
+                    // Shard exhausted; move on to the next one.
+                    self.shard += 1;
+                    self.shard_after = None;
+                }
+            }
         }
         while buf.len() < chunk {
             match self.ws_keys.next() {
@@ -552,9 +556,10 @@ impl<'tx> NodeIdIter<'tx> {
             store: db.store.node_scan_cursor(chunk),
             store_done: false,
             shard: 0,
-            shard_keys_fn: Box::new(move |shard, out| db.node_cache.shard_keys(shard, out)),
-            shard_keys: Vec::new(),
-            shard_pos: 0,
+            shard_keys_fn: Box::new(move |shard, after, page, out| {
+                db.node_cache.shard_keys_page(shard, after, page, out)
+            }),
+            shard_after: None,
             ws_keys: ws_keys.into_iter(),
         };
         Self::build(
@@ -717,9 +722,10 @@ impl<'tx> RelIdIter<'tx> {
                 store: db.store.rel_scan_cursor(chunk),
                 store_done: false,
                 shard: 0,
-                shard_keys_fn: Box::new(move |shard, out| db.rel_cache.shard_keys(shard, out)),
-                shard_keys: Vec::new(),
-                shard_pos: 0,
+                shard_keys_fn: Box::new(move |shard, after, page, out| {
+                    db.rel_cache.shard_keys_page(shard, after, page, out)
+                }),
+                shard_after: None,
                 ws_keys: ws_keys.into_iter(),
             },
             chunk,

@@ -22,6 +22,9 @@ pub struct DbMetrics {
     wal_syncs: AtomicU64,
     group_commit_batches: AtomicU64,
     group_commit_batch_size_max: AtomicU64,
+    store_apply_shard_conflicts: AtomicU64,
+    store_apply_concurrency_peak: AtomicU64,
+    wal_abort_records: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DbMetrics`].
@@ -53,11 +56,11 @@ pub struct DbMetricsSnapshot {
     /// never exceeds `c` no matter how large the scanned label, posting
     /// list or relationship chain is.
     pub candidate_buffer_peak: u64,
-    /// Largest cache-shard key set a whole-graph scan staged before
-    /// draining it in chunks. Whole-graph scans (`all_nodes`,
-    /// `all_relationships`) transiently buffer one MVCC cache shard's keys
-    /// at a time, so this peak is bounded by the largest shard rather than
-    /// the chunk size — the remaining gap the ROADMAP tracks.
+    /// Largest MVCC cache-shard key page a whole-graph scan buffered in
+    /// one refill. Whole-graph scans (`all_nodes`, `all_relationships`)
+    /// page each shard through sorted range-resume pages, so this peak is
+    /// bounded by the scan's chunk size — not by the largest shard, no
+    /// matter how skewed the key distribution is.
     pub shard_key_buffer_peak: u64,
     /// Times a chain cursor had to restart from the head because a
     /// concurrent commit rewired the chain under it.
@@ -73,6 +76,17 @@ pub struct DbMetricsSnapshot {
     /// Largest number of commit records any single group-commit sync made
     /// durable at once.
     pub group_commit_batch_size_max: u64,
+    /// Store-apply shard acquisitions that found the shard already held by
+    /// another in-flight commit (overlapping footprints queueing).
+    pub store_apply_shard_conflicts: u64,
+    /// Largest number of commits simultaneously inside their stage-C store
+    /// flush-through. Above 1 proves disjoint-footprint commits really
+    /// applied to the persistent store concurrently (E13).
+    pub store_apply_concurrency_peak: u64,
+    /// Abort (invalidation) records appended to the WAL for commits failed
+    /// after their record reached the log — each one is a transaction that
+    /// recovery replay must skip.
+    pub wal_abort_records: u64,
 }
 
 impl DbMetricsSnapshot {
@@ -151,6 +165,24 @@ impl DbMetrics {
             .fetch_max(batch_size, Ordering::Relaxed);
     }
 
+    /// Records one contended store-apply shard acquisition.
+    pub(crate) fn record_store_apply_conflict(&self) {
+        self.store_apply_shard_conflicts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Feeds the store-apply concurrency peak with the current number of
+    /// commits inside their flush-through.
+    pub(crate) fn record_store_apply_concurrency(&self, in_flight: u64) {
+        self.store_apply_concurrency_peak
+            .fetch_max(in_flight, Ordering::Relaxed);
+    }
+
+    /// Records one abort record appended to the WAL.
+    pub(crate) fn record_wal_abort(&self) {
+        self.wal_abort_records.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of every counter.
     pub fn snapshot(&self) -> DbMetricsSnapshot {
         DbMetricsSnapshot {
@@ -170,6 +202,9 @@ impl DbMetrics {
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
             group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
             group_commit_batch_size_max: self.group_commit_batch_size_max.load(Ordering::Relaxed),
+            store_apply_shard_conflicts: self.store_apply_shard_conflicts.load(Ordering::Relaxed),
+            store_apply_concurrency_peak: self.store_apply_concurrency_peak.load(Ordering::Relaxed),
+            wal_abort_records: self.wal_abort_records.load(Ordering::Relaxed),
         }
     }
 }
@@ -200,6 +235,11 @@ mod tests {
         m.record_group_sync(4);
         m.record_group_sync(9);
         m.record_group_sync(1);
+        m.record_store_apply_conflict();
+        m.record_store_apply_conflict();
+        m.record_store_apply_concurrency(3);
+        m.record_store_apply_concurrency(1);
+        m.record_wal_abort();
         let s = m.snapshot();
         assert_eq!(s.begins, 2);
         assert_eq!(s.commits, 2);
@@ -217,6 +257,9 @@ mod tests {
         assert_eq!(s.wal_syncs, 3);
         assert_eq!(s.group_commit_batches, 3);
         assert_eq!(s.group_commit_batch_size_max, 9, "max, not sum");
+        assert_eq!(s.store_apply_shard_conflicts, 2);
+        assert_eq!(s.store_apply_concurrency_peak, 3, "peak is a max");
+        assert_eq!(s.wal_abort_records, 1);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! is the sole home of historical versions and tombstones.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
+use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -122,22 +123,27 @@ pub struct PruneOutcome {
 
 /// The versioned object cache, generic over the entity key `K` and the
 /// cached entity state `V`.
+///
+/// Shards are ordered maps so their key sets can be paged in sorted order
+/// with a range-resume marker ([`VersionedCache::shard_keys_page`]):
+/// whole-graph scans buffer one bounded page at a time instead of one
+/// whole shard.
 pub struct VersionedCache<K, V> {
-    shards: Vec<RwLock<HashMap<K, VersionChain<V>>>>,
+    shards: Vec<RwLock<BTreeMap<K, VersionChain<V>>>>,
     gc_list: Mutex<GcList<K>>,
     counters: CacheCounters,
 }
 
 impl<K, V> VersionedCache<K, V>
 where
-    K: Hash + Eq + Copy,
+    K: Hash + Eq + Ord + Copy,
 {
     /// Creates a cache with the given number of shards (rounded up to at
     /// least one).
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1);
         VersionedCache {
-            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards).map(|_| RwLock::new(BTreeMap::new())).collect(),
             gc_list: Mutex::new(GcList::new()),
             counters: CacheCounters::default(),
         }
@@ -149,7 +155,7 @@ where
         Self::new(16)
     }
 
-    fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, VersionChain<V>>> {
+    fn shard_for(&self, key: &K) -> &RwLock<BTreeMap<K, VersionChain<V>>> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         let idx = (hasher.finish() as usize) % self.shards.len();
@@ -234,6 +240,40 @@ where
         chain.install(version);
         self.counters.installs.fetch_add(1, Ordering::Relaxed);
         self.counters.versions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes the version installed for `key` at exactly `commit_ts`
+    /// (unlinking it from the GC list; the chain is dropped when it
+    /// becomes empty). Returns `true` if a version was removed.
+    ///
+    /// This is the commit pipeline's abort rollback: a commit that fails
+    /// its store apply has already installed its versions, but nothing can
+    /// have observed them — the visible timestamp never reaches a
+    /// withdrawn commit — so removing them restores the pre-commit state
+    /// instead of leaking writes the caller was told failed.
+    pub fn remove_version(&self, key: K, commit_ts: Timestamp) -> bool {
+        let mut shard = self.shard_for(&key).write();
+        let Some(chain) = shard.get_mut(&key) else {
+            return false;
+        };
+        let Some(version) = chain.remove_at(commit_ts) else {
+            return false;
+        };
+        if version.is_tombstone() {
+            self.counters.tombstones.fetch_sub(1, Ordering::Relaxed);
+        }
+        if chain.is_empty() {
+            shard.remove(&key);
+            self.counters.chains.fetch_sub(1, Ordering::Relaxed);
+        }
+        drop(shard);
+        if let Some(handle) = version.gc_handle {
+            self.gc_list.lock().remove(handle);
+        }
+        // `installs` is a monotone history counter and stays untouched;
+        // only the population gauges shrink.
+        self.counters.versions.fetch_sub(1, Ordering::Relaxed);
+        true
     }
 
     /// Commit timestamp of the newest cached version of the entity, used
@@ -344,22 +384,54 @@ where
     }
 
     /// Number of shards (for chunked key enumeration via
-    /// [`VersionedCache::shard_keys`]).
+    /// [`VersionedCache::shard_keys`] and
+    /// [`VersionedCache::shard_keys_page`]).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
     /// Appends every key of one shard to `out`, returning `false` when
-    /// `shard` is out of range. Chunked cursors page the cache shard by
-    /// shard so their peak buffering is bounded by the largest shard rather
-    /// than the whole cache; a shard's key set is copied atomically under
-    /// its read lock, so a key that exists for the whole enumeration is
-    /// never missed.
+    /// `shard` is out of range. GC pages the cache shard by shard with
+    /// this; scans that need bounded buffering use
+    /// [`VersionedCache::shard_keys_page`] instead. A shard's key set is
+    /// copied atomically under its read lock, so a key that exists for the
+    /// whole enumeration is never missed.
     pub fn shard_keys(&self, shard: usize, out: &mut Vec<K>) -> bool {
         let Some(shard) = self.shards.get(shard) else {
             return false;
         };
         out.extend(shard.read().keys().copied());
+        true
+    }
+
+    /// Appends up to `chunk` keys of one shard to `out`, in ascending key
+    /// order, resuming strictly after `after` (`None` = from the start of
+    /// the shard). Returns `false` when `shard` is out of range.
+    ///
+    /// This is the range-resume page behind whole-graph scans: between
+    /// pages only the marker is retained, so a scan's transient buffering
+    /// is bounded by `chunk` no matter how large (or skewed) the shard is.
+    /// Keys inserted before the marker between two pages are skipped and
+    /// keys removed ahead of it are simply not yielded — the same
+    /// guarantee class as [`VersionedCache::shard_keys`], which snapshots
+    /// a shard at one instant: a key that exists for the whole enumeration
+    /// is never missed.
+    pub fn shard_keys_page(
+        &self,
+        shard: usize,
+        after: Option<K>,
+        chunk: usize,
+        out: &mut Vec<K>,
+    ) -> bool {
+        let Some(shard) = self.shards.get(shard) else {
+            return false;
+        };
+        let guard = shard.read();
+        let range = match after {
+            None => guard.range(..),
+            Some(a) => guard.range((Bound::Excluded(a), Bound::Unbounded)),
+        };
+        out.extend(range.take(chunk.max(1)).map(|(k, _)| *k));
         true
     }
 
@@ -386,7 +458,7 @@ where
 
 impl<K, V> std::fmt::Debug for VersionedCache<K, V>
 where
-    K: Hash + Eq + Copy,
+    K: Hash + Eq + Ord + Copy,
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
@@ -540,6 +612,75 @@ mod tests {
         cache.for_each_key(|k| streamed.push(k));
         streamed.sort_unstable();
         assert_eq!(streamed, paged);
+    }
+
+    #[test]
+    fn remove_version_rolls_back_an_install() {
+        let cache = Cache::with_default_shards();
+        cache.ensure_base(1, Timestamp(5), payload("base"));
+        cache.install_committed(1, Timestamp(10), Some(payload("v10")));
+        assert_eq!(cache.gc_list_len(), 2);
+        assert!(cache.remove_version(1, Timestamp(10)));
+        assert!(!cache.remove_version(1, Timestamp(10)), "already gone");
+        assert_eq!(cache.gc_list_len(), 1);
+        assert_eq!(cache.newest_commit_ts(1), Some(Timestamp(5)));
+        match cache.read(1, Timestamp(20)) {
+            CacheRead::Version(v) => assert_eq!(*v, "base"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Removing the last version drops the chain entirely.
+        assert!(cache.remove_version(1, Timestamp(5)));
+        assert!(!cache.contains(1));
+        assert_eq!(cache.gc_list_len(), 0);
+        assert_eq!(cache.stats().versions, 0);
+        assert_eq!(cache.stats().chains, 0);
+
+        // Tombstone rollback adjusts the tombstone gauge too.
+        cache.install_committed(2, Timestamp(3), None);
+        assert_eq!(cache.stats().tombstones, 1);
+        assert!(cache.remove_version(2, Timestamp(3)));
+        assert_eq!(cache.stats().tombstones, 0);
+        assert!(!cache.remove_version(9, Timestamp(1)), "unknown key");
+    }
+
+    #[test]
+    fn shard_key_pages_resume_in_sorted_order() {
+        let cache = Cache::new(1); // worst-case skew: every key in one shard
+        for k in 0..23u64 {
+            cache.install_committed(k, Timestamp(k + 1), Some(payload("x")));
+        }
+        let mut paged = Vec::new();
+        let mut buf = Vec::new();
+        let mut after = None;
+        loop {
+            buf.clear();
+            assert!(cache.shard_keys_page(0, after, 5, &mut buf));
+            assert!(buf.len() <= 5, "page exceeded the chunk bound");
+            let Some(&last) = buf.last() else { break };
+            assert!(buf.windows(2).all(|w| w[0] < w[1]), "page not sorted");
+            paged.extend_from_slice(&buf);
+            after = Some(last);
+        }
+        assert_eq!(paged, (0..23u64).collect::<Vec<_>>());
+        assert!(!cache.shard_keys_page(1, None, 5, &mut buf));
+    }
+
+    #[test]
+    fn shard_key_pages_survive_concurrent_removal() {
+        let cache = Cache::new(1);
+        for k in 0..10u64 {
+            cache.install_committed(k, Timestamp(k + 1), Some(payload("x")));
+        }
+        let mut buf = Vec::new();
+        assert!(cache.shard_keys_page(0, None, 4, &mut buf));
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        // Drop keys behind and ahead of the marker; the resume must keep
+        // yielding every surviving key exactly once.
+        cache.prune_key(2, Timestamp(100));
+        cache.prune_key(7, Timestamp(100));
+        let mut rest = Vec::new();
+        cache.shard_keys_page(0, Some(3), 100, &mut rest);
+        assert_eq!(rest, vec![4, 5, 6, 8, 9]);
     }
 
     #[test]

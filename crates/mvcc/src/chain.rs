@@ -119,6 +119,18 @@ impl<V> VersionChain<V> {
         self.versions.iter().filter_map(|v| v.gc_handle).collect()
     }
 
+    /// Removes the version installed at exactly `commit_ts`, returning it.
+    /// Used by the commit pipeline to roll back a version it installed for
+    /// a commit that subsequently aborted (failed store apply) *before*
+    /// any snapshot could observe it.
+    pub fn remove_at(&mut self, commit_ts: Timestamp) -> Option<Version<V>> {
+        let idx = self
+            .versions
+            .iter()
+            .position(|v| v.commit_ts == commit_ts)?;
+        Some(self.versions.remove(idx))
+    }
+
     /// Prunes the chain against the GC `watermark` (the start timestamp of
     /// the oldest active transaction).
     ///

@@ -74,7 +74,7 @@ impl GcRunStats {
 /// visited, discovered by walking the global GC list.
 pub fn run_threaded<K, V>(cache: &VersionedCache<K, V>, watermark: Timestamp) -> GcRunStats
 where
-    K: Hash + Eq + Copy,
+    K: Hash + Eq + Ord + Copy,
 {
     let start = Instant::now();
     let (candidates, walked) = cache.gc_candidates(watermark);
@@ -102,7 +102,7 @@ where
 /// pruned, whether or not it holds reclaimable versions.
 pub fn run_vacuum<K, V>(cache: &VersionedCache<K, V>, watermark: Timestamp) -> GcRunStats
 where
-    K: Hash + Eq + Copy,
+    K: Hash + Eq + Ord + Copy,
 {
     let start = Instant::now();
     let mut reclaimed = 0u64;

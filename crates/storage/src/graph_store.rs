@@ -297,10 +297,15 @@ impl GraphStore {
             let old_first = node_rec.first_rel;
             rel.set_chain_for(node, RelationshipId::NONE, old_first);
             if old_first.is_some() {
-                let mut head = self.relationships.load_in_use(old_first.raw())?;
-                let (_, head_next) = head.chain_for(node);
-                head.set_chain_for(node, id, head_next);
-                self.relationships.write(old_first.raw(), &head)?;
+                // Atomic single-call rewrite: the old chain head may also
+                // sit on its *other* endpoint's chain, whose splices are
+                // serialised by a different store-apply shard — only this
+                // endpoint's pointer pair may be touched, and only under
+                // the record's page lock.
+                self.relationships.update_in_use(old_first.raw(), |head| {
+                    let (_, head_next) = head.chain_for(node);
+                    head.set_chain_for(node, id, head_next);
+                })?;
             }
             node_rec.first_rel = id;
             self.nodes.write(node.raw(), &node_rec)?;
@@ -347,16 +352,20 @@ impl GraphStore {
                 node_rec.first_rel = next;
                 self.nodes.write(node.raw(), &node_rec)?;
             } else {
-                let mut prev_rec = self.relationships.load_in_use(prev.raw())?;
-                let (pp, _) = prev_rec.chain_for(node);
-                prev_rec.set_chain_for(node, pp, next);
-                self.relationships.write(prev.raw(), &prev_rec)?;
+                // Chain-neighbour rewrites are atomic single-call updates:
+                // the neighbour may concurrently have its *other*
+                // endpoint's pointers rewritten by a splice holding a
+                // different store-apply shard (see `update_in_use`).
+                self.relationships.update_in_use(prev.raw(), |prev_rec| {
+                    let (pp, _) = prev_rec.chain_for(node);
+                    prev_rec.set_chain_for(node, pp, next);
+                })?;
             }
             if next.is_some() {
-                let mut next_rec = self.relationships.load_in_use(next.raw())?;
-                let (_, nn) = next_rec.chain_for(node);
-                next_rec.set_chain_for(node, prev, nn);
-                self.relationships.write(next.raw(), &next_rec)?;
+                self.relationships.update_in_use(next.raw(), |next_rec| {
+                    let (_, nn) = next_rec.chain_for(node);
+                    next_rec.set_chain_for(node, prev, nn);
+                })?;
             }
         }
         self.properties.free_chain(rel.first_prop)?;
@@ -1061,6 +1070,54 @@ mod tests {
                 assert!(out.contains(rel), "lost rel {i}");
             }
         }
+    }
+
+    #[test]
+    fn concurrent_splices_from_opposite_endpoints_share_a_neighbour_record() {
+        // R(n1, n3) heads both n1's and n3's chain. One thread splices new
+        // relationships onto n1, another onto n3 — each rewrite of R's
+        // pointers arrives from a different endpoint and touches a
+        // different pointer pair. The atomic neighbour updates keep both
+        // chains intact (a lost update would orphan part of a chain).
+        use std::sync::Arc;
+        const PER_SIDE: usize = 50;
+        let dir = TempDir::new("gs_opposite_splice");
+        let store = Arc::new(open(&dir));
+        let n1 = store.allocate_node_id();
+        let n3 = store.allocate_node_id();
+        store.create_node(n1, &[], &[]).unwrap();
+        store.create_node(n3, &[], &[]).unwrap();
+        let shared = store.allocate_relationship_id();
+        store
+            .create_relationship(shared, n1, n3, RelTypeToken(0), &[])
+            .unwrap();
+
+        let mut handles = Vec::new();
+        for hub in [n1, n3] {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..PER_SIDE {
+                    let spoke = store.allocate_node_id();
+                    store.create_node(spoke, &[], &[]).unwrap();
+                    let rel = store.allocate_relationship_id();
+                    store
+                        .create_relationship(rel, hub, spoke, RelTypeToken(1), &[])
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.node_degree(n1).unwrap(), PER_SIDE + 1);
+        assert_eq!(store.node_degree(n3).unwrap(), PER_SIDE + 1);
+        assert!(store.relationship_ids_of(n1).unwrap().contains(&shared));
+        assert!(store.relationship_ids_of(n3).unwrap().contains(&shared));
+        // The shared record's chain pointers survived both sides: deleting
+        // it must splice cleanly out of both chains.
+        store.delete_relationship(shared).unwrap();
+        assert_eq!(store.node_degree(n1).unwrap(), PER_SIDE);
+        assert_eq!(store.node_degree(n3).unwrap(), PER_SIDE);
     }
 
     #[test]

@@ -179,6 +179,36 @@ impl<R: Record> RecordStore<R> {
         })?
     }
 
+    /// Atomically read-modify-writes the in-use record `id` under its page
+    /// lock: decode, apply `f`, re-encode, all inside one
+    /// [`PageCache::with_page_mut`] call.
+    ///
+    /// This exists for mutations of *shared* records by writers that are
+    /// not otherwise serialised against each other: a relationship record
+    /// sits on both endpoint nodes' chains, and two chain splices — one
+    /// per endpoint, each holding only its own endpoint's store-apply
+    /// shard — may rewrite the same record's (disjoint, per-endpoint)
+    /// chain pointers concurrently. A separate `load` + `write` pair
+    /// would let one splice overwrite the other's update wholesale; the
+    /// single-call form makes the two commute.
+    ///
+    /// [`PageCache::with_page_mut`]: crate::page_cache::PageCache::with_page_mut
+    pub fn update_in_use(&self, id: u64, f: impl FnOnce(&mut R)) -> Result<()> {
+        let loc = locate_record(id, R::SIZE);
+        self.cache.with_page_mut(loc.page_no, |page| {
+            let bytes = &mut page[loc.offset_in_page..loc.offset_in_page + R::SIZE];
+            let mut record = R::decode_from(id, bytes)?;
+            if !record.in_use() {
+                return Err(StorageError::RecordNotInUse {
+                    store: R::STORE_NAME,
+                    id,
+                });
+            }
+            f(&mut record);
+            record.encode_into(bytes)
+        })?
+    }
+
     /// Flushes dirty pages and persists the ID allocator.
     pub fn flush(&self) -> Result<()> {
         self.cache.flush()?;
@@ -342,6 +372,75 @@ mod tests {
             assert_eq!(rec.key.0, i as u32);
         }
         assert_eq!(store.scan().count(), total);
+    }
+
+    #[test]
+    fn update_in_use_mutates_atomically_and_rejects_free_slots() {
+        let dir = TempDir::new("record_store_update");
+        let store: RecordStore<RelationshipRecord> =
+            RecordStore::open(dir.path(), "rels.db", 8).unwrap();
+        let id = store.allocate_id();
+        let rec = RelationshipRecord::new_in_use(NodeId::new(1), NodeId::new(2), RelTypeToken(0));
+        store.write(id, &rec).unwrap();
+        store
+            .update_in_use(id, |r| {
+                r.first_prop = PropertyRecordId::new(77);
+            })
+            .unwrap();
+        assert_eq!(
+            store.load_in_use(id).unwrap().first_prop,
+            PropertyRecordId::new(77)
+        );
+        let free = store.allocate_id();
+        assert!(store.update_in_use(free, |_| {}).is_err());
+    }
+
+    #[test]
+    fn concurrent_disjoint_field_updates_commute() {
+        // The chain-splice hazard in miniature: two threads each rewrite
+        // *their* endpoint's pointer pair of the same relationship record.
+        // With load+write pairs one side's update could be lost wholesale;
+        // the atomic read-modify-write makes them commute.
+        use std::sync::Arc;
+        let dir = TempDir::new("record_store_commute");
+        let store: Arc<RecordStore<RelationshipRecord>> =
+            Arc::new(RecordStore::open(dir.path(), "rels.db", 8).unwrap());
+        let id = store.allocate_id();
+        let (n1, n2) = (NodeId::new(1), NodeId::new(2));
+        store
+            .write(id, &RelationshipRecord::new_in_use(n1, n2, RelTypeToken(0)))
+            .unwrap();
+        let mut handles = Vec::new();
+        for (node, tag) in [(n1, 100u64), (n2, 200u64)] {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    store
+                        .update_in_use(id, |r| {
+                            r.set_chain_for(
+                                node,
+                                RelationshipId::new(tag + i),
+                                RelationshipId::new(tag + i + 1),
+                            );
+                        })
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rec = store.load_in_use(id).unwrap();
+        assert_eq!(
+            rec.chain_for(n1),
+            (RelationshipId::new(599), RelationshipId::new(600)),
+            "source-side pointers lost to the target-side writer"
+        );
+        assert_eq!(
+            rec.chain_for(n2),
+            (RelationshipId::new(699), RelationshipId::new(700)),
+            "target-side pointers lost to the source-side writer"
+        );
     }
 
     #[test]

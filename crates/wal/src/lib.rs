@@ -24,7 +24,7 @@ pub mod record;
 
 pub use error::{Result, WalError};
 pub use log::{SyncPolicy, Wal, WalScan};
-pub use record::LogEntry;
+pub use record::{payload_kind, AbortRangeRecord, AbortRecord, LogEntry, PayloadKind};
 
 #[cfg(test)]
 mod lib_tests {

@@ -55,6 +55,10 @@ pub struct Wal {
     path: PathBuf,
     sync_policy: SyncPolicy,
     inner: Mutex<WalInner>,
+    /// Crash-testing hook: number of upcoming sync operations that fail
+    /// with an injected I/O error instead of reaching the kernel. See
+    /// [`Wal::fail_syncs`].
+    injected_sync_failures: std::sync::atomic::AtomicU32,
     /// A second handle onto the same open file description, used by
     /// [`Wal::sync_appended`] so a group-commit leader can fsync *without*
     /// holding the append lock — concurrent committers keep appending (and
@@ -99,8 +103,44 @@ impl Wal {
                 unsynced: false,
                 synced_lsn: next_lsn - 1,
             }),
+            injected_sync_failures: std::sync::atomic::AtomicU32::new(0),
             sync_file,
         })
+    }
+
+    /// Makes the next `n` sync operations ([`Wal::sync`] and
+    /// [`Wal::sync_appended`]) fail with an injected I/O error without
+    /// touching the file. A crash-testing hook: a real `fsync` failure
+    /// cannot be provoked deterministically, yet the commit pipeline's
+    /// failed-sync paths (aborting the batch, writing abort records) need
+    /// coverage. Appends are unaffected, exactly like a kernel-level sync
+    /// failure: the data is in the log, it just was not made durable.
+    pub fn fail_syncs(&self, n: u32) {
+        self.injected_sync_failures
+            .store(n, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Consumes one injected failure if armed.
+    fn take_injected_failure(&self) -> Option<WalError> {
+        let counter = &self.injected_sync_failures;
+        let mut current = counter.load(std::sync::atomic::Ordering::SeqCst);
+        while current > 0 {
+            match counter.compare_exchange(
+                current,
+                current - 1,
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(WalError::io(
+                        "syncing WAL",
+                        std::io::Error::other("injected sync failure"),
+                    ))
+                }
+                Err(observed) => current = observed,
+            }
+        }
+        None
     }
 
     /// Path of the log file.
@@ -154,6 +194,9 @@ impl Wal {
     pub fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.unsynced {
+            if let Some(err) = self.take_injected_failure() {
+                return Err(err);
+            }
             inner
                 .file
                 .sync_data()
@@ -181,6 +224,9 @@ impl Wal {
             }
             inner.next_lsn - 1
         };
+        if let Some(err) = self.take_injected_failure() {
+            return Err(err);
+        }
         self.sync_file
             .sync_data()
             .map_err(|e| WalError::io("group-syncing WAL", e))?;
@@ -439,6 +485,25 @@ mod tests {
         assert_eq!(wal.durable_lsn(), 1);
         wal.append(b"b").unwrap();
         assert_eq!(wal.durable_lsn(), 2);
+    }
+
+    #[test]
+    fn injected_sync_failures_fail_then_clear() {
+        let dir = TempDir::new("wal_inject");
+        let wal = Wal::open(wal_path(&dir), SyncPolicy::OnDemand).unwrap();
+        wal.append(b"a").unwrap();
+        wal.fail_syncs(1);
+        assert!(wal.sync_appended().is_err());
+        assert_eq!(wal.durable_lsn(), 0, "a failed sync advances nothing");
+        // The injection is consumed: the next sync succeeds and the data
+        // (still in the log) becomes durable.
+        assert_eq!(wal.sync_appended().unwrap(), 1);
+        assert_eq!(wal.durable_lsn(), 1);
+        wal.append(b"b").unwrap();
+        wal.fail_syncs(1);
+        assert!(wal.sync().is_err());
+        wal.sync().unwrap();
+        assert_eq!(wal.scan().unwrap().entries.len(), 2);
     }
 
     #[test]

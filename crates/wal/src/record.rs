@@ -17,6 +17,145 @@ use crate::error::{Result, WalError};
 
 /// Magic marker beginning every log entry ("WALE").
 pub const ENTRY_MAGIC: u32 = 0x5741_4C45;
+
+/// First byte of a typed payload carrying a commit record (the record body
+/// itself is encoded by the layer above).
+pub const PAYLOAD_KIND_COMMIT: u8 = 0x01;
+/// First byte of a typed payload carrying an [`AbortRecord`].
+pub const PAYLOAD_KIND_ABORT: u8 = 0x02;
+/// First byte of a typed payload carrying an [`AbortRangeRecord`].
+pub const PAYLOAD_KIND_ABORT_RANGE: u8 = 0x03;
+
+/// The kind of a typed log payload, read from its first byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// A commit record: replay applies it (unless an [`AbortRecord`] or
+    /// [`AbortRangeRecord`] invalidates it).
+    Commit,
+    /// An abort record: replay must skip the commit record carrying the
+    /// same commit timestamp.
+    Abort,
+    /// A range abort record: replay must skip every commit record whose
+    /// LSN falls in the range.
+    AbortRange,
+}
+
+/// Classifies a typed payload by its kind byte. The log itself stores
+/// opaque payloads; this tagging convention is shared between the commit
+/// pipeline (which writes all kinds) and recovery (which must tell them
+/// apart before decoding).
+pub fn payload_kind(payload: &[u8], offset: u64) -> Result<PayloadKind> {
+    match payload.first() {
+        Some(&PAYLOAD_KIND_COMMIT) => Ok(PayloadKind::Commit),
+        Some(&PAYLOAD_KIND_ABORT) => Ok(PayloadKind::Abort),
+        Some(&PAYLOAD_KIND_ABORT_RANGE) => Ok(PayloadKind::AbortRange),
+        Some(&other) => Err(WalError::Corrupt {
+            offset,
+            reason: format!("unknown payload kind {other:#04x}"),
+        }),
+        None => Err(WalError::Corrupt {
+            offset,
+            reason: "empty payload".to_owned(),
+        }),
+    }
+}
+
+/// An abort (invalidation) record.
+///
+/// When a committer is failed *after* its commit record reached the log —
+/// its group sync failed, or its store apply failed once the record was
+/// already durable — the caller observes an abort, yet the commit record
+/// stays behind. A later successful sync can then make that record durable
+/// and crash recovery would resurrect a transaction the application saw
+/// fail. The pipeline therefore appends (and syncs) an `AbortRecord`
+/// naming the dead commit timestamp; replay collects these first and skips
+/// every invalidated commit record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortRecord {
+    /// Commit timestamp of the invalidated commit record (raw value — the
+    /// log layer does not depend on the timestamp newtype).
+    pub commit_ts: u64,
+}
+
+/// Encoded size of an [`AbortRecord`] payload: kind byte + timestamp.
+pub const ABORT_RECORD_SIZE: usize = 1 + 8;
+
+impl AbortRecord {
+    /// Serialises the record as a typed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ABORT_RECORD_SIZE);
+        out.push(PAYLOAD_KIND_ABORT);
+        out.extend_from_slice(&self.commit_ts.to_le_bytes());
+        out
+    }
+
+    /// Deserialises a payload previously produced by
+    /// [`AbortRecord::encode`].
+    pub fn decode(payload: &[u8], offset: u64) -> Result<Self> {
+        if payload.len() != ABORT_RECORD_SIZE || payload[0] != PAYLOAD_KIND_ABORT {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: "malformed abort record".to_owned(),
+            });
+        }
+        Ok(AbortRecord {
+            commit_ts: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+        })
+    }
+}
+
+/// A range abort (invalidation) record: every commit record with
+/// `from_lsn <= lsn <= to_lsn` belongs to a committer whose group sync
+/// failed and whose caller observed the abort.
+///
+/// The failing group-commit leader appends one of these for the whole
+/// failed batch *before releasing the batcher* — so no later leader can
+/// issue a sync that durably persists the failed commit records without
+/// also persisting their invalidation. Records in the range were never
+/// durable when the sync failed (the durable watermark had not reached
+/// them), and every committer owning one is failed by the batcher, so the
+/// range invalidates no acknowledged commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbortRangeRecord {
+    /// First invalidated LSN (inclusive).
+    pub from_lsn: u64,
+    /// Last invalidated LSN (inclusive).
+    pub to_lsn: u64,
+}
+
+/// Encoded size of an [`AbortRangeRecord`] payload.
+pub const ABORT_RANGE_RECORD_SIZE: usize = 1 + 8 + 8;
+
+impl AbortRangeRecord {
+    /// Serialises the record as a typed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ABORT_RANGE_RECORD_SIZE);
+        out.push(PAYLOAD_KIND_ABORT_RANGE);
+        out.extend_from_slice(&self.from_lsn.to_le_bytes());
+        out.extend_from_slice(&self.to_lsn.to_le_bytes());
+        out
+    }
+
+    /// Deserialises a payload previously produced by
+    /// [`AbortRangeRecord::encode`].
+    pub fn decode(payload: &[u8], offset: u64) -> Result<Self> {
+        if payload.len() != ABORT_RANGE_RECORD_SIZE || payload[0] != PAYLOAD_KIND_ABORT_RANGE {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: "malformed abort-range record".to_owned(),
+            });
+        }
+        Ok(AbortRangeRecord {
+            from_lsn: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+            to_lsn: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
+        })
+    }
+
+    /// Returns `true` if `lsn` is invalidated by this record.
+    pub fn covers(&self, lsn: u64) -> bool {
+        self.from_lsn <= lsn && lsn <= self.to_lsn
+    }
+}
 /// Size of the fixed entry header in bytes.
 pub const HEADER_SIZE: usize = 4 + 4 + 8 + 4;
 /// Maximum payload size accepted (guards against reading garbage lengths
@@ -169,6 +308,51 @@ mod tests {
             LogEntry::decode(&bytes, 0),
             Err(WalError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn abort_record_roundtrip() {
+        let record = AbortRecord { commit_ts: 7781 };
+        let bytes = record.encode();
+        assert_eq!(bytes.len(), ABORT_RECORD_SIZE);
+        assert_eq!(payload_kind(&bytes, 0).unwrap(), PayloadKind::Abort);
+        assert_eq!(AbortRecord::decode(&bytes, 0).unwrap(), record);
+    }
+
+    #[test]
+    fn payload_kind_rejects_garbage() {
+        assert!(payload_kind(&[], 3).is_err());
+        assert!(payload_kind(&[0xFF], 3).is_err());
+        assert_eq!(
+            payload_kind(&[PAYLOAD_KIND_COMMIT, 1, 2], 0).unwrap(),
+            PayloadKind::Commit
+        );
+    }
+
+    #[test]
+    fn abort_range_record_roundtrip_and_coverage() {
+        let record = AbortRangeRecord {
+            from_lsn: 5,
+            to_lsn: 9,
+        };
+        let bytes = record.encode();
+        assert_eq!(bytes.len(), ABORT_RANGE_RECORD_SIZE);
+        assert_eq!(payload_kind(&bytes, 0).unwrap(), PayloadKind::AbortRange);
+        assert_eq!(AbortRangeRecord::decode(&bytes, 0).unwrap(), record);
+        assert!(!record.covers(4));
+        assert!(record.covers(5));
+        assert!(record.covers(9));
+        assert!(!record.covers(10));
+        assert!(AbortRangeRecord::decode(&bytes[..10], 0).is_err());
+    }
+
+    #[test]
+    fn truncated_abort_record_is_rejected() {
+        let bytes = AbortRecord { commit_ts: 1 }.encode();
+        assert!(AbortRecord::decode(&bytes[..bytes.len() - 1], 0).is_err());
+        let mut wrong_kind = bytes.clone();
+        wrong_kind[0] = PAYLOAD_KIND_COMMIT;
+        assert!(AbortRecord::decode(&wrong_kind, 0).is_err());
     }
 
     proptest! {

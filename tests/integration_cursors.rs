@@ -247,6 +247,62 @@ fn query_peak_candidate_buffering_is_bounded_by_chunk_size() {
     );
 }
 
+/// Whole-graph scans page the MVCC cache through sorted per-shard pages
+/// with range-resume, so their transient buffering is bounded by the chunk
+/// size even under the worst possible shard skew — here a single cache
+/// shard holding every key, which used to be copied wholesale and made
+/// `shard_key_buffer_peak` scale with the shard instead of the chunk.
+#[test]
+fn whole_graph_scan_buffering_is_chunk_bounded_under_shard_skew() {
+    const CHUNK: usize = 4;
+    const NODES: i64 = 200;
+    let dir = TempDir::new("cursor_skewed_shard");
+    let config = DbConfig {
+        cache_shards: 1, // maximum skew: every cached key in one shard
+        ..DbConfig::default().with_scan_chunk_size(CHUNK)
+    };
+    let db = GraphDb::open(dir.path(), config).unwrap();
+
+    let mut tx = db.begin();
+    for i in 0..NODES {
+        tx.create_node(&["Skew"], &[("i", PropertyValue::Int(i))])
+            .unwrap();
+    }
+    tx.commit().unwrap();
+
+    // Delete half of the nodes under a pinned old snapshot, so the cache
+    // stage of the scan has real work: the deleted nodes' versions live
+    // only in the (single-shard) cache.
+    let old_reader = db.txn().read_only().begin();
+    let mut tx = db.begin();
+    let victims: Vec<NodeId> = old_reader
+        .all_nodes_vec()
+        .unwrap()
+        .into_iter()
+        .step_by(2)
+        .collect();
+    for &victim in &victims {
+        tx.delete_node(victim).unwrap();
+    }
+    tx.commit().unwrap();
+
+    assert_eq!(old_reader.all_nodes().unwrap().count(), NODES as usize);
+    let fresh = db.txn().read_only().begin();
+    assert_eq!(
+        fresh.all_nodes().unwrap().count(),
+        NODES as usize - victims.len()
+    );
+
+    let metrics = db.metrics();
+    assert!(metrics.shard_key_buffer_peak > 0, "the cache stage ran");
+    assert!(
+        metrics.shard_key_buffer_peak <= CHUNK as u64,
+        "a {NODES}-key single-shard cache must page in chunks of {CHUNK} \
+         (peak was {})",
+        metrics.shard_key_buffer_peak
+    );
+}
+
 /// Paging is equivalent across chunk sizes for every read surface: label
 /// scan, property scan, whole-graph scans, expansion and traversal.
 #[test]
