@@ -1,0 +1,73 @@
+//! Criterion benchmark backing experiment E14: a range predicate executed
+//! inside the versioned index (range-postings pushdown) against the
+//! decode-based filter path, across selectivity, plus the row-projection
+//! terminal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{DbConfig, GraphDb, PropertyValue};
+
+const NODES: i64 = 2_000;
+const DOMAIN: i64 = 1_000;
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicate_pushdown");
+    group.sample_size(20);
+
+    let dir = TempDir::new("bench_pushdown");
+    let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+    let mut tx = db.begin();
+    for i in 0..NODES {
+        tx.create_node(
+            &["Bench"],
+            &[("score", PropertyValue::Int((i * 7919) % DOMAIN))],
+        )
+        .unwrap();
+    }
+    tx.commit().unwrap();
+    db.run_gc();
+
+    for selectivity in [1i64, 10, 50] {
+        let hi = DOMAIN * selectivity / 100 - 1;
+        let label = format!("sel{selectivity}pct");
+
+        group.bench_with_input(BenchmarkId::new("index_range", &label), &(), |b, ()| {
+            b.iter(|| {
+                let tx = db.txn().read_only().begin();
+                tx.query()
+                    .filter_property_range("score", PropertyValue::Int(0)..=PropertyValue::Int(hi))
+                    .count()
+                    .unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("decode_filter", &label), &(), |b, ()| {
+            b.iter(|| {
+                let tx = db.txn().read_only().begin();
+                tx.query()
+                    .filter_property_range("score", PropertyValue::Int(0)..=PropertyValue::Int(hi))
+                    .pushdown(false)
+                    .count()
+                    .unwrap()
+            })
+        });
+
+        // The row terminal: pushdown source + single-walk projection.
+        group.bench_with_input(BenchmarkId::new("rows_projected", &label), &(), |b, ()| {
+            b.iter(|| {
+                let tx = db.txn().read_only().begin();
+                tx.query()
+                    .filter_property_range("score", PropertyValue::Int(0)..=PropertyValue::Int(hi))
+                    .project(["score"])
+                    .rows()
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Experiment harness: regenerates one table per experiment (E1–E13) from
+//! Experiment harness: regenerates one table per experiment (E1–E14) from
 //! DESIGN.md / EXPERIMENTS.md.
 //!
 //! Usage:
@@ -7,7 +7,11 @@
 //! cargo run -p graphsi-bench --release --bin experiments            # all experiments
 //! cargo run -p graphsi-bench --release --bin experiments -- --exp e6
 //! cargo run -p graphsi-bench --release --bin experiments -- --quick # smaller parameters
+//! cargo run -p graphsi-bench --release --bin experiments -- --exp e14 --json BENCH_e14.json
 //! ```
+//!
+//! `--json <path>` makes E14 additionally write its rows as a JSON bench
+//! artifact (`BENCH_e14.json` seeds the repo's perf trajectory).
 
 use std::time::Instant;
 
@@ -61,6 +65,11 @@ fn main() {
         .position(|a| a == "--exp")
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let all = exp.is_none();
     let want = |name: &str| all || exp.as_deref() == Some(name);
@@ -108,6 +117,9 @@ fn main() {
     }
     if want("e13") {
         e13_shard_apply(&scale);
+    }
+    if want("e14") {
+        e14_predicate_pushdown(&scale, json_path.as_deref());
     }
 }
 
@@ -724,6 +736,148 @@ fn e13_shard_apply(scale: &Scale) {
     println!("{}", table.render());
     if !multicore {
         println!("(single-CPU host: the concurrency-peak assertion was skipped)");
+        println!();
+    }
+}
+
+/// E14 — predicate pushdown vs decode filtering on a filtered scan, across
+/// selectivity × graph size. The same range query (`lo <= score <= hi`)
+/// runs twice per cell: pushed into the versioned index's range postings
+/// (`predicate_pushdowns` proves the path) and forced onto the decode
+/// filter (`decode_filter_fallbacks` + `property_decodes` prove that one).
+/// Acceptance gates (full graph, 10% selectivity): the pushdown performs
+/// ≥ 5× fewer property decodes than the decode baseline and finishes in
+/// less wall-clock time.
+fn e14_predicate_pushdown(scale: &Scale, json_path: Option<&str>) {
+    println!("## E14 — range predicate pushdown vs decode filter (selectivity x graph size)");
+    let mut table = Table::new(&[
+        "nodes",
+        "selectivity",
+        "rows",
+        "pushdown (us)",
+        "decode (us)",
+        "speedup",
+        "pushdown decodes",
+        "decode decodes",
+        "pushdowns",
+        "fallbacks",
+    ]);
+    let sizes = [scale.mix_nodes / 4, scale.mix_nodes];
+    let selectivities = [0.01f64, 0.10, 0.50];
+    const DOMAIN: i64 = 1_000;
+    const REPS: u32 = 5;
+    let mut json_rows = Vec::new();
+    for &nodes in &sizes {
+        let dir = TempDir::new("e14");
+        let db = open(&dir, DbConfig::default());
+        // Bench graph: `score` uniform over 0..DOMAIN, committed in one
+        // batch, then GC'd so reads come from a settled index.
+        let mut tx = db.begin();
+        for i in 0..nodes {
+            tx.create_node(
+                &["Bench"],
+                &[("score", PropertyValue::Int((i as i64 * 7919) % DOMAIN))],
+            )
+            .unwrap();
+        }
+        tx.commit().unwrap();
+        db.run_gc();
+
+        for &selectivity in &selectivities {
+            let hi = (DOMAIN as f64 * selectivity) as i64 - 1;
+            let range = || PropertyValue::Int(0)..=PropertyValue::Int(hi);
+            let tx = db.txn().read_only().begin();
+
+            // Pushdown path: best-of-REPS wall clock, metrics deltas.
+            let before = db.metrics();
+            let mut pushdown_us = f64::MAX;
+            let mut rows = 0usize;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                rows = tx
+                    .query()
+                    .filter_property_range("score", range())
+                    .pushdown(true)
+                    .count()
+                    .unwrap();
+                pushdown_us = pushdown_us.min(start.elapsed().as_micros() as f64);
+            }
+            let mid = db.metrics();
+            let mut decode_us = f64::MAX;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let decoded = tx
+                    .query()
+                    .filter_property_range("score", range())
+                    .pushdown(false)
+                    .count()
+                    .unwrap();
+                assert_eq!(decoded, rows, "both paths must agree");
+                decode_us = decode_us.min(start.elapsed().as_micros() as f64);
+            }
+            let after = db.metrics();
+
+            let pushdown_decodes = mid.property_decodes - before.property_decodes;
+            let decode_decodes = after.property_decodes - mid.property_decodes;
+            let pushdowns = mid.predicate_pushdowns - before.predicate_pushdowns;
+            let fallbacks = after.decode_filter_fallbacks - mid.decode_filter_fallbacks;
+            assert!(
+                pushdowns >= REPS as u64,
+                "every pushdown run used the index"
+            );
+            assert!(
+                fallbacks >= REPS as u64,
+                "every decode run used the fallback"
+            );
+            assert_eq!(pushdown_decodes, 0, "pushdown never decodes candidates");
+            // Acceptance: the headline cell (full graph, 10% selectivity)
+            // must beat the decode baseline on both gauges.
+            if nodes == scale.mix_nodes && (selectivity - 0.10).abs() < 1e-9 {
+                assert!(
+                    decode_decodes >= 5 * pushdown_decodes.max(1),
+                    "pushdown must save >= 5x property decodes \
+                     ({decode_decodes} vs {pushdown_decodes})"
+                );
+                assert!(
+                    pushdown_us < decode_us,
+                    "pushdown must be faster at 10% selectivity \
+                     ({pushdown_us}us vs {decode_us}us)"
+                );
+            }
+            table.row(&[
+                nodes.to_string(),
+                f3(selectivity),
+                rows.to_string(),
+                f1(pushdown_us),
+                f1(decode_us),
+                f3(decode_us / pushdown_us.max(1.0)),
+                pushdown_decodes.to_string(),
+                decode_decodes.to_string(),
+                pushdowns.to_string(),
+                fallbacks.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"nodes\": {nodes}, \"selectivity\": {selectivity}, \"rows\": {rows}, \
+                 \"pushdown_us\": {pushdown_us:.1}, \"decode_us\": {decode_us:.1}, \
+                 \"speedup\": {:.3}, \"pushdown_decodes\": {pushdown_decodes}, \
+                 \"decode_decodes\": {decode_decodes}}}",
+                decode_us / pushdown_us.max(1.0)
+            ));
+        }
+    }
+    println!("{}", table.render());
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"experiment\": \"e14_predicate_pushdown\",\n  \
+             \"description\": \"filtered-scan latency and property-decode counts: \
+             range predicate executed inside the versioned index (pushdown) vs \
+             decode-based filtering, across selectivity x graph size\",\n  \
+             \"unit\": {{\"latency\": \"us (best of {REPS})\", \"decodes\": \
+             \"property materialisations per full query\"}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write(path, json).expect("write bench json");
+        println!("(wrote {path})");
         println!();
     }
 }

@@ -88,6 +88,13 @@ pub struct DbConfig {
     /// the persistent store concurrently. `1` restores the old behaviour
     /// of one global store-apply lock.
     pub store_apply_shards: usize,
+    /// Whether the query planner may push property predicates (equality
+    /// and range forms) into the versioned property index as
+    /// postings/range-postings scans. `false` forces every property
+    /// predicate onto the decode-filter path — the baseline the E14
+    /// experiment measures pushdown against. Overridable per query with
+    /// [`crate::QueryBuilder::pushdown`].
+    pub predicate_pushdown: bool,
 }
 
 impl Default for DbConfig {
@@ -104,6 +111,7 @@ impl Default for DbConfig {
             group_commit_max_batch: DbConfig::DEFAULT_GROUP_COMMIT_MAX_BATCH,
             group_commit_max_delay: Duration::ZERO,
             store_apply_shards: DbConfig::DEFAULT_STORE_APPLY_SHARDS,
+            predicate_pushdown: true,
         }
     }
 }
@@ -188,6 +196,12 @@ impl DbConfig {
         self.store_apply_shards = shards.max(1);
         self
     }
+
+    /// Builder-style setter for query-planner predicate pushdown.
+    pub fn with_predicate_pushdown(mut self, enabled: bool) -> Self {
+        self.predicate_pushdown = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +266,16 @@ mod tests {
                 .with_store_apply_shards(128)
                 .store_apply_shards,
             128
+        );
+    }
+
+    #[test]
+    fn predicate_pushdown_defaults_on() {
+        assert!(DbConfig::default().predicate_pushdown);
+        assert!(
+            !DbConfig::default()
+                .with_predicate_pushdown(false)
+                .predicate_pushdown
         );
     }
 

@@ -428,6 +428,65 @@ impl GraphDbInner {
         }
     }
 
+    /// Single-key fast path of [`GraphDbInner::read_node_version`]: the
+    /// values of `tokens` on the node version visible at `read_ts`, without
+    /// materialising the node's full property list. Cache hits answer from
+    /// the already-materialised `NodeData`; cache misses use the store's
+    /// selective chain decode ([`GraphStore::read_node_properties`]), which
+    /// stops early and never loads values the caller did not ask for.
+    ///
+    /// Outer `None` = the node is invisible at `read_ts`; inner `None`s =
+    /// the node exists but lacks that property.
+    pub(crate) fn read_node_properties_version(
+        &self,
+        id: NodeId,
+        tokens: &[PropertyKeyToken],
+        read_ts: Timestamp,
+    ) -> Result<Option<Vec<Option<PropertyValue>>>> {
+        self.metrics.record_read();
+        let from_data = |data: &NodeData| {
+            tokens
+                .iter()
+                .map(|t| data.properties.get(t).cloned())
+                .collect::<Vec<_>>()
+        };
+        let recheck = |inner: &Self| {
+            Ok(match inner.node_cache.lookup(id, read_ts) {
+                CacheLookup::Hit(v) => v.payload.map(|p| from_data(&p)),
+                _ => None,
+            })
+        };
+        match self.node_cache.lookup(id, read_ts) {
+            CacheLookup::Hit(v) => Ok(v.payload.map(|p| from_data(&p))),
+            CacheLookup::NotVisible => Ok(None),
+            CacheLookup::Miss => {
+                // One selective chain walk fetches the persisted commit-ts
+                // property (needed for the visibility check) alongside the
+                // requested keys.
+                let mut keys = Vec::with_capacity(tokens.len() + 1);
+                keys.push(self.commit_ts_key);
+                keys.extend_from_slice(tokens);
+                match self.store.read_node_properties(id, &keys)? {
+                    None => recheck(self),
+                    Some(mut values) => {
+                        let base_ts = match values.remove(0) {
+                            Some(PropertyValue::Int(raw)) => Timestamp(raw as u64),
+                            _ => Timestamp::BOOTSTRAP,
+                        };
+                        if base_ts.visible_to(read_ts) {
+                            Ok(Some(values))
+                        } else {
+                            // Overwritten by a newer commit; the pre-image
+                            // is in the cache (installed before the store
+                            // was overwritten).
+                            recheck(self)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Reads the relationship version visible at `read_ts`.
     pub(crate) fn read_relationship_version(
         &self,

@@ -20,11 +20,12 @@
 //! memory instead of O(candidates).
 
 use std::collections::HashSet;
+use std::ops::Bound;
 
-use graphsi_index::{PostingCursor, PropertyIndexKey};
+use graphsi_index::{PostingCursor, PropertyIndexKey, RangePostingCursor};
 use graphsi_storage::{
     LabelToken, NodeId, NodeScanCursor, PropertyKeyToken, PropertyValue, RelChainCursor,
-    RelScanCursor, RelationshipId,
+    RelScanCursor, RelationshipId, ValueKey,
 };
 
 use crate::entity::{Direction, Relationship, RelationshipData};
@@ -356,6 +357,14 @@ enum NodeScan {
     Label(LabelToken),
     /// Index-backed property scan.
     Property(PropertyKeyToken, PropertyValue),
+    /// Index-backed property **range** scan (pushed-down comparison
+    /// predicate): write-set state decides membership via the shared
+    /// range semantics.
+    PropertyRange {
+        token: PropertyKeyToken,
+        lo: Bound<ValueKey>,
+        hi: Bound<ValueKey>,
+    },
     /// Whole-graph scan: every candidate is visibility-checked.
     All,
     /// Nothing matches (unknown label/property name).
@@ -451,6 +460,7 @@ enum NodeBase<'tx> {
     Empty,
     Label(PostingCursor<'tx, LabelToken, NodeId>),
     Property(PostingCursor<'tx, PropertyIndexKey, NodeId>),
+    PropertyRange(RangePostingCursor<'tx, PropertyIndexKey, NodeId>),
     All(Box<ScanSource<'tx, NodeScanCursor<'tx>>>),
 }
 
@@ -546,6 +556,62 @@ impl<'tx> NodeIdIter<'tx> {
         )
     }
 
+    /// Index-backed property **range** scan: the base is a
+    /// [`RangePostingCursor`] over the sorted key dimension of the node
+    /// property index — a pushed-down comparison predicate that never
+    /// decodes candidate property lists. Pending write-set additions are
+    /// found by comparing each buffered node's after-state against the
+    /// range and its *committed* visible value through the single-key
+    /// decode fast path.
+    pub(crate) fn with_property_range(
+        tx: &'tx Transaction,
+        token: PropertyKeyToken,
+        lo: Bound<ValueKey>,
+        hi: Bound<ValueKey>,
+        chunk: usize,
+    ) -> crate::error::Result<Self> {
+        let read_ts = tx.read_timestamp();
+        let cursor = tx.db().indexes.node_properties.range_cursor(
+            token,
+            graphsi_index::bound_as_ref(&lo),
+            graphsi_index::bound_as_ref(&hi),
+            read_ts,
+            chunk,
+        );
+        let mut pending: Vec<NodeId> = Vec::new();
+        if let Some(ws) = tx.write_set_ref() {
+            for (&id, entry) in &ws.nodes {
+                let in_range = entry.after.as_ref().is_some_and(|a| {
+                    a.properties.get(&token).is_some_and(|v| {
+                        crate::query::value_key_in_bounds(&v.index_key(), &lo, &hi)
+                    })
+                });
+                if !in_range {
+                    continue;
+                }
+                // Only nodes the index cannot already yield for this
+                // snapshot: their committed visible value (if any) must
+                // fall outside the range.
+                let committed = tx
+                    .db()
+                    .read_node_properties_version(id, &[token], read_ts)?
+                    .and_then(|mut v| v.pop().flatten());
+                let index_yields = committed
+                    .is_some_and(|v| crate::query::value_key_in_bounds(&v.index_key(), &lo, &hi));
+                if !index_yields {
+                    pending.push(id);
+                }
+            }
+        }
+        Ok(Self::build(
+            tx,
+            NodeBase::PropertyRange(cursor),
+            NodeScan::PropertyRange { token, lo, hi },
+            pending,
+            chunk,
+        ))
+    }
+
     pub(crate) fn all_nodes(tx: &'tx Transaction, chunk: usize) -> Self {
         let ws_keys: Vec<NodeId> = tx
             .write_set_ref()
@@ -608,6 +674,7 @@ impl<'tx> NodeIdIter<'tx> {
                 NodeBase::Empty => false,
                 NodeBase::Label(cursor) => cursor.next_chunk(&mut self.buf),
                 NodeBase::Property(cursor) => cursor.next_chunk(&mut self.buf),
+                NodeBase::PropertyRange(cursor) => cursor.next_chunk(&mut self.buf),
                 NodeBase::All(source) => source.refill(self.tx, self.chunk, &mut self.buf)?,
             };
             if !refilled {
@@ -662,6 +729,24 @@ impl Iterator for NodeIdIter<'_> {
                             }
                         }
                         Some(None) => {}
+                        None => return Some(Ok(id)),
+                    }
+                }
+                NodeScan::PropertyRange { token, lo, hi } => {
+                    match self.tx.write_set_ref().and_then(|ws| ws.node_state(id)) {
+                        // Own write decides: after-state value still in
+                        // range?
+                        Some(Some(after)) => {
+                            let still_in = after.properties.get(token).is_some_and(|v| {
+                                crate::query::value_key_in_bounds(&v.index_key(), lo, hi)
+                            });
+                            if still_in {
+                                return Some(Ok(id));
+                            }
+                        }
+                        Some(None) => {}
+                        // Untouched: the range cursor already applied both
+                        // snapshot visibility and the bounds.
                         None => return Some(Ok(id)),
                     }
                 }

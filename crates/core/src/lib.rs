@@ -95,7 +95,7 @@ pub use error::{DbError, Result};
 pub use iter::{NeighborIter, NodeIdIter, RelIdIter, RelIter};
 pub use metrics::{DbMetrics, DbMetricsSnapshot};
 pub use options::TxnOptions;
-pub use query::{QueryBuilder, QueryStream};
+pub use query::{QueryBuilder, QueryStream, Row, RowStream};
 pub use transaction::Transaction;
 
 // Re-export the identifiers and value types users need from the substrate

@@ -25,6 +25,9 @@ pub struct DbMetrics {
     store_apply_shard_conflicts: AtomicU64,
     store_apply_concurrency_peak: AtomicU64,
     wal_abort_records: AtomicU64,
+    predicate_pushdowns: AtomicU64,
+    decode_filter_fallbacks: AtomicU64,
+    property_decodes: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DbMetrics`].
@@ -87,6 +90,21 @@ pub struct DbMetricsSnapshot {
     /// after their record reached the log — each one is a transaction that
     /// recovery replay must skip.
     pub wal_abort_records: u64,
+    /// Property predicates (equality or range) the query planner compiled
+    /// into a versioned-index source — executed as postings/range-postings
+    /// scans, with **zero** per-candidate property decoding.
+    pub predicate_pushdowns: u64,
+    /// Property predicate stages the planner had to execute as
+    /// decode-based filters (no usable index range, planner estimate
+    /// favoured the other source, opaque predicate closure, or pushdown
+    /// disabled). Together with `predicate_pushdowns` this proves which
+    /// path a filtered scan ran.
+    pub decode_filter_fallbacks: u64,
+    /// Per-candidate property materialisations performed by decode-based
+    /// filter stages. The E14 acceptance gauge: a pushed-down predicate
+    /// performs none of these, a decode fallback pays one per candidate
+    /// scanned.
+    pub property_decodes: u64,
 }
 
 impl DbMetricsSnapshot {
@@ -183,6 +201,22 @@ impl DbMetrics {
         self.wal_abort_records.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one property predicate compiled to an index source.
+    pub(crate) fn record_predicate_pushdown(&self) {
+        self.predicate_pushdowns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one property predicate stage compiled to a decode filter.
+    pub(crate) fn record_decode_filter_fallback(&self) {
+        self.decode_filter_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one per-candidate property materialisation by a
+    /// decode-based filter stage.
+    pub(crate) fn record_property_decode(&self) {
+        self.property_decodes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of every counter.
     pub fn snapshot(&self) -> DbMetricsSnapshot {
         DbMetricsSnapshot {
@@ -205,6 +239,9 @@ impl DbMetrics {
             store_apply_shard_conflicts: self.store_apply_shard_conflicts.load(Ordering::Relaxed),
             store_apply_concurrency_peak: self.store_apply_concurrency_peak.load(Ordering::Relaxed),
             wal_abort_records: self.wal_abort_records.load(Ordering::Relaxed),
+            predicate_pushdowns: self.predicate_pushdowns.load(Ordering::Relaxed),
+            decode_filter_fallbacks: self.decode_filter_fallbacks.load(Ordering::Relaxed),
+            property_decodes: self.property_decodes.load(Ordering::Relaxed),
         }
     }
 }
@@ -240,6 +277,12 @@ mod tests {
         m.record_store_apply_concurrency(3);
         m.record_store_apply_concurrency(1);
         m.record_wal_abort();
+        m.record_predicate_pushdown();
+        m.record_decode_filter_fallback();
+        m.record_decode_filter_fallback();
+        m.record_property_decode();
+        m.record_property_decode();
+        m.record_property_decode();
         let s = m.snapshot();
         assert_eq!(s.begins, 2);
         assert_eq!(s.commits, 2);
@@ -260,6 +303,9 @@ mod tests {
         assert_eq!(s.store_apply_shard_conflicts, 2);
         assert_eq!(s.store_apply_concurrency_peak, 3, "peak is a max");
         assert_eq!(s.wal_abort_records, 1);
+        assert_eq!(s.predicate_pushdowns, 1);
+        assert_eq!(s.decode_filter_fallbacks, 2);
+        assert_eq!(s.property_decodes, 3);
     }
 
     #[test]

@@ -2,26 +2,142 @@
 //!
 //! A [`QueryBuilder`] describes a pipeline of relational-ish stages over
 //! the graph (CrocoPat-style composition on top of the paper's enriched
-//! iterators): a *source* (label scan, property scan, whole-graph scan or
-//! an explicit start set) followed by *stages* (property/label filters,
-//! multi-hop `expand`, `distinct`, `limit`). Terminal calls
-//! ([`QueryBuilder::stream`], [`QueryBuilder::ids`], [`QueryBuilder::count`],
-//! [`QueryBuilder::nodes`]) compile it into a [`QueryStream`]: a
-//! snapshot-consistent iterator with read-your-own-writes that pulls
+//! iterators): a *source* (label scan, property scan, property **range**
+//! scan, whole-graph scan or an explicit start set) followed by *stages*
+//! (property/label filters, range predicates, multi-hop `expand`,
+//! `distinct`, `limit`). Terminal calls ([`QueryBuilder::stream`],
+//! [`QueryBuilder::ids`], [`QueryBuilder::count`], [`QueryBuilder::nodes`],
+//! [`QueryBuilder::rows`], [`QueryBuilder::stream_rows`]) compile it into
+//! a snapshot-consistent stream with read-your-own-writes that pulls
 //! results element by element through the chunked, GC-safe cursors of
 //! [`crate::iter`] — peak candidate buffering stays bounded by the chunk
-//! size no matter how many nodes a stage scans (the `all_nodes` source
-//! additionally stages one MVCC cache shard's keys at a time; see
-//! `crate::iter` for the bound).
+//! size no matter how many nodes a stage scans.
+//!
+//! ## Predicate pushdown
+//!
+//! Compilation runs a small planner over the declarative property
+//! predicates ([`QueryBuilder::filter_property_range`], the comparison
+//! forms of `nodes_with_property`, and equality stages):
+//!
+//! * a predicate at the head of the pipeline compiles to a **versioned
+//!   index source** — equality to a posting scan, comparisons to a
+//!   [range-postings cursor](graphsi_index::RangePostingCursor) over the
+//!   index's sorted key dimension — executing the predicate *inside* the
+//!   index with zero per-candidate property decoding;
+//! * a predicate over an index-backed label source is pushed down only
+//!   when the index's cardinality estimates favour it (the smaller side
+//!   becomes the source, the other a filter);
+//! * everything else falls back to a decode filter that materialises
+//!   **only the predicate's key** per candidate (the single-key decode
+//!   fast path), never the whole property list.
+//!
+//! The `predicate_pushdowns` / `decode_filter_fallbacks` metrics record
+//! which path each predicate compiled to, and `property_decodes` counts
+//! the per-candidate decode work the fallback paid — the E14 evidence.
+//! Pushdown can be disabled per query ([`QueryBuilder::pushdown`]) or
+//! database-wide ([`crate::DbConfig::predicate_pushdown`]).
 
 use std::collections::HashSet;
+use std::ops::Bound;
 
-use graphsi_storage::{NodeId, PropertyValue, RelTypeToken};
+use graphsi_storage::{NodeId, PropertyValue, RelTypeToken, RelationshipId, ValueKey};
 
 use crate::entity::{Direction, Node};
 use crate::error::Result;
 use crate::iter::RelEntryIter;
 use crate::transaction::Transaction;
+
+/// Shared semantics of a compiled range predicate: `true` if the value
+/// key lies inside the bounds. Range predicates are **type-homogeneous**:
+/// a typed bound only matches values of its own type, which is exactly
+/// the key interval [`graphsi_index::composite_range_bounds`] confines an
+/// index range scan to — so the decode path and the pushdown path agree
+/// on every input.
+pub(crate) fn value_key_in_bounds(
+    k: &ValueKey,
+    lo: &Bound<ValueKey>,
+    hi: &Bound<ValueKey>,
+) -> bool {
+    let type_ok = |b: &Bound<ValueKey>| match b {
+        Bound::Included(x) | Bound::Excluded(x) => k.same_type(x),
+        Bound::Unbounded => true,
+    };
+    if !type_ok(lo) || !type_ok(hi) {
+        return false;
+    }
+    let above = match lo {
+        Bound::Included(x) => k >= x,
+        Bound::Excluded(x) => k > x,
+        Bound::Unbounded => true,
+    };
+    let below = match hi {
+        Bound::Included(x) => k <= x,
+        Bound::Excluded(x) => k < x,
+        Bound::Unbounded => true,
+    };
+    above && below
+}
+
+/// Maps user-facing `PropertyValue` range bounds onto the index's
+/// `ValueKey` bound pair — shared by the query builder's declarative
+/// predicates and the transaction-level range scan.
+pub(crate) fn value_range_key_bounds(
+    range: &impl std::ops::RangeBounds<PropertyValue>,
+) -> (Bound<ValueKey>, Bound<ValueKey>) {
+    let key_of = |b: Bound<&PropertyValue>| match b {
+        Bound::Included(v) => Bound::Included(v.index_key()),
+        Bound::Excluded(v) => Bound::Excluded(v.index_key()),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    (key_of(range.start_bound()), key_of(range.end_bound()))
+}
+
+/// A declarative property predicate (equality is the degenerate
+/// `Included(v) ..= Included(v)` range) — the unit the planner decides
+/// index-vs-decode for.
+#[derive(Clone, Debug)]
+struct RangePred {
+    name: String,
+    lo: Bound<ValueKey>,
+    hi: Bound<ValueKey>,
+}
+
+impl RangePred {
+    fn from_range(name: &str, range: impl std::ops::RangeBounds<PropertyValue>) -> Self {
+        let (lo, hi) = value_range_key_bounds(&range);
+        RangePred {
+            name: name.to_owned(),
+            lo,
+            hi,
+        }
+    }
+
+    fn equality(name: &str, value: &PropertyValue) -> Self {
+        let key = value.index_key();
+        RangePred {
+            name: name.to_owned(),
+            lo: Bound::Included(key.clone()),
+            hi: Bound::Included(key),
+        }
+    }
+
+    /// `false` when no value can ever satisfy the predicate (mixed-type
+    /// or inverted bounds): the planner compiles the whole pipeline to an
+    /// empty stream instead of scanning anything.
+    fn satisfiable(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+            (Bound::Included(a), Bound::Included(b)) => a.same_type(b) && a <= b,
+            (Bound::Included(a), Bound::Excluded(b))
+            | (Bound::Excluded(a), Bound::Included(b))
+            | (Bound::Excluded(a), Bound::Excluded(b)) => a.same_type(b) && a < b,
+        }
+    }
+
+    fn matches(&self, value: &PropertyValue) -> bool {
+        value_key_in_bounds(&value.index_key(), &self.lo, &self.hi)
+    }
+}
 
 /// Where the pipeline draws its initial node stream from.
 enum Source {
@@ -31,6 +147,9 @@ enum Source {
     Label(String),
     /// Index-backed property scan.
     Property(String, PropertyValue),
+    /// Index-backed property range scan (pushed-down comparison
+    /// predicate over the range postings).
+    PropertyRange(RangePred),
     /// An explicit start set (visibility-checked when streamed).
     Fixed(Vec<NodeId>),
 }
@@ -40,6 +159,10 @@ type NodePredicate<'tx> = Box<dyn Fn(&Transaction, NodeId) -> Result<bool> + 'tx
 
 /// One pipeline stage.
 enum Stage<'tx> {
+    /// Declarative property predicate — plannable (index or decode).
+    Range(RangePred),
+    /// Opaque property predicate — always the decode path (but only the
+    /// named key is ever materialised per candidate).
     FilterProperty(String, Box<dyn Fn(&PropertyValue) -> bool + 'tx>),
     FilterLabel(String),
     Filter(NodePredicate<'tx>),
@@ -53,13 +176,19 @@ enum Stage<'tx> {
 
 /// A composable, streaming query over one transaction's view; created by
 /// [`Transaction::query`]. See the method docs there for an example.
-#[must_use = "finish the builder with `.stream()`, `.ids()`, `.count()` or `.nodes()`"]
+#[must_use = "finish the builder with `.stream()`, `.ids()`, `.count()`, `.nodes()` or `.rows()`"]
 pub struct QueryBuilder<'tx> {
     tx: &'tx Transaction,
     source: Source,
     source_set: bool,
     stages: Vec<Stage<'tx>>,
     chunk_size: Option<usize>,
+    /// Property names the row terminals decode per result row (resolved
+    /// to tokens once, at compile time).
+    projection: Option<Vec<String>>,
+    /// Per-query planner override; `None` = the database default
+    /// ([`crate::DbConfig::predicate_pushdown`]).
+    pushdown: Option<bool>,
     /// Set when the builder was composed illegally (a source after
     /// stages); reported as an error by the terminal calls, so a
     /// mis-composed query can never silently return wrong data.
@@ -74,6 +203,8 @@ impl<'tx> QueryBuilder<'tx> {
             source_set: false,
             stages: Vec::new(),
             chunk_size: None,
+            projection: None,
+            pushdown: None,
             compose_error: None,
         }
     }
@@ -101,16 +232,72 @@ impl<'tx> QueryBuilder<'tx> {
     }
 
     /// Starts from the nodes whose property `name` equals `value`
-    /// (index-backed). If stages were already added, acts as a filter
-    /// instead — with the same equality semantics as the index
+    /// (index-backed). If a source was already set, acts as an equality
+    /// predicate instead — with the same equality semantics as the index
     /// (`PropertyValue::index_key`, so e.g. float `NaN` matches itself).
-    pub fn nodes_with_property(self, name: &str, value: PropertyValue) -> Self {
-        if self.source_set || !self.stages.is_empty() {
-            let wanted = value.index_key();
-            return self
-                .filter_property_opt(name, move |v| v.is_some_and(|v| v.index_key() == wanted));
+    /// Repeating the *same* equality the index source already guarantees
+    /// is a no-op rather than a redundant per-node re-check.
+    pub fn nodes_with_property(mut self, name: &str, value: PropertyValue) -> Self {
+        if !self.source_set && self.stages.is_empty() {
+            return self.set_source(Source::Property(name.to_owned(), value));
         }
-        self.set_source(Source::Property(name.to_owned(), value))
+        if self.stages.is_empty() {
+            if let Source::Property(n, v) = &self.source {
+                // The index source already guarantees this exact equality
+                // for every yielded node (committed via the posting list,
+                // pending via the write-set check) — re-filtering would
+                // decode every candidate to re-prove it.
+                if n == name && v.index_key() == value.index_key() {
+                    return self;
+                }
+            }
+        }
+        self.stages
+            .push(Stage::Range(RangePred::equality(name, &value)));
+        self
+    }
+
+    /// Starts from the nodes whose property `name` holds a value inside
+    /// `range` (e.g. `PropertyValue::Int(30)..=PropertyValue::Int(40)`),
+    /// served by the versioned index's **range postings** when the planner
+    /// can push it down. If a source was already set, acts as a range
+    /// predicate stage the planner still tries to push into the index.
+    ///
+    /// Range semantics are type-homogeneous: a typed bound only matches
+    /// values of its own type, and a half-open range stays within its
+    /// bound's type.
+    pub fn filter_property_range(
+        mut self,
+        name: &str,
+        range: impl std::ops::RangeBounds<PropertyValue>,
+    ) -> Self {
+        let pred = RangePred::from_range(name, range);
+        if !self.source_set && self.stages.is_empty() {
+            return self.set_source(Source::PropertyRange(pred));
+        }
+        self.stages.push(Stage::Range(pred));
+        self
+    }
+
+    /// Comparison form of [`QueryBuilder::nodes_with_property`]:
+    /// `name >= value`.
+    pub fn nodes_with_property_ge(self, name: &str, value: PropertyValue) -> Self {
+        self.filter_property_range(name, value..)
+    }
+
+    /// Comparison form: `name > value`.
+    pub fn nodes_with_property_gt(self, name: &str, value: PropertyValue) -> Self {
+        self.filter_property_range(name, (Bound::Excluded(value), Bound::Unbounded))
+    }
+
+    /// Comparison form: `name <= value`.
+    pub fn nodes_with_property_le(self, name: &str, value: PropertyValue) -> Self {
+        self.filter_property_range(name, ..=value)
+    }
+
+    /// Comparison form: `name < value`.
+    pub fn nodes_with_property_lt(self, name: &str, value: PropertyValue) -> Self {
+        self.filter_property_range(name, ..value)
     }
 
     /// Starts from every node visible to the transaction (the default
@@ -126,6 +313,10 @@ impl<'tx> QueryBuilder<'tx> {
     }
 
     /// Keeps only nodes whose property `name` exists and satisfies `pred`.
+    /// The predicate is opaque to the planner, so this always runs as a
+    /// decode filter — but one that materialises only the named key per
+    /// candidate. Prefer [`QueryBuilder::filter_property_range`] for
+    /// comparisons the planner can push into the index.
     pub fn filter_property(
         mut self,
         name: &str,
@@ -133,26 +324,6 @@ impl<'tx> QueryBuilder<'tx> {
     ) -> Self {
         self.stages
             .push(Stage::FilterProperty(name.to_owned(), Box::new(pred)));
-        self
-    }
-
-    fn filter_property_opt(
-        mut self,
-        name: &str,
-        pred: impl Fn(Option<&PropertyValue>) -> bool + 'tx,
-    ) -> Self {
-        // Resolve the token once: the builder's shared borrow of the
-        // transaction rules out interleaved writes, so a key unknown here
-        // stays unknown for the whole query.
-        let token = self.tx.db().store.tokens().existing_property_key(name);
-        self.stages.push(Stage::Filter(Box::new(
-            move |tx: &Transaction, id: NodeId| {
-                let Some(data) = tx.visible_node(id)? else {
-                    return Ok(false);
-                };
-                Ok(pred(token.and_then(|t| data.properties.get(&t))))
-            },
-        )));
         self
     }
 
@@ -173,7 +344,8 @@ impl<'tx> QueryBuilder<'tx> {
     /// `direction`, optionally restricted to relationships of type
     /// `rel_type`, yielding the far endpoints. Chain `expand` calls for
     /// multi-hop (k-hop) expansion; add [`QueryBuilder::distinct`] to
-    /// deduplicate the frontier.
+    /// deduplicate the frontier. Row terminals report the traversed
+    /// relationship in [`Row::rel`].
     pub fn expand(mut self, direction: Direction, rel_type: Option<&str>) -> Self {
         self.stages.push(Stage::Expand {
             direction,
@@ -182,7 +354,7 @@ impl<'tx> QueryBuilder<'tx> {
         self
     }
 
-    /// Deduplicates the stream from this point on (keeps first
+    /// Deduplicates the stream from this point on **by node** (keeps first
     /// occurrences, in stream order). Memory is proportional to the number
     /// of *distinct* rows that pass, not to the candidates scanned.
     pub fn distinct(mut self) -> Self {
@@ -204,46 +376,222 @@ impl<'tx> QueryBuilder<'tx> {
         self
     }
 
-    /// Compiles the pipeline into a streaming, snapshot-consistent
-    /// iterator over node IDs.
-    pub fn stream(self) -> Result<QueryStream<'tx>> {
+    /// Selects the properties the row terminals ([`QueryBuilder::rows`],
+    /// [`QueryBuilder::stream_rows`]) decode per result row. Property
+    /// names are resolved to tokens once at compile time, and each row's
+    /// projected keys are decoded in a single selective chain walk at the
+    /// **last** stage — a multi-hop expansion never materialises property
+    /// lists for intermediate frontiers. Unknown names simply project to
+    /// absent.
+    pub fn project<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.projection = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Per-query planner override: `false` forces every property predicate
+    /// onto the decode-filter path, `true` re-enables pushdown when the
+    /// database default ([`crate::DbConfig::predicate_pushdown`]) disabled
+    /// it. The E14 experiment drives both paths through this switch.
+    pub fn pushdown(mut self, enabled: bool) -> Self {
+        self.pushdown = Some(enabled);
+        self
+    }
+
+    /// Compiles the pipeline: runs the planner over the declarative
+    /// predicates, resolves every token once, and assembles the stage
+    /// iterators.
+    fn compile(self) -> Result<Compiled<'tx>> {
         if let Some(reason) = self.compose_error {
             return Err(crate::error::DbError::InvalidQuery(reason.to_owned()));
         }
         let tx = self.tx;
+        let db = tx.db();
         let chunk = self.chunk_size.unwrap_or(tx.scan_chunk_size());
-        let mut it: BoxedIdIter<'tx> = match self.source {
-            Source::AllNodes => Box::new(tx.all_nodes_chunked(chunk)?),
-            Source::Label(label) => Box::new(tx.nodes_with_label_chunked(&label, chunk)?),
-            Source::Property(name, value) => {
-                Box::new(tx.nodes_with_property_chunked(&name, &value, chunk)?)
+        let pushdown = self.pushdown.unwrap_or(db.config.predicate_pushdown);
+        let mut source = self.source;
+        let mut stages = self.stages;
+
+        // Projection names resolve to tokens exactly once.
+        let projection = self.projection.map(|names| {
+            names
+                .into_iter()
+                .map(|name| {
+                    let token = db.store.tokens().existing_property_key(&name);
+                    (name, token)
+                })
+                .collect::<Vec<_>>()
+        });
+
+        // `true` if the predicate can execute inside the index: its key
+        // token exists (an unknown key cannot match anything) and the
+        // bounds are satisfiable.
+        let indexable = |pred: &RangePred| {
+            pred.satisfiable()
+                && db
+                    .store
+                    .tokens()
+                    .existing_property_key(&pred.name)
+                    .is_some()
+        };
+
+        // ---- Planner ---------------------------------------------------
+        if !pushdown {
+            // Decode baseline: demote index-executed property predicates
+            // (range sources and equality sources alike) back to a
+            // whole-graph scan with a decode-filter stage.
+            match source {
+                Source::PropertyRange(pred) => {
+                    stages.insert(0, Stage::Range(pred));
+                    source = Source::AllNodes;
+                }
+                Source::Property(name, value) => {
+                    stages.insert(0, Stage::Range(RangePred::equality(&name, &value)));
+                    source = Source::AllNodes;
+                }
+                other => source = other,
             }
+        } else if let Some(Stage::Range(head)) = stages.first() {
+            // A leading declarative predicate can swap into the source.
+            let promote = match &source {
+                Source::AllNodes => indexable(head),
+                Source::Label(label) => {
+                    // Cardinality rule: scan the smaller index side, check
+                    // the other per element.
+                    match db.store.tokens().existing_label(label) {
+                        Some(ltok) if indexable(head) => {
+                            let ptok = db
+                                .store
+                                .tokens()
+                                .existing_property_key(&head.name)
+                                .expect("indexable checked the token");
+                            let label_est = db.indexes.labels.postings_estimate(ltok);
+                            // The label estimate caps the range walk: once
+                            // the range is known to be at least as large,
+                            // counting further keys cannot change the
+                            // decision.
+                            let range_est = db.indexes.node_properties.range_postings_estimate(
+                                ptok,
+                                graphsi_index::bound_as_ref(&head.lo),
+                                graphsi_index::bound_as_ref(&head.hi),
+                                label_est,
+                            );
+                            range_est < label_est
+                        }
+                        _ => false,
+                    }
+                }
+                _ => false,
+            };
+            if promote {
+                let Stage::Range(pred) = stages.remove(0) else {
+                    unreachable!("head stage checked above");
+                };
+                let old = std::mem::replace(&mut source, Source::PropertyRange(pred));
+                if let Source::Label(label) = old {
+                    stages.insert(0, Stage::FilterLabel(label));
+                }
+            }
+        }
+
+        // ---- Unsatisfiable / unknown-key short circuit -----------------
+        // A predicate stage whose key was never interned (or whose bounds
+        // are unsatisfiable) passes nothing, so the entire pipeline is a
+        // cheap empty stream — no decode pass that filters everything out.
+        let key_known = |name: &str| db.store.tokens().existing_property_key(name).is_some();
+        let dead_stage = stages.iter().any(|stage| match stage {
+            Stage::Range(pred) => !pred.satisfiable() || !key_known(&pred.name),
+            Stage::FilterProperty(name, _) => !key_known(name),
+            Stage::FilterLabel(label) => db.store.tokens().existing_label(label).is_none(),
+            _ => false,
+        });
+        let dead_source = match &source {
+            Source::PropertyRange(pred) => !indexable(pred),
+            _ => false,
+        };
+        if dead_stage || dead_source {
+            return Ok(Compiled {
+                tx,
+                iter: Box::new(std::iter::empty()),
+                projection,
+            });
+        }
+
+        // ---- Metrics: which path did each predicate compile to? --------
+        match &source {
+            Source::Property(name, _) if key_known(name) => {
+                db.metrics.record_predicate_pushdown();
+            }
+            Source::PropertyRange(_) => db.metrics.record_predicate_pushdown(),
+            _ => {}
+        }
+        for stage in &stages {
+            if matches!(stage, Stage::Range(_) | Stage::FilterProperty(..)) {
+                db.metrics.record_decode_filter_fallback();
+            }
+        }
+
+        // ---- Assembly --------------------------------------------------
+        let mut it: BoxedRowIter<'tx> = match source {
+            Source::AllNodes => row_source(tx.all_nodes_chunked(chunk)?),
+            Source::Label(label) => row_source(tx.nodes_with_label_chunked(&label, chunk)?),
+            Source::Property(name, value) => {
+                row_source(tx.nodes_with_property_chunked(&name, &value, chunk)?)
+            }
+            Source::PropertyRange(pred) => row_source(
+                tx.nodes_with_property_range_chunked(&pred.name, pred.lo, pred.hi, chunk)?,
+            ),
             Source::Fixed(ids) => Box::new(FixedSource {
                 tx,
                 ids: ids.into_iter(),
                 failed: false,
             }),
         };
-        for stage in self.stages {
+        for stage in stages {
             it = match stage {
-                Stage::FilterProperty(name, pred) => {
-                    let token = tx.db().store.tokens().existing_property_key(&name);
+                Stage::Range(pred) => {
+                    let token = db
+                        .store
+                        .tokens()
+                        .existing_property_key(&pred.name)
+                        .expect("dead-stage check keeps unknown keys out");
                     Box::new(FilterIter {
                         tx,
                         upstream: it,
                         failed: false,
                         pred: Box::new(move |tx: &Transaction, id: NodeId| {
-                            let Some(data) = tx.visible_node(id)? else {
-                                return Ok(false);
-                            };
-                            Ok(token
-                                .and_then(|t| data.properties.get(&t))
-                                .is_some_and(&pred))
+                            tx.db().metrics.record_property_decode();
+                            Ok(tx
+                                .visible_node_property(id, token)?
+                                .flatten()
+                                .is_some_and(|v| pred.matches(&v)))
+                        }),
+                    })
+                }
+                Stage::FilterProperty(name, pred) => {
+                    let token = db
+                        .store
+                        .tokens()
+                        .existing_property_key(&name)
+                        .expect("dead-stage check keeps unknown keys out");
+                    Box::new(FilterIter {
+                        tx,
+                        upstream: it,
+                        failed: false,
+                        pred: Box::new(move |tx: &Transaction, id: NodeId| {
+                            tx.db().metrics.record_property_decode();
+                            Ok(tx
+                                .visible_node_property(id, token)?
+                                .flatten()
+                                .is_some_and(|v| pred(&v)))
                         }),
                     })
                 }
                 Stage::FilterLabel(label) => {
-                    let token = tx.db().store.tokens().existing_label(&label);
+                    let token = db
+                        .store
+                        .tokens()
+                        .existing_label(&label)
+                        .expect("dead-stage check keeps unknown labels out");
                     Box::new(FilterIter {
                         tx,
                         upstream: it,
@@ -252,7 +600,7 @@ impl<'tx> QueryBuilder<'tx> {
                             let Some(data) = tx.visible_node(id)? else {
                                 return Ok(false);
                             };
-                            Ok(token.is_some_and(|t| data.has_label(t)))
+                            Ok(data.has_label(token))
                         }),
                     })
                 }
@@ -268,7 +616,7 @@ impl<'tx> QueryBuilder<'tx> {
                 } => {
                     let type_token = match &rel_type {
                         None => TypeFilter::Any,
-                        Some(name) => match tx.db().store.tokens().existing_rel_type(name) {
+                        Some(name) => match db.store.tokens().existing_rel_type(name) {
                             Some(t) => TypeFilter::Only(t),
                             // Name never interned: no relationship can match.
                             None => TypeFilter::NoMatch,
@@ -294,7 +642,46 @@ impl<'tx> QueryBuilder<'tx> {
                 }),
             };
         }
-        Ok(QueryStream { inner: it })
+        Ok(Compiled {
+            tx,
+            iter: it,
+            projection,
+        })
+    }
+
+    /// Compiles the pipeline into a streaming, snapshot-consistent
+    /// iterator over node IDs.
+    pub fn stream(self) -> Result<QueryStream<'tx>> {
+        Ok(QueryStream {
+            inner: self.compile()?.iter,
+        })
+    }
+
+    /// Compiles the pipeline into a streaming iterator over [`Row`]s:
+    /// each result carries the node, the relationship the last `expand`
+    /// traversed to reach it, and the properties selected with
+    /// [`QueryBuilder::project`] — decoded once per row, at this final
+    /// stage, through the selective single-walk chain decode.
+    pub fn stream_rows(self) -> Result<RowStream<'tx>> {
+        let compiled = self.compile()?;
+        // Unknown names project to absent, so they are dropped here once;
+        // the remaining (name, token) pairs and the bare token list are
+        // fixed for the stream's lifetime — no per-row re-resolution.
+        let projection: Vec<(String, graphsi_storage::PropertyKeyToken)> = compiled
+            .projection
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|(name, token)| token.map(|t| (name, t)))
+            .collect();
+        let tokens: Vec<graphsi_storage::PropertyKeyToken> =
+            projection.iter().map(|(_, t)| *t).collect();
+        Ok(RowStream {
+            tx: compiled.tx,
+            inner: compiled.iter,
+            projection,
+            tokens,
+            failed: false,
+        })
     }
 
     /// Runs the query and collects the resulting node IDs (in stream
@@ -326,6 +713,12 @@ impl<'tx> QueryBuilder<'tx> {
         }
         Ok(out)
     }
+
+    /// Runs the query and collects the resulting [`Row`]s (in stream
+    /// order). See [`QueryBuilder::stream_rows`].
+    pub fn rows(self) -> Result<Vec<Row>> {
+        self.stream_rows()?.collect()
+    }
 }
 
 impl std::fmt::Debug for QueryBuilder<'_> {
@@ -333,29 +726,140 @@ impl std::fmt::Debug for QueryBuilder<'_> {
         f.debug_struct("QueryBuilder")
             .field("stages", &self.stages.len())
             .field("chunk_size", &self.chunk_size)
+            .field("pushdown", &self.pushdown)
             .finish_non_exhaustive()
     }
 }
 
-type BoxedIdIter<'tx> = Box<dyn Iterator<Item = Result<NodeId>> + 'tx>;
+/// One result of a row terminal: the node, the relationship the last
+/// expansion stage traversed to reach it (`None` for source rows), and
+/// the projected properties — only the keys selected with
+/// [`QueryBuilder::project`], and only those present on the node, in
+/// projection order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// The result node.
+    pub node: NodeId,
+    /// The relationship the last `expand` stage followed to produce this
+    /// row, if the pipeline expanded.
+    pub rel: Option<RelationshipId>,
+    /// Projected `(name, value)` pairs, in projection order; keys absent
+    /// on the node are omitted.
+    pub properties: Vec<(String, PropertyValue)>,
+}
 
-/// The compiled, streaming result of a [`QueryBuilder`]. Yields
+impl Row {
+    /// The projected value of `name`, if present.
+    pub fn property(&self, name: &str) -> Option<&PropertyValue> {
+        self.properties
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(v))
+    }
+}
+
+/// The internal element every pipeline stage streams: a node plus the
+/// relationship that produced it (set by expansion stages).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RowCore {
+    node: NodeId,
+    rel: Option<RelationshipId>,
+}
+
+type BoxedRowIter<'tx> = Box<dyn Iterator<Item = Result<RowCore>> + 'tx>;
+
+/// Output of [`QueryBuilder::compile`].
+struct Compiled<'tx> {
+    tx: &'tx Transaction,
+    iter: BoxedRowIter<'tx>,
+    projection: Option<Vec<(String, Option<graphsi_storage::PropertyKeyToken>)>>,
+}
+
+/// Adapts a bare node-ID iterator (the chunked scan sources) into the
+/// row pipeline.
+fn row_source<'tx, I>(ids: I) -> BoxedRowIter<'tx>
+where
+    I: Iterator<Item = Result<NodeId>> + 'tx,
+{
+    Box::new(ids.map(|r| r.map(|node| RowCore { node, rel: None })))
+}
+
+/// The compiled, streaming node-ID result of a [`QueryBuilder`]. Yields
 /// `Result<NodeId>`; an error fuses the stream.
 pub struct QueryStream<'tx> {
-    inner: BoxedIdIter<'tx>,
+    inner: BoxedRowIter<'tx>,
 }
 
 impl Iterator for QueryStream<'_> {
     type Item = Result<NodeId>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.inner.next()
+        Some(self.inner.next()?.map(|row| row.node))
     }
 }
 
 impl std::fmt::Debug for QueryStream<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryStream").finish_non_exhaustive()
+    }
+}
+
+/// The compiled, streaming row result of a [`QueryBuilder`]; created by
+/// [`QueryBuilder::stream_rows`]. Yields `Result<Row>`; an error fuses
+/// the stream.
+pub struct RowStream<'tx> {
+    tx: &'tx Transaction,
+    inner: BoxedRowIter<'tx>,
+    /// Projected names with their (known) tokens, resolved once at compile.
+    projection: Vec<(String, graphsi_storage::PropertyKeyToken)>,
+    /// The bare token list `visible_node_properties` takes, in projection
+    /// order — precomputed so the hot per-row path allocates nothing extra.
+    tokens: Vec<graphsi_storage::PropertyKeyToken>,
+    failed: bool,
+}
+
+impl Iterator for RowStream<'_> {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let core = match self.inner.next()? {
+            Ok(core) => core,
+            Err(e) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        };
+        let mut properties = Vec::new();
+        if !self.projection.is_empty() {
+            // One selective chain walk decodes every projected key.
+            let values = match self.tx.visible_node_properties(core.node, &self.tokens) {
+                Ok(values) => values.unwrap_or_default(),
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
+            for ((name, _), value) in self.projection.iter().zip(values) {
+                if let Some(value) = value {
+                    properties.push((name.clone(), value));
+                }
+            }
+        }
+        Some(Ok(Row {
+            node: core.node,
+            rel: core.rel,
+            properties,
+        }))
+    }
+}
+
+impl std::fmt::Debug for RowStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowStream")
+            .field("projection", &self.projection.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -367,7 +871,7 @@ struct FixedSource<'tx> {
 }
 
 impl Iterator for FixedSource<'_> {
-    type Item = Result<NodeId>;
+    type Item = Result<RowCore>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.failed {
@@ -375,7 +879,12 @@ impl Iterator for FixedSource<'_> {
         }
         for id in self.ids.by_ref() {
             match self.tx.visible_node(id) {
-                Ok(Some(_)) => return Some(Ok(id)),
+                Ok(Some(_)) => {
+                    return Some(Ok(RowCore {
+                        node: id,
+                        rel: None,
+                    }))
+                }
                 Ok(None) => {}
                 Err(e) => {
                     self.failed = true;
@@ -387,24 +896,24 @@ impl Iterator for FixedSource<'_> {
     }
 }
 
-/// Filter stage: keeps nodes satisfying a snapshot predicate.
+/// Filter stage: keeps rows whose node satisfies a snapshot predicate.
 struct FilterIter<'tx> {
     tx: &'tx Transaction,
-    upstream: BoxedIdIter<'tx>,
+    upstream: BoxedRowIter<'tx>,
     pred: NodePredicate<'tx>,
     failed: bool,
 }
 
 impl Iterator for FilterIter<'_> {
-    type Item = Result<NodeId>;
+    type Item = Result<RowCore>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.failed {
             return None;
         }
-        for id in self.upstream.by_ref() {
-            match id.and_then(|id| (self.pred)(self.tx, id).map(|keep| (id, keep))) {
-                Ok((id, true)) => return Some(Ok(id)),
+        for row in self.upstream.by_ref() {
+            match row.and_then(|row| (self.pred)(self.tx, row.node).map(|keep| (row, keep))) {
+                Ok((row, true)) => return Some(Ok(row)),
                 Ok((_, false)) => {}
                 Err(e) => {
                     self.failed = true;
@@ -425,11 +934,12 @@ enum TypeFilter {
 }
 
 /// Expansion stage: one hop along the relationships of each upstream node,
-/// streaming the far endpoints. Holds one upstream node's enriched
-/// relationship iterator at a time — O(frontier + chunk) memory.
+/// streaming the far endpoints (tagged with the relationship traversed).
+/// Holds one upstream node's enriched relationship iterator at a time —
+/// O(frontier + chunk) memory.
 struct ExpandIter<'tx> {
     tx: &'tx Transaction,
-    upstream: BoxedIdIter<'tx>,
+    upstream: BoxedRowIter<'tx>,
     direction: Direction,
     type_filter: TypeFilter,
     current: Option<(NodeId, RelEntryIter<'tx>)>,
@@ -438,7 +948,7 @@ struct ExpandIter<'tx> {
 }
 
 impl Iterator for ExpandIter<'_> {
-    type Item = Result<NodeId>;
+    type Item = Result<RowCore>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.failed {
@@ -452,13 +962,16 @@ impl Iterator for ExpandIter<'_> {
                 let node = *node;
                 for rel in rels.by_ref() {
                     match rel {
-                        Ok((_, data)) => {
+                        Ok((id, data)) => {
                             if let TypeFilter::Only(t) = self.type_filter {
                                 if data.rel_type != t {
                                     continue;
                                 }
                             }
-                            return Some(Ok(data.other_node(node)));
+                            return Some(Ok(RowCore {
+                                node: data.other_node(node),
+                                rel: Some(id),
+                            }));
                         }
                         Err(e) => {
                             self.failed = true;
@@ -469,9 +982,12 @@ impl Iterator for ExpandIter<'_> {
                 self.current = None;
             }
             match self.upstream.next() {
-                Some(Ok(node)) => {
-                    match self.tx.neighbors_or_empty(node, self.direction, self.chunk) {
-                        Ok(rels) => self.current = Some((node, rels)),
+                Some(Ok(row)) => {
+                    match self
+                        .tx
+                        .neighbors_or_empty(row.node, self.direction, self.chunk)
+                    {
+                        Ok(rels) => self.current = Some((row.node, rels)),
                         Err(e) => {
                             self.failed = true;
                             return Some(Err(e));
@@ -488,21 +1004,21 @@ impl Iterator for ExpandIter<'_> {
     }
 }
 
-/// Distinct stage: keeps first occurrences.
+/// Distinct stage: keeps the first row per node.
 struct DistinctIter<'tx> {
-    upstream: BoxedIdIter<'tx>,
+    upstream: BoxedRowIter<'tx>,
     seen: HashSet<NodeId>,
 }
 
 impl Iterator for DistinctIter<'_> {
-    type Item = Result<NodeId>;
+    type Item = Result<RowCore>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        for id in self.upstream.by_ref() {
-            match id {
-                Ok(id) => {
-                    if self.seen.insert(id) {
-                        return Some(Ok(id));
+        for row in self.upstream.by_ref() {
+            match row {
+                Ok(row) => {
+                    if self.seen.insert(row.node) {
+                        return Some(Ok(row));
                     }
                 }
                 Err(e) => return Some(Err(e)),
@@ -514,21 +1030,21 @@ impl Iterator for DistinctIter<'_> {
 
 /// Limit stage: stops pulling upstream once `remaining` results streamed.
 struct LimitIter<'tx> {
-    upstream: BoxedIdIter<'tx>,
+    upstream: BoxedRowIter<'tx>,
     remaining: usize,
 }
 
 impl Iterator for LimitIter<'_> {
-    type Item = Result<NodeId>;
+    type Item = Result<RowCore>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.remaining == 0 {
             return None;
         }
         match self.upstream.next() {
-            Some(Ok(id)) => {
+            Some(Ok(row)) => {
                 self.remaining -= 1;
-                Some(Ok(id))
+                Some(Ok(row))
             }
             other => other,
         }
@@ -612,6 +1128,262 @@ mod tests {
     }
 
     #[test]
+    fn range_predicate_pushes_down_to_the_index() {
+        let dir = TempDir::new("query_pushdown");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.txn().read_only().begin();
+
+        let before = db.metrics();
+        let mut adults = tx
+            .query()
+            .filter_property_range("age", PropertyValue::Int(30)..=PropertyValue::Int(40))
+            .ids()
+            .unwrap();
+        adults.sort();
+        // Ages 30, 35, 40 -> people[2..=4].
+        let mut expected = people[2..=4].to_vec();
+        expected.sort();
+        assert_eq!(adults, expected);
+        let after = db.metrics();
+        assert_eq!(
+            after.predicate_pushdowns,
+            before.predicate_pushdowns + 1,
+            "the range predicate must compile to an index range source"
+        );
+        assert_eq!(after.property_decodes, before.property_decodes);
+        assert_eq!(
+            after.decode_filter_fallbacks,
+            before.decode_filter_fallbacks
+        );
+    }
+
+    #[test]
+    fn pushdown_disabled_takes_the_decode_path_with_identical_results() {
+        let dir = TempDir::new("query_no_pushdown");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        social_graph(&db);
+        let tx = db.txn().read_only().begin();
+
+        let range = || PropertyValue::Int(25)..PropertyValue::Int(45);
+        let mut pushed = tx
+            .query()
+            .filter_property_range("age", range())
+            .ids()
+            .unwrap();
+        let before = db.metrics();
+        let mut decoded = tx
+            .query()
+            .filter_property_range("age", range())
+            .pushdown(false)
+            .ids()
+            .unwrap();
+        let after = db.metrics();
+        pushed.sort();
+        decoded.sort();
+        assert_eq!(pushed, decoded, "both paths agree on the result set");
+        assert_eq!(
+            after.decode_filter_fallbacks,
+            before.decode_filter_fallbacks + 1
+        );
+        assert!(
+            after.property_decodes > before.property_decodes,
+            "the decode path pays per-candidate property materialisations"
+        );
+    }
+
+    #[test]
+    fn pushdown_disabled_demotes_equality_sources_too() {
+        let dir = TempDir::new("query_no_pushdown_eq");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.txn().read_only().begin();
+        let before = db.metrics();
+        let hit = tx
+            .query()
+            .nodes_with_property("age", PropertyValue::Int(25))
+            .pushdown(false)
+            .ids()
+            .unwrap();
+        assert_eq!(hit, vec![people[1]]);
+        let after = db.metrics();
+        assert_eq!(
+            after.predicate_pushdowns, before.predicate_pushdowns,
+            "with pushdown disabled no predicate may execute on the index"
+        );
+        assert_eq!(
+            after.decode_filter_fallbacks,
+            before.decode_filter_fallbacks + 1
+        );
+        assert!(after.property_decodes > before.property_decodes);
+    }
+
+    #[test]
+    fn comparison_forms_compile_and_agree() {
+        let dir = TempDir::new("query_cmp_forms");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.txn().read_only().begin();
+
+        let ge = tx
+            .query()
+            .nodes_with_property_ge("age", PropertyValue::Int(35))
+            .count()
+            .unwrap();
+        assert_eq!(ge, 3); // 35, 40, 45
+        let gt = tx
+            .query()
+            .nodes_with_property_gt("age", PropertyValue::Int(35))
+            .count()
+            .unwrap();
+        assert_eq!(gt, 2);
+        let le = tx
+            .query()
+            .nodes_with_property_le("age", PropertyValue::Int(25))
+            .count()
+            .unwrap();
+        assert_eq!(le, 2); // 20, 25
+        let lt = tx
+            .query()
+            .nodes_with_property_lt("age", PropertyValue::Int(25))
+            .ids()
+            .unwrap();
+        assert_eq!(lt, vec![people[0]]);
+    }
+
+    #[test]
+    fn planner_swaps_label_source_for_a_narrower_range() {
+        let dir = TempDir::new("query_swap");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.txn().read_only().begin();
+
+        // 6 Person postings vs 1 age=25 posting: the planner must scan the
+        // property index and label-check the survivors.
+        let before = db.metrics();
+        let hit = tx
+            .query()
+            .nodes_with_label("Person")
+            .nodes_with_property("age", PropertyValue::Int(25))
+            .ids()
+            .unwrap();
+        assert_eq!(hit, vec![people[1]]);
+        let after = db.metrics();
+        assert_eq!(after.predicate_pushdowns, before.predicate_pushdowns + 1);
+        assert_eq!(
+            after.decode_filter_fallbacks,
+            before.decode_filter_fallbacks
+        );
+    }
+
+    #[test]
+    fn redundant_equality_after_property_source_is_elided() {
+        let dir = TempDir::new("query_dedup_eq");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        social_graph(&db);
+        let tx = db.txn().read_only().begin();
+        let before = db.metrics();
+        let count = tx
+            .query()
+            .nodes_with_property("age", PropertyValue::Int(25))
+            .nodes_with_property("age", PropertyValue::Int(25))
+            .count()
+            .unwrap();
+        assert_eq!(count, 1);
+        let after = db.metrics();
+        assert_eq!(
+            after.property_decodes, before.property_decodes,
+            "the index source already guarantees the equality — no \
+             per-node re-decode"
+        );
+        assert_eq!(
+            after.decode_filter_fallbacks,
+            before.decode_filter_fallbacks
+        );
+        // A *different* equality on the same source still filters.
+        let none = tx
+            .query()
+            .nodes_with_property("age", PropertyValue::Int(25))
+            .nodes_with_property("age", PropertyValue::Int(30))
+            .count()
+            .unwrap();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn range_source_merges_write_set_state() {
+        let dir = TempDir::new("query_range_ws");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+
+        let mut tx = db.begin();
+        // Pending creation inside the range.
+        let fresh = tx
+            .create_node(&["Person"], &[("age", PropertyValue::Int(33))])
+            .unwrap();
+        // Move people[2] (age 30) out of the range, people[0] (age 20) in.
+        tx.set_node_property(people[2], "age", PropertyValue::Int(99))
+            .unwrap();
+        tx.set_node_property(people[0], "age", PropertyValue::Int(31))
+            .unwrap();
+
+        let mut got = tx
+            .query()
+            .filter_property_range("age", PropertyValue::Int(30)..=PropertyValue::Int(40))
+            .ids()
+            .unwrap();
+        got.sort();
+        // Expected: people[3]=35, people[4]=40 (untouched), fresh=33,
+        // people[0]=31 (moved in); people[2] moved out.
+        let mut expected = vec![people[3], people[4], fresh, people[0]];
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rows_carry_rel_and_projection() {
+        let dir = TempDir::new("query_rows");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.txn().read_only().begin();
+
+        // Source rows: no rel, projected age present.
+        let rows = tx
+            .query()
+            .nodes_with_property("age", PropertyValue::Int(25))
+            .project(["age", "nope"])
+            .rows()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].node, people[1]);
+        assert_eq!(rows[0].rel, None);
+        assert_eq!(rows[0].property("age"), Some(&PropertyValue::Int(25)));
+        assert_eq!(rows[0].property("nope"), None);
+
+        // Expanded rows: rel names the traversed relationship, projection
+        // decodes at the final stage.
+        let rows = tx
+            .query()
+            .start_nodes([people[0]])
+            .expand(Direction::Outgoing, Some("KNOWS"))
+            .project(["age"])
+            .rows()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].node, people[1]);
+        let rel = rows[0].rel.expect("expansion tags the relationship");
+        let rel = tx.get_relationship(rel).unwrap().unwrap();
+        assert_eq!((rel.source, rel.target), (people[0], people[1]));
+        assert_eq!(rows[0].property("age"), Some(&PropertyValue::Int(25)));
+
+        // Without a projection, rows carry no properties.
+        let bare = tx.query().nodes_with_label("City").rows().unwrap();
+        assert!(bare
+            .iter()
+            .all(|r| r.properties.is_empty() && r.rel.is_none()));
+    }
+
+    #[test]
     fn query_is_snapshot_consistent_and_reads_own_writes() {
         let dir = TempDir::new("query_snapshot");
         let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
@@ -652,11 +1424,36 @@ mod tests {
                 .unwrap(),
             0
         );
-        // Unknown property key filters everything out.
+        // Unknown property key compiles to a cheap empty stream — no
+        // decode pass that filters everything out.
+        let before = db.metrics();
         assert_eq!(
             tx.query()
                 .nodes_with_label("Person")
                 .filter_property("nope", |_| true)
+                .count()
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            tx.query()
+                .filter_property_range("nope", PropertyValue::Int(0)..)
+                .count()
+                .unwrap(),
+            0
+        );
+        let after = db.metrics();
+        assert_eq!(
+            after.property_decodes, before.property_decodes,
+            "unknown keys must not decode anything"
+        );
+        // Mixed-type (unsatisfiable) bounds are empty too, not wrong.
+        assert_eq!(
+            tx.query()
+                .filter_property_range(
+                    "age",
+                    PropertyValue::Int(0)..=PropertyValue::String("z".into())
+                )
                 .count()
                 .unwrap(),
             0
@@ -716,7 +1513,8 @@ mod tests {
         let (people, cities) = social_graph(&db);
         let _ = (people, cities);
         let tx = db.begin();
-        // Person ∩ (age == 25): second call becomes a filter.
+        // Person ∩ (age == 25): second call becomes a filter (which the
+        // planner may execute on either index).
         let count = tx
             .query()
             .nodes_with_label("Person")

@@ -655,6 +655,88 @@ impl Transaction {
         Ok(out)
     }
 
+    /// Lazily iterates the nodes whose property `name` holds a value
+    /// inside `range`, served from the versioned property index's sorted
+    /// key dimension (**range postings**) — a pushed-down comparison
+    /// predicate that never decodes candidate property lists. Range
+    /// semantics are type-homogeneous: an `Int` bound only matches `Int`
+    /// values, and a half-open range stays within its bound's type.
+    ///
+    /// ```
+    /// # use graphsi_core::{DbConfig, GraphDb, PropertyValue, Result};
+    /// # fn main() -> Result<()> {
+    /// # let dir = graphsi_core::test_support::TempDir::new("doc-range");
+    /// # let db = GraphDb::open(dir.path(), DbConfig::default())?;
+    /// # let mut tx = db.begin();
+    /// # tx.create_node(&["P"], &[("age", PropertyValue::Int(36))])?;
+    /// # tx.create_node(&["P"], &[("age", PropertyValue::Int(21))])?;
+    /// # tx.commit()?;
+    /// # let tx = db.txn().read_only().begin();
+    /// let adults = tx
+    ///     .nodes_with_property_range("age", PropertyValue::Int(30)..=PropertyValue::Int(120))?
+    ///     .count();
+    /// assert_eq!(adults, 1);
+    /// # Ok(()) }
+    /// ```
+    pub fn nodes_with_property_range(
+        &self,
+        name: &str,
+        range: impl std::ops::RangeBounds<PropertyValue>,
+    ) -> Result<NodeIdIter<'_>> {
+        let (lo, hi) = crate::query::value_range_key_bounds(&range);
+        self.nodes_with_property_range_chunked(name, lo, hi, self.scan_chunk_size)
+    }
+
+    pub(crate) fn nodes_with_property_range_chunked(
+        &self,
+        name: &str,
+        lo: std::ops::Bound<graphsi_storage::ValueKey>,
+        hi: std::ops::Bound<graphsi_storage::ValueKey>,
+        chunk: usize,
+    ) -> Result<NodeIdIter<'_>> {
+        self.ensure_active()?;
+        let Some(token) = self.db.store.tokens().existing_property_key(name) else {
+            return Ok(NodeIdIter::empty(self));
+        };
+        NodeIdIter::with_property_range(self, token, lo, hi, chunk)
+    }
+
+    /// One property of the node visible to this transaction, through the
+    /// single-key decode fast path: own writes and cache hits answer from
+    /// memory, cache misses decode only the requested key (plus the
+    /// commit-ts key) out of the store's property chain instead of
+    /// materialising the whole list. Outer `None` = node invisible.
+    pub(crate) fn visible_node_property(
+        &self,
+        id: NodeId,
+        token: PropertyKeyToken,
+    ) -> Result<Option<Option<PropertyValue>>> {
+        Ok(self
+            .visible_node_properties(id, std::slice::from_ref(&token))?
+            .map(|mut v| v.pop().flatten()))
+    }
+
+    /// Multi-key variant of [`Transaction::visible_node_property`]; one
+    /// chain walk decodes every requested key (row projections use this).
+    pub(crate) fn visible_node_properties(
+        &self,
+        id: NodeId,
+        tokens: &[PropertyKeyToken],
+    ) -> Result<Option<Vec<Option<PropertyValue>>>> {
+        if let Some(state) = self.write_set.as_ref().and_then(|ws| ws.node_state(id)) {
+            return Ok(state.map(|data| {
+                tokens
+                    .iter()
+                    .map(|t| data.properties.get(t).cloned())
+                    .collect()
+            }));
+        }
+        let read_ts = self.read_timestamp();
+        self.with_read_lock(LockKey::node(id.raw()), || {
+            self.db.read_node_properties_version(id, tokens, read_ts)
+        })
+    }
+
     /// Relationships whose property `name` equals `value` in this
     /// transaction's view, sorted by ID.
     pub fn relationships_with_property(

@@ -55,6 +55,12 @@ impl LabelIndex {
         self.inner.contains(&label, node, start_ts)
     }
 
+    /// Total postings (live and dead) stored under `label` — the query
+    /// planner's cardinality estimate for a label scan.
+    pub fn postings_estimate(&self, label: LabelToken) -> u64 {
+        self.inner.postings_estimate(&label)
+    }
+
     /// All label tokens ever indexed (labels are never deleted; the paper,
     /// §4).
     pub fn labels(&self) -> Vec<LabelToken> {

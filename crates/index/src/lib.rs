@@ -19,9 +19,13 @@ pub mod posting;
 pub mod property_index;
 
 pub use label_index::LabelIndex;
-pub use posting::{IndexStats, PostingCursor, PostingEntry, VersionedPostingIndex};
+pub use posting::{
+    bound_as_ref, IndexStats, PostingCursor, PostingEntry, RangePostingCursor,
+    VersionedPostingIndex,
+};
 pub use property_index::{
-    NodePropertyIndex, PropertyIndex, PropertyIndexKey, RelationshipPropertyIndex,
+    composite_range_bounds, NodePropertyIndex, PropertyIndex, PropertyIndexKey,
+    RelationshipPropertyIndex,
 };
 
 /// The full set of indexes maintained by a graph database instance: the two

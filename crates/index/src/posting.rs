@@ -18,9 +18,16 @@
 //!   membership is visible iff `added_ts <= start_ts < removed_ts`;
 //! * physically removing postings (and keys) is the job of the garbage
 //!   collector, driven by the oldest-active-transaction watermark.
+//!
+//! Keys live in an **ordered** map (`BTreeMap`), so beyond point lookups
+//! the index exposes a sorted key dimension: [`VersionedPostingIndex::range_cursor`]
+//! pages the snapshot-visible members of every key inside a bound pair —
+//! the substrate for pushing comparison predicates (`age >= 30`,
+//! `ts BETWEEN a AND b`) into the index instead of decode-filtering every
+//! candidate.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use parking_lot::RwLock;
 
@@ -83,20 +90,21 @@ pub struct IndexStats {
     pub dead_postings: u64,
 }
 
-/// A snapshot-visible index from keys to posting lists of entities.
+/// A snapshot-visible index from keys to posting lists of entities, with
+/// an ordered key dimension for range scans.
 pub struct VersionedPostingIndex<K, E> {
-    entries: RwLock<HashMap<K, KeyEntry<E>>>,
+    entries: RwLock<BTreeMap<K, KeyEntry<E>>>,
 }
 
 impl<K, E> VersionedPostingIndex<K, E>
 where
-    K: Hash + Eq + Clone,
+    K: Ord + Clone,
     E: Copy + Eq,
 {
     /// Creates an empty index.
     pub fn new() -> Self {
         VersionedPostingIndex {
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -192,6 +200,62 @@ where
         }
     }
 
+    /// Opens a chunked, GC-safe cursor over the visible members of every
+    /// key inside `(lo, hi)`, walking keys in sort order (the index's
+    /// sorted key dimension). Same resumption contract as
+    /// [`VersionedPostingIndex::cursor`]: no lock is held between refills,
+    /// at most `chunk_size` entities are buffered, and the cursor is
+    /// lossless across GC compaction and concurrent appends — see
+    /// [`RangePostingCursor`].
+    pub fn range_cursor(
+        &self,
+        lo: Bound<K>,
+        hi: Bound<K>,
+        start_ts: Timestamp,
+        chunk_size: usize,
+    ) -> RangePostingCursor<'_, K, E> {
+        RangePostingCursor {
+            index: self,
+            lo,
+            hi,
+            start_ts,
+            chunk: chunk_size.max(1),
+            marker: None,
+            pos_hint: 0,
+            done: false,
+        }
+    }
+
+    /// Total postings (live and dead, any snapshot) stored under `key` —
+    /// a cheap cardinality estimate for the query planner.
+    pub fn postings_estimate(&self, key: &K) -> u64 {
+        self.entries
+            .read()
+            .get(key)
+            .map_or(0, |e| e.postings.len() as u64)
+    }
+
+    /// Total postings (live and dead, any snapshot) stored under every key
+    /// inside `(lo, hi)`, saturating at `cap` — the planner's
+    /// range-cardinality estimate. Walks only the keys in range and stops
+    /// as soon as the running total reaches `cap`, so comparing a huge
+    /// range against a small competing estimate costs O(keys up to cap),
+    /// not O(keys in range).
+    pub fn range_postings_estimate(&self, lo: Bound<&K>, hi: Bound<&K>, cap: u64) -> u64 {
+        if !bounds_are_ordered(&lo, &hi) {
+            return 0;
+        }
+        let entries = self.entries.read();
+        let mut total = 0u64;
+        for (_, e) in entries.range((lo, hi)) {
+            total = total.saturating_add(e.postings.len() as u64);
+            if total >= cap {
+                return cap;
+            }
+        }
+        total
+    }
+
     /// Returns `true` if `entity` is a visible member of `key` for the
     /// given snapshot.
     pub fn contains(&self, key: &K, entity: E, start_ts: Timestamp) -> bool {
@@ -283,7 +347,7 @@ pub struct PostingCursor<'a, K, E> {
 
 impl<K, E> PostingCursor<'_, K, E>
 where
-    K: Hash + Eq + Clone,
+    K: Ord + Clone,
     E: Copy + Eq,
 {
     /// The configured chunk size.
@@ -368,9 +432,160 @@ impl<K, E> std::fmt::Debug for PostingCursor<'_, K, E> {
     }
 }
 
+/// `true` when `(lo, hi)` describes a range `BTreeMap::range` accepts (it
+/// panics on inverted bounds and on an equal, doubly-excluded pair — both
+/// of which are simply empty ranges for a cursor).
+fn bounds_are_ordered<K: Ord>(lo: &Bound<&K>, hi: &Bound<&K>) -> bool {
+    match (lo, hi) {
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+        (Bound::Included(a), Bound::Included(b)) => a <= b,
+        (Bound::Included(a), Bound::Excluded(b)) | (Bound::Excluded(a), Bound::Included(b)) => {
+            a <= b
+        }
+        (Bound::Excluded(a), Bound::Excluded(b)) => a < b,
+    }
+}
+
+/// Borrowing view of an owned bound — what the range APIs of this crate
+/// take, so callers can keep ownership of their bound pair.
+pub fn bound_as_ref<K>(bound: &Bound<K>) -> Bound<&K> {
+    match bound {
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// A resumable, chunked cursor over every posting list whose key falls in
+/// a bound pair, created by [`VersionedPostingIndex::range_cursor`]. This
+/// is the index's *range postings* read path: a comparison predicate
+/// compiles to one of these instead of a decode-based filter over every
+/// candidate entity.
+///
+/// Between [`RangePostingCursor::next_chunk`] calls the cursor holds **no
+/// lock** and remembers only a resume marker — the key of the posting list
+/// it was parked in plus the `(added_ts, entity)` pair of the last posting
+/// it handed out. Each refill re-enters the ordered key map at the marker
+/// key (or the next surviving key, if GC dropped it — legal only when
+/// every posting under it was dead for every active snapshot) and resumes
+/// inside that key's posting list exactly like [`PostingCursor`] does:
+///
+/// * keys created after the snapshot, and postings added after it, are
+///   filtered by visibility, so concurrent commits cannot leak phantoms;
+/// * postings/keys removed by GC were invisible to every active snapshot,
+///   so nothing this cursor still owes its reader can disappear;
+/// * within one snapshot an entity holds at most one visible value per
+///   property key, so a key-range walk yields each entity at most once.
+pub struct RangePostingCursor<'a, K, E> {
+    index: &'a VersionedPostingIndex<K, E>,
+    lo: Bound<K>,
+    hi: Bound<K>,
+    start_ts: Timestamp,
+    chunk: usize,
+    /// Resume marker: the key the cursor is parked in and the
+    /// `(added_ts, entity)` of the last posting handed out of it.
+    marker: Option<(K, Timestamp, E)>,
+    /// Position at which the marker posting was last seen in its list
+    /// (O(1) resume in the common no-compaction case).
+    pos_hint: usize,
+    done: bool,
+}
+
+impl<K, E> RangePostingCursor<'_, K, E>
+where
+    K: Ord + Clone,
+    E: Copy + Eq,
+{
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Refills `buf` (cleared first) with up to `chunk_size` visible
+    /// entities, resuming after the last posting handed out. Returns
+    /// `false` once every key in the range is exhausted and `buf` stayed
+    /// empty.
+    pub fn next_chunk(&mut self, buf: &mut Vec<E>) -> bool {
+        buf.clear();
+        if self.done {
+            return false;
+        }
+        let entries = self.index.entries.read();
+        // Resume at the marker key (inclusive: its list may hold more
+        // postings past the marker), or at the range start on first use.
+        let lower: Bound<&K> = match &self.marker {
+            None => bound_as_ref(&self.lo),
+            Some((key, _, _)) => Bound::Included(key),
+        };
+        let upper = bound_as_ref(&self.hi);
+        if !bounds_are_ordered(&lower, &upper) {
+            self.done = true;
+            return false;
+        }
+        for (key, entry) in entries.range((lower, upper)) {
+            if !entry.created_ts.visible_to(self.start_ts) {
+                continue;
+            }
+            let postings = &entry.postings;
+            let start = match &self.marker {
+                Some((marker_key, ts, e)) if marker_key == key => {
+                    let hinted = postings
+                        .get(self.pos_hint)
+                        .is_some_and(|p| p.added_ts == *ts && p.entity == *e);
+                    if hinted {
+                        self.pos_hint + 1
+                    } else {
+                        match postings
+                            .iter()
+                            .position(|p| p.added_ts == *ts && p.entity == *e)
+                        {
+                            Some(i) => i + 1,
+                            // Marker posting reclaimed (cursor outlived its
+                            // transaction): resume at the marker's commit,
+                            // preferring re-yields over lost entries — same
+                            // stance as `PostingCursor`.
+                            None => postings
+                                .iter()
+                                .position(|p| p.added_ts >= *ts)
+                                .unwrap_or(postings.len()),
+                        }
+                    }
+                }
+                _ => 0,
+            };
+            for (off, p) in postings[start..].iter().enumerate() {
+                if p.visible_to(self.start_ts) {
+                    buf.push(p.entity);
+                    self.marker = Some((key.clone(), p.added_ts, p.entity));
+                    self.pos_hint = start + off;
+                    if buf.len() >= self.chunk {
+                        return true;
+                    }
+                }
+            }
+            // Key exhausted: fall through to the next key in range. The
+            // marker still names the last *yielded* posting, which may live
+            // under an earlier key — resumption re-enters at that key and
+            // walks forward, skipping already-delivered postings.
+        }
+        self.done = true;
+        !buf.is_empty()
+    }
+}
+
+impl<K, E> std::fmt::Debug for RangePostingCursor<'_, K, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RangePostingCursor")
+            .field("chunk", &self.chunk)
+            .field("start_ts", &self.start_ts)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<K, E> Default for VersionedPostingIndex<K, E>
 where
-    K: Hash + Eq + Clone,
+    K: Ord + Clone,
     E: Copy + Eq,
 {
     fn default() -> Self {
@@ -380,7 +595,7 @@ where
 
 impl<K, E> std::fmt::Debug for VersionedPostingIndex<K, E>
 where
-    K: Hash + Eq + Clone,
+    K: Ord + Clone,
     E: Copy + Eq,
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -575,6 +790,129 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 4);
+    }
+
+    fn drain_range(cursor: &mut RangePostingCursor<'_, u32, u64>) -> Vec<u64> {
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        while cursor.next_chunk(&mut buf) {
+            assert!(buf.len() <= cursor.chunk_size());
+            out.extend_from_slice(&buf);
+        }
+        out
+    }
+
+    #[test]
+    fn range_cursor_walks_keys_in_order() {
+        let index = Index::new();
+        for key in [5u32, 1, 9, 3, 7] {
+            for e in 0..3u64 {
+                index.add(key, u64::from(key) * 100 + e, Timestamp(1));
+            }
+        }
+        let mut cursor =
+            index.range_cursor(Bound::Included(3), Bound::Excluded(8), Timestamp(10), 2);
+        assert_eq!(
+            drain_range(&mut cursor),
+            vec![300, 301, 302, 500, 501, 502, 700, 701, 702],
+            "keys 3, 5, 7 in sorted order; 1 and 9 excluded"
+        );
+        // Unbounded on both sides covers everything.
+        let mut all = index.range_cursor(Bound::Unbounded, Bound::Unbounded, Timestamp(10), 4);
+        assert_eq!(drain_range(&mut all).len(), 15);
+        // Inverted bounds are an empty range, not a panic.
+        let mut none = index.range_cursor(Bound::Included(8), Bound::Included(3), Timestamp(10), 4);
+        let mut buf = Vec::new();
+        assert!(!none.next_chunk(&mut buf));
+    }
+
+    #[test]
+    fn range_cursor_applies_snapshot_visibility_per_key_and_posting() {
+        let index = Index::new();
+        index.add(1, 10, Timestamp(5));
+        index.add(2, 20, Timestamp(50)); // key created after the snapshot
+        index.add(3, 30, Timestamp(5));
+        index.add(3, 31, Timestamp(50)); // posting after the snapshot
+        index.remove(&3, 30, Timestamp(8)); // removed before the snapshot
+        index.add(4, 40, Timestamp(7));
+        let mut cursor = index.range_cursor(Bound::Unbounded, Bound::Unbounded, Timestamp(10), 16);
+        assert_eq!(drain_range(&mut cursor), vec![10, 40]);
+    }
+
+    #[test]
+    fn range_cursor_survives_concurrent_append_and_gc_across_keys() {
+        let index = Index::new();
+        for key in [1u32, 2, 3] {
+            for e in 0..4u64 {
+                index.add(key, u64::from(key) * 10 + e, Timestamp(e + 1));
+            }
+        }
+        // Dead postings in keys the cursor has not reached yet.
+        index.remove(&2, 21, Timestamp(5));
+        index.remove(&3, 30, Timestamp(5));
+
+        let mut cursor =
+            index.range_cursor(Bound::Included(1), Bound::Included(3), Timestamp(10), 3);
+        let mut buf = Vec::new();
+        assert!(cursor.next_chunk(&mut buf));
+        assert_eq!(buf, vec![10, 11, 12]);
+
+        // Concurrent world: GC compacts (dropping dead postings), a new key
+        // inside the range appears, and new postings land in key 2 — all
+        // above the snapshot.
+        assert_eq!(index.gc(Timestamp(10)), 2);
+        index.add(2, 99, Timestamp(20));
+        index.add(1, 98, Timestamp(20)); // behind the cursor, too-new anyway
+
+        let mut out = buf.clone();
+        while cursor.next_chunk(&mut buf) {
+            out.extend_from_slice(&buf);
+        }
+        // Lossless: 13 and the surviving postings of keys 2 and 3 arrive;
+        // no phantoms (98/99 are above the snapshot, 21/30 were removed).
+        assert_eq!(out, vec![10, 11, 12, 13, 20, 22, 23, 31, 32, 33]);
+    }
+
+    #[test]
+    fn range_cursor_resumes_after_its_own_key_is_gc_dropped() {
+        let index = Index::new();
+        index.add(1, 10, Timestamp(1));
+        index.add(2, 20, Timestamp(1));
+        index.add(3, 30, Timestamp(1));
+        // The cursor's snapshot cannot see key 2 (removed before it).
+        index.remove(&2, 20, Timestamp(2));
+
+        let mut cursor =
+            index.range_cursor(Bound::Included(1), Bound::Included(3), Timestamp(5), 1);
+        let mut buf = Vec::new();
+        assert!(cursor.next_chunk(&mut buf));
+        assert_eq!(buf, vec![10]);
+        // GC drops key 2 entirely while the cursor is parked in key 1.
+        assert_eq!(index.gc(Timestamp(5)), 1);
+        assert!(cursor.next_chunk(&mut buf));
+        assert_eq!(buf, vec![30]);
+        assert!(!cursor.next_chunk(&mut buf));
+    }
+
+    #[test]
+    fn estimates_count_postings_in_range() {
+        let index = Index::new();
+        for key in [1u32, 2, 3] {
+            for e in 0..key as u64 {
+                index.add(key, e, Timestamp(1));
+            }
+        }
+        assert_eq!(index.postings_estimate(&2), 2);
+        assert_eq!(index.postings_estimate(&9), 0);
+        assert_eq!(
+            index.range_postings_estimate(Bound::Included(&2), Bound::Unbounded, u64::MAX),
+            5
+        );
+        assert_eq!(
+            index.range_postings_estimate(Bound::Included(&3), Bound::Included(&1), u64::MAX),
+            0,
+            "inverted bounds estimate as empty instead of panicking"
+        );
     }
 
     #[test]

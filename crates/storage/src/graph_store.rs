@@ -257,6 +257,24 @@ impl GraphStore {
         }))
     }
 
+    /// Decodes only the requested properties of a node, in `keys` order,
+    /// without materialising the rest of its property chain — the
+    /// single-key fast path decode-based predicate filters and row
+    /// projections ride on. Returns `None` if the node slot is not in use.
+    pub fn read_node_properties(
+        &self,
+        id: NodeId,
+        keys: &[PropertyKeyToken],
+    ) -> Result<Option<Vec<Option<PropertyValue>>>> {
+        let Some(record) = self.read_node_record(id)? else {
+            return Ok(None);
+        };
+        let mut out = vec![None; keys.len()];
+        self.properties
+            .decode_selected(record.first_prop, keys, &mut out)?;
+        Ok(Some(out))
+    }
+
     // ----- Relationship operations -------------------------------------------
 
     /// Writes a brand new relationship record and links it at the head of

@@ -99,6 +99,61 @@ impl PropertyStore {
         Ok(out)
     }
 
+    /// Decodes a single property out of the chain starting at `first`,
+    /// stopping at the first record whose key matches `key` — the fast
+    /// path for decode-based predicate filters, which would otherwise
+    /// materialise the whole property list (including dynamic-store string
+    /// fetches for values the filter never looks at) per candidate.
+    pub fn decode_property(
+        &self,
+        first: PropertyRecordId,
+        key: PropertyKeyToken,
+    ) -> Result<Option<PropertyValue>> {
+        let mut found = [None];
+        self.decode_selected(first, &[key], &mut found)?;
+        let [value] = found;
+        Ok(value)
+    }
+
+    /// Decodes only the properties whose keys appear in `keys`, writing
+    /// each match into the corresponding slot of `out` (`out.len()` must
+    /// equal `keys.len()`; slots are reset to `None` first). Walks the
+    /// chain at most once and returns early once every requested key has
+    /// been found; values of non-requested keys are never materialised.
+    pub fn decode_selected(
+        &self,
+        first: PropertyRecordId,
+        keys: &[PropertyKeyToken],
+        out: &mut [Option<PropertyValue>],
+    ) -> Result<()> {
+        debug_assert_eq!(keys.len(), out.len());
+        out.fill(None);
+        let mut remaining = keys.len();
+        let mut current = first;
+        let mut steps = 0usize;
+        while current.is_some() && remaining > 0 {
+            if steps > MAX_CHAIN_LENGTH {
+                return Err(StorageError::corrupt(
+                    "property",
+                    first.raw(),
+                    "property chain exceeds maximum length (cycle?)",
+                ));
+            }
+            steps += 1;
+            let record = self.records.load_in_use(current.raw())?;
+            let slot = keys
+                .iter()
+                .enumerate()
+                .position(|(i, k)| *k == record.key && out[i].is_none());
+            if let Some(i) = slot {
+                out[i] = Some(self.load_value(current.raw(), &record.value)?);
+                remaining -= 1;
+            }
+            current = record.next;
+        }
+        Ok(())
+    }
+
     /// Frees every record of the chain starting at `first` (including any
     /// dynamic overflow blocks).
     pub fn free_chain(&self, first: PropertyRecordId) -> Result<()> {
@@ -381,6 +436,63 @@ mod tests {
             .write_chain(&[(key(1), PropertyValue::String(s2))])
             .unwrap();
         assert!(store.count_dynamic_in_use() > 0);
+    }
+
+    #[test]
+    fn decode_property_stops_at_first_match() {
+        let dir = TempDir::new("props_decode_one");
+        let store = PropertyStore::open(dir.path(), 8).unwrap();
+        let long = "z".repeat(DYNAMIC_DATA_SIZE * 2 + 3);
+        let props = vec![
+            (key(0), PropertyValue::Int(7)),
+            (key(1), PropertyValue::String(long.clone())),
+            (key(2), PropertyValue::Bool(true)),
+        ];
+        let first = store.write_chain(&props).unwrap();
+        assert_eq!(
+            store.decode_property(first, key(0)).unwrap(),
+            Some(PropertyValue::Int(7))
+        );
+        assert_eq!(
+            store.decode_property(first, key(2)).unwrap(),
+            Some(PropertyValue::Bool(true))
+        );
+        assert_eq!(store.decode_property(first, key(9)).unwrap(), None);
+        assert_eq!(
+            store
+                .decode_property(PropertyRecordId::NONE, key(0))
+                .unwrap(),
+            None
+        );
+        // The long string is still decodable when explicitly requested.
+        assert_eq!(
+            store.decode_property(first, key(1)).unwrap(),
+            Some(PropertyValue::String(long))
+        );
+    }
+
+    #[test]
+    fn decode_selected_fills_requested_slots_only() {
+        let dir = TempDir::new("props_decode_sel");
+        let store = PropertyStore::open(dir.path(), 8).unwrap();
+        let props = vec![
+            (key(0), PropertyValue::Int(1)),
+            (key(1), PropertyValue::Int(2)),
+            (key(2), PropertyValue::Int(3)),
+        ];
+        let first = store.write_chain(&props).unwrap();
+        let mut out = [Some(PropertyValue::Bool(false)), None, None];
+        store
+            .decode_selected(first, &[key(2), key(7), key(0)], &mut out)
+            .unwrap();
+        assert_eq!(
+            out,
+            [
+                Some(PropertyValue::Int(3)),
+                None,
+                Some(PropertyValue::Int(1))
+            ]
+        );
     }
 
     #[test]

@@ -23,13 +23,17 @@ pub enum PropertyValue {
 
 impl PropertyValue {
     /// Returns a hashable, totally ordered key form of the value, suitable
-    /// for use in the property indexes. Floats are keyed by their bit
-    /// pattern (so `NaN` values are indexable and equal to themselves).
+    /// for use in the property indexes. Floats are keyed by a monotonic
+    /// transform of their IEEE-754 bit pattern ([`f64_order_bits`]), so
+    /// `NaN` values are indexable and equal to themselves *and* the
+    /// derived `Ord` on [`ValueKey`] sorts floats numerically — which is
+    /// what lets the versioned index serve range predicates over its
+    /// sorted key dimension.
     pub fn index_key(&self) -> ValueKey {
         match self {
             PropertyValue::Bool(b) => ValueKey::Bool(*b),
             PropertyValue::Int(i) => ValueKey::Int(*i),
-            PropertyValue::Float(x) => ValueKey::Float(x.to_bits()),
+            PropertyValue::Float(x) => ValueKey::Float(f64_order_bits(*x)),
             PropertyValue::String(s) => ValueKey::String(s.clone()),
         }
     }
@@ -124,15 +128,40 @@ impl From<String> for PropertyValue {
     }
 }
 
+/// Maps a float to "order bits": a bijective `u64` encoding whose unsigned
+/// order equals the IEEE-754 total order (negative NaN < -inf < ... <
+/// -0.0 < 0.0 < ... < +inf < NaN). Build [`ValueKey::Float`] keys through
+/// [`PropertyValue::index_key`], which applies this transform.
+pub fn f64_order_bits(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`f64_order_bits`].
+pub fn f64_from_order_bits(bits: u64) -> f64 {
+    if bits >> 63 == 1 {
+        f64::from_bits(bits & !(1 << 63))
+    } else {
+        f64::from_bits(!bits)
+    }
+}
+
 /// A hashable, totally ordered form of a [`PropertyValue`], used as the key
-/// in the versioned property indexes.
+/// in the versioned property indexes. The derived `Ord` sorts by type
+/// (`Bool < Int < Float < String`), then by value within each type, which
+/// is the sort order of the index's range-scannable key dimension.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueKey {
     /// Boolean key.
     Bool(bool),
     /// Integer key.
     Int(i64),
-    /// Float key, stored as its IEEE-754 bit pattern.
+    /// Float key, stored as its monotonic [`f64_order_bits`] encoding (so
+    /// the derived `Ord` sorts floats numerically).
     Float(u64),
     /// String key.
     String(String),
@@ -144,8 +173,41 @@ impl ValueKey {
         match self {
             ValueKey::Bool(b) => PropertyValue::Bool(*b),
             ValueKey::Int(i) => PropertyValue::Int(*i),
-            ValueKey::Float(bits) => PropertyValue::Float(f64::from_bits(*bits)),
+            ValueKey::Float(bits) => PropertyValue::Float(f64_from_order_bits(*bits)),
             ValueKey::String(s) => PropertyValue::String(s.clone()),
+        }
+    }
+
+    /// `true` if `self` and `other` are the same value type (range
+    /// predicates are type-homogeneous: an `Int` bound never matches a
+    /// `String` value).
+    pub fn same_type(&self, other: &ValueKey) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+    }
+
+    /// The smallest key of this key's value type — the inclusive lower
+    /// bound a half-open range (`..= hi`) clamps to so it stays within the
+    /// bound's type.
+    pub fn type_min(&self) -> ValueKey {
+        match self {
+            ValueKey::Bool(_) => ValueKey::Bool(false),
+            ValueKey::Int(_) => ValueKey::Int(i64::MIN),
+            // Order-bits 0 is the smallest float in total order (-NaN).
+            ValueKey::Float(_) => ValueKey::Float(0),
+            ValueKey::String(_) => ValueKey::String(String::new()),
+        }
+    }
+
+    /// The smallest key of the *next* value type in sort order — the
+    /// exclusive upper bound a half-open range (`lo ..`) clamps to.
+    /// `None` for strings, the last type (callers fall back to a
+    /// key-space bound there).
+    pub fn successor_type_min(&self) -> Option<ValueKey> {
+        match self {
+            ValueKey::Bool(_) => Some(ValueKey::Int(i64::MIN)),
+            ValueKey::Int(_) => Some(ValueKey::Float(0)),
+            ValueKey::Float(_) => Some(ValueKey::String(String::new())),
+            ValueKey::String(_) => None,
         }
     }
 }
@@ -204,6 +266,51 @@ mod tests {
     fn value_keys_order_within_type() {
         assert!(ValueKey::Int(1) < ValueKey::Int(2));
         assert!(ValueKey::String("a".into()) < ValueKey::String("b".into()));
+    }
+
+    #[test]
+    fn float_keys_order_numerically_including_negatives() {
+        let key = |x: f64| PropertyValue::Float(x).index_key();
+        let ordered = [
+            f64::NEG_INFINITY,
+            -1.0e9,
+            -2.5,
+            -1.0,
+            -0.0,
+            0.0,
+            1.0,
+            2.5,
+            1.0e9,
+            f64::INFINITY,
+        ];
+        for pair in ordered.windows(2) {
+            assert!(
+                key(pair[0]) < key(pair[1]),
+                "{} must sort below {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // NaN sorts above everything (IEEE total order) and roundtrips.
+        assert!(key(f64::NAN) > key(f64::INFINITY));
+        for x in ordered {
+            assert_eq!(key(x).to_value(), PropertyValue::Float(x));
+        }
+        assert!(key(f64::NAN).to_value().as_float().is_some_and(f64::is_nan));
+    }
+
+    #[test]
+    fn type_range_helpers() {
+        let int = PropertyValue::Int(5).index_key();
+        assert!(int.same_type(&ValueKey::Int(-3)));
+        assert!(!int.same_type(&ValueKey::Bool(true)));
+        assert!(int.type_min() <= ValueKey::Int(i64::MIN));
+        // Every Int key sorts below Int's successor-type floor, and every
+        // Float key at or above it.
+        let ceiling = int.successor_type_min().unwrap();
+        assert!(ValueKey::Int(i64::MAX) < ceiling);
+        assert!(PropertyValue::Float(f64::NEG_INFINITY).index_key() >= ceiling);
+        assert_eq!(ValueKey::String(String::new()).successor_type_min(), None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The streaming query API, end to end: label/property matches, filters,
-//! multi-hop expansion, `distinct`, `limit`, and the bounded-memory
-//! guarantee of the chunked cursors.
+//! pushed-down range predicates, multi-hop expansion, `distinct`, `limit`,
+//! row projection, and the bounded-memory guarantee of the chunked
+//! cursors.
 //!
 //! ```text
 //! cargo run --example query_api
@@ -75,6 +76,40 @@ fn main() -> Result<()> {
         .limit(5)
         .ids()?;
     println!("first 5 nodes within two KNOWS hops: {reach:?}");
+
+    // Range predicates push down into the versioned index: `25 <= age < 35`
+    // runs as a range-postings scan, never decoding candidate properties.
+    let pushdowns_before = db.metrics().predicate_pushdowns;
+    let decodes_before = db.metrics().property_decodes;
+    let mid_twenties = tx
+        .query()
+        .filter_property_range("age", PropertyValue::Int(25)..PropertyValue::Int(35))
+        .count()?;
+    let metrics = db.metrics();
+    println!(
+        "{mid_twenties} people aged [25, 35) via the index ({} pushdown, {} decodes)",
+        metrics.predicate_pushdowns - pushdowns_before,
+        metrics.property_decodes - decodes_before,
+    );
+    assert!(metrics.predicate_pushdowns > pushdowns_before);
+    assert_eq!(metrics.property_decodes, decodes_before);
+
+    // Row terminals: the traversed relationship plus projected properties,
+    // decoded once per row at the last stage.
+    let rows = tx
+        .query()
+        .nodes_with_property_ge("age", PropertyValue::Int(55))
+        .expand(Direction::Outgoing, Some("LIVES_IN"))
+        .project(["name"])
+        .rows()?;
+    for row in rows.iter().take(3) {
+        println!(
+            "node {:?} reached via rel {:?}, lives in {}",
+            row.node,
+            row.rel,
+            row.property("name").unwrap()
+        );
+    }
 
     // The bounded-memory evidence: hundreds of candidates were scanned,
     // but no cursor refill ever buffered more than one chunk of IDs.

@@ -1,0 +1,387 @@
+//! Range-postings integration tests: comparison predicates executed
+//! *inside* the versioned property index (predicate pushdown) must behave
+//! exactly like the decode-filter path at every snapshot, while concurrent
+//! commits churn property values and the garbage collector compacts the
+//! posting lists a range cursor is parked in. The invariants mirror
+//! `integration_cursors.rs`:
+//!
+//! * **no phantoms below the snapshot** — values moved into the range by
+//!   commits after the reader's start timestamp never appear;
+//! * **no lost entries above the watermark** — nodes whose value was in
+//!   range at the snapshot survive GC compaction of the key range;
+//! * **pushdown ≡ decode** — the index range scan and the per-candidate
+//!   decode filter agree on every snapshot, under every chunk size.
+
+use std::ops::Bound;
+
+use proptest::prelude::*;
+
+use graphsi_core::test_support::TempDir;
+use graphsi_core::{DbConfig, GraphDb, NodeId, PropertyValue, Transaction};
+
+const CHUNK_SIZES: &[usize] = &[1, 2, DbConfig::DEFAULT_SCAN_CHUNK_SIZE];
+
+fn open(dir: &TempDir) -> GraphDb {
+    GraphDb::open(dir.path(), DbConfig::default()).unwrap()
+}
+
+fn sorted(mut v: Vec<NodeId>) -> Vec<NodeId> {
+    v.sort();
+    v
+}
+
+fn range_ids(tx: &Transaction, lo: i64, hi: i64, pushdown: bool) -> Vec<NodeId> {
+    sorted(
+        tx.query()
+            .filter_property_range("score", PropertyValue::Int(lo)..=PropertyValue::Int(hi))
+            .pushdown(pushdown)
+            .ids()
+            .unwrap(),
+    )
+}
+
+/// A reader pages a pushed-down range scan in single steps while a writer
+/// moves values across the range boundary and deletes/creates nodes, with
+/// GC runs in between. The reader must deliver exactly its snapshot.
+#[test]
+fn range_scan_pages_through_concurrent_commits_and_gc() {
+    for &chunk in CHUNK_SIZES {
+        let dir = TempDir::new("range_churn");
+        let db = open(&dir);
+
+        // Seed: scores 0..20; the range [5, 14] holds exactly ten nodes.
+        let mut tx = db.begin();
+        let seeded: Vec<NodeId> = (0..20)
+            .map(|i| {
+                tx.create_node(&["R"], &[("score", PropertyValue::Int(i))])
+                    .unwrap()
+            })
+            .collect();
+        tx.commit().unwrap();
+        let in_range: Vec<NodeId> = seeded[5..=14].to_vec();
+
+        let reader = db.txn().read_only().scan_chunk_size(chunk).begin();
+        let mut stream = reader
+            .query()
+            .filter_property_range("score", PropertyValue::Int(5)..=PropertyValue::Int(14))
+            .stream()
+            .unwrap();
+
+        // Pull a few results, then churn: move in-range values out, out-of
+        // range values in, delete one in-range node, insert a fresh one in
+        // range — each round followed by a vacuum GC pass that compacts
+        // the posting lists the cursor is parked in.
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(stream.next().unwrap().unwrap());
+        }
+        let churn = [
+            (seeded[6], 99i64), // in range -> out
+            (seeded[10], -5),   // in range -> out
+            (seeded[1], 7),     // out of range -> in (phantom for reader)
+            (seeded[18], 9),    // out of range -> in (phantom for reader)
+        ];
+        for (node, value) in churn {
+            let mut w = db.begin();
+            w.set_node_property(node, "score", PropertyValue::Int(value))
+                .unwrap();
+            w.commit().unwrap();
+            db.run_gc_vacuum();
+        }
+        {
+            let mut w = db.begin();
+            w.delete_node(seeded[13]).unwrap();
+            w.create_node(&["R"], &[("score", PropertyValue::Int(8))])
+                .unwrap();
+            w.commit().unwrap();
+            db.run_gc_vacuum();
+        }
+        for id in stream {
+            got.push(id.unwrap());
+        }
+
+        assert_eq!(
+            sorted(got),
+            sorted(in_range.clone()),
+            "chunk {chunk}: the reader's snapshot is exactly the seeded \
+             range — no phantoms from moved-in values, no lost entries \
+             from moved-out / deleted ones"
+        );
+        // The decode path over the same (still-open) snapshot agrees.
+        assert_eq!(range_ids(&reader, 5, 14, false), sorted(in_range));
+        drop(reader);
+
+        // A fresh snapshot sees the post-churn world: 5,7,8,9,11,12,14 of
+        // the seeds (6,10 moved out; 13 deleted), plus 1, 18 moved in,
+        // plus the fresh node = 10 nodes.
+        let after = db.txn().read_only().begin();
+        assert_eq!(range_ids(&after, 5, 14, true).len(), 10);
+        assert_eq!(
+            range_ids(&after, 5, 14, true),
+            range_ids(&after, 5, 14, false)
+        );
+    }
+}
+
+/// The acceptance gauge: pushdown runs through the index (the
+/// `predicate_pushdowns` metric proves it), performs **zero** property
+/// decodes, and returns the same rows as the decode path while concurrent
+/// writer threads churn values and auto-GC compacts postings.
+#[test]
+fn pushdown_equals_decode_under_concurrent_writers_and_gc() {
+    let dir = TempDir::new("range_race");
+    let db = GraphDb::open(
+        dir.path(),
+        DbConfig::default().with_auto_gc(4).with_scan_chunk_size(2),
+    )
+    .unwrap();
+
+    const NODES: i64 = 60;
+    let mut tx = db.begin();
+    let nodes: Vec<NodeId> = (0..NODES)
+        .map(|i| {
+            tx.create_node(&["W"], &[("score", PropertyValue::Int(i % 20))])
+                .unwrap()
+        })
+        .collect();
+    tx.commit().unwrap();
+
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let db = db.clone();
+            let nodes = nodes.clone();
+            std::thread::spawn(move || {
+                for round in 0..40i64 {
+                    let node = nodes[((w * 31 + round * 7) % NODES) as usize];
+                    db.write_with_retry(|tx| {
+                        tx.set_node_property(
+                            node,
+                            "score",
+                            PropertyValue::Int((round * 13 + w) % 20),
+                        )
+                    })
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+
+    let reader = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            for _ in 0..40 {
+                let tx = db.txn().read_only().begin();
+                let before = db.metrics();
+                let pushed = range_ids(&tx, 5, 12, true);
+                let after = db.metrics();
+                assert!(
+                    after.predicate_pushdowns > before.predicate_pushdowns,
+                    "the range query must compile to an index source"
+                );
+                assert_eq!(
+                    after.property_decodes, before.property_decodes,
+                    "pushdown must not decode any candidate's properties"
+                );
+                let decoded = range_ids(&tx, 5, 12, false);
+                assert_eq!(
+                    pushed, decoded,
+                    "index range scan and decode filter must agree on one \
+                     snapshot"
+                );
+            }
+        })
+    };
+    for w in writers {
+        w.join().unwrap();
+    }
+    reader.join().unwrap();
+
+    // Quiesced double-check against a brute-force ground truth.
+    let tx = db.txn().read_only().begin();
+    let mut truth: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|&n| {
+            tx.node_property(n, "score")
+                .unwrap()
+                .and_then(|v| v.as_int())
+                .is_some_and(|s| (5..=12).contains(&s))
+        })
+        .collect();
+    truth.sort();
+    assert_eq!(range_ids(&tx, 5, 12, true), truth);
+}
+
+// Property-based churn: random value moves and deletions across many
+// commits, with vacuum GC interleaved and snapshots pinned at random
+// points. At every pinned snapshot — checked both mid-churn and after
+// all of it — the pushed-down range scan must equal the decode-filter
+// scan *and* a brute-force recomputation from per-node reads.
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn churned_range_scans_agree(
+            ops in proptest::collection::vec((0..24usize, -10i64..30, 0..6usize), 10..60),
+            lo in -5i64..10,
+            width in 0i64..20,
+        ) {
+            let dir = TempDir::new("range_prop");
+            let db = open(&dir);
+            let hi = lo + width;
+
+            let mut tx = db.begin();
+            let nodes: Vec<NodeId> = (0..24)
+                .map(|i| {
+                    tx.create_node(&["P"], &[("score", PropertyValue::Int(i as i64))])
+                        .unwrap()
+                })
+                .collect();
+            tx.commit().unwrap();
+            let mut alive = vec![true; nodes.len()];
+
+            let mut pinned: Vec<(Transaction, Vec<NodeId>)> = Vec::new();
+            for (i, &(slot, value, kind)) in ops.iter().enumerate() {
+                let node = nodes[slot];
+                let delete = kind == 0; // one in six ops deletes
+                let mut w = db.begin();
+                if delete && alive[slot] {
+                    w.delete_node(node).unwrap();
+                    alive[slot] = false;
+                } else if alive[slot] {
+                    w.set_node_property(node, "score", PropertyValue::Int(value))
+                        .unwrap();
+                }
+                w.commit().unwrap();
+                if i % 5 == 0 {
+                    db.run_gc_vacuum();
+                } else if i % 7 == 0 {
+                    db.run_gc();
+                }
+                if i % 4 == 0 {
+                    // Pin a snapshot and remember its ground truth now;
+                    // later churn and GC must not change what it reads.
+                    let snap = db.txn().read_only().begin();
+                    let truth = brute_force(&snap, &nodes, lo, hi);
+                    // Mid-churn check while the snapshot is fresh.
+                    prop_assert_eq!(&range_ids(&snap, lo, hi, true), &truth);
+                    pinned.push((snap, truth));
+                }
+            }
+            db.run_gc_vacuum();
+
+            // Every pinned snapshot still reads exactly its ground truth,
+            // through both execution paths and across chunk sizes.
+            for (snap, truth) in &pinned {
+                prop_assert_eq!(&range_ids(snap, lo, hi, true), truth);
+                prop_assert_eq!(&range_ids(snap, lo, hi, false), truth);
+                let chunk1 = sorted(
+                    snap.query()
+                        .filter_property_range(
+                            "score",
+                            PropertyValue::Int(lo)..=PropertyValue::Int(hi),
+                        )
+                        .chunk_size(1)
+                        .ids()
+                        .unwrap(),
+                );
+                prop_assert_eq!(&chunk1, truth);
+            }
+            // And a fresh snapshot agrees with brute force post-churn.
+            let fresh = db.txn().read_only().begin();
+            let truth = brute_force(&fresh, &nodes, lo, hi);
+            prop_assert_eq!(&range_ids(&fresh, lo, hi, true), &truth);
+            prop_assert_eq!(&range_ids(&fresh, lo, hi, false), &truth);
+        }
+}
+
+/// Ground truth for one snapshot: per-node point reads, no index involved.
+fn brute_force(tx: &Transaction, nodes: &[NodeId], lo: i64, hi: i64) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|&n| {
+            tx.node_exists(n).unwrap()
+                && tx
+                    .node_property(n, "score")
+                    .unwrap()
+                    .and_then(|v| v.as_int())
+                    .is_some_and(|s| (lo..=hi).contains(&s))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Half-open and typed bounds behave identically on both paths, including
+/// floats (whose index keys sort numerically) and cross-type graphs.
+#[test]
+fn typed_and_half_open_bounds_agree_across_paths() {
+    let dir = TempDir::new("range_typed");
+    let db = open(&dir);
+    let mut tx = db.begin();
+    for i in 0..10i64 {
+        tx.create_node(&["T"], &[("v", PropertyValue::Int(i))])
+            .unwrap();
+    }
+    for x in [-2.5f64, -0.5, 0.0, 1.5, 9.75] {
+        tx.create_node(&["T"], &[("v", PropertyValue::Float(x))])
+            .unwrap();
+    }
+    for s in ["alpha", "beta", "gamma"] {
+        tx.create_node(&["T"], &[("v", PropertyValue::String(s.into()))])
+            .unwrap();
+    }
+    tx.commit().unwrap();
+
+    let tx = db.txn().read_only().begin();
+    let both = |q: fn() -> (Bound<PropertyValue>, Bound<PropertyValue>)| {
+        let pushed = sorted(tx.query().filter_property_range("v", q()).ids().unwrap());
+        let decoded = sorted(
+            tx.query()
+                .filter_property_range("v", q())
+                .pushdown(false)
+                .ids()
+                .unwrap(),
+        );
+        assert_eq!(pushed, decoded);
+        pushed
+    };
+
+    // v >= 4 (ints only: half-open stays in the bound's type).
+    let ge4 = both(|| (Bound::Included(PropertyValue::Int(4)), Bound::Unbounded));
+    assert_eq!(ge4.len(), 6);
+    // v < 2 (ints only).
+    let lt2 = both(|| (Bound::Unbounded, Bound::Excluded(PropertyValue::Int(2))));
+    assert_eq!(lt2.len(), 2);
+    // Float range straddling zero: negatives must order correctly.
+    let floats = both(|| {
+        (
+            Bound::Included(PropertyValue::Float(-1.0)),
+            Bound::Included(PropertyValue::Float(2.0)),
+        )
+    });
+    assert_eq!(floats.len(), 3, "-0.5, 0.0 and 1.5");
+    // String range.
+    let strings = both(|| {
+        (
+            Bound::Included(PropertyValue::String("b".into())),
+            Bound::Unbounded,
+        )
+    });
+    assert_eq!(strings.len(), 2, "beta and gamma");
+    // Fully open = has the property at all, every type.
+    let any = both(|| (Bound::Unbounded, Bound::Unbounded));
+    assert_eq!(any.len(), 18);
+
+    // The transaction-level scan surface agrees with the query builder.
+    let direct: Vec<NodeId> = tx
+        .nodes_with_property_range("v", PropertyValue::Int(4)..)
+        .unwrap()
+        .collect::<graphsi_core::Result<_>>()
+        .unwrap();
+    assert_eq!(sorted(direct), ge4);
+}
