@@ -213,16 +213,26 @@ impl GraphDb {
     }
 
     /// Runs `f` inside a read-write transaction, committing afterwards and
-    /// retrying (with capped exponential backoff) when the attempt fails
-    /// with a retryable concurrency conflict — a write-write conflict,
-    /// deadlock or lock timeout. Non-conflict errors are returned
-    /// immediately; after [`Self::WRITE_RETRY_LIMIT`] conflicts the last
-    /// conflict error is returned.
+    /// retrying when the attempt fails with a retryable concurrency
+    /// conflict — a write-write conflict, deadlock or lock timeout.
+    ///
+    /// The backoff between attempts uses capped **decorrelated jitter**:
+    /// each retry sleeps a uniformly random duration drawn from
+    /// `[base, 3 × previous sleep]`, capped at
+    /// [`Self::WRITE_RETRY_BACKOFF_CAP_US`]. A deterministic schedule
+    /// would wake every colliding session at the same instant and make
+    /// them collide again in lockstep; the jitter spreads them out.
+    /// Retries and total backoff time are visible as the `write_retries`
+    /// / `write_retry_backoff_us` metrics.
+    ///
+    /// Non-conflict errors are returned immediately; after
+    /// [`Self::WRITE_RETRY_LIMIT`] conflicts the last conflict error is
+    /// returned.
     pub fn write_with_retry<R>(
         &self,
         mut f: impl FnMut(&mut Transaction) -> Result<R>,
     ) -> Result<R> {
-        let mut backoff_us = 50u64;
+        let mut sleep_us = Self::WRITE_RETRY_BACKOFF_BASE_US;
         let mut attempt = 0;
         loop {
             attempt += 1;
@@ -231,16 +241,29 @@ impl GraphDb {
             match result {
                 Ok(value) => return Ok(value),
                 Err(e) if e.is_conflict() && attempt < Self::WRITE_RETRY_LIMIT => {
-                    std::thread::sleep(Duration::from_micros(backoff_us));
-                    backoff_us = (backoff_us * 2).min(5_000);
+                    sleep_us = jitter_between(
+                        Self::WRITE_RETRY_BACKOFF_BASE_US,
+                        (sleep_us.saturating_mul(3)).min(Self::WRITE_RETRY_BACKOFF_CAP_US),
+                    );
+                    self.inner.metrics.record_write_retry(sleep_us);
+                    std::thread::sleep(Duration::from_micros(sleep_us));
                 }
                 Err(e) => return Err(e),
             }
         }
     }
 
-    /// Maximum attempts made by [`GraphDb::write_with_retry`].
-    pub const WRITE_RETRY_LIMIT: u32 = 16;
+    /// Maximum attempts made by [`GraphDb::write_with_retry`]. Jittered
+    /// attempts are cheap (the loser of a first-updater conflict aborts
+    /// immediately), so the limit is sized for sustained contention on a
+    /// single hot key rather than for the common two-party collision.
+    pub const WRITE_RETRY_LIMIT: u32 = 32;
+
+    /// Smallest backoff sleep of [`GraphDb::write_with_retry`], in µs.
+    pub const WRITE_RETRY_BACKOFF_BASE_US: u64 = 50;
+
+    /// Largest backoff sleep of [`GraphDb::write_with_retry`], in µs.
+    pub const WRITE_RETRY_BACKOFF_CAP_US: u64 = 5_000;
 
     /// The newest commit timestamp whose effects are fully installed and
     /// therefore readable. This is what new transactions snapshot at.
@@ -1313,6 +1336,30 @@ fn rel_endpoints(write_set: &WriteSet, id: RelationshipId) -> Option<(NodeId, No
     })
 }
 
+/// A uniformly random value in `[lo, hi]` from a cheap thread-local
+/// SplitMix64 generator (seeded per thread from `RandomState`), used for
+/// the decorrelated retry jitter. Deliberately not seedable: two sessions
+/// must never share a sequence, or their backoffs re-align.
+fn jitter_between(lo: u64, hi: u64) -> u64 {
+    use std::cell::Cell;
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+
+    if hi <= lo {
+        return lo;
+    }
+    thread_local! {
+        static STATE: Cell<u64> = Cell::new(RandomState::new().build_hasher().finish());
+    }
+    STATE.with(|state| {
+        let mut z = state.get().wrapping_add(0x9e37_79b9_7f4a_7c15);
+        state.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        lo + (z ^ (z >> 31)) % (hi - lo + 1)
+    })
+}
+
 /// The newer of two optional timestamps.
 fn max_ts(a: Option<Timestamp>, b: Option<Timestamp>) -> Option<Timestamp> {
     match (a, b) {
@@ -1389,6 +1436,21 @@ mod tests {
             .write_with_retry(|tx| tx.create_node(&["W"], &[]))
             .unwrap();
         assert!(db.read(|tx| tx.node_exists(node)).unwrap());
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds_and_varies() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let v = jitter_between(50, 5_000);
+            assert!((50..=5_000).contains(&v));
+            seen.insert(v);
+        }
+        // A degenerate (constant) generator would defeat the whole point
+        // of decorrelated jitter.
+        assert!(seen.len() > 32, "jitter draws must vary: {}", seen.len());
+        assert_eq!(jitter_between(7, 7), 7);
+        assert_eq!(jitter_between(9, 3), 9, "inverted range clamps to lo");
     }
 
     #[test]

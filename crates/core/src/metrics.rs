@@ -28,6 +28,8 @@ pub struct DbMetrics {
     predicate_pushdowns: AtomicU64,
     decode_filter_fallbacks: AtomicU64,
     property_decodes: AtomicU64,
+    write_retries: AtomicU64,
+    write_retry_backoff_us: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DbMetrics`].
@@ -105,6 +107,49 @@ pub struct DbMetricsSnapshot {
     /// performs none of these, a decode fallback pays one per candidate
     /// scanned.
     pub property_decodes: u64,
+    /// Conflict retries performed by [`crate::GraphDb::write_with_retry`]
+    /// (one per aborted-and-retried attempt, across all callers).
+    pub write_retries: u64,
+    /// Total microseconds [`crate::GraphDb::write_with_retry`] spent
+    /// sleeping in its jittered backoff. Together with `write_retries`
+    /// this exposes how much wall-clock contention costs writers.
+    pub write_retry_backoff_us: u64,
+}
+
+/// Applies a macro to every counter of [`DbMetricsSnapshot`], by name.
+/// Both halves of the text codec expand from this one list, and an
+/// exhaustive destructuring check below makes a snapshot field that is
+/// missing from the list a compile error instead of a counter that
+/// silently falls out of the wire format.
+macro_rules! for_each_counter {
+    ($m:ident) => {
+        $m! {
+            begins,
+            commits,
+            read_only_commits,
+            rollbacks,
+            conflict_aborts,
+            reads,
+            writes,
+            gc_runs,
+            versions_reclaimed,
+            chunk_refills,
+            candidate_buffer_peak,
+            shard_key_buffer_peak,
+            cursor_restarts,
+            wal_syncs,
+            group_commit_batches,
+            group_commit_batch_size_max,
+            store_apply_shard_conflicts,
+            store_apply_concurrency_peak,
+            wal_abort_records,
+            predicate_pushdowns,
+            decode_filter_fallbacks,
+            property_decodes,
+            write_retries,
+            write_retry_backoff_us
+        }
+    };
 }
 
 impl DbMetricsSnapshot {
@@ -117,7 +162,74 @@ impl DbMetricsSnapshot {
             self.conflict_aborts as f64 / finished as f64
         }
     }
+
+    /// Encodes the snapshot in the stable plaintext metrics format: one
+    /// `name value` line per counter, in a fixed order. This is the format
+    /// the server's `METRICS` command emits (with its own `server_*` lines
+    /// alongside) and the format scrapers should parse; it round-trips
+    /// through [`DbMetricsSnapshot::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        macro_rules! emit {
+            ($($field:ident),*) => {
+                $(
+                    out.push_str(stringify!($field));
+                    out.push(' ');
+                    out.push_str(&self.$field.to_string());
+                    out.push('\n');
+                )*
+            };
+        }
+        for_each_counter!(emit);
+        out
+    }
+
+    /// Parses the plaintext metrics format produced by
+    /// [`DbMetricsSnapshot::to_text`]. Blank lines and `#` comment lines
+    /// are skipped; unknown counter names are ignored (so a scraper built
+    /// against this version keeps working when later versions add
+    /// counters); counters absent from the text stay zero. A line that is
+    /// not `name value` with an unsigned integer value is an error.
+    pub fn from_text(text: &str) -> std::result::Result<Self, String> {
+        let mut snapshot = DbMetricsSnapshot::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed metrics line {line:?}"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("non-integer value in metrics line {line:?}"))?;
+            macro_rules! assign {
+                ($($field:ident),*) => {
+                    match name {
+                        $(stringify!($field) => snapshot.$field = value,)*
+                        _ => {}
+                    }
+                };
+            }
+            for_each_counter!(assign);
+        }
+        Ok(snapshot)
+    }
 }
+
+// The exhaustiveness guard behind `for_each_counter!`: destructuring
+// without `..` stops compiling the moment a new snapshot field is not in
+// the list.
+macro_rules! counter_list_guard {
+    ($($field:ident),*) => {
+        #[allow(dead_code)]
+        fn _counter_list_is_exhaustive(s: DbMetricsSnapshot) {
+            let DbMetricsSnapshot { $($field: _,)* } = s;
+        }
+    };
+}
+for_each_counter!(counter_list_guard);
 
 impl DbMetrics {
     /// Creates zeroed metrics.
@@ -217,6 +329,14 @@ impl DbMetrics {
         self.property_decodes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one conflict retry of `write_with_retry` and the jittered
+    /// backoff it is about to sleep.
+    pub(crate) fn record_write_retry(&self, backoff_us: u64) {
+        self.write_retries.fetch_add(1, Ordering::Relaxed);
+        self.write_retry_backoff_us
+            .fetch_add(backoff_us, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of every counter.
     pub fn snapshot(&self) -> DbMetricsSnapshot {
         DbMetricsSnapshot {
@@ -242,6 +362,8 @@ impl DbMetrics {
             predicate_pushdowns: self.predicate_pushdowns.load(Ordering::Relaxed),
             decode_filter_fallbacks: self.decode_filter_fallbacks.load(Ordering::Relaxed),
             property_decodes: self.property_decodes.load(Ordering::Relaxed),
+            write_retries: self.write_retries.load(Ordering::Relaxed),
+            write_retry_backoff_us: self.write_retry_backoff_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -283,6 +405,8 @@ mod tests {
         m.record_property_decode();
         m.record_property_decode();
         m.record_property_decode();
+        m.record_write_retry(50);
+        m.record_write_retry(120);
         let s = m.snapshot();
         assert_eq!(s.begins, 2);
         assert_eq!(s.commits, 2);
@@ -306,6 +430,55 @@ mod tests {
         assert_eq!(s.predicate_pushdowns, 1);
         assert_eq!(s.decode_filter_fallbacks, 2);
         assert_eq!(s.property_decodes, 3);
+        assert_eq!(s.write_retries, 2);
+        assert_eq!(s.write_retry_backoff_us, 170, "backoff is a sum");
+    }
+
+    /// Gives every counter a distinct non-zero value, so a counter the
+    /// text codec dropped or mixed up cannot round-trip.
+    fn distinct_snapshot() -> DbMetricsSnapshot {
+        let mut s = DbMetricsSnapshot::default();
+        let mut next = 1u64;
+        macro_rules! fill {
+            ($($field:ident),*) => {
+                $(
+                    s.$field = next;
+                    next += 1;
+                )*
+            };
+        }
+        for_each_counter!(fill);
+        s
+    }
+
+    #[test]
+    fn text_encoding_round_trips_every_counter() {
+        let s = distinct_snapshot();
+        let text = s.to_text();
+        let parsed = DbMetricsSnapshot::from_text(&text).unwrap();
+        assert_eq!(parsed, s);
+        // Stable shape: one `name value` line per counter, no extras.
+        for line in text.lines() {
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            value.parse::<u64>().expect("integer value");
+        }
+    }
+
+    #[test]
+    fn text_parsing_skips_comments_and_unknown_counters() {
+        let text = "# scraped 2026-08-08\n\ncommits 7\nserver_sessions_active 3\nreads 2\n";
+        let parsed = DbMetricsSnapshot::from_text(text).unwrap();
+        assert_eq!(parsed.commits, 7);
+        assert_eq!(parsed.reads, 2);
+        assert_eq!(parsed.begins, 0, "absent counters stay zero");
+    }
+
+    #[test]
+    fn text_parsing_rejects_malformed_lines() {
+        assert!(DbMetricsSnapshot::from_text("commits").is_err());
+        assert!(DbMetricsSnapshot::from_text("commits seven").is_err());
+        assert!(DbMetricsSnapshot::from_text("commits -3").is_err());
     }
 
     #[test]

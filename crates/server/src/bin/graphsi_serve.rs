@@ -1,0 +1,109 @@
+//! `graphsi-serve` — stand-alone graphsi server.
+//!
+//! ```text
+//! graphsi-serve --dir ./data --addr 127.0.0.1:7687 \
+//!     --read-workers 2 --write-workers 2 --queue-depth 64 \
+//!     --max-sessions 1024 --idle-timeout-ms 30000
+//! ```
+//!
+//! Opens (or creates) the database under `--dir` and serves it until the
+//! process is killed. Flags are parsed by hand — the tree takes no
+//! external dependencies.
+
+use std::time::Duration;
+
+use graphsi_core::{DbConfig, GraphDb};
+use graphsi_server::{Server, ServerConfig};
+
+struct Args {
+    dir: String,
+    addr: String,
+    config: ServerConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphsi-serve --dir <path> [--addr <host:port>] [--read-workers <n>]\n\
+         \u{20}       [--write-workers <n>] [--queue-depth <n>] [--max-sessions <n>]\n\
+         \u{20}       [--idle-timeout-ms <n>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: String::new(),
+        addr: "127.0.0.1:7687".into(),
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--dir" => args.dir = value("--dir"),
+            "--addr" => args.addr = value("--addr"),
+            "--read-workers" => args.config.read_workers = parse_num(&value("--read-workers")),
+            "--write-workers" => args.config.write_workers = parse_num(&value("--write-workers")),
+            "--queue-depth" => args.config.queue_depth = parse_num(&value("--queue-depth")),
+            "--max-sessions" => args.config.max_sessions = parse_num(&value("--max-sessions")),
+            "--idle-timeout-ms" => {
+                args.config.idle_timeout =
+                    Duration::from_millis(parse_num::<u64>(&value("--idle-timeout-ms")))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    if args.dir.is_empty() {
+        eprintln!("--dir is required");
+        usage()
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number: {s}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let db = match GraphDb::open(&args.dir, DbConfig::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to open database at {}: {e}", args.dir);
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::bind(db, &args.addr, args.config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "graphsi-serve listening on {} (read workers {}, write workers {}, queue depth {}, \
+         max sessions {}, idle timeout {:?})",
+        server.local_addr(),
+        args.config.read_workers,
+        args.config.write_workers,
+        args.config.queue_depth,
+        args.config.max_sessions,
+        args.config.idle_timeout,
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,245 @@
+//! Saturation and latency metrics of the serving layer.
+//!
+//! The database's own counters live in `graphsi_core::metrics`; this
+//! module tracks what only the server can see — session churn, admission
+//! rejections, queue depth and per-request latency. The `METRICS` command
+//! concatenates both: the database counters first (in
+//! `DbMetricsSnapshot::to_text` format, so the core's `from_text` parser
+//! round-trips on the combined dump and simply ignores the prefixed
+//! server lines), then one `server_*` line per counter here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` counts requests
+/// whose latency in microseconds satisfies `2^i <= us < 2^(i+1)` (bucket
+/// 0 also absorbs sub-microsecond requests, the last bucket absorbs
+/// everything slower).
+pub const LATENCY_BUCKETS: usize = 28;
+
+/// Shared, lock-free counters of one running server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Currently connected sessions.
+    sessions_active: AtomicU64,
+    /// Sessions accepted since startup.
+    sessions_total: AtomicU64,
+    /// Connections rejected at accept time (session limit).
+    rejected_sessions: AtomicU64,
+    /// Requests executed (whether they succeeded or failed).
+    requests_total: AtomicU64,
+    /// Requests rejected with `OVERLOADED` (admission queue full).
+    rejected_overload: AtomicU64,
+    /// Transactions aborted by the idle-session sweeper.
+    idle_timeout_aborts: AtomicU64,
+    /// Transactions rolled back because the client disconnected mid-txn.
+    disconnect_rollbacks: AtomicU64,
+    /// High-water mark of queued-but-not-yet-executing requests.
+    queue_depth_peak: AtomicU64,
+    /// Log2 latency histogram over executed requests (µs).
+    latency_us: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn session_opened(&self) {
+        self.sessions_active.fetch_add(1, Ordering::Relaxed);
+        self.sessions_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn session_closed(&self) {
+        self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_session(&self) {
+        self.rejected_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_idle_timeout_abort(&self) {
+        self.idle_timeout_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_disconnect_rollback(&self) {
+        self.disconnect_rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one executed request and its latency.
+    pub(crate) fn record_request(&self, latency_us: u64) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let bucket = (63 - latency_us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        let mut latency_us = [0u64; LATENCY_BUCKETS];
+        for (out, bucket) in latency_us.iter_mut().zip(&self.latency_us) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        ServerMetricsSnapshot {
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            rejected_sessions: self.rejected_sessions.load(Ordering::Relaxed),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            idle_timeout_aborts: self.idle_timeout_aborts.load(Ordering::Relaxed),
+            disconnect_rollbacks: self.disconnect_rollbacks.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            latency_us,
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServerMetrics`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerMetricsSnapshot {
+    /// Currently connected sessions.
+    pub sessions_active: u64,
+    /// Sessions accepted since startup.
+    pub sessions_total: u64,
+    /// Connections rejected at accept time (session limit).
+    pub rejected_sessions: u64,
+    /// Requests executed (whether they succeeded or failed).
+    pub requests_total: u64,
+    /// Requests rejected with `OVERLOADED` (admission queue full).
+    pub rejected_overload: u64,
+    /// Transactions aborted by the idle-session sweeper.
+    pub idle_timeout_aborts: u64,
+    /// Transactions rolled back because the client disconnected mid-txn.
+    pub disconnect_rollbacks: u64,
+    /// High-water mark of queued-but-not-yet-executing requests.
+    pub queue_depth_peak: u64,
+    /// Log2 latency histogram over executed requests (µs).
+    pub latency_us: [u64; LATENCY_BUCKETS],
+}
+
+impl ServerMetricsSnapshot {
+    /// Approximates the latency percentile `p` (0.0–1.0) in microseconds
+    /// from the histogram: the upper edge of the bucket the percentile
+    /// falls into. Returns 0 with no samples.
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        let total: u64 = self.latency_us.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, count) in self.latency_us.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Encodes the snapshot as `server_<name> <value>` lines, matching
+    /// the shape of `DbMetricsSnapshot::to_text`. Histogram buckets are
+    /// emitted as `server_latency_us_le_<upper>` cumulative counts.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut line = |name: &str, value: u64| {
+            out.push_str("server_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        };
+        line("sessions_active", self.sessions_active);
+        line("sessions_total", self.sessions_total);
+        line("rejected_sessions", self.rejected_sessions);
+        line("requests_total", self.requests_total);
+        line("rejected_overload", self.rejected_overload);
+        line("idle_timeout_aborts", self.idle_timeout_aborts);
+        line("disconnect_rollbacks", self.disconnect_rollbacks);
+        line("queue_depth_peak", self.queue_depth_peak);
+        let mut cumulative = 0u64;
+        for (i, count) in self.latency_us.iter().enumerate() {
+            cumulative += count;
+            line(&format!("latency_us_le_{}", 1u64 << (i + 1)), cumulative);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latencies_land_in_log2_buckets() {
+        let m = ServerMetrics::new();
+        m.record_request(0); // clamps into bucket 0
+        m.record_request(1); // bucket 0
+        m.record_request(2); // bucket 1
+        m.record_request(3); // bucket 1
+        m.record_request(1024); // bucket 10
+        let s = m.snapshot();
+        assert_eq!(s.requests_total, 5);
+        assert_eq!(s.latency_us[0], 2);
+        assert_eq!(s.latency_us[1], 2);
+        assert_eq!(s.latency_us[10], 1);
+        assert_eq!(s.latency_us.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn huge_latency_clamps_into_last_bucket() {
+        let m = ServerMetrics::new();
+        m.record_request(u64::MAX);
+        assert_eq!(m.snapshot().latency_us[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn percentiles_walk_the_histogram() {
+        let m = ServerMetrics::new();
+        for _ in 0..99 {
+            m.record_request(10); // bucket 3, upper edge 16
+        }
+        m.record_request(100_000); // bucket 16, upper edge 131072
+        let s = m.snapshot();
+        assert_eq!(s.latency_percentile_us(0.5), 16);
+        assert_eq!(s.latency_percentile_us(0.99), 16);
+        assert_eq!(s.latency_percentile_us(1.0), 131_072);
+        assert_eq!(
+            ServerMetricsSnapshot::default().latency_percentile_us(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn queue_depth_keeps_the_peak() {
+        let m = ServerMetrics::new();
+        m.record_queue_depth(3);
+        m.record_queue_depth(9);
+        m.record_queue_depth(5);
+        assert_eq!(m.snapshot().queue_depth_peak, 9);
+    }
+
+    #[test]
+    fn text_dump_prefixes_every_line_with_server() {
+        let m = ServerMetrics::new();
+        m.session_opened();
+        m.record_request(7);
+        m.record_rejected_overload();
+        let text = m.snapshot().to_text();
+        assert!(text.lines().count() >= 8 + LATENCY_BUCKETS);
+        for l in text.lines() {
+            assert!(l.starts_with("server_"), "line missing prefix: {l}");
+            assert_eq!(l.split(' ').count(), 2);
+        }
+        assert!(text.contains("server_sessions_active 1\n"));
+        assert!(text.contains("server_requests_total 1\n"));
+        assert!(text.contains("server_rejected_overload 1\n"));
+    }
+}

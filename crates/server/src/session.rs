@@ -1,0 +1,619 @@
+//! Per-client session state machines.
+//!
+//! A session owns at most one open [`Transaction`] — the server-side
+//! image of the paper's client transaction. The `Transaction` type was
+//! built for exactly this: it is owned, `Send + 'static`, and rolls
+//! itself back on drop, so a session that dies with a transaction open
+//! (client disconnect, idle timeout) releases its locks simply by
+//! dropping the state.
+//!
+//! With no transaction open, requests autocommit: reads run under
+//! `GraphDb::read` (a read-only snapshot that never touches the lock
+//! manager) and writes under `GraphDb::write_with_retry` (which absorbs
+//! transient write-write conflicts with jittered backoff). Inside an
+//! explicit `BEGIN … COMMIT`, conflicts are *not* retried server-side —
+//! the client has seen snapshot state and must decide itself, so they
+//! surface as typed `CONFLICT` errors exactly as the paper's
+//! first-updater-wins rule dictates.
+
+use std::time::Instant;
+
+use graphsi_core::{
+    DbError, GraphDb, NodeId, PropertyValue, RelationshipId, Result, Row, Transaction,
+};
+use parking_lot::Mutex;
+
+use crate::protocol::{ErrorCode, Request, Response, WireNode, WireRow};
+
+/// One connected client's server-side state.
+pub(crate) struct Session {
+    /// The mutable state; the connection thread and the sweeper contend
+    /// for this lock (the sweeper only ever `try_lock`s, so it can never
+    /// stall a live session).
+    pub(crate) inner: Mutex<SessionInner>,
+}
+
+/// The lock-protected part of a [`Session`].
+pub(crate) struct SessionInner {
+    /// The open explicit transaction, if any.
+    pub(crate) txn: Option<Transaction>,
+    /// Whether the open transaction was begun read-only (routing hint:
+    /// read-only sessions stay off the write pool).
+    pub(crate) txn_read_only: bool,
+    /// Set by the sweeper when it aborts an idle transaction; the next
+    /// request on the session reports `IDLE_TIMEOUT` once, then clears.
+    pub(crate) timed_out: bool,
+    /// Last time the session executed a request (sweeper input).
+    pub(crate) last_activity: Instant,
+}
+
+impl Session {
+    pub(crate) fn new() -> Self {
+        Session {
+            inner: Mutex::new(SessionInner {
+                txn: None,
+                txn_read_only: false,
+                timed_out: false,
+                last_activity: Instant::now(),
+            }),
+        }
+    }
+
+    /// True when the session holds an open read-write transaction — such
+    /// requests must stay on the write pool even if the individual
+    /// request is a read, because the transaction may hold locks.
+    pub(crate) fn holds_write_txn(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.txn.is_some() && !inner.txn_read_only
+    }
+
+    /// Executes one request against this session.
+    pub(crate) fn execute(&self, db: &GraphDb, request: Request) -> Response {
+        let mut inner = self.inner.lock();
+        inner.last_activity = Instant::now();
+
+        // Surface a sweeper abort exactly once, instead of confusing the
+        // client with an InvalidState on its next COMMIT.
+        if inner.timed_out {
+            inner.timed_out = false;
+            return Response::Error {
+                code: ErrorCode::IdleTimeout,
+                message: "transaction aborted after idle timeout; its locks were released".into(),
+            };
+        }
+
+        match request {
+            Request::Begin {
+                read_only,
+                isolation,
+            } => {
+                if inner.txn.is_some() {
+                    return invalid_state("a transaction is already open on this session");
+                }
+                let mut opts = db.txn().isolation(isolation);
+                if read_only {
+                    opts = opts.read_only();
+                }
+                inner.txn = Some(opts.begin());
+                inner.txn_read_only = read_only;
+                Response::Ok
+            }
+            Request::Commit => match inner.txn.take() {
+                None => invalid_state("no transaction open on this session"),
+                Some(txn) => match txn.commit() {
+                    Ok(ts) => Response::Committed {
+                        commit_ts: ts.raw(),
+                    },
+                    Err(e) => error_response(&e),
+                },
+            },
+            Request::Rollback => match inner.txn.take() {
+                None => invalid_state("no transaction open on this session"),
+                Some(txn) => {
+                    txn.rollback();
+                    Response::Ok
+                }
+            },
+            request => match inner.txn.as_mut() {
+                Some(txn) => Self::execute_in_txn(txn, request),
+                None => Self::execute_autocommit(db, request),
+            },
+        }
+    }
+
+    /// Runs a data request inside the session's open transaction.
+    fn execute_in_txn(txn: &mut Transaction, request: Request) -> Response {
+        match apply(txn, request) {
+            Ok(response) => response,
+            Err(e) => error_response(&e),
+        }
+    }
+
+    /// Runs a data request with no open transaction: single-shot
+    /// autocommit. Reads take the no-lock snapshot path; writes go
+    /// through the retry loop so transient conflicts between autocommit
+    /// writers never reach the client.
+    fn execute_autocommit(db: &GraphDb, request: Request) -> Response {
+        let result = if request_is_read(&request) {
+            db.read(|txn| {
+                // `apply` needs `&mut` only for the write ops, which
+                // `request_is_read` already excluded.
+                apply_read(txn, request.clone())
+            })
+        } else {
+            db.write_with_retry(|txn| apply(txn, request.clone()))
+        };
+        match result {
+            Ok(response) => response,
+            Err(e) => error_response(&e),
+        }
+    }
+
+    /// Called by the sweeper (with `inner` already locked) when the
+    /// session idled past the deadline with a transaction open. Drops the
+    /// transaction — `Transaction::drop` rolls it back, releasing every
+    /// lock it held.
+    pub(crate) fn abort_idle(inner: &mut SessionInner) {
+        inner.txn = None;
+        inner.txn_read_only = false;
+        inner.timed_out = true;
+    }
+}
+
+/// True for requests that never write (safe on a read-only snapshot).
+pub(crate) fn request_is_read(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::GetNode { .. }
+            | Request::NodeProperty { .. }
+            | Request::LabelQuery { .. }
+            | Request::RangeQuery { .. }
+    )
+}
+
+/// Executes one data request against a transaction.
+fn apply(txn: &mut Transaction, request: Request) -> Result<Response> {
+    match request {
+        Request::CreateNode { labels, properties } => {
+            let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            let prop_refs: Vec<(&str, PropertyValue)> = properties
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            let id = txn.create_node(&label_refs, &prop_refs)?;
+            Ok(Response::NodeId { id: id.raw() })
+        }
+        Request::SetNodeProperty { id, key, value } => {
+            txn.set_node_property(NodeId::new(id), &key, value)?;
+            Ok(Response::Ok)
+        }
+        Request::RemoveNodeProperty { id, key } => {
+            txn.remove_node_property(NodeId::new(id), &key)?;
+            Ok(Response::Ok)
+        }
+        Request::DeleteNode { id } => {
+            txn.delete_node(NodeId::new(id))?;
+            Ok(Response::Ok)
+        }
+        Request::CreateRelationship {
+            source,
+            target,
+            rel_type,
+            properties,
+        } => {
+            let prop_refs: Vec<(&str, PropertyValue)> = properties
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            let id = txn.create_relationship(
+                NodeId::new(source),
+                NodeId::new(target),
+                &rel_type,
+                &prop_refs,
+            )?;
+            Ok(Response::RelationshipId { id: id.raw() })
+        }
+        Request::DeleteRelationship { id } => {
+            txn.delete_relationship(RelationshipId::new(id))?;
+            Ok(Response::Ok)
+        }
+        read => apply_read(txn, read),
+    }
+}
+
+/// Executes one read request (the subset valid on `&Transaction`).
+fn apply_read(txn: &Transaction, request: Request) -> Result<Response> {
+    match request {
+        Request::GetNode { id } => {
+            let node = txn.get_node(NodeId::new(id))?.map(|n| WireNode {
+                id: n.id.raw(),
+                labels: n.labels,
+                properties: n.properties.into_iter().collect(),
+            });
+            Ok(Response::Node { node })
+        }
+        Request::NodeProperty { id, key } => {
+            let value = txn.node_property(NodeId::new(id), &key)?;
+            Ok(Response::Value { value })
+        }
+        Request::LabelQuery {
+            label,
+            limit,
+            projection,
+        } => {
+            let mut q = txn.query().nodes_with_label(&label);
+            if limit > 0 {
+                q = q.limit(limit as usize);
+            }
+            if !projection.is_empty() {
+                q = q.project(projection);
+            }
+            Ok(rows_response(q.rows()?))
+        }
+        Request::RangeQuery {
+            key,
+            lo,
+            hi,
+            limit,
+            projection,
+        } => {
+            let mut q = txn.query();
+            q = match (lo, hi) {
+                (Some(lo), Some(hi)) => q.filter_property_range(&key, lo..=hi),
+                (Some(lo), None) => q.filter_property_range(&key, lo..),
+                (None, Some(hi)) => q.filter_property_range(&key, ..=hi),
+                (None, None) => {
+                    return Err(DbError::InvalidQuery(
+                        "range query needs at least one bound".into(),
+                    ))
+                }
+            };
+            if limit > 0 {
+                q = q.limit(limit as usize);
+            }
+            if !projection.is_empty() {
+                q = q.project(projection);
+            }
+            Ok(rows_response(q.rows()?))
+        }
+        Request::Sleep { ms } => {
+            std::thread::sleep(std::time::Duration::from_millis(u64::from(ms)));
+            Ok(Response::Ok)
+        }
+        other => Err(DbError::InvalidQuery(format!(
+            "request not valid here: {other:?}"
+        ))),
+    }
+}
+
+fn rows_response(rows: Vec<Row>) -> Response {
+    Response::Rows {
+        rows: rows
+            .into_iter()
+            .map(|r| WireRow {
+                node: r.node.raw(),
+                rel: r.rel.map(RelationshipId::raw),
+                properties: r.properties,
+            })
+            .collect(),
+    }
+}
+
+fn invalid_state(message: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::InvalidState,
+        message: message.into(),
+    }
+}
+
+/// Maps a database error onto the wire's stable error classes.
+pub(crate) fn error_response(e: &DbError) -> Response {
+    let code = if e.is_conflict() {
+        ErrorCode::Conflict
+    } else {
+        match e {
+            DbError::NodeNotFound(_) | DbError::RelationshipNotFound(_) => ErrorCode::NotFound,
+            DbError::ReadOnlyTransaction => ErrorCode::ReadOnly,
+            DbError::TransactionClosed => ErrorCode::InvalidState,
+            DbError::InvalidQuery(_) | DbError::ReservedName(_) => ErrorCode::Protocol,
+            _ => ErrorCode::Internal,
+        }
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphsi_core::{DbConfig, IsolationLevel};
+    use graphsi_storage::test_util::TempDir;
+
+    fn open_db(name: &str) -> (TempDir, GraphDb) {
+        let dir = TempDir::new(name);
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        (dir, db)
+    }
+
+    #[test]
+    fn autocommit_create_and_read_round_trip() {
+        let (_dir, db) = open_db("session_autocommit");
+        let session = Session::new();
+        let resp = session.execute(
+            &db,
+            Request::CreateNode {
+                labels: vec!["Person".into()],
+                properties: vec![("age".into(), PropertyValue::Int(30))],
+            },
+        );
+        let Response::NodeId { id } = resp else {
+            panic!("unexpected response: {resp:?}");
+        };
+        let resp = session.execute(&db, Request::GetNode { id });
+        let Response::Node { node: Some(node) } = resp else {
+            panic!("unexpected response: {resp:?}");
+        };
+        assert_eq!(node.labels, vec!["Person".to_string()]);
+        assert_eq!(
+            node.properties,
+            vec![("age".to_string(), PropertyValue::Int(30))]
+        );
+    }
+
+    #[test]
+    fn explicit_transaction_isolates_until_commit() {
+        let (_dir, db) = open_db("session_txn");
+        let writer = Session::new();
+        let reader = Session::new();
+
+        assert_eq!(
+            writer.execute(
+                &db,
+                Request::Begin {
+                    read_only: false,
+                    isolation: IsolationLevel::SnapshotIsolation,
+                }
+            ),
+            Response::Ok
+        );
+        let Response::NodeId { id } = writer.execute(
+            &db,
+            Request::CreateNode {
+                labels: vec!["Draft".into()],
+                properties: vec![],
+            },
+        ) else {
+            panic!("create failed");
+        };
+        // Invisible to other sessions before commit.
+        assert_eq!(
+            reader.execute(&db, Request::GetNode { id }),
+            Response::Node { node: None }
+        );
+        let Response::Committed { .. } = writer.execute(&db, Request::Commit) else {
+            panic!("commit failed");
+        };
+        let Response::Node { node: Some(_) } = reader.execute(&db, Request::GetNode { id }) else {
+            panic!("node invisible after commit");
+        };
+    }
+
+    #[test]
+    fn state_machine_rejects_out_of_order_commands() {
+        let (_dir, db) = open_db("session_state");
+        let session = Session::new();
+        for bad in [Request::Commit, Request::Rollback] {
+            let resp = session.execute(&db, bad);
+            assert!(
+                matches!(
+                    resp,
+                    Response::Error {
+                        code: ErrorCode::InvalidState,
+                        ..
+                    }
+                ),
+                "expected InvalidState, got {resp:?}"
+            );
+        }
+        session.execute(
+            &db,
+            Request::Begin {
+                read_only: false,
+                isolation: IsolationLevel::SnapshotIsolation,
+            },
+        );
+        // Nested BEGIN.
+        let resp = session.execute(
+            &db,
+            Request::Begin {
+                read_only: false,
+                isolation: IsolationLevel::SnapshotIsolation,
+            },
+        );
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::InvalidState,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn read_only_transactions_reject_writes_with_typed_code() {
+        let (_dir, db) = open_db("session_read_only");
+        let session = Session::new();
+        session.execute(
+            &db,
+            Request::Begin {
+                read_only: true,
+                isolation: IsolationLevel::SnapshotIsolation,
+            },
+        );
+        assert!(!session.holds_write_txn());
+        let resp = session.execute(
+            &db,
+            Request::CreateNode {
+                labels: vec!["X".into()],
+                properties: vec![],
+            },
+        );
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::ReadOnly,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn conflicts_inside_explicit_transactions_surface_as_conflict() {
+        let (_dir, db) = open_db("session_conflict");
+        let mut setup = db.begin();
+        let node = setup.create_node(&["Hot"], &[]).unwrap();
+        setup.commit().unwrap();
+
+        let s1 = Session::new();
+        let s2 = Session::new();
+        for s in [&s1, &s2] {
+            s.execute(
+                &db,
+                Request::Begin {
+                    read_only: false,
+                    isolation: IsolationLevel::SnapshotIsolation,
+                },
+            );
+        }
+        assert!(s1.holds_write_txn());
+        let ok = s1.execute(
+            &db,
+            Request::SetNodeProperty {
+                id: node.raw(),
+                key: "v".into(),
+                value: PropertyValue::Int(1),
+            },
+        );
+        assert_eq!(ok, Response::Ok);
+        // The second writer hits first-updater-wins on the same node.
+        let resp = s2.execute(
+            &db,
+            Request::SetNodeProperty {
+                id: node.raw(),
+                key: "v".into(),
+                value: PropertyValue::Int(2),
+            },
+        );
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::Conflict,
+                    ..
+                }
+            ),
+            "expected Conflict, got {resp:?}"
+        );
+        assert!(matches!(
+            s1.execute(&db, Request::Commit),
+            Response::Committed { .. }
+        ));
+    }
+
+    #[test]
+    fn idle_abort_reports_timeout_once_then_recovers() {
+        let (_dir, db) = open_db("session_idle");
+        let session = Session::new();
+        session.execute(
+            &db,
+            Request::Begin {
+                read_only: false,
+                isolation: IsolationLevel::SnapshotIsolation,
+            },
+        );
+        {
+            let mut inner = session.inner.lock();
+            Session::abort_idle(&mut inner);
+        }
+        let resp = session.execute(&db, Request::Commit);
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::IdleTimeout,
+                ..
+            }
+        ));
+        // The session is usable again afterwards.
+        assert_eq!(
+            session.execute(
+                &db,
+                Request::Begin {
+                    read_only: false,
+                    isolation: IsolationLevel::SnapshotIsolation,
+                }
+            ),
+            Response::Ok
+        );
+        assert!(matches!(
+            session.execute(&db, Request::Rollback),
+            Response::Ok
+        ));
+    }
+
+    #[test]
+    fn range_query_rides_the_planner() {
+        let (_dir, db) = open_db("session_range");
+        let session = Session::new();
+        for age in [10, 20, 30, 40] {
+            session.execute(
+                &db,
+                Request::CreateNode {
+                    labels: vec!["P".into()],
+                    properties: vec![("age".into(), PropertyValue::Int(age))],
+                },
+            );
+        }
+        let resp = session.execute(
+            &db,
+            Request::RangeQuery {
+                key: "age".into(),
+                lo: Some(PropertyValue::Int(15)),
+                hi: Some(PropertyValue::Int(35)),
+                limit: 0,
+                projection: vec!["age".into()],
+            },
+        );
+        let Response::Rows { rows } = resp else {
+            panic!("unexpected response: {resp:?}");
+        };
+        let mut ages: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.property("age") {
+                Some(PropertyValue::Int(v)) => *v,
+                other => panic!("bad projection: {other:?}"),
+            })
+            .collect();
+        ages.sort_unstable();
+        assert_eq!(ages, vec![20, 30]);
+        // A range with no bounds is a protocol error.
+        let resp = session.execute(
+            &db,
+            Request::RangeQuery {
+                key: "age".into(),
+                lo: None,
+                hi: None,
+                limit: 0,
+                projection: vec![],
+            },
+        );
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Protocol,
+                ..
+            }
+        ));
+    }
+}

@@ -231,6 +231,70 @@ fn writers_and_snapshot_readers_under_contention() {
     );
 }
 
+/// Regression for the retry backoff: two writers that keep colliding on
+/// the same hot node must both eventually commit through
+/// `write_with_retry`'s jittered backoff, and the retries they performed
+/// must be visible in the `write_retries` / `write_retry_backoff_us`
+/// metrics. (The deterministic schedule this replaces could retry
+/// colliding sessions in lockstep.)
+#[test]
+fn conflicting_writers_both_commit_through_jittered_retries() {
+    const ROUNDS: usize = 40;
+    let dir = TempDir::new("threads_retry_jitter");
+    let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+
+    let mut tx = db.begin();
+    let hot = tx
+        .create_node(&["Hot"], &[("value", PropertyValue::Int(0))])
+        .unwrap();
+    tx.commit().unwrap();
+
+    // A barrier aligns the two writers round by round, maximising the
+    // chance each round really collides on the hot node.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let db = db.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    db.write_with_retry(|tx| {
+                        let current = tx
+                            .node_property(hot, "value")?
+                            .and_then(|v| v.as_int())
+                            .unwrap_or(0);
+                        tx.set_node_property(hot, "value", PropertyValue::Int(current + 1))
+                    })
+                    .expect("conflicting writer must eventually commit");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = db
+        .read(|tx| Ok(tx.node_property(hot, "value").unwrap()))
+        .unwrap();
+    assert_eq!(
+        total,
+        Some(PropertyValue::Int(2 * ROUNDS as i64)),
+        "no committed increment may be lost"
+    );
+
+    let m = db.metrics();
+    assert!(
+        m.write_retries > 0,
+        "aligned writers on one node must have conflicted at least once"
+    );
+    assert!(
+        m.write_retry_backoff_us >= m.write_retries * GraphDb::WRITE_RETRY_BACKOFF_BASE_US,
+        "every retry sleeps at least the base backoff: {m:?}"
+    );
+}
+
 /// The deprecated `begin_with_isolation` shim still works and delegates
 /// to the builder.
 #[test]
