@@ -1,0 +1,119 @@
+//! Structured-mutation fuzzing for the decode paths.
+//!
+//! Not coverage-guided — the environment is offline and deterministic —
+//! but the mutations are shaped around how framed binary formats
+//! actually break: truncation (torn tails, short reads), bit flips
+//! (media corruption) and length-field lies (a desynchronised or
+//! malicious peer claiming a payload size that disagrees with reality).
+//! The harnesses in `tests/decode_robustness.rs` feed these mutants to
+//! `wal::record` and the server protocol decoders and assert every
+//! outcome is a typed error or a clean parse — never a panic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic byte-level mutator over well-formed seed inputs.
+pub struct Mutator {
+    rng: StdRng,
+}
+
+/// Interesting values for a lying 32-bit length field, relative to the
+/// true remaining length `n`.
+fn length_lies(n: usize) -> [u32; 7] {
+    [
+        0,
+        1,
+        n.saturating_sub(1) as u32,
+        n as u32,
+        (n + 1) as u32,
+        u32::MAX,
+        u32::MAX / 2,
+    ]
+}
+
+impl Mutator {
+    /// Creates a mutator from a seed; the same seed replays the same
+    /// mutation sequence.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Produces one mutant of `seed_input`: 1–3 of truncation, bit
+    /// flips, byte splices and length-field lies, composed.
+    pub fn mutate(&mut self, seed_input: &[u8]) -> Vec<u8> {
+        let mut bytes = seed_input.to_vec();
+        let ops = self.rng.gen_range(1..=3u32);
+        for _ in 0..ops {
+            match self.rng.gen_range(0..4u32) {
+                0 => self.truncate(&mut bytes),
+                1 => self.flip_bits(&mut bytes),
+                2 => self.lie_in_length_field(&mut bytes),
+                _ => self.splice(&mut bytes),
+            }
+        }
+        bytes
+    }
+
+    /// Cuts the input at a random point (torn tail / short read).
+    fn truncate(&mut self, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let cut = self.rng.gen_range(0..bytes.len());
+        bytes.truncate(cut);
+    }
+
+    /// Flips 1–8 random bits anywhere in the input.
+    fn flip_bits(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        for _ in 0..self.rng.gen_range(1..=8u32) {
+            let at = self.rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << self.rng.gen_range(0..8u32);
+        }
+    }
+
+    /// Overwrites 4 bytes at a random aligned-ish offset with an
+    /// adversarial little-endian length value.
+    fn lie_in_length_field(&mut self, bytes: &mut [u8]) {
+        if bytes.len() < 4 {
+            return;
+        }
+        let at = self.rng.gen_range(0..=bytes.len() - 4);
+        let lies = length_lies(bytes.len() - at);
+        let lie = lies[self.rng.gen_range(0..lies.len())];
+        bytes[at..at + 4].copy_from_slice(&lie.to_le_bytes());
+    }
+
+    /// Inserts or deletes a small run of bytes (framing slip).
+    fn splice(&mut self, bytes: &mut Vec<u8>) {
+        let at = if bytes.is_empty() {
+            0
+        } else {
+            self.rng.gen_range(0..=bytes.len())
+        };
+        if self.rng.gen_bool(0.5) {
+            let run = self.rng.gen_range(1..=4u32);
+            for _ in 0..run {
+                let b: u8 = (self.rng.gen_range(0..=255u32)) as u8;
+                bytes.insert(at.min(bytes.len()), b);
+            }
+        } else if at < bytes.len() {
+            let run = (self.rng.gen_range(1..=4u32) as usize).min(bytes.len() - at);
+            bytes.drain(at..at + run);
+        }
+    }
+}
+
+/// Number of mutants per target the robustness harness runs: overridden
+/// by the `GRAPHSI_FUZZ_ITERS` environment variable (CI smoke uses the
+/// default; long local runs can crank it up).
+pub fn fuzz_iterations() -> u64 {
+    std::env::var("GRAPHSI_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000)
+}

@@ -1,0 +1,25 @@
+//! Correctness tooling for the graphsi workspace.
+//!
+//! Three instruments live here (see the README's "Correctness tooling"
+//! section for the operator view):
+//!
+//! 1. **Source lints** ([`lint`]) — lightweight Rust-aware rules the
+//!    compiler cannot enforce: no `unwrap`/`expect` in library code, no
+//!    lock guard held across an fsync, complete metrics counter lists,
+//!    canonical ascending shard-lock acquisition. The `graphsi-lint`
+//!    binary (in `crates/lint`) drives them as a CI gate with an
+//!    allowlist grandfathering pre-existing sites.
+//! 2. **Decode-robustness fuzzing** ([`fuzz`]) — deterministic
+//!    structured mutations (truncation, bit flips, length-field lies)
+//!    over the WAL entry framing and the server wire protocol, asserting
+//!    typed errors and no panics (`tests/decode_robustness.rs`).
+//! 3. **Lock-order witness tests** (`tests/lock_witness.rs`, built with
+//!    `--features lock-order`) — seeded rank inversions proving the
+//!    vendored `parking_lot` witness fires with both acquisition sites,
+//!    and regression tests for the legal orders the server relies on
+//!    (idle-session sweeper vs. a session holding a write transaction).
+
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod lint;

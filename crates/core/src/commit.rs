@@ -254,6 +254,10 @@ struct Cursor<'a> {
     pos: usize,
 }
 
+fn bad_width(want: usize) -> DbError {
+    DbError::CorruptCommitRecord(format!("integer field is not {want} bytes wide"))
+}
+
 impl Cursor<'_> {
     fn take(&mut self, n: usize) -> Result<&[u8]> {
         if self.pos + n > self.bytes.len() {
@@ -272,15 +276,18 @@ impl Cursor<'_> {
     }
 
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let bytes = self.take(2)?.try_into().map_err(|_| bad_width(2))?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self.take(4)?.try_into().map_err(|_| bad_width(4))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?.try_into().map_err(|_| bad_width(8))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 }
 

@@ -52,6 +52,7 @@ use graphsi_txn::{LockKey, Timestamp};
 use graphsi_wal::{AbortRangeRecord, SyncPolicy, Wal, WalError};
 
 use crate::error::{DbError, Result};
+use crate::lock_rank;
 use crate::metrics::DbMetrics;
 
 /// Stage-B state of the leader/follower group-sync batcher.
@@ -149,18 +150,38 @@ impl CommitPipeline {
         store_shards: usize,
     ) -> Self {
         CommitPipeline {
-            seq_lock: Mutex::new(()),
-            group: Mutex::new(GroupState {
-                durable_lsn,
-                syncing: false,
-                waiters: 0,
-                aborted: Vec::new(),
-            }),
+            seq_lock: Mutex::with_rank((), lock_rank::PIPELINE_SEQ, "core.pipeline.seq"),
+            group: Mutex::with_rank(
+                GroupState {
+                    durable_lsn,
+                    syncing: false,
+                    waiters: 0,
+                    aborted: Vec::new(),
+                },
+                lock_rank::PIPELINE_GROUP,
+                "core.pipeline.group",
+            ),
             group_cvar: Condvar::new(),
-            publish: Mutex::new(VecDeque::new()),
+            publish: Mutex::with_rank(
+                VecDeque::new(),
+                lock_rank::PIPELINE_PUBLISH,
+                "core.pipeline.publish",
+            ),
             publish_cvar: Condvar::new(),
-            pending_keys: Mutex::new(HashMap::new()),
-            store_shards: (0..store_shards.max(1)).map(|_| Mutex::new(())).collect(),
+            pending_keys: Mutex::with_rank(
+                HashMap::new(),
+                lock_rank::PIPELINE_PENDING_KEYS,
+                "core.pipeline.pending_keys",
+            ),
+            store_shards: (0..store_shards.max(1))
+                .map(|i| {
+                    Mutex::with_rank(
+                        (),
+                        lock_rank::STORE_SHARD_BASE + i as u32,
+                        "core.pipeline.store_shard",
+                    )
+                })
+                .collect(),
             store_apply_in_flight: AtomicU64::new(0),
             visible_ts: AtomicU64::new(0),
             max_batch: max_batch.max(1),

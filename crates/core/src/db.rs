@@ -32,6 +32,7 @@ use crate::commit_pipeline::CommitPipeline;
 use crate::config::{DbConfig, IsolationLevel};
 use crate::entity::{NodeData, RelationshipData};
 use crate::error::Result;
+use crate::lock_rank;
 use crate::metrics::{DbMetrics, DbMetricsSnapshot};
 use crate::options::TxnOptions;
 use crate::transaction::Transaction;
@@ -136,7 +137,11 @@ impl GraphDb {
             locks: LockManager::new(config.lock_timeout),
             metrics: DbMetrics::new(),
             commit_ts_key,
-            rel_overlay: RwLock::new(std::collections::HashMap::new()),
+            rel_overlay: RwLock::with_rank(
+                std::collections::HashMap::new(),
+                lock_rank::REL_OVERLAY,
+                "core.rel_overlay",
+            ),
             pipeline: CommitPipeline::new(
                 config.group_commit_max_batch,
                 config.group_commit_max_delay,

@@ -42,6 +42,10 @@ pub enum DbError {
     /// A query pipeline was composed incorrectly (e.g. a source set after
     /// stages were added).
     InvalidQuery(String),
+    /// An internal invariant was violated. Reaching this variant is a bug
+    /// in graphsi, not a caller mistake; it exists so invariant breaches
+    /// surface as typed errors instead of panics in library code.
+    Internal(String),
 }
 
 impl DbError {
@@ -78,6 +82,7 @@ impl fmt::Display for DbError {
                 write!(f, "commit record exceeds encoding limits: {reason}")
             }
             DbError::InvalidQuery(reason) => write!(f, "invalid query: {reason}"),
+            DbError::Internal(reason) => write!(f, "internal invariant violated: {reason}"),
         }
     }
 }

@@ -80,6 +80,7 @@ pub mod db;
 pub mod entity;
 pub mod error;
 pub mod iter;
+pub mod lock_rank;
 pub mod metrics;
 pub mod options;
 pub mod query;

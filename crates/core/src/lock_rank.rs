@@ -1,0 +1,46 @@
+//! Static lock-order ranks for the locks this crate constructs.
+//!
+//! The whole workspace shares one global rank space, enforced at runtime
+//! by the vendored `parking_lot` lock-order witness (`--features
+//! lock-order`): a thread may only *block* on a lock whose rank is
+//! strictly greater than every rank it already holds. The full
+//! cross-crate map lives in the README ("Correctness tooling"); the
+//! bands are:
+//!
+//! | band      | layer                                              |
+//! |-----------|----------------------------------------------------|
+//! | 100–199   | server (sessions table, pool queue, session inner) |
+//! | 200–299   | sequencing + transaction substrate                 |
+//! | 300–2348  | stage-C store-apply shard locks (base + index)     |
+//! | 2500–2599 | overlay + MVCC cache + index postings              |
+//! | 2600–2699 | group batcher, publication queue, WAL              |
+//! | 2700–2799 | storage leaves (tokens, page caches, free lists)   |
+//!
+//! Ranks encode *acquisition order*, outermost first: the server holds a
+//! session lock across a whole database call, so it ranks below
+//! everything in core; the stage-C failure path appends an abort record
+//! and joins a group sync while still holding its shard locks, so the
+//! group batcher and the WAL rank above the shard band; the storage
+//! locks are leaves that never wrap another acquisition.
+
+/// Stage-A sequencing lock ([`crate::db::GraphDb`] commit pipeline).
+pub const PIPELINE_SEQ: u32 = 200;
+
+/// Pending-validation key table, probed under the sequencing lock.
+pub const PIPELINE_PENDING_KEYS: u32 = 250;
+
+/// First stage-C store-apply shard lock; shard `i` ranks `base + i`, so
+/// the canonical ascending acquisition of a footprint is rank-ascending
+/// by construction. Leaves room for 2048 shards below the next band.
+pub const STORE_SHARD_BASE: u32 = 300;
+
+/// Relationship adjacency overlay (read while probing the rel cache).
+pub const REL_OVERLAY: u32 = 2500;
+
+/// Stage-B group-commit batcher; taken while still holding shard locks
+/// on the stage-C failure path, hence above the shard band.
+pub const PIPELINE_GROUP: u32 = 2600;
+
+/// Publication queue; waited on under the sequencing lock by
+/// checkpoints, taken bare by publishing committers.
+pub const PIPELINE_PUBLISH: u32 = 2620;

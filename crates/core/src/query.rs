@@ -43,7 +43,7 @@ use std::ops::Bound;
 use graphsi_storage::{NodeId, PropertyValue, RelTypeToken, RelationshipId, ValueKey};
 
 use crate::entity::{Direction, Node};
-use crate::error::Result;
+use crate::error::{DbError, Result};
 use crate::iter::RelEntryIter;
 use crate::transaction::Transaction;
 
@@ -463,7 +463,11 @@ impl<'tx> QueryBuilder<'tx> {
                                 .store
                                 .tokens()
                                 .existing_property_key(&head.name)
-                                .expect("indexable checked the token");
+                                .ok_or_else(|| {
+                                    DbError::Internal(
+                                        "indexable predicate lost its property token".to_owned(),
+                                    )
+                                })?;
                             let label_est = db.indexes.labels.postings_estimate(ltok);
                             // The label estimate caps the range walk: once
                             // the range is known to be at least as large,
@@ -484,7 +488,9 @@ impl<'tx> QueryBuilder<'tx> {
             };
             if promote {
                 let Stage::Range(pred) = stages.remove(0) else {
-                    unreachable!("head stage checked above");
+                    return Err(DbError::Internal(
+                        "promoted head stage is no longer a range predicate".to_owned(),
+                    ));
                 };
                 let old = std::mem::replace(&mut source, Source::PropertyRange(pred));
                 if let Source::Label(label) = old {
@@ -553,7 +559,11 @@ impl<'tx> QueryBuilder<'tx> {
                         .store
                         .tokens()
                         .existing_property_key(&pred.name)
-                        .expect("dead-stage check keeps unknown keys out");
+                        .ok_or_else(|| {
+                            DbError::Internal(
+                                "dead-stage check let an unknown property key through".to_owned(),
+                            )
+                        })?;
                     Box::new(FilterIter {
                         tx,
                         upstream: it,
@@ -568,11 +578,16 @@ impl<'tx> QueryBuilder<'tx> {
                     })
                 }
                 Stage::FilterProperty(name, pred) => {
-                    let token = db
-                        .store
-                        .tokens()
-                        .existing_property_key(&name)
-                        .expect("dead-stage check keeps unknown keys out");
+                    let token =
+                        db.store
+                            .tokens()
+                            .existing_property_key(&name)
+                            .ok_or_else(|| {
+                                DbError::Internal(
+                                    "dead-stage check let an unknown property key through"
+                                        .to_owned(),
+                                )
+                            })?;
                     Box::new(FilterIter {
                         tx,
                         upstream: it,
@@ -587,11 +602,11 @@ impl<'tx> QueryBuilder<'tx> {
                     })
                 }
                 Stage::FilterLabel(label) => {
-                    let token = db
-                        .store
-                        .tokens()
-                        .existing_label(&label)
-                        .expect("dead-stage check keeps unknown labels out");
+                    let token = db.store.tokens().existing_label(&label).ok_or_else(|| {
+                        DbError::Internal(
+                            "dead-stage check let an unknown label through".to_owned(),
+                        )
+                    })?;
                     Box::new(FilterIter {
                         tx,
                         upstream: it,

@@ -104,7 +104,8 @@ where
     /// Creates an empty index.
     pub fn new() -> Self {
         VersionedPostingIndex {
-            entries: RwLock::new(BTreeMap::new()),
+            // Lock-order rank: see the README's lock-rank map.
+            entries: RwLock::with_rank(BTreeMap::new(), 2560, "index.postings"),
         }
     }
 

@@ -1,0 +1,92 @@
+//! The repository lint gate.
+//!
+//! ```text
+//! cargo run -p graphsi-lint                    # lint the tree, exit 1 on violations
+//! cargo run -p graphsi-lint -- --write-allowlist   # regenerate lint-allowlist.txt
+//! cargo run -p graphsi-lint -- --root <dir>    # lint a different tree
+//! ```
+//!
+//! Findings are checked against `lint-allowlist.txt` at the tree root:
+//! pre-existing sites are grandfathered with per-rule-per-file maximum
+//! counts, so burning a site down shrinks the budget and a new site
+//! fails the gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphsi_check::lint::{evaluate, scan_tree, Allowlist};
+
+const ALLOWLIST_FILE: &str = "lint-allowlist.txt";
+
+fn run() -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut write_allowlist = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-allowlist" => write_allowlist = true,
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    // When invoked via `cargo run` the working directory is already the
+    // workspace root; fall back to the manifest's parent otherwise.
+    if !root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} does not look like the workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+
+    let findings = scan_tree(&root).map_err(|e| format!("scanning tree: {e}"))?;
+
+    if write_allowlist {
+        let rendered = Allowlist::render(&findings);
+        std::fs::write(root.join(ALLOWLIST_FILE), &rendered)
+            .map_err(|e| format!("writing {ALLOWLIST_FILE}: {e}"))?;
+        println!(
+            "wrote {} entries to {ALLOWLIST_FILE}",
+            rendered.lines().filter(|l| !l.starts_with('#')).count()
+        );
+        return Ok(true);
+    }
+
+    let allowlist = match std::fs::read_to_string(root.join(ALLOWLIST_FILE)) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => return Err(format!("reading {ALLOWLIST_FILE}: {e}")),
+    };
+
+    let report = evaluate(&findings, &allowlist);
+    for note in &report.shrinkable {
+        println!("note: {note}");
+    }
+    for violation in &report.violations {
+        eprintln!("error: {violation}");
+    }
+    if report.passed() {
+        println!(
+            "graphsi-lint: clean ({} finding(s), all grandfathered)",
+            findings.len()
+        );
+    } else {
+        eprintln!(
+            "graphsi-lint: {} file/rule budget(s) exceeded",
+            report.violations.len()
+        );
+    }
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("graphsi-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -143,8 +143,14 @@ where
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1);
         VersionedCache {
-            shards: (0..shards).map(|_| RwLock::new(BTreeMap::new())).collect(),
-            gc_list: Mutex::new(GcList::new()),
+            // Lock-order ranks: see the README's lock-rank map. Installs
+            // push GC-list entries while holding a shard write lock, so
+            // the list ranks above the shards; only one shard is ever
+            // held at a time, so all shards share one rank.
+            shards: (0..shards)
+                .map(|_| RwLock::with_rank(BTreeMap::new(), 2520, "mvcc.cache_shard"))
+                .collect(),
+            gc_list: Mutex::with_rank(GcList::new(), 2540, "mvcc.gc_list"),
             counters: CacheCounters::default(),
         }
     }

@@ -39,6 +39,26 @@ pub struct ServerMetrics {
     latency_us: [AtomicU64; LATENCY_BUCKETS],
 }
 
+/// Applies a macro to every scalar counter of [`ServerMetricsSnapshot`],
+/// by name (the latency histogram is handled separately). Mirrors
+/// `for_each_counter!` in `graphsi_core::metrics`: both halves of the
+/// text codec expand from this single list, and the exhaustiveness guard
+/// below turns a field missing from the list into a compile error.
+macro_rules! for_each_server_counter {
+    ($m:ident) => {
+        $m! {
+            sessions_active,
+            sessions_total,
+            rejected_sessions,
+            requests_total,
+            rejected_overload,
+            idle_timeout_aborts,
+            disconnect_rollbacks,
+            queue_depth_peak
+        }
+    };
+}
+
 impl ServerMetrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
@@ -156,14 +176,12 @@ impl ServerMetricsSnapshot {
             out.push_str(&value.to_string());
             out.push('\n');
         };
-        line("sessions_active", self.sessions_active);
-        line("sessions_total", self.sessions_total);
-        line("rejected_sessions", self.rejected_sessions);
-        line("requests_total", self.requests_total);
-        line("rejected_overload", self.rejected_overload);
-        line("idle_timeout_aborts", self.idle_timeout_aborts);
-        line("disconnect_rollbacks", self.disconnect_rollbacks);
-        line("queue_depth_peak", self.queue_depth_peak);
+        macro_rules! emit {
+            ($($field:ident),*) => {
+                $(line(stringify!($field), self.$field);)*
+            };
+        }
+        for_each_server_counter!(emit);
         let mut cumulative = 0u64;
         for (i, count) in self.latency_us.iter().enumerate() {
             cumulative += count;
@@ -171,7 +189,75 @@ impl ServerMetricsSnapshot {
         }
         out
     }
+
+    /// Parses the `server_*` lines produced by
+    /// [`ServerMetricsSnapshot::to_text`]. Lines without the `server_`
+    /// prefix (e.g. the database counters of a combined `METRICS` dump),
+    /// blank lines and `#` comments are skipped; unknown `server_*`
+    /// counters are ignored so older scrapers keep working. Histogram
+    /// buckets are reconstructed from their cumulative counts. A
+    /// `server_*` line that is not `name value` with an unsigned integer
+    /// value is an error.
+    pub fn from_text(text: &str) -> std::result::Result<Self, String> {
+        let mut snapshot = ServerMetricsSnapshot::default();
+        let mut cumulative = [None::<u64>; LATENCY_BUCKETS];
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("server_") else {
+                continue;
+            };
+            let (name, value) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed server metrics line {line:?}"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("non-integer value in server metrics line {line:?}"))?;
+            if let Some(upper) = name.strip_prefix("latency_us_le_") {
+                let upper: u64 = upper
+                    .parse()
+                    .map_err(|_| format!("bad latency bucket in line {line:?}"))?;
+                // Bucket i has upper edge 2^(i+1).
+                if upper.is_power_of_two() && upper > 1 {
+                    let i = (upper.trailing_zeros() - 1) as usize;
+                    if i < LATENCY_BUCKETS {
+                        cumulative[i] = Some(value);
+                    }
+                }
+                continue;
+            }
+            macro_rules! assign {
+                ($($field:ident),*) => {
+                    match name {
+                        $(stringify!($field) => snapshot.$field = value,)*
+                        _ => {}
+                    }
+                };
+            }
+            for_each_server_counter!(assign);
+        }
+        let mut prev = 0u64;
+        for (out, cum) in snapshot.latency_us.iter_mut().zip(cumulative) {
+            if let Some(cum) = cum {
+                *out = cum.saturating_sub(prev);
+                prev = cum;
+            }
+        }
+        Ok(snapshot)
+    }
 }
+
+// The exhaustiveness guard behind `for_each_server_counter!`: a scalar
+// snapshot field missing from the list stops this from compiling.
+macro_rules! server_counter_list_guard {
+    ($($field:ident),*) => {
+        #[allow(dead_code)]
+        fn _server_counter_list_is_exhaustive(s: ServerMetricsSnapshot) {
+            let ServerMetricsSnapshot { $($field: _,)* latency_us: _ } = s;
+        }
+    };
+}
+for_each_server_counter!(server_counter_list_guard);
 
 #[cfg(test)]
 mod tests {
@@ -241,5 +327,59 @@ mod tests {
         assert!(text.contains("server_sessions_active 1\n"));
         assert!(text.contains("server_requests_total 1\n"));
         assert!(text.contains("server_rejected_overload 1\n"));
+    }
+
+    /// Gives every scalar counter (and a few histogram buckets) a
+    /// distinct non-zero value, expanding from the counter list so a
+    /// counter dropped from the codec cannot round-trip.
+    fn distinct_snapshot() -> ServerMetricsSnapshot {
+        let mut s = ServerMetricsSnapshot::default();
+        let mut next = 1u64;
+        macro_rules! fill {
+            ($($field:ident),*) => {
+                $(
+                    s.$field = next;
+                    next += 1;
+                )*
+            };
+        }
+        for_each_server_counter!(fill);
+        for (i, bucket) in s.latency_us.iter_mut().enumerate() {
+            *bucket = (i as u64 * 7) % 5;
+        }
+        s
+    }
+
+    #[test]
+    fn text_encoding_round_trips_every_counter() {
+        let s = distinct_snapshot();
+        let parsed = ServerMetricsSnapshot::from_text(&s.to_text()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn combined_metrics_dump_round_trips_both_halves() {
+        // The METRICS command concatenates the database counters and the
+        // server counters into one dump; each side's parser must
+        // round-trip its own counters and ignore the other's lines.
+        use graphsi_core::DbMetricsSnapshot;
+        let db = DbMetricsSnapshot {
+            commits: 11,
+            wal_syncs: 3,
+            predicate_pushdowns: 5,
+            ..Default::default()
+        };
+        let server = distinct_snapshot();
+        let combined = format!("{}{}", db.to_text(), server.to_text());
+        assert_eq!(DbMetricsSnapshot::from_text(&combined).unwrap(), db);
+        assert_eq!(ServerMetricsSnapshot::from_text(&combined).unwrap(), server);
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_server_lines() {
+        assert!(ServerMetricsSnapshot::from_text("server_requests_total").is_err());
+        assert!(ServerMetricsSnapshot::from_text("server_requests_total many").is_err());
+        // Non-server lines are not ours to validate.
+        assert!(ServerMetricsSnapshot::from_text("commits seven").is_ok());
     }
 }

@@ -40,13 +40,14 @@ pub(crate) struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads behind a queue of `queue_depth` slots.
-    pub(crate) fn new(name: &str, workers: usize, queue_depth: usize) -> Self {
+    /// Fails only if the OS refuses to spawn a worker thread.
+    pub(crate) fn new(name: &str, workers: usize, queue_depth: usize) -> std::io::Result<Self> {
         assert!(workers > 0, "a pool needs at least one worker");
         let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(queue_depth.max(1));
         // `mpsc` receivers are single-consumer; a mutex around the
         // receiver turns it into the MPMC queue the pool needs. Workers
         // hold the lock only while dequeuing, never while running a job.
-        let receiver = Arc::new(Mutex::new(receiver));
+        let receiver = Arc::new(Mutex::with_rank(receiver, 120, "server.pool_queue"));
         let depth = Arc::new(AtomicU64::new(0));
         let handles = (0..workers)
             .map(|i| {
@@ -55,14 +56,13 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("graphsi-{name}-{i}"))
                     .spawn(move || worker_loop(&receiver, &depth))
-                    .expect("failed to spawn pool worker")
             })
-            .collect();
-        WorkerPool {
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(WorkerPool {
             sender: Some(sender),
             workers: handles,
             depth,
-        }
+        })
     }
 
     /// Enqueues `job` without blocking. On success returns the queue
@@ -129,7 +129,7 @@ mod tests {
     fn jobs_run_on_pool_threads() {
         // Queue sized to hold every job: submission must never shed even
         // if the workers haven't started draining yet.
-        let pool = WorkerPool::new("test", 2, 16);
+        let pool = WorkerPool::new("test", 2, 16).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         let (done_tx, done_rx) = sync_channel(16);
         for _ in 0..10 {
@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn full_queue_rejects_instead_of_blocking() {
-        let pool = WorkerPool::new("test", 1, 1);
+        let pool = WorkerPool::new("test", 1, 1).unwrap();
         // Occupy the single worker.
         let (block_tx, block_rx) = sync_channel::<()>(0);
         let (running_tx, running_rx) = sync_channel::<()>(0);
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_the_queue_first() {
-        let mut pool = WorkerPool::new("test", 1, 8);
+        let mut pool = WorkerPool::new("test", 1, 8).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..5 {
             let counter = Arc::clone(&counter);

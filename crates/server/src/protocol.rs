@@ -150,11 +150,19 @@ impl FrameReader {
         if self.buf.len() < FRAME_HEADER_SIZE {
             return Ok(None);
         }
-        let magic = u32::from_le_bytes(self.buf[0..4].try_into().unwrap());
+        let magic = u32::from_le_bytes(
+            self.buf[0..4]
+                .try_into()
+                .map_err(|_| bad_field_width("frame magic"))?,
+        );
         if magic != FRAME_MAGIC {
             return Err(ProtoError::Malformed(format!("bad magic {magic:#010x}")));
         }
-        let len = u32::from_le_bytes(self.buf[4..8].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(
+            self.buf[4..8]
+                .try_into()
+                .map_err(|_| bad_field_width("frame length"))?,
+        ) as usize;
         if len > MAX_FRAME_PAYLOAD {
             return Err(ProtoError::Malformed(format!(
                 "payload length {len} exceeds maximum"
@@ -242,6 +250,10 @@ struct Cursor<'a> {
     pos: usize,
 }
 
+fn bad_field_width(what: &str) -> ProtoError {
+    ProtoError::Malformed(format!("{what} field has the wrong byte width"))
+}
+
 impl<'a> Cursor<'a> {
     fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, pos: 0 }
@@ -264,15 +276,27 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> ProtoResult<u32> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        let bytes = self
+            .bytes(4)?
+            .try_into()
+            .map_err(|_| bad_field_width("u32"))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> ProtoResult<u64> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        let bytes = self
+            .bytes(8)?
+            .try_into()
+            .map_err(|_| bad_field_width("u64"))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn i64(&mut self) -> ProtoResult<i64> {
-        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        let bytes = self
+            .bytes(8)?
+            .try_into()
+            .map_err(|_| bad_field_width("i64"))?;
+        Ok(i64::from_le_bytes(bytes))
     }
 
     fn string(&mut self) -> ProtoResult<String> {

@@ -121,8 +121,11 @@ impl Server {
             db,
             config: config.clone(),
             metrics: ServerMetrics::new(),
-            sessions: Mutex::new(HashMap::new()),
-            conn_threads: Mutex::new(Vec::new()),
+            // Lock-order ranks: see the README's lock-rank map. Server
+            // locks rank below every core lock because a session is held
+            // across entire database calls.
+            sessions: Mutex::with_rank(HashMap::new(), 100, "server.sessions"),
+            conn_threads: Mutex::with_rank(Vec::new(), 110, "server.conn_threads"),
             next_session_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
         });
@@ -130,12 +133,12 @@ impl Server {
             "read",
             config.read_workers.max(1),
             config.queue_depth,
-        ));
+        )?);
         let write_pool = Arc::new(WorkerPool::new(
             "write",
             config.write_workers.max(1),
             config.queue_depth,
-        ));
+        )?);
 
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -143,15 +146,13 @@ impl Server {
             let write_pool = Arc::clone(&write_pool);
             std::thread::Builder::new()
                 .name("graphsi-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &read_pool, &write_pool))
-                .expect("failed to spawn accept thread")
+                .spawn(move || accept_loop(&listener, &shared, &read_pool, &write_pool))?
         };
         let sweeper_thread = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("graphsi-sweeper".into())
-                .spawn(move || sweeper_loop(&shared))
-                .expect("failed to spawn sweeper thread")
+                .spawn(move || sweeper_loop(&shared))?
         };
 
         Ok(Server {

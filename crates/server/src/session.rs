@@ -50,12 +50,19 @@ pub(crate) struct SessionInner {
 impl Session {
     pub(crate) fn new() -> Self {
         Session {
-            inner: Mutex::new(SessionInner {
-                txn: None,
-                txn_read_only: false,
-                timed_out: false,
-                last_activity: Instant::now(),
-            }),
+            // Lock-order rank: see the README's lock-rank map. Held
+            // across whole db calls, so it must rank below all core
+            // locks; the sweeper only ever try_locks it.
+            inner: Mutex::with_rank(
+                SessionInner {
+                    txn: None,
+                    txn_read_only: false,
+                    timed_out: false,
+                    last_activity: Instant::now(),
+                },
+                150,
+                "server.session",
+            ),
         }
     }
 
@@ -316,6 +323,7 @@ pub(crate) fn error_response(e: &DbError) -> Response {
             DbError::ReadOnlyTransaction => ErrorCode::ReadOnly,
             DbError::TransactionClosed => ErrorCode::InvalidState,
             DbError::InvalidQuery(_) | DbError::ReservedName(_) => ErrorCode::Protocol,
+            DbError::Internal(_) => ErrorCode::Internal,
             _ => ErrorCode::Internal,
         }
     };

@@ -33,7 +33,8 @@ impl IdAllocator {
         Ok(IdAllocator {
             path,
             next: AtomicU64::new(next),
-            free: Mutex::new(free),
+            // Lock-order rank: see the README's lock-rank map.
+            free: Mutex::with_rank(free, 2730, "storage.id_free_list"),
         })
     }
 
@@ -43,7 +44,7 @@ impl IdAllocator {
         IdAllocator {
             path: PathBuf::new(),
             next: AtomicU64::new(0),
-            free: Mutex::new(Vec::new()),
+            free: Mutex::with_rank(Vec::new(), 2730, "storage.id_free_list"),
         }
     }
 

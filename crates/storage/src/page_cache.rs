@@ -76,13 +76,19 @@ impl PageCache {
         Ok(PageCache {
             path,
             capacity: capacity.max(1),
-            inner: Mutex::new(CacheInner {
-                file,
-                frames: HashMap::new(),
-                tick: 0,
-                stats: PageCacheStats::default(),
-                file_pages,
-            }),
+            // Lock-order rank: see the README's lock-rank map (a leaf —
+            // never held across another acquisition).
+            inner: Mutex::with_rank(
+                CacheInner {
+                    file,
+                    frames: HashMap::new(),
+                    tick: 0,
+                    stats: PageCacheStats::default(),
+                    file_pages,
+                },
+                2710,
+                "storage.page_cache",
+            ),
         })
     }
 

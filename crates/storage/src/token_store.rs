@@ -48,7 +48,9 @@ impl TokenRegistry {
         Ok(TokenRegistry {
             path,
             kind,
-            inner: RwLock::new(RegistryInner { names, by_name }),
+            // Lock-order rank: see the README's lock-rank map (a leaf —
+            // never held across another acquisition).
+            inner: RwLock::with_rank(RegistryInner { names, by_name }, 2700, "storage.tokens"),
         })
     }
 
@@ -57,10 +59,14 @@ impl TokenRegistry {
         TokenRegistry {
             path: PathBuf::new(),
             kind,
-            inner: RwLock::new(RegistryInner {
-                names: Vec::new(),
-                by_name: HashMap::new(),
-            }),
+            inner: RwLock::with_rank(
+                RegistryInner {
+                    names: Vec::new(),
+                    by_name: HashMap::new(),
+                },
+                2700,
+                "storage.tokens",
+            ),
         }
     }
 

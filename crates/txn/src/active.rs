@@ -26,15 +26,23 @@ struct ActiveInner {
 
 /// Tracks which transactions are currently active and their start
 /// timestamps.
-#[derive(Default)]
 pub struct ActiveTransactionTable {
     inner: RwLock<ActiveInner>,
+}
+
+impl Default for ActiveTransactionTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ActiveTransactionTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        Self::default()
+        ActiveTransactionTable {
+            // Lock-order rank: see the README's lock-rank map.
+            inner: RwLock::with_rank(ActiveInner::default(), 230, "txn.active"),
+        }
     }
 
     /// Registers a transaction as active with the given start timestamp.

@@ -172,9 +172,12 @@ impl LockManager {
     /// Creates a lock manager with the given blocking-acquisition timeout.
     pub fn new(default_timeout: Duration) -> Self {
         LockManager {
-            table: Mutex::new(HashMap::new()),
-            held: Mutex::new(HashMap::new()),
-            waits: Mutex::new(WaitForGraph::new()),
+            // Lock-order ranks: see the README's lock-rank map. `acquire`
+            // consults the wait-for graph while holding the table, so the
+            // graph ranks directly above it.
+            table: Mutex::with_rank(HashMap::new(), 210, "txn.lock_table"),
+            held: Mutex::with_rank(HashMap::new(), 220, "txn.held_locks"),
+            waits: Mutex::with_rank(WaitForGraph::new(), 215, "txn.wait_graph"),
             cond: Condvar::new(),
             default_timeout,
             stats: LockStats::default(),

@@ -96,13 +96,20 @@ impl Wal {
         Ok(Wal {
             path,
             sync_policy,
-            inner: Mutex::new(WalInner {
-                file,
-                next_lsn,
-                appended_bytes: scan.valid_bytes,
-                unsynced: false,
-                synced_lsn: next_lsn - 1,
-            }),
+            // Lock-order rank: see the README's lock-rank map. Ranked
+            // above the commit pipeline's batcher — the group leader
+            // appends its range-abort record while holding the batcher.
+            inner: Mutex::with_rank(
+                WalInner {
+                    file,
+                    next_lsn,
+                    appended_bytes: scan.valid_bytes,
+                    unsynced: false,
+                    synced_lsn: next_lsn - 1,
+                },
+                2650,
+                "wal.inner",
+            ),
             injected_sync_failures: std::sync::atomic::AtomicU32::new(0),
             sync_file,
         })

@@ -80,6 +80,15 @@ pub struct AbortRecord {
 /// Encoded size of an [`AbortRecord`] payload: kind byte + timestamp.
 pub const ABORT_RECORD_SIZE: usize = 1 + 8;
 
+/// Converts a slice into a fixed-width array, reporting a typed
+/// corruption error (rather than panicking) if the width disagrees.
+fn field<const N: usize>(bytes: &[u8], offset: u64, what: &str) -> Result<[u8; N]> {
+    bytes.try_into().map_err(|_| WalError::Corrupt {
+        offset,
+        reason: format!("{what} field is not {N} bytes wide"),
+    })
+}
+
 impl AbortRecord {
     /// Serialises the record as a typed payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -99,7 +108,7 @@ impl AbortRecord {
             });
         }
         Ok(AbortRecord {
-            commit_ts: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+            commit_ts: u64::from_le_bytes(field(&payload[1..9], offset, "abort timestamp")?),
         })
     }
 }
@@ -146,8 +155,8 @@ impl AbortRangeRecord {
             });
         }
         Ok(AbortRangeRecord {
-            from_lsn: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
-            to_lsn: u64::from_le_bytes(payload[9..17].try_into().unwrap()),
+            from_lsn: u64::from_le_bytes(field(&payload[1..9], offset, "abort-range from")?),
+            to_lsn: u64::from_le_bytes(field(&payload[9..17], offset, "abort-range to")?),
         })
     }
 
@@ -207,14 +216,14 @@ impl LogEntry {
         if buf.len() < HEADER_SIZE {
             return Ok(None);
         }
-        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let magic = u32::from_le_bytes(field(&buf[0..4], offset, "entry magic")?);
         if magic != ENTRY_MAGIC {
             return Err(WalError::Corrupt {
                 offset,
                 reason: format!("bad magic {magic:#010x}"),
             });
         }
-        let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(field(&buf[4..8], offset, "entry length")?) as usize;
         if len > MAX_PAYLOAD {
             return Err(WalError::Corrupt {
                 offset,
@@ -224,8 +233,8 @@ impl LogEntry {
         if buf.len() < HEADER_SIZE + len {
             return Ok(None);
         }
-        let lsn = u64::from_le_bytes(buf[8..16].try_into().unwrap());
-        let stored_crc = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+        let lsn = u64::from_le_bytes(field(&buf[8..16], offset, "entry lsn")?);
+        let stored_crc = u32::from_le_bytes(field(&buf[16..20], offset, "entry checksum")?);
         let payload = &buf[HEADER_SIZE..HEADER_SIZE + len];
         let actual_crc = crc32_parts(&[&buf[8..16], payload]);
         if stored_crc != actual_crc {

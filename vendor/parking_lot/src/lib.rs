@@ -4,27 +4,78 @@
 //! Differences from the real crate: poisoning is ignored (a poisoned lock
 //! is recovered transparently), and only the subset of the API used by
 //! this workspace is provided.
+//!
+//! # Lock-order witness (`lock-order` feature)
+//!
+//! Because this workspace owns its `parking_lot`, it can carry the
+//! correctness tooling the real crate cannot: with the `lock-order`
+//! feature enabled, locks constructed through [`Mutex::with_rank`] /
+//! [`RwLock::with_rank`] participate in a runtime lock-order witness.
+//! Every ranked acquisition is recorded in a per-thread held-set and in a
+//! global acquisition-order graph, and a *blocking* acquisition whose
+//! rank is not strictly greater than every rank already held panics
+//! immediately — naming both acquisition sites — instead of deadlocking
+//! some day in production. `try_lock` acquisitions are exempt from the
+//! panic (they cannot deadlock) but are still recorded, so the graph and
+//! [`order::assert_acyclic`] observe them. Locks built with the plain
+//! constructors are unranked and invisible to the witness.
+//!
+//! With the feature disabled every witness field and check compiles away.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Instant;
 
+#[cfg(feature = "lock-order")]
+pub mod order;
+
+#[cfg(feature = "lock-order")]
+use order::HeldToken;
+
+/// Rank given to locks constructed without [`Mutex::with_rank`] /
+/// [`RwLock::with_rank`]; the witness ignores them entirely.
+pub const UNRANKED: u32 = u32::MAX;
+
 /// A mutual-exclusion lock with `parking_lot`'s panic-free API.
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    rank: u32,
+    #[cfg(feature = "lock-order")]
+    name: &'static str,
     inner: std::sync::Mutex<T>,
 }
 
 /// RAII guard returned by [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    // Declared before `inner` so the held-set entry pops before (well,
+    // while) the lock is released.
+    #[cfg(feature = "lock-order")]
+    _held: HeldToken,
     // `Option` so that `Condvar::wait_until` can temporarily take the
-    // underlying std guard by value.
+    // underlying std guard by value. The held-set entry deliberately
+    // survives a condvar wait: the parked thread acquires nothing while
+    // parked, and it holds the lock again the moment `wait` returns.
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new (unranked) mutex.
     pub const fn new(value: T) -> Self {
+        Self::with_rank(value, UNRANKED, "unranked")
+    }
+
+    /// Creates a mutex carrying a static lock-order rank and a display
+    /// name for the witness. A thread may only block on this lock while
+    /// every lock it already holds has a strictly smaller rank. With the
+    /// `lock-order` feature disabled, rank and name are discarded.
+    pub const fn with_rank(value: T, rank: u32, name: &'static str) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = (rank, name);
         Mutex {
+            #[cfg(feature = "lock-order")]
+            rank,
+            #[cfg(feature = "lock-order")]
+            name,
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -37,20 +88,31 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let held = order::acquire_blocking(self.rank, self.name);
         let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        MutexGuard { inner: Some(guard) }
+        MutexGuard {
+            #[cfg(feature = "lock-order")]
+            _held: held,
+            inner: Some(guard),
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "lock-order")]
+            _held: order::acquire_try(self.rank, self.name),
+            inner: Some(guard),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -165,23 +227,43 @@ impl fmt::Debug for Condvar {
 
 /// A reader-writer lock with `parking_lot`'s panic-free API.
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    rank: u32,
+    #[cfg(feature = "lock-order")]
+    name: &'static str,
     inner: std::sync::RwLock<T>,
 }
 
 /// RAII guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    _held: HeldToken,
     inner: std::sync::RwLockReadGuard<'a, T>,
 }
 
 /// RAII guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    _held: HeldToken,
     inner: std::sync::RwLockWriteGuard<'a, T>,
 }
 
 impl<T> RwLock<T> {
-    /// Creates a new reader-writer lock.
+    /// Creates a new (unranked) reader-writer lock.
     pub const fn new(value: T) -> Self {
+        Self::with_rank(value, UNRANKED, "unranked")
+    }
+
+    /// Creates a reader-writer lock carrying a static lock-order rank and
+    /// a display name for the witness (see [`Mutex::with_rank`]).
+    pub const fn with_rank(value: T, rank: u32, name: &'static str) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = (rank, name);
         RwLock {
+            #[cfg(feature = "lock-order")]
+            rank,
+            #[cfg(feature = "lock-order")]
+            name,
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -194,15 +276,29 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let held = order::acquire_blocking(self.rank, self.name);
         let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
-        RwLockReadGuard { inner: guard }
+        RwLockReadGuard {
+            #[cfg(feature = "lock-order")]
+            _held: held,
+            inner: guard,
+        }
     }
 
     /// Acquires an exclusive write lock.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let held = order::acquire_blocking(self.rank, self.name);
         let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
-        RwLockWriteGuard { inner: guard }
+        RwLockWriteGuard {
+            #[cfg(feature = "lock-order")]
+            _held: held,
+            inner: guard,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -292,5 +388,62 @@ mod tests {
         *m.lock() = true;
         c.notify_all();
         handle.join().unwrap();
+    }
+
+    #[cfg(feature = "lock-order")]
+    mod witness {
+        use super::super::*;
+
+        #[test]
+        fn ascending_ranks_are_quiet() {
+            let a = Mutex::with_rank((), 10, "test.a");
+            let b = Mutex::with_rank((), 20, "test.b");
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+
+        #[test]
+        fn inversion_panics_with_both_sites() {
+            let result = std::thread::spawn(|| {
+                let a = Mutex::with_rank((), 10, "test.low");
+                let b = Mutex::with_rank((), 20, "test.high");
+                let _gb = b.lock();
+                let _ga = a.lock(); // rank 10 while holding rank 20: inversion
+            })
+            .join();
+            let err = result.expect_err("inversion must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("test.low"), "missing acquiring lock: {msg}");
+            assert!(msg.contains("test.high"), "missing held lock: {msg}");
+            assert!(
+                msg.matches("vendor/parking_lot/src/lib.rs").count() >= 2
+                    || msg.matches(".rs:").count() >= 2,
+                "both acquisition sites must be named: {msg}"
+            );
+        }
+
+        #[test]
+        fn try_lock_out_of_order_is_tolerated() {
+            let a = Mutex::with_rank((), 10, "test.try_low");
+            let b = Mutex::with_rank((), 20, "test.try_high");
+            let _gb = b.lock();
+            let ga = a.try_lock();
+            assert!(ga.is_some(), "try_lock must not panic on inversion");
+        }
+
+        #[test]
+        fn unranked_locks_are_invisible() {
+            let ranked = Mutex::with_rank((), 50, "test.ranked");
+            let unranked = Mutex::new(());
+            let _g1 = ranked.lock();
+            let _g2 = unranked.lock(); // no rank: never checked
+            let again = Mutex::with_rank((), 10, "test.low_again");
+            // Still panics against the ranked one, proving the unranked
+            // acquisition did not clear the held-set.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = again.lock();
+            }));
+            assert!(result.is_err());
+        }
     }
 }

@@ -1,0 +1,211 @@
+//! Runtime lock-order witness (compiled only under the `lock-order`
+//! feature).
+//!
+//! Every ranked lock acquisition is checked against the acquiring
+//! thread's held-set: a **blocking** acquisition must carry a rank
+//! strictly greater than every rank the thread already holds, otherwise
+//! the witness panics immediately — before the thread can park — naming
+//! both acquisition sites. Ranks are static (assigned at construction
+//! sites, see the README's lock-rank map), so the reachable
+//! acquisition-order graph is a DAG by construction: an edge can only go
+//! from a lower rank to a higher one.
+//!
+//! `try_lock` acquisitions are exempt from the panic — a non-blocking
+//! acquisition can never contribute to a deadlock cycle, and the idle
+//! session sweeper legitimately probes session locks "out of order" —
+//! but they are still pushed onto the held-set and recorded in the
+//! global graph, so [`assert_acyclic`] can audit whatever order they
+//! introduced.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex as SysMutex;
+
+use crate::UNRANKED;
+
+/// One acquisition-order graph node: a ranked lock identity.
+pub type GraphNode = (u32, &'static str);
+
+/// One recorded edge: the first observed pair of acquisition sites for
+/// (held lock → acquired lock).
+pub type GraphEdge = ((GraphNode, GraphNode), (String, String));
+
+#[derive(Clone, Copy)]
+struct Held {
+    rank: u32,
+    name: &'static str,
+    site: &'static Location<'static>,
+    key: u64,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_KEY: AtomicU64 = AtomicU64::new(1);
+
+/// The site pair first observed for an acquisition-order edge.
+type EdgeSites = (&'static Location<'static>, &'static Location<'static>);
+
+// The graph uses a raw std mutex: it must not recurse into the
+// instrumented wrappers it observes.
+static GRAPH: SysMutex<BTreeMap<(GraphNode, GraphNode), EdgeSites>> =
+    SysMutex::new(BTreeMap::new());
+
+/// Pops its held-set entry when the guard that owns it drops.
+pub struct HeldToken {
+    key: u64,
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        if self.key == 0 {
+            return;
+        }
+        let key = self.key;
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            // Out-of-order guard drops are legal; search from the end
+            // (the common LIFO case pops in O(1)).
+            if let Some(pos) = held.iter().rposition(|h| h.key == key) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Records a blocking acquisition, panicking on a rank inversion before
+/// the caller can park on the lock.
+#[track_caller]
+pub fn acquire_blocking(rank: u32, name: &'static str) -> HeldToken {
+    acquire(rank, name, true)
+}
+
+/// Records a successful `try_lock` acquisition. Never panics: an
+/// acquisition that cannot block cannot deadlock.
+#[track_caller]
+pub fn acquire_try(rank: u32, name: &'static str) -> HeldToken {
+    acquire(rank, name, false)
+}
+
+#[track_caller]
+fn acquire(rank: u32, name: &'static str, blocking: bool) -> HeldToken {
+    if rank == UNRANKED {
+        return HeldToken { key: 0 };
+    }
+    let site = Location::caller();
+    HELD.with(|held| {
+        {
+            let held = held.borrow();
+            for h in held.iter() {
+                record_edge((h.rank, h.name), (rank, name), h.site, site);
+            }
+            if blocking {
+                if let Some(h) = held.iter().find(|h| h.rank >= rank) {
+                    panic!(
+                        "lock-order violation: blocking on \"{name}\" (rank {rank}) at {site} \
+                         while holding \"{held_name}\" (rank {held_rank}) acquired at {held_site}",
+                        held_name = h.name,
+                        held_rank = h.rank,
+                        held_site = h.site,
+                    );
+                }
+            }
+        }
+        let key = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
+        held.borrow_mut().push(Held {
+            rank,
+            name,
+            site,
+            key,
+        });
+        HeldToken { key }
+    })
+}
+
+fn record_edge(
+    from: GraphNode,
+    to: GraphNode,
+    from_site: &'static Location<'static>,
+    to_site: &'static Location<'static>,
+) {
+    let mut graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+    graph.entry((from, to)).or_insert((from_site, to_site));
+}
+
+/// Every acquisition-order edge observed so far, with the first pair of
+/// sites that produced it. Ordered by (held, acquired) node.
+pub fn edges() -> Vec<GraphEdge> {
+    let graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+    graph
+        .iter()
+        .map(|(&(from, to), &(fs, ts))| ((from, to), (fs.to_string(), ts.to_string())))
+        .collect()
+}
+
+/// Ranks currently held by the calling thread (rank, name, site), in
+/// acquisition order. Intended for tests and diagnostics.
+pub fn held_by_current_thread() -> Vec<(u32, &'static str, String)> {
+    HELD.with(|held| {
+        held.borrow()
+            .iter()
+            .map(|h| (h.rank, h.name, h.site.to_string()))
+            .collect()
+    })
+}
+
+/// Audits the global acquisition-order graph for cycles and panics with
+/// the offending edge list if one exists. Blocking acquisitions cannot
+/// create a cycle (they are forced rank-ascending), so a cycle here can
+/// only come from `try_lock` edges — which is exactly what this audit is
+/// for.
+pub fn assert_acyclic() {
+    let graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+    let mut adj: BTreeMap<GraphNode, Vec<GraphNode>> = BTreeMap::new();
+    for &(from, to) in graph.keys() {
+        adj.entry(from).or_default().push(to);
+        adj.entry(to).or_default();
+    }
+    // Iterative DFS three-colour cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: BTreeMap<GraphNode, Colour> = adj.keys().map(|&n| (n, Colour::White)).collect();
+    for &start in adj.keys() {
+        if colour[&start] != Colour::White {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        colour.insert(start, Colour::Grey);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let children = &adj[&node];
+            if *next < children.len() {
+                let child = children[*next];
+                *next += 1;
+                match colour[&child] {
+                    Colour::White => {
+                        colour.insert(child, Colour::Grey);
+                        stack.push((child, 0));
+                    }
+                    Colour::Grey => {
+                        let cycle: Vec<String> = stack
+                            .iter()
+                            .map(|&(n, _)| format!("{} (rank {})", n.1, n.0))
+                            .chain(std::iter::once(format!("{} (rank {})", child.1, child.0)))
+                            .collect();
+                        panic!("lock acquisition graph has a cycle: {}", cycle.join(" -> "));
+                    }
+                    Colour::Black => {}
+                }
+            } else {
+                colour.insert(node, Colour::Black);
+                stack.pop();
+            }
+        }
+    }
+}
