@@ -1,4 +1,4 @@
-//! Experiment harness: regenerates one table per experiment (E1–E16) from
+//! Experiment harness: regenerates one table per experiment (E1–E17) from
 //! DESIGN.md / EXPERIMENTS.md.
 //!
 //! Usage:
@@ -9,11 +9,12 @@
 //! cargo run -p graphsi-bench --release --bin experiments -- --quick # smaller parameters
 //! cargo run -p graphsi-bench --release --bin experiments -- --exp e14 --json BENCH_e14.json
 //! cargo run -p graphsi-bench --release --bin experiments -- --exp e16 --json BENCH_e16.json
+//! cargo run -p graphsi-bench --release --bin experiments -- --exp e17 --json BENCH_e17.json
 //! ```
 //!
-//! `--json <path>` makes E14/E16 additionally write their rows as a JSON
-//! bench artifact (`BENCH_e14.json` / `BENCH_e16.json` seed the repo's
-//! perf trajectory).
+//! `--json <path>` makes E14/E16/E17 additionally write their rows as a
+//! JSON bench artifact (`BENCH_e14.json` / `BENCH_e16.json` /
+//! `BENCH_e17.json` seed the repo's perf trajectory).
 
 use std::time::Instant;
 
@@ -126,10 +127,22 @@ fn main() {
     if want("e16") {
         e16_server_saturation(&scale, json_path.as_deref());
     }
+    if want("e17") {
+        e17_ordered_query_planner(&scale, json_path.as_deref());
+    }
 }
 
 fn open(dir: &TempDir, config: DbConfig) -> GraphDb {
     GraphDb::open(dir.path(), config).expect("open db")
+}
+
+/// Experiments panic on any error; `must` keeps the panic annotated with
+/// what the harness was doing when it died.
+fn must<T, E: std::fmt::Debug>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("{what}: {e:?}"),
+    }
 }
 
 fn e1_unrepeatable_reads(scale: &Scale) {
@@ -882,6 +895,275 @@ fn e14_predicate_pushdown(scale: &Scale, json_path: Option<&str>) {
             json_rows.join(",\n")
         );
         std::fs::write(path, json).expect("write bench json");
+        println!("(wrote {path})");
+        println!();
+    }
+}
+
+/// E17 — ordered & multi-predicate query planner, two axes over
+/// selectivity × graph size:
+///
+/// * **ordered/top-k** — `top_k("score", 10)` served straight off the
+///   index walk (early-exiting the range cursor) vs the sort-all-take-n
+///   fallback (decode every candidate, buffer, sort, truncate). Gates at
+///   the full-graph 1% cell: the served path decodes nothing, allocates no
+///   sort buffer (`candidate_buffer_peak` ≤ chunk size) and is ≥ 5× faster.
+/// * **multi-predicate** — `score ∧ flag` compiled to a sorted-posting
+///   merge-intersect vs single-pushdown + decode-filter chain
+///   (`.intersect(false)`). Gate: the intersection performs strictly fewer
+///   `property_decodes` on every cell.
+fn e17_ordered_query_planner(scale: &Scale, json_path: Option<&str>) {
+    println!("## E17 — ordered & multi-predicate planner (index-streamed top-k + intersection)");
+    let mut table = Table::new(&[
+        "axis",
+        "nodes",
+        "selectivity",
+        "rows",
+        "planner (us)",
+        "baseline (us)",
+        "speedup",
+        "planner decodes",
+        "baseline decodes",
+    ]);
+    let sizes = [scale.mix_nodes / 4, scale.mix_nodes];
+    let selectivities = [0.01f64, 0.10, 0.50];
+    const DOMAIN: i64 = 1_000;
+    const K: usize = 10;
+    const REPS: u32 = 5;
+    let mut json_rows = Vec::new();
+
+    // ---- Axis 1: ordered streaming / top-k ----------------------------
+    for &nodes in &sizes {
+        let dir = TempDir::new("e17_topk");
+        let db = open(&dir, DbConfig::default());
+        let mut tx = db.begin();
+        for i in 0..nodes {
+            must(
+                tx.create_node(
+                    &["Bench"],
+                    &[("score", PropertyValue::Int((i as i64 * 7919) % DOMAIN))],
+                ),
+                "seed topk node",
+            );
+        }
+        must(tx.commit(), "commit topk seed");
+        db.run_gc();
+        let chunk = DbConfig::DEFAULT_SCAN_CHUNK_SIZE as u64;
+
+        // Served pass first: until a sort fallback runs, the lifetime-max
+        // `candidate_buffer_peak` can only reflect chunk refills, so the
+        // no-sort-buffer claim is checkable per database.
+        let mut served: Vec<(f64, usize, u64, u64)> = Vec::new();
+        for &selectivity in &selectivities {
+            let hi = (DOMAIN as f64 * selectivity) as i64 - 1;
+            let range = || PropertyValue::Int(0)..=PropertyValue::Int(hi);
+            let tx = db.txn().read_only().begin();
+            let before = db.metrics();
+            let mut served_us = f64::MAX;
+            let mut rows = Vec::new();
+            for _ in 0..REPS {
+                let start = Instant::now();
+                rows = must(
+                    tx.query()
+                        .filter_property_range("score", range())
+                        .top_k("score", K)
+                        .ids(),
+                    "served top-k",
+                );
+                served_us = served_us.min(start.elapsed().as_micros() as f64);
+            }
+            let after = db.metrics();
+            let decodes = after.property_decodes - before.property_decodes;
+            assert!(
+                after.ordered_index_streams >= before.ordered_index_streams + REPS as u64,
+                "every run must serve the order off the index"
+            );
+            assert_eq!(decodes, 0, "served top-k never decodes");
+            served.push((served_us, rows.len(), decodes, after.candidate_buffer_peak));
+        }
+        assert!(
+            served.iter().all(|&(_, _, _, peak)| peak <= chunk),
+            "served top-k allocates no sort buffer: peak candidate buffer \
+             must stay within one chunk"
+        );
+
+        // Baseline pass: the same query forced onto the decode path, where
+        // the order can only be a buffered sort-all-take-n.
+        for (i, &selectivity) in selectivities.iter().enumerate() {
+            let hi = (DOMAIN as f64 * selectivity) as i64 - 1;
+            let range = || PropertyValue::Int(0)..=PropertyValue::Int(hi);
+            let tx = db.txn().read_only().begin();
+            let before = db.metrics();
+            let mut baseline_us = f64::MAX;
+            let mut baseline_rows = 0usize;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                baseline_rows = must(
+                    tx.query()
+                        .filter_property_range("score", range())
+                        .top_k("score", K)
+                        .pushdown(false)
+                        .count(),
+                    "sort-all-take-n baseline",
+                );
+                baseline_us = baseline_us.min(start.elapsed().as_micros() as f64);
+            }
+            let after = db.metrics();
+            let (served_us, served_rows, served_decodes, _) = served[i];
+            let baseline_decodes = (after.property_decodes - before.property_decodes) / REPS as u64;
+            assert_eq!(baseline_rows, served_rows, "both paths agree on top-k");
+            // Gated to the full-scale headline cell: quick graphs finish
+            // both paths in a handful of microseconds, where timer
+            // resolution would make the ratio meaningless.
+            if scale.mix_nodes >= 1_000
+                && nodes == scale.mix_nodes
+                && (selectivity - 0.01).abs() < 1e-9
+            {
+                assert!(
+                    baseline_us >= 5.0 * served_us.max(1.0),
+                    "index-streamed top-k must be >= 5x faster than \
+                     sort-all-take-n at 1% selectivity \
+                     ({served_us}us vs {baseline_us}us)"
+                );
+            }
+            table.row(&[
+                "topk".into(),
+                nodes.to_string(),
+                f3(selectivity),
+                served_rows.to_string(),
+                f1(served_us),
+                f1(baseline_us),
+                f3(baseline_us / served_us.max(1.0)),
+                served_decodes.to_string(),
+                baseline_decodes.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"axis\": \"topk\", \"nodes\": {nodes}, \"selectivity\": {selectivity}, \
+                 \"rows\": {served_rows}, \"planner_us\": {served_us:.1}, \
+                 \"baseline_us\": {baseline_us:.1}, \"speedup\": {:.3}, \
+                 \"planner_decodes\": {served_decodes}, \"baseline_decodes\": {baseline_decodes}}}",
+                baseline_us / served_us.max(1.0)
+            ));
+        }
+    }
+
+    // ---- Axis 2: multi-predicate intersection -------------------------
+    for &nodes in &sizes {
+        let dir = TempDir::new("e17_isect");
+        let db = open(&dir, DbConfig::default());
+        let mut tx = db.begin();
+        let mut scores = Vec::with_capacity(nodes);
+        let mut flags = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let score = (i as i64 * 7919) % DOMAIN;
+            let flag = (i as i64 * 4801) % DOMAIN;
+            scores.push(score);
+            flags.push(flag);
+            must(
+                tx.create_node(
+                    &["Bench"],
+                    &[
+                        ("score", PropertyValue::Int(score)),
+                        ("flag", PropertyValue::Int(flag)),
+                    ],
+                ),
+                "seed intersection node",
+            );
+        }
+        must(tx.commit(), "commit intersection seed");
+        db.run_gc();
+        scores.sort_unstable();
+        flags.sort_unstable();
+
+        for &selectivity in &selectivities {
+            // Quantile bounds give both predicates the same selectivity,
+            // keeping each inside the planner's leg-cardinality gate, with
+            // a one-row floor so the chained baseline always decodes.
+            let cut = ((nodes as f64 * selectivity) as usize).clamp(1, nodes) - 1;
+            let hi = scores[cut];
+            let hi2 = flags[cut];
+            let q = |tx: &graphsi_core::Transaction, intersect: bool| {
+                must(
+                    tx.query()
+                        .filter_property_range(
+                            "score",
+                            PropertyValue::Int(0)..=PropertyValue::Int(hi),
+                        )
+                        .filter_property_range(
+                            "flag",
+                            PropertyValue::Int(0)..=PropertyValue::Int(hi2),
+                        )
+                        .intersect(intersect)
+                        .count(),
+                    "two-predicate count",
+                )
+            };
+            let tx = db.txn().read_only().begin();
+            let before = db.metrics();
+            let mut merged_us = f64::MAX;
+            let mut rows = 0usize;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                rows = q(&tx, true);
+                merged_us = merged_us.min(start.elapsed().as_micros() as f64);
+            }
+            let mid = db.metrics();
+            let mut chained_us = f64::MAX;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let chained = q(&tx, false);
+                assert_eq!(chained, rows, "both paths must agree");
+                chained_us = chained_us.min(start.elapsed().as_micros() as f64);
+            }
+            let after = db.metrics();
+
+            let merged_decodes = mid.property_decodes - before.property_decodes;
+            let chained_decodes = after.property_decodes - mid.property_decodes;
+            assert!(
+                mid.intersection_pushdowns >= before.intersection_pushdowns + REPS as u64,
+                "every merged run compiled to a sorted-posting intersection"
+            );
+            assert!(
+                merged_decodes < chained_decodes,
+                "intersection must perform strictly fewer property decodes \
+                 than single-pushdown + filter ({merged_decodes} vs {chained_decodes})"
+            );
+            table.row(&[
+                "intersect".into(),
+                nodes.to_string(),
+                f3(selectivity),
+                rows.to_string(),
+                f1(merged_us),
+                f1(chained_us),
+                f3(chained_us / merged_us.max(1.0)),
+                merged_decodes.to_string(),
+                chained_decodes.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"axis\": \"intersect\", \"nodes\": {nodes}, \
+                 \"selectivity\": {selectivity}, \"rows\": {rows}, \
+                 \"planner_us\": {merged_us:.1}, \"baseline_us\": {chained_us:.1}, \
+                 \"speedup\": {:.3}, \"planner_decodes\": {merged_decodes}, \
+                 \"baseline_decodes\": {chained_decodes}}}",
+                chained_us / merged_us.max(1.0)
+            ));
+        }
+    }
+
+    println!("{}", table.render());
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"experiment\": \"e17_ordered_query_planner\",\n  \
+             \"description\": \"ordered & multi-predicate planner: index-streamed \
+             top-k (no sort buffer, cursor early-exit) vs sort-all-take-n, and \
+             sorted-posting intersection vs single-pushdown + decode-filter, \
+             across selectivity x graph size\",\n  \
+             \"unit\": {{\"latency\": \"us (best of {REPS})\", \"decodes\": \
+             \"property materialisations per query (baseline: per run)\"}},\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        must(std::fs::write(path, json), "write bench json");
         println!("(wrote {path})");
         println!();
     }

@@ -77,6 +77,15 @@ fn request_seeds() -> Vec<Vec<u8>> {
             hi: None,
             limit: 0,
             projection: vec!["name".to_owned()],
+            order: 0,
+        },
+        Request::RangeQuery {
+            key: "score".to_owned(),
+            lo: None,
+            hi: Some(PropertyValue::Int(500)),
+            limit: 10,
+            projection: vec![],
+            order: 2,
         },
         Request::Sleep { ms: 10 },
     ]

@@ -95,6 +95,13 @@ pub struct DbConfig {
     /// experiment measures pushdown against. Overridable per query with
     /// [`crate::QueryBuilder::pushdown`].
     pub predicate_pushdown: bool,
+    /// Whether the query planner may compile two or more pushdown-able
+    /// property predicates into a sorted-posting merge-intersect (driver
+    /// range cursor ∩ pre-drained leg build sides) instead of one index
+    /// scan followed by decode-filter stages. Requires
+    /// [`DbConfig::predicate_pushdown`] to matter. Overridable per query
+    /// with [`crate::QueryBuilder::intersect`].
+    pub predicate_intersection: bool,
 }
 
 impl Default for DbConfig {
@@ -112,6 +119,7 @@ impl Default for DbConfig {
             group_commit_max_delay: Duration::ZERO,
             store_apply_shards: DbConfig::DEFAULT_STORE_APPLY_SHARDS,
             predicate_pushdown: true,
+            predicate_intersection: true,
         }
     }
 }
@@ -202,6 +210,13 @@ impl DbConfig {
         self.predicate_pushdown = enabled;
         self
     }
+
+    /// Builder-style setter for query-planner multi-predicate
+    /// intersection.
+    pub fn with_predicate_intersection(mut self, enabled: bool) -> Self {
+        self.predicate_intersection = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +291,16 @@ mod tests {
             !DbConfig::default()
                 .with_predicate_pushdown(false)
                 .predicate_pushdown
+        );
+    }
+
+    #[test]
+    fn predicate_intersection_defaults_on() {
+        assert!(DbConfig::default().predicate_intersection);
+        assert!(
+            !DbConfig::default()
+                .with_predicate_intersection(false)
+                .predicate_intersection
         );
     }
 

@@ -365,6 +365,17 @@ enum NodeScan {
         lo: Bound<ValueKey>,
         hi: Bound<ValueKey>,
     },
+    /// Sorted-posting intersection: the base walks the *driver* range
+    /// cursor; each candidate must also appear in every pre-drained,
+    /// sorted leg build side (binary search — no property decode).
+    /// Write-set state decides membership against all predicates at once.
+    Intersection {
+        token: PropertyKeyToken,
+        lo: Bound<ValueKey>,
+        hi: Bound<ValueKey>,
+        legs: Vec<(PropertyKeyToken, Bound<ValueKey>, Bound<ValueKey>)>,
+        builds: Vec<Vec<NodeId>>,
+    },
     /// Whole-graph scan: every candidate is visibility-checked.
     All,
     /// Nothing matches (unknown label/property name).
@@ -481,6 +492,16 @@ pub struct NodeIdIter<'tx> {
     scan: NodeScan,
     /// Deduplication for the whole-graph scan (store ∪ cache ∪ write set).
     seen: HashSet<NodeId>,
+    /// Limit pushdown: stop yielding — and stop *paging the base* — once
+    /// this many rows streamed. `next_base` clamps the cursor chunk to the
+    /// remaining budget so the source never over-fetches postings a
+    /// downstream `limit` would drop.
+    budget: Option<usize>,
+    yielded: usize,
+    /// The budget came from a served top-k terminal: reaching it with the
+    /// base unexhausted is a `topk_early_exits` event.
+    topk: bool,
+    early_exit_recorded: bool,
     failed: bool,
 }
 
@@ -569,22 +590,34 @@ impl<'tx> NodeIdIter<'tx> {
         lo: Bound<ValueKey>,
         hi: Bound<ValueKey>,
         chunk: usize,
+        descending: bool,
     ) -> crate::error::Result<Self> {
         let read_ts = tx.read_timestamp();
-        let cursor = tx.db().indexes.node_properties.range_cursor(
-            token,
-            graphsi_index::bound_as_ref(&lo),
-            graphsi_index::bound_as_ref(&hi),
-            read_ts,
-            chunk,
-        );
+        let index = &tx.db().indexes.node_properties;
+        let cursor = if descending {
+            index.range_cursor_desc(
+                token,
+                graphsi_index::bound_as_ref(&lo),
+                graphsi_index::bound_as_ref(&hi),
+                read_ts,
+                chunk,
+            )
+        } else {
+            index.range_cursor(
+                token,
+                graphsi_index::bound_as_ref(&lo),
+                graphsi_index::bound_as_ref(&hi),
+                read_ts,
+                chunk,
+            )
+        };
         let mut pending: Vec<NodeId> = Vec::new();
         if let Some(ws) = tx.write_set_ref() {
             for (&id, entry) in &ws.nodes {
                 let in_range = entry.after.as_ref().is_some_and(|a| {
-                    a.properties.get(&token).is_some_and(|v| {
-                        crate::query::value_key_in_bounds(&v.index_key(), &lo, &hi)
-                    })
+                    a.properties
+                        .get(&token)
+                        .is_some_and(|v| crate::plan::value_key_in_bounds(&v.index_key(), &lo, &hi))
                 });
                 if !in_range {
                     continue;
@@ -597,7 +630,7 @@ impl<'tx> NodeIdIter<'tx> {
                     .read_node_properties_version(id, &[token], read_ts)?
                     .and_then(|mut v| v.pop().flatten());
                 let index_yields = committed
-                    .is_some_and(|v| crate::query::value_key_in_bounds(&v.index_key(), &lo, &hi));
+                    .is_some_and(|v| crate::plan::value_key_in_bounds(&v.index_key(), &lo, &hi));
                 if !index_yields {
                     pending.push(id);
                 }
@@ -607,6 +640,113 @@ impl<'tx> NodeIdIter<'tx> {
             tx,
             NodeBase::PropertyRange(cursor),
             NodeScan::PropertyRange { token, lo, hi },
+            pending,
+            chunk,
+        ))
+    }
+
+    /// Sorted-posting merge-intersect over two or more pushdown-able
+    /// predicates. The *driver* (smallest estimated leg, chosen by the
+    /// planner) streams through a range cursor — ascending or descending,
+    /// so a served `order_by` can ride it — while every other leg is
+    /// drained once into a sorted, deduplicated build side checked by
+    /// binary search per driver candidate. No property list is decoded on
+    /// the committed path.
+    pub(crate) fn with_intersection(
+        tx: &'tx Transaction,
+        driver: (PropertyKeyToken, Bound<ValueKey>, Bound<ValueKey>),
+        legs: Vec<(PropertyKeyToken, Bound<ValueKey>, Bound<ValueKey>)>,
+        chunk: usize,
+        descending: bool,
+    ) -> crate::error::Result<Self> {
+        let read_ts = tx.read_timestamp();
+        let (token, lo, hi) = driver;
+        let index = &tx.db().indexes.node_properties;
+        let mut builds: Vec<Vec<NodeId>> = Vec::with_capacity(legs.len());
+        for (ltok, llo, lhi) in &legs {
+            let mut cursor = index.range_cursor(
+                *ltok,
+                graphsi_index::bound_as_ref(llo),
+                graphsi_index::bound_as_ref(lhi),
+                read_ts,
+                chunk,
+            );
+            let mut build: Vec<NodeId> = Vec::new();
+            let mut buf: Vec<NodeId> = Vec::new();
+            while cursor.next_chunk(&mut buf) {
+                tx.db().metrics.record_chunk_refill(buf.len());
+                build.extend_from_slice(&buf);
+            }
+            // A node holding several distinct in-range values appears once
+            // per value key in the posting walk.
+            build.sort_unstable();
+            build.dedup();
+            builds.push(build);
+        }
+        let cursor = if descending {
+            index.range_cursor_desc(
+                token,
+                graphsi_index::bound_as_ref(&lo),
+                graphsi_index::bound_as_ref(&hi),
+                read_ts,
+                chunk,
+            )
+        } else {
+            index.range_cursor(
+                token,
+                graphsi_index::bound_as_ref(&lo),
+                graphsi_index::bound_as_ref(&hi),
+                read_ts,
+                chunk,
+            )
+        };
+        // Write-set additions: pending nodes whose after-state satisfies
+        // every predicate but whose *committed* visible state the driver ∩
+        // legs walk would not surface.
+        let mut pending: Vec<NodeId> = Vec::new();
+        if let Some(ws) = tx.write_set_ref() {
+            if !ws.nodes.is_empty() {
+                let tokens: Vec<PropertyKeyToken> = std::iter::once(token)
+                    .chain(legs.iter().map(|(t, _, _)| *t))
+                    .collect();
+                let bounds: Vec<(&Bound<ValueKey>, &Bound<ValueKey>)> = std::iter::once((&lo, &hi))
+                    .chain(legs.iter().map(|(_, l, h)| (l, h)))
+                    .collect();
+                for (&id, entry) in &ws.nodes {
+                    let after_ok = entry.after.as_ref().is_some_and(|a| {
+                        tokens.iter().zip(&bounds).all(|(t, (l, h))| {
+                            a.properties.get(t).is_some_and(|v| {
+                                crate::plan::value_key_in_bounds(&v.index_key(), l, h)
+                            })
+                        })
+                    });
+                    if !after_ok {
+                        continue;
+                    }
+                    let committed = tx.db().read_node_properties_version(id, &tokens, read_ts)?;
+                    let index_yields = committed.is_some_and(|vals| {
+                        vals.iter().zip(&bounds).all(|(v, (l, h))| {
+                            v.as_ref().is_some_and(|v| {
+                                crate::plan::value_key_in_bounds(&v.index_key(), l, h)
+                            })
+                        })
+                    });
+                    if !index_yields {
+                        pending.push(id);
+                    }
+                }
+            }
+        }
+        Ok(Self::build(
+            tx,
+            NodeBase::PropertyRange(cursor),
+            NodeScan::Intersection {
+                token,
+                lo,
+                hi,
+                legs,
+                builds,
+            },
             pending,
             chunk,
         ))
@@ -654,8 +794,21 @@ impl<'tx> NodeIdIter<'tx> {
             pending: pending.into_iter(),
             scan,
             seen: HashSet::new(),
+            budget: None,
+            yielded: 0,
+            topk: false,
+            early_exit_recorded: false,
             failed: false,
         }
+    }
+
+    /// Attaches the planner's remaining-row budget (limit pushdown). With
+    /// `topk`, hitting the budget before the base drains is recorded as a
+    /// `topk_early_exits` event.
+    pub(crate) fn with_budget(mut self, budget: Option<usize>, topk: bool) -> Self {
+        self.budget = budget;
+        self.topk = topk;
+        self
     }
 
     /// Pulls the next base candidate, refilling the chunk buffer on demand.
@@ -670,12 +823,34 @@ impl<'tx> NodeIdIter<'tx> {
                 return Ok(None);
             }
             self.pos = 0;
+            // Limit pushdown: never page more candidates than the budget
+            // still needs (the cursor clamp persists across refills, so
+            // the final page is exactly-sized rather than a full chunk).
+            let remaining = self.budget.map(|b| b.saturating_sub(self.yielded));
             let refilled = match &mut self.base {
                 NodeBase::Empty => false,
-                NodeBase::Label(cursor) => cursor.next_chunk(&mut self.buf),
-                NodeBase::Property(cursor) => cursor.next_chunk(&mut self.buf),
-                NodeBase::PropertyRange(cursor) => cursor.next_chunk(&mut self.buf),
-                NodeBase::All(source) => source.refill(self.tx, self.chunk, &mut self.buf)?,
+                NodeBase::Label(cursor) => {
+                    if let Some(r) = remaining {
+                        cursor.clamp_chunk(r);
+                    }
+                    cursor.next_chunk(&mut self.buf)
+                }
+                NodeBase::Property(cursor) => {
+                    if let Some(r) = remaining {
+                        cursor.clamp_chunk(r);
+                    }
+                    cursor.next_chunk(&mut self.buf)
+                }
+                NodeBase::PropertyRange(cursor) => {
+                    if let Some(r) = remaining {
+                        cursor.clamp_chunk(r);
+                    }
+                    cursor.next_chunk(&mut self.buf)
+                }
+                NodeBase::All(source) => {
+                    let chunk = remaining.map_or(self.chunk, |r| self.chunk.min(r.max(1)));
+                    source.refill(self.tx, chunk, &mut self.buf)?
+                }
             };
             if !refilled {
                 // Not a refill: nothing was buffered and the base is done
@@ -686,12 +861,10 @@ impl<'tx> NodeIdIter<'tx> {
             self.tx.db().metrics.record_chunk_refill(self.buf.len());
         }
     }
-}
 
-impl Iterator for NodeIdIter<'_> {
-    type Item = Result<NodeId>;
-
-    fn next(&mut self) -> Option<Self::Item> {
+    /// The scan body behind [`Iterator::next`]; the public wrapper layers
+    /// the row budget (limit pushdown / top-k early exit) on top.
+    fn next_inner(&mut self) -> Option<Result<NodeId>> {
         if self.failed {
             return None;
         }
@@ -738,7 +911,7 @@ impl Iterator for NodeIdIter<'_> {
                         // range?
                         Some(Some(after)) => {
                             let still_in = after.properties.get(token).is_some_and(|v| {
-                                crate::query::value_key_in_bounds(&v.index_key(), lo, hi)
+                                crate::plan::value_key_in_bounds(&v.index_key(), lo, hi)
                             });
                             if still_in {
                                 return Some(Ok(id));
@@ -748,6 +921,40 @@ impl Iterator for NodeIdIter<'_> {
                         // Untouched: the range cursor already applied both
                         // snapshot visibility and the bounds.
                         None => return Some(Ok(id)),
+                    }
+                }
+                NodeScan::Intersection {
+                    token,
+                    lo,
+                    hi,
+                    legs,
+                    builds,
+                } => {
+                    match self.tx.write_set_ref().and_then(|ws| ws.node_state(id)) {
+                        // Own write decides: after-state must satisfy the
+                        // driver predicate *and* every leg.
+                        Some(Some(after)) => {
+                            let all_match = after.properties.get(token).is_some_and(|v| {
+                                crate::plan::value_key_in_bounds(&v.index_key(), lo, hi)
+                            }) && legs.iter().all(|(t, l, h)| {
+                                after.properties.get(t).is_some_and(|v| {
+                                    crate::plan::value_key_in_bounds(&v.index_key(), l, h)
+                                })
+                            });
+                            if all_match {
+                                return Some(Ok(id));
+                            }
+                        }
+                        Some(None) => {}
+                        // Untouched: the driver walk already applied
+                        // snapshot visibility and its bounds; the legs are
+                        // membership probes into sorted build sides.
+                        None => {
+                            if builds.iter().all(|b| b.binary_search(&id).is_ok()) {
+                                return Some(Ok(id));
+                            }
+                            self.tx.db().metrics.record_intersection_leg_skips(1);
+                        }
                     }
                 }
                 NodeScan::All => {
@@ -766,6 +973,31 @@ impl Iterator for NodeIdIter<'_> {
             }
         }
         self.pending.next().map(Ok)
+    }
+}
+
+impl Iterator for NodeIdIter<'_> {
+    type Item = Result<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Some(budget) = self.budget else {
+            return self.next_inner();
+        };
+        if self.yielded >= budget {
+            return None;
+        }
+        let item = self.next_inner();
+        if matches!(item, Some(Ok(_))) {
+            self.yielded += 1;
+            // Record the early exit the instant the budget fills — a
+            // downstream `limit` stops polling at that point, so a
+            // trailing check would never run.
+            if self.topk && self.yielded >= budget && !self.base_done && !self.early_exit_recorded {
+                self.early_exit_recorded = true;
+                self.tx.db().metrics.record_topk_early_exit();
+            }
+        }
+        item
     }
 }
 

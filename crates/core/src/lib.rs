@@ -83,6 +83,7 @@ pub mod iter;
 pub mod lock_rank;
 pub mod metrics;
 pub mod options;
+pub(crate) mod plan;
 pub mod query;
 pub mod transaction;
 pub mod traversal;

@@ -28,6 +28,10 @@ pub struct DbMetrics {
     predicate_pushdowns: AtomicU64,
     decode_filter_fallbacks: AtomicU64,
     property_decodes: AtomicU64,
+    ordered_index_streams: AtomicU64,
+    topk_early_exits: AtomicU64,
+    intersection_pushdowns: AtomicU64,
+    intersection_leg_skips: AtomicU64,
     write_retries: AtomicU64,
     write_retry_backoff_us: AtomicU64,
 }
@@ -107,6 +111,21 @@ pub struct DbMetricsSnapshot {
     /// performs none of these, a decode fallback pays one per candidate
     /// scanned.
     pub property_decodes: u64,
+    /// Queries whose `order_by`/`top_k` the planner served straight off
+    /// the index's sorted key walk — no sort buffer was allocated. A query
+    /// that had to buffer-and-sort instead does not count here.
+    pub ordered_index_streams: u64,
+    /// Index-streamed top-k queries that stopped paging the source before
+    /// it was exhausted — the early-exit the ordered walk makes possible.
+    pub topk_early_exits: u64,
+    /// Queries whose multi-predicate conjunction compiled to a
+    /// sorted-posting intersection (one driving range cursor plus
+    /// membership legs) instead of an index scan + decode-filter chain.
+    pub intersection_pushdowns: u64,
+    /// Driver candidates an intersection discarded via a cheap posting
+    /// membership probe — each one a candidate the decode-filter chain
+    /// would have paid a `property_decodes` for.
+    pub intersection_leg_skips: u64,
     /// Conflict retries performed by [`crate::GraphDb::write_with_retry`]
     /// (one per aborted-and-retried attempt, across all callers).
     pub write_retries: u64,
@@ -146,6 +165,10 @@ macro_rules! for_each_counter {
             predicate_pushdowns,
             decode_filter_fallbacks,
             property_decodes,
+            ordered_index_streams,
+            topk_early_exits,
+            intersection_pushdowns,
+            intersection_leg_skips,
             write_retries,
             write_retry_backoff_us
         }
@@ -329,6 +352,40 @@ impl DbMetrics {
         self.property_decodes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one `order_by`/`top_k` served straight off the index's
+    /// sorted key walk, with no sort buffer.
+    pub(crate) fn record_ordered_index_stream(&self) {
+        self.ordered_index_streams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one index-streamed top-k that stopped paging its source
+    /// before the source was exhausted.
+    pub(crate) fn record_topk_early_exit(&self) {
+        self.topk_early_exits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one multi-predicate conjunction compiled to a
+    /// sorted-posting intersection.
+    pub(crate) fn record_intersection_pushdown(&self) {
+        self.intersection_pushdowns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records driver candidates an intersection's membership legs
+    /// discarded without decoding any property.
+    pub(crate) fn record_intersection_leg_skips(&self, skipped: u64) {
+        if skipped > 0 {
+            self.intersection_leg_skips
+                .fetch_add(skipped, Ordering::Relaxed);
+        }
+    }
+
+    /// Feeds the candidate-buffer peak with the size of a sort-fallback
+    /// buffer (no refill is counted — the rows were already paged).
+    pub(crate) fn record_candidate_buffer(&self, buffered: usize) {
+        self.candidate_buffer_peak
+            .fetch_max(buffered as u64, Ordering::Relaxed);
+    }
+
     /// Records one conflict retry of `write_with_retry` and the jittered
     /// backoff it is about to sleep.
     pub(crate) fn record_write_retry(&self, backoff_us: u64) {
@@ -362,6 +419,10 @@ impl DbMetrics {
             predicate_pushdowns: self.predicate_pushdowns.load(Ordering::Relaxed),
             decode_filter_fallbacks: self.decode_filter_fallbacks.load(Ordering::Relaxed),
             property_decodes: self.property_decodes.load(Ordering::Relaxed),
+            ordered_index_streams: self.ordered_index_streams.load(Ordering::Relaxed),
+            topk_early_exits: self.topk_early_exits.load(Ordering::Relaxed),
+            intersection_pushdowns: self.intersection_pushdowns.load(Ordering::Relaxed),
+            intersection_leg_skips: self.intersection_leg_skips.load(Ordering::Relaxed),
             write_retries: self.write_retries.load(Ordering::Relaxed),
             write_retry_backoff_us: self.write_retry_backoff_us.load(Ordering::Relaxed),
         }
@@ -405,6 +466,13 @@ mod tests {
         m.record_property_decode();
         m.record_property_decode();
         m.record_property_decode();
+        m.record_ordered_index_stream();
+        m.record_topk_early_exit();
+        m.record_intersection_pushdown();
+        m.record_intersection_pushdown();
+        m.record_intersection_leg_skips(0);
+        m.record_intersection_leg_skips(4);
+        m.record_candidate_buffer(9);
         m.record_write_retry(50);
         m.record_write_retry(120);
         let s = m.snapshot();
@@ -418,7 +486,10 @@ mod tests {
         assert_eq!(s.gc_runs, 1);
         assert_eq!(s.versions_reclaimed, 5);
         assert_eq!(s.chunk_refills, 3);
-        assert_eq!(s.candidate_buffer_peak, 7, "peak is a max, not a sum");
+        assert_eq!(
+            s.candidate_buffer_peak, 9,
+            "peak is a max over refills and sort buffers, not a sum"
+        );
         assert_eq!(s.shard_key_buffer_peak, 31);
         assert_eq!(s.cursor_restarts, 2);
         assert_eq!(s.wal_syncs, 3);
@@ -430,6 +501,10 @@ mod tests {
         assert_eq!(s.predicate_pushdowns, 1);
         assert_eq!(s.decode_filter_fallbacks, 2);
         assert_eq!(s.property_decodes, 3);
+        assert_eq!(s.ordered_index_streams, 1);
+        assert_eq!(s.topk_early_exits, 1);
+        assert_eq!(s.intersection_pushdowns, 2);
+        assert_eq!(s.intersection_leg_skips, 4);
         assert_eq!(s.write_retries, 2);
         assert_eq!(s.write_retry_backoff_us, 170, "backoff is a sum");
     }

@@ -13,173 +13,45 @@
 //! [`crate::iter`] — peak candidate buffering stays bounded by the chunk
 //! size no matter how many nodes a stage scans.
 //!
-//! ## Predicate pushdown
+//! ## The planner
 //!
-//! Compilation runs a small planner over the declarative property
-//! predicates ([`QueryBuilder::filter_property_range`], the comparison
-//! forms of `nodes_with_property`, and equality stages):
-//!
-//! * a predicate at the head of the pipeline compiles to a **versioned
-//!   index source** — equality to a posting scan, comparisons to a
-//!   [range-postings cursor](graphsi_index::RangePostingCursor) over the
-//!   index's sorted key dimension — executing the predicate *inside* the
-//!   index with zero per-candidate property decoding;
-//! * a predicate over an index-backed label source is pushed down only
-//!   when the index's cardinality estimates favour it (the smaller side
-//!   becomes the source, the other a filter);
-//! * everything else falls back to a decode filter that materialises
-//!   **only the predicate's key** per candidate (the single-key decode
-//!   fast path), never the whole property list.
-//!
-//! The `predicate_pushdowns` / `decode_filter_fallbacks` metrics record
-//! which path each predicate compiled to, and `property_decodes` counts
-//! the per-candidate decode work the fallback paid — the E14 evidence.
-//! Pushdown can be disabled per query ([`QueryBuilder::pushdown`]) or
-//! database-wide ([`crate::DbConfig::predicate_pushdown`]).
+//! Compilation hands the declarative parts of the pipeline to
+//! [`crate::plan`], which picks an explicit [`SourcePlan`]: a predicate at
+//! the head of the pipeline compiles to a **versioned index source**
+//! (equality → posting scan, comparison → range-postings cursor); two or
+//! more pushdown-able predicates compile to a **sorted-posting
+//! intersection**; an `order_by`/`top_k` whose key matches the source's
+//! sorted walk is **served straight off the index** (no sort buffer, and
+//! top-k stops paging the cursor early); everything else falls back to
+//! per-candidate decode filters or a buffered sort. The
+//! `predicate_pushdowns` / `intersection_pushdowns` /
+//! `ordered_index_streams` / `decode_filter_fallbacks` metrics record
+//! which path each query compiled to, and `property_decodes` counts the
+//! per-candidate decode work the fallbacks paid. Pushdown and
+//! intersection can be disabled per query ([`QueryBuilder::pushdown`],
+//! [`QueryBuilder::intersect`]) or database-wide
+//! ([`crate::DbConfig::predicate_pushdown`],
+//! [`crate::DbConfig::predicate_intersection`]).
 
 use std::collections::HashSet;
 use std::ops::Bound;
 
-use graphsi_storage::{NodeId, PropertyValue, RelTypeToken, RelationshipId, ValueKey};
+use graphsi_storage::{
+    NodeId, PropertyKeyToken, PropertyValue, RelTypeToken, RelationshipId, ValueKey,
+};
 
 use crate::entity::{Direction, Node};
 use crate::error::{DbError, Result};
 use crate::iter::RelEntryIter;
+use crate::plan::{NodePredicate, OrderSpec, RangePred, SourcePlan, Stage};
 use crate::transaction::Transaction;
-
-/// Shared semantics of a compiled range predicate: `true` if the value
-/// key lies inside the bounds. Range predicates are **type-homogeneous**:
-/// a typed bound only matches values of its own type, which is exactly
-/// the key interval [`graphsi_index::composite_range_bounds`] confines an
-/// index range scan to — so the decode path and the pushdown path agree
-/// on every input.
-pub(crate) fn value_key_in_bounds(
-    k: &ValueKey,
-    lo: &Bound<ValueKey>,
-    hi: &Bound<ValueKey>,
-) -> bool {
-    let type_ok = |b: &Bound<ValueKey>| match b {
-        Bound::Included(x) | Bound::Excluded(x) => k.same_type(x),
-        Bound::Unbounded => true,
-    };
-    if !type_ok(lo) || !type_ok(hi) {
-        return false;
-    }
-    let above = match lo {
-        Bound::Included(x) => k >= x,
-        Bound::Excluded(x) => k > x,
-        Bound::Unbounded => true,
-    };
-    let below = match hi {
-        Bound::Included(x) => k <= x,
-        Bound::Excluded(x) => k < x,
-        Bound::Unbounded => true,
-    };
-    above && below
-}
-
-/// Maps user-facing `PropertyValue` range bounds onto the index's
-/// `ValueKey` bound pair — shared by the query builder's declarative
-/// predicates and the transaction-level range scan.
-pub(crate) fn value_range_key_bounds(
-    range: &impl std::ops::RangeBounds<PropertyValue>,
-) -> (Bound<ValueKey>, Bound<ValueKey>) {
-    let key_of = |b: Bound<&PropertyValue>| match b {
-        Bound::Included(v) => Bound::Included(v.index_key()),
-        Bound::Excluded(v) => Bound::Excluded(v.index_key()),
-        Bound::Unbounded => Bound::Unbounded,
-    };
-    (key_of(range.start_bound()), key_of(range.end_bound()))
-}
-
-/// A declarative property predicate (equality is the degenerate
-/// `Included(v) ..= Included(v)` range) — the unit the planner decides
-/// index-vs-decode for.
-#[derive(Clone, Debug)]
-struct RangePred {
-    name: String,
-    lo: Bound<ValueKey>,
-    hi: Bound<ValueKey>,
-}
-
-impl RangePred {
-    fn from_range(name: &str, range: impl std::ops::RangeBounds<PropertyValue>) -> Self {
-        let (lo, hi) = value_range_key_bounds(&range);
-        RangePred {
-            name: name.to_owned(),
-            lo,
-            hi,
-        }
-    }
-
-    fn equality(name: &str, value: &PropertyValue) -> Self {
-        let key = value.index_key();
-        RangePred {
-            name: name.to_owned(),
-            lo: Bound::Included(key.clone()),
-            hi: Bound::Included(key),
-        }
-    }
-
-    /// `false` when no value can ever satisfy the predicate (mixed-type
-    /// or inverted bounds): the planner compiles the whole pipeline to an
-    /// empty stream instead of scanning anything.
-    fn satisfiable(&self) -> bool {
-        match (&self.lo, &self.hi) {
-            (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
-            (Bound::Included(a), Bound::Included(b)) => a.same_type(b) && a <= b,
-            (Bound::Included(a), Bound::Excluded(b))
-            | (Bound::Excluded(a), Bound::Included(b))
-            | (Bound::Excluded(a), Bound::Excluded(b)) => a.same_type(b) && a < b,
-        }
-    }
-
-    fn matches(&self, value: &PropertyValue) -> bool {
-        value_key_in_bounds(&value.index_key(), &self.lo, &self.hi)
-    }
-}
-
-/// Where the pipeline draws its initial node stream from.
-enum Source {
-    /// Every node visible to the transaction (the default).
-    AllNodes,
-    /// Index-backed label scan.
-    Label(String),
-    /// Index-backed property scan.
-    Property(String, PropertyValue),
-    /// Index-backed property range scan (pushed-down comparison
-    /// predicate over the range postings).
-    PropertyRange(RangePred),
-    /// An explicit start set (visibility-checked when streamed).
-    Fixed(Vec<NodeId>),
-}
-
-/// A boxed snapshot predicate over one node, as stored by filter stages.
-type NodePredicate<'tx> = Box<dyn Fn(&Transaction, NodeId) -> Result<bool> + 'tx>;
-
-/// One pipeline stage.
-enum Stage<'tx> {
-    /// Declarative property predicate — plannable (index or decode).
-    Range(RangePred),
-    /// Opaque property predicate — always the decode path (but only the
-    /// named key is ever materialised per candidate).
-    FilterProperty(String, Box<dyn Fn(&PropertyValue) -> bool + 'tx>),
-    FilterLabel(String),
-    Filter(NodePredicate<'tx>),
-    Expand {
-        direction: Direction,
-        rel_type: Option<String>,
-    },
-    Distinct,
-    Limit(usize),
-}
 
 /// A composable, streaming query over one transaction's view; created by
 /// [`Transaction::query`]. See the method docs there for an example.
 #[must_use = "finish the builder with `.stream()`, `.ids()`, `.count()`, `.nodes()` or `.rows()`"]
 pub struct QueryBuilder<'tx> {
     tx: &'tx Transaction,
-    source: Source,
+    source: SourcePlan,
     source_set: bool,
     stages: Vec<Stage<'tx>>,
     chunk_size: Option<usize>,
@@ -189,6 +61,11 @@ pub struct QueryBuilder<'tx> {
     /// Per-query planner override; `None` = the database default
     /// ([`crate::DbConfig::predicate_pushdown`]).
     pushdown: Option<bool>,
+    /// Per-query intersection override; `None` = the database default
+    /// ([`crate::DbConfig::predicate_intersection`]).
+    intersect: Option<bool>,
+    /// Requested output ordering (`order_by`/`top_k`; the last call wins).
+    order: Option<OrderSpec>,
     /// Set when the builder was composed illegally (a source after
     /// stages); reported as an error by the terminal calls, so a
     /// mis-composed query can never silently return wrong data.
@@ -199,17 +76,19 @@ impl<'tx> QueryBuilder<'tx> {
     pub(crate) fn new(tx: &'tx Transaction) -> Self {
         QueryBuilder {
             tx,
-            source: Source::AllNodes,
+            source: SourcePlan::AllNodes,
             source_set: false,
             stages: Vec::new(),
             chunk_size: None,
             projection: None,
             pushdown: None,
+            intersect: None,
+            order: None,
             compose_error: None,
         }
     }
 
-    fn set_source(mut self, source: Source) -> Self {
+    fn set_source(mut self, source: SourcePlan) -> Self {
         if self.source_set || !self.stages.is_empty() {
             self.compose_error = Some(
                 "query source must be set first and at most once (after stages, \
@@ -228,7 +107,7 @@ impl<'tx> QueryBuilder<'tx> {
         if self.source_set || !self.stages.is_empty() {
             return self.has_label(label);
         }
-        self.set_source(Source::Label(label.to_owned()))
+        self.set_source(SourcePlan::Label(label.to_owned()))
     }
 
     /// Starts from the nodes whose property `name` equals `value`
@@ -239,10 +118,10 @@ impl<'tx> QueryBuilder<'tx> {
     /// is a no-op rather than a redundant per-node re-check.
     pub fn nodes_with_property(mut self, name: &str, value: PropertyValue) -> Self {
         if !self.source_set && self.stages.is_empty() {
-            return self.set_source(Source::Property(name.to_owned(), value));
+            return self.set_source(SourcePlan::PropertyEq(name.to_owned(), value));
         }
         if self.stages.is_empty() {
-            if let Source::Property(n, v) = &self.source {
+            if let SourcePlan::PropertyEq(n, v) = &self.source {
                 // The index source already guarantees this exact equality
                 // for every yielded node (committed via the posting list,
                 // pending via the write-set check) — re-filtering would
@@ -273,7 +152,11 @@ impl<'tx> QueryBuilder<'tx> {
     ) -> Self {
         let pred = RangePred::from_range(name, range);
         if !self.source_set && self.stages.is_empty() {
-            return self.set_source(Source::PropertyRange(pred));
+            return self.set_source(SourcePlan::IndexRange {
+                pred,
+                descending: false,
+                ordered: false,
+            });
         }
         self.stages.push(Stage::Range(pred));
         self
@@ -303,13 +186,13 @@ impl<'tx> QueryBuilder<'tx> {
     /// Starts from every node visible to the transaction (the default
     /// source).
     pub fn all_nodes(self) -> Self {
-        self.set_source(Source::AllNodes)
+        self.set_source(SourcePlan::AllNodes)
     }
 
     /// Starts from an explicit set of node IDs. Nodes invisible to the
     /// transaction's snapshot are silently dropped when streamed.
     pub fn start_nodes(self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
-        self.set_source(Source::Fixed(nodes.into_iter().collect()))
+        self.set_source(SourcePlan::Fixed(nodes.into_iter().collect()))
     }
 
     /// Keeps only nodes whose property `name` exists and satisfies `pred`.
@@ -324,6 +207,32 @@ impl<'tx> QueryBuilder<'tx> {
     ) -> Self {
         self.stages
             .push(Stage::FilterProperty(name.to_owned(), Box::new(pred)));
+        self
+    }
+
+    /// Keeps only rows whose **producing relationship** (the one the last
+    /// `expand` traversed; source rows have none and are dropped) carries
+    /// property `name` with a value inside `range`. Runs as a decode
+    /// filter over the relationship today — the rel-side sorted index
+    /// dimension exists, so the planner hook for pushing this down to
+    /// range postings is ready (ROADMAP follow-on). Same type-homogeneous
+    /// range semantics as [`QueryBuilder::filter_property_range`].
+    pub fn filter_rel_property_range(
+        mut self,
+        name: &str,
+        range: impl std::ops::RangeBounds<PropertyValue>,
+    ) -> Self {
+        self.stages
+            .push(Stage::RelRange(RangePred::from_range(name, range)));
+        self
+    }
+
+    /// Equality form of [`QueryBuilder::filter_rel_property_range`]:
+    /// keeps rows whose producing relationship has property `name` equal
+    /// to `value` (index-key equality, like the node-side forms).
+    pub fn filter_rel_property(mut self, name: &str, value: PropertyValue) -> Self {
+        self.stages
+            .push(Stage::RelRange(RangePred::equality(name, &value)));
         self
     }
 
@@ -369,6 +278,68 @@ impl<'tx> QueryBuilder<'tx> {
         self
     }
 
+    /// Orders the final result stream by property `name`, ascending.
+    /// Rows lacking the property are **dropped** (the same semantics as
+    /// an index range over it); ties stream in an unspecified order. When
+    /// the planner can align the source's sorted index walk with the
+    /// order key — pushdown on, no `expand`, no pending node writes — the
+    /// walk itself is the sort: no buffer is allocated and the
+    /// `ordered_index_streams` metric records it. Otherwise the terminal
+    /// buffers, decodes the key per row and sorts. The last
+    /// `order_by*`/`top_k*` call wins.
+    pub fn order_by(mut self, name: &str) -> Self {
+        self.order = Some(OrderSpec {
+            name: name.to_owned(),
+            descending: false,
+            limit: None,
+        });
+        self
+    }
+
+    /// Descending form of [`QueryBuilder::order_by`], served by the
+    /// reverse-direction range cursor when the order rides the index.
+    pub fn order_by_desc(mut self, name: &str) -> Self {
+        self.order = Some(OrderSpec {
+            name: name.to_owned(),
+            descending: true,
+            limit: None,
+        });
+        self
+    }
+
+    /// The `n` smallest rows by property `name`: [`QueryBuilder::order_by`]
+    /// plus a limit the planner threads **into the source** — a served
+    /// top-k stops paging the index cursor as soon as `n` rows streamed
+    /// (`topk_early_exits` records the early exit).
+    pub fn top_k(mut self, name: &str, n: usize) -> Self {
+        self.order = Some(OrderSpec {
+            name: name.to_owned(),
+            descending: false,
+            limit: Some(n),
+        });
+        self
+    }
+
+    /// The `n` largest rows by property `name`; descending form of
+    /// [`QueryBuilder::top_k`].
+    pub fn top_k_desc(mut self, name: &str, n: usize) -> Self {
+        self.order = Some(OrderSpec {
+            name: name.to_owned(),
+            descending: true,
+            limit: Some(n),
+        });
+        self
+    }
+
+    /// Per-query override for multi-predicate intersection: `false`
+    /// forces conjunctions onto the single-pushdown + decode-filter path
+    /// (the E17 baseline), `true` re-enables it when the database default
+    /// ([`crate::DbConfig::predicate_intersection`]) disabled it.
+    pub fn intersect(mut self, enabled: bool) -> Self {
+        self.intersect = Some(enabled);
+        self
+    }
+
     /// Overrides the cursor chunk size for this query only (defaults to
     /// the transaction's [`Transaction::scan_chunk_size`]).
     pub fn chunk_size(mut self, chunk: usize) -> Self {
@@ -408,8 +379,8 @@ impl<'tx> QueryBuilder<'tx> {
         let db = tx.db();
         let chunk = self.chunk_size.unwrap_or(tx.scan_chunk_size());
         let pushdown = self.pushdown.unwrap_or(db.config.predicate_pushdown);
-        let mut source = self.source;
-        let mut stages = self.stages;
+        let intersect = self.intersect.unwrap_or(db.config.predicate_intersection);
+        let has_node_writes = tx.write_set_ref().is_some_and(|ws| !ws.nodes.is_empty());
 
         // Projection names resolve to tokens exactly once.
         let projection = self.projection.map(|names| {
@@ -422,137 +393,64 @@ impl<'tx> QueryBuilder<'tx> {
                 .collect::<Vec<_>>()
         });
 
-        // `true` if the predicate can execute inside the index: its key
-        // token exists (an unknown key cannot match anything) and the
-        // bounds are satisfiable.
-        let indexable = |pred: &RangePred| {
-            pred.satisfiable()
-                && db
-                    .store
-                    .tokens()
-                    .existing_property_key(&pred.name)
-                    .is_some()
-        };
-
-        // ---- Planner ---------------------------------------------------
-        if !pushdown {
-            // Decode baseline: demote index-executed property predicates
-            // (range sources and equality sources alike) back to a
-            // whole-graph scan with a decode-filter stage.
-            match source {
-                Source::PropertyRange(pred) => {
-                    stages.insert(0, Stage::Range(pred));
-                    source = Source::AllNodes;
-                }
-                Source::Property(name, value) => {
-                    stages.insert(0, Stage::Range(RangePred::equality(&name, &value)));
-                    source = Source::AllNodes;
-                }
-                other => source = other,
-            }
-        } else if let Some(Stage::Range(head)) = stages.first() {
-            // A leading declarative predicate can swap into the source.
-            let promote = match &source {
-                Source::AllNodes => indexable(head),
-                Source::Label(label) => {
-                    // Cardinality rule: scan the smaller index side, check
-                    // the other per element.
-                    match db.store.tokens().existing_label(label) {
-                        Some(ltok) if indexable(head) => {
-                            let ptok = db
-                                .store
-                                .tokens()
-                                .existing_property_key(&head.name)
-                                .ok_or_else(|| {
-                                    DbError::Internal(
-                                        "indexable predicate lost its property token".to_owned(),
-                                    )
-                                })?;
-                            let label_est = db.indexes.labels.postings_estimate(ltok);
-                            // The label estimate caps the range walk: once
-                            // the range is known to be at least as large,
-                            // counting further keys cannot change the
-                            // decision.
-                            let range_est = db.indexes.node_properties.range_postings_estimate(
-                                ptok,
-                                graphsi_index::bound_as_ref(&head.lo),
-                                graphsi_index::bound_as_ref(&head.hi),
-                                label_est,
-                            );
-                            range_est < label_est
-                        }
-                        _ => false,
-                    }
-                }
-                _ => false,
-            };
-            if promote {
-                let Stage::Range(pred) = stages.remove(0) else {
-                    return Err(DbError::Internal(
-                        "promoted head stage is no longer a range predicate".to_owned(),
-                    ));
-                };
-                let old = std::mem::replace(&mut source, Source::PropertyRange(pred));
-                if let Source::Label(label) = old {
-                    stages.insert(0, Stage::FilterLabel(label));
-                }
-            }
-        }
-
-        // ---- Unsatisfiable / unknown-key short circuit -----------------
-        // A predicate stage whose key was never interned (or whose bounds
-        // are unsatisfiable) passes nothing, so the entire pipeline is a
-        // cheap empty stream — no decode pass that filters everything out.
-        let key_known = |name: &str| db.store.tokens().existing_property_key(name).is_some();
-        let dead_stage = stages.iter().any(|stage| match stage {
-            Stage::Range(pred) => !pred.satisfiable() || !key_known(&pred.name),
-            Stage::FilterProperty(name, _) => !key_known(name),
-            Stage::FilterLabel(label) => db.store.tokens().existing_label(label).is_none(),
-            _ => false,
-        });
-        let dead_source = match &source {
-            Source::PropertyRange(pred) => !indexable(pred),
-            _ => false,
-        };
-        if dead_stage || dead_source {
+        // ---- Planner (crate::plan) -------------------------------------
+        let plan = crate::plan::plan(
+            db,
+            self.source,
+            self.stages,
+            self.order,
+            pushdown,
+            intersect,
+            has_node_writes,
+        )?;
+        if matches!(plan.source, SourcePlan::Empty) {
             return Ok(Compiled {
                 tx,
                 iter: Box::new(std::iter::empty()),
                 projection,
             });
         }
-
-        // ---- Metrics: which path did each predicate compile to? --------
-        match &source {
-            Source::Property(name, _) if key_known(name) => {
-                db.metrics.record_predicate_pushdown();
-            }
-            Source::PropertyRange(_) => db.metrics.record_predicate_pushdown(),
-            _ => {}
-        }
-        for stage in &stages {
-            if matches!(stage, Stage::Range(_) | Stage::FilterProperty(..)) {
-                db.metrics.record_decode_filter_fallback();
-            }
-        }
+        let budget = plan.source_budget;
+        let topk = plan.topk;
 
         // ---- Assembly --------------------------------------------------
-        let mut it: BoxedRowIter<'tx> = match source {
-            Source::AllNodes => row_source(tx.all_nodes_chunked(chunk)?),
-            Source::Label(label) => row_source(tx.nodes_with_label_chunked(&label, chunk)?),
-            Source::Property(name, value) => {
-                row_source(tx.nodes_with_property_chunked(&name, &value, chunk)?)
+        let mut it: BoxedRowIter<'tx> = match plan.source {
+            SourcePlan::Empty => Box::new(std::iter::empty()),
+            SourcePlan::AllNodes => {
+                row_source(tx.all_nodes_chunked(chunk)?.with_budget(budget, topk))
             }
-            Source::PropertyRange(pred) => row_source(
-                tx.nodes_with_property_range_chunked(&pred.name, pred.lo, pred.hi, chunk)?,
+            SourcePlan::Label(label) => row_source(
+                tx.nodes_with_label_chunked(&label, chunk)?
+                    .with_budget(budget, topk),
             ),
-            Source::Fixed(ids) => Box::new(FixedSource {
+            SourcePlan::PropertyEq(name, value) => row_source(
+                tx.nodes_with_property_chunked(&name, &value, chunk)?
+                    .with_budget(budget, topk),
+            ),
+            SourcePlan::IndexRange {
+                pred, descending, ..
+            } => row_source(
+                tx.nodes_with_property_range_chunked(
+                    &pred.name, pred.lo, pred.hi, chunk, descending,
+                )?
+                .with_budget(budget, topk),
+            ),
+            SourcePlan::Intersection {
+                driver,
+                legs,
+                descending,
+                ..
+            } => row_source(
+                tx.nodes_intersection_chunked(&driver, &legs, chunk, descending)?
+                    .with_budget(budget, topk),
+            ),
+            SourcePlan::Fixed(ids) => Box::new(FixedSource {
                 tx,
                 ids: ids.into_iter(),
                 failed: false,
             }),
         };
-        for stage in stages {
+        for stage in plan.stages {
             it = match stage {
                 Stage::Range(pred) => {
                     let token = db
@@ -655,7 +553,46 @@ impl<'tx> QueryBuilder<'tx> {
                     upstream: it,
                     remaining: n,
                 }),
+                Stage::RelRange(pred) => {
+                    let token = db
+                        .store
+                        .tokens()
+                        .existing_property_key(&pred.name)
+                        .ok_or_else(|| {
+                            DbError::Internal(
+                                "dead-stage check let an unknown rel property key through"
+                                    .to_owned(),
+                            )
+                        })?;
+                    Box::new(RelFilterIter {
+                        tx,
+                        upstream: it,
+                        token,
+                        pred,
+                        failed: false,
+                    })
+                }
             };
+        }
+        if let Some(order) = plan.sort_fallback {
+            let token = db
+                .store
+                .tokens()
+                .existing_property_key(&order.name)
+                .ok_or_else(|| {
+                    DbError::Internal(
+                        "dead-order check let an unknown order key through".to_owned(),
+                    )
+                })?;
+            it = Box::new(SortFallbackIter {
+                tx,
+                upstream: Some(it),
+                token,
+                descending: order.descending,
+                limit: order.limit,
+                sorted: Vec::new().into_iter(),
+                failed: false,
+            });
         }
         Ok(Compiled {
             tx,
@@ -1063,6 +1000,122 @@ impl Iterator for LimitIter<'_> {
             }
             other => other,
         }
+    }
+}
+
+/// Relationship-property filter stage: keeps rows whose *relationship*
+/// (the one the last `expand` traversed) satisfies a range predicate.
+/// Decode fallback — the relationship property is read per row; rows
+/// without a relationship (pure node sources) are dropped, as are rows
+/// whose relationship lacks the key.
+struct RelFilterIter<'tx> {
+    tx: &'tx Transaction,
+    upstream: BoxedRowIter<'tx>,
+    token: PropertyKeyToken,
+    pred: RangePred,
+    failed: bool,
+}
+
+impl Iterator for RelFilterIter<'_> {
+    type Item = Result<RowCore>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        for row in self.upstream.by_ref() {
+            let row = match row {
+                Ok(row) => row,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
+            let Some(rid) = row.rel else { continue };
+            self.tx.db().metrics.record_property_decode();
+            // visible_relationship folds in this transaction's own pending
+            // writes, so read-your-own-writes holds here too.
+            match self.tx.visible_relationship(rid) {
+                Ok(Some(data)) => {
+                    if data
+                        .properties
+                        .get(&self.token)
+                        .is_some_and(|v| self.pred.matches(v))
+                    {
+                        return Some(Ok(row));
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Sort fallback: when the planner cannot serve an `order_by` straight
+/// off the index walk it pins this terminal stage, which drains the
+/// upstream, decodes the order key per row (rows lacking the key are
+/// dropped — consistent with the served path, where keyless nodes never
+/// appear in the posting walk), sorts by the key's index ordering and
+/// replays. `candidate_buffer_peak` records the buffered row count so
+/// benchmarks can prove the served path allocates no such buffer.
+struct SortFallbackIter<'tx> {
+    tx: &'tx Transaction,
+    upstream: Option<BoxedRowIter<'tx>>,
+    token: PropertyKeyToken,
+    descending: bool,
+    limit: Option<usize>,
+    sorted: std::vec::IntoIter<RowCore>,
+    failed: bool,
+}
+
+impl Iterator for SortFallbackIter<'_> {
+    type Item = Result<RowCore>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if let Some(upstream) = self.upstream.take() {
+            let mut buf: Vec<(ValueKey, RowCore)> = Vec::new();
+            for row in upstream {
+                let row = match row {
+                    Ok(row) => row,
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                };
+                self.tx.db().metrics.record_property_decode();
+                match self.tx.visible_node_property(row.node, self.token) {
+                    Ok(Some(Some(v))) => buf.push((v.index_key(), row)),
+                    Ok(_) => {}
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            self.tx.db().metrics.record_candidate_buffer(buf.len());
+            if self.descending {
+                buf.sort_by(|a, b| b.0.cmp(&a.0));
+            } else {
+                buf.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            if let Some(n) = self.limit {
+                buf.truncate(n);
+            }
+            self.sorted = buf
+                .into_iter()
+                .map(|(_, row)| row)
+                .collect::<Vec<_>>()
+                .into_iter();
+        }
+        self.sorted.next().map(Ok)
     }
 }
 
@@ -1537,5 +1590,375 @@ mod tests {
             .count()
             .unwrap();
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn order_by_streams_off_the_index() {
+        let dir = TempDir::new("query_order_served");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.txn().read_only().begin();
+
+        // Served ascending: the range source's sorted walk IS the order.
+        let before = db.metrics();
+        let asc = tx
+            .query()
+            .filter_property_range("age", PropertyValue::Int(25)..=PropertyValue::Int(40))
+            .order_by("age")
+            .ids()
+            .unwrap();
+        assert_eq!(asc, people[1..=4].to_vec(), "ages 25,30,35,40 in order");
+        let after = db.metrics();
+        assert_eq!(
+            after.ordered_index_streams,
+            before.ordered_index_streams + 1
+        );
+        assert_eq!(
+            after.property_decodes, before.property_decodes,
+            "the served path decodes nothing and buffers nothing"
+        );
+
+        // Served descending rides the reverse-direction range cursor.
+        let desc = tx
+            .query()
+            .filter_property_range("age", PropertyValue::Int(25)..=PropertyValue::Int(40))
+            .order_by_desc("age")
+            .ids()
+            .unwrap();
+        let mut expected = people[1..=4].to_vec();
+        expected.reverse();
+        assert_eq!(desc, expected);
+
+        // An order key with no predicate serves off an unbounded walk of
+        // the whole sorted key dimension (nodes lacking the key — the
+        // cities — never appear in the posting walk).
+        let all = tx.query().order_by("age").ids().unwrap();
+        assert_eq!(all, people);
+    }
+
+    #[test]
+    fn top_k_early_exits_and_bounds_paging() {
+        let dir = TempDir::new("query_topk");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let mut tx = db.begin();
+        let nodes: Vec<NodeId> = (0..60)
+            .map(|i| {
+                tx.create_node(&["N"], &[("score", PropertyValue::Int((i * 7919) % 1000))])
+                    .unwrap()
+            })
+            .collect();
+        tx.commit().unwrap();
+        let tx = db.txn().read_only().begin();
+
+        let mut by_score: Vec<(i64, NodeId)> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (((i as i64) * 7919) % 1000, n))
+            .collect();
+        by_score.sort();
+
+        let before = db.metrics();
+        let top = tx.query().top_k("score", 5).chunk_size(8).ids().unwrap();
+        let after = db.metrics();
+        let expected: Vec<NodeId> = by_score.iter().take(5).map(|&(_, n)| n).collect();
+        assert_eq!(top, expected, "top-k = the 5 smallest scores, in order");
+        assert_eq!(
+            after.topk_early_exits,
+            before.topk_early_exits + 1,
+            "the budget must stop the stream before the base drains"
+        );
+        assert!(
+            after.chunk_refills - before.chunk_refills <= 5,
+            "limit pushdown clamps the cursor: refills ({}) must not \
+             outgrow the row budget",
+            after.chunk_refills - before.chunk_refills
+        );
+        assert_eq!(
+            after.property_decodes, before.property_decodes,
+            "served top-k allocates no sort buffer and decodes nothing"
+        );
+
+        // Descending top-k: the 5 largest, largest first.
+        let bottom = tx.query().top_k_desc("score", 5).ids().unwrap();
+        let expected: Vec<NodeId> = by_score.iter().rev().take(5).map(|&(_, n)| n).collect();
+        assert_eq!(bottom, expected);
+    }
+
+    #[test]
+    fn limit_pushdown_stops_paging_a_pure_index_source() {
+        let dir = TempDir::new("query_limit_budget");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let mut tx = db.begin();
+        for _ in 0..80 {
+            tx.create_node(&["Bulk"], &[]).unwrap();
+        }
+        tx.commit().unwrap();
+        let tx = db.txn().read_only().begin();
+        let before = db.metrics();
+        let n = tx
+            .query()
+            .nodes_with_label("Bulk")
+            .limit(3)
+            .chunk_size(16)
+            .count()
+            .unwrap();
+        let after = db.metrics();
+        assert_eq!(n, 3);
+        assert!(
+            after.chunk_refills - before.chunk_refills <= 3,
+            "a leading limit's budget must reach the posting cursor, not \
+             drain full chunks ({} refills)",
+            after.chunk_refills - before.chunk_refills
+        );
+    }
+
+    #[test]
+    fn order_by_falls_back_to_a_buffered_sort_when_unserveable() {
+        let dir = TempDir::new("query_order_fallback");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let (people, _) = social_graph(&db);
+        let tx = db.txn().read_only().begin();
+
+        // An expansion between source and order: the stream order is the
+        // expansion's, so the planner pins the sort-fallback terminal.
+        let before = db.metrics();
+        let got = tx
+            .query()
+            .start_nodes([people[2]])
+            .expand(Direction::Both, Some("KNOWS"))
+            .order_by_desc("age")
+            .ids()
+            .unwrap();
+        assert_eq!(got, vec![people[3], people[1]], "ages 35, 25");
+        let after = db.metrics();
+        assert_eq!(
+            after.ordered_index_streams, before.ordered_index_streams,
+            "an expansion downstream of the source cannot be served"
+        );
+        assert!(after.property_decodes > before.property_decodes);
+
+        // A transaction with pending node writes can't trust the committed
+        // posting order either — but the fallback still sees own writes.
+        let mut tx = db.begin();
+        let fresh = tx
+            .create_node(&["Person"], &[("age", PropertyValue::Int(22))])
+            .unwrap();
+        let got = tx
+            .query()
+            .filter_property_range("age", PropertyValue::Int(20)..=PropertyValue::Int(25))
+            .order_by("age")
+            .ids()
+            .unwrap();
+        assert_eq!(got, vec![people[0], fresh, people[1]], "ages 20, 22, 25");
+    }
+
+    #[test]
+    fn intersection_agrees_with_the_decode_path_and_decodes_less() {
+        let dir = TempDir::new("query_intersect");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let mut tx = db.begin();
+        let nodes: Vec<NodeId> = (0..40)
+            .map(|i| {
+                tx.create_node(
+                    &["N"],
+                    &[
+                        ("a", PropertyValue::Int(i % 10)),
+                        ("b", PropertyValue::Int(i % 4)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        tx.commit().unwrap();
+        let tx = db.txn().read_only().begin();
+
+        let q = |tx: &crate::transaction::Transaction, on: bool| {
+            tx.query()
+                .filter_property_range("a", PropertyValue::Int(2)..=PropertyValue::Int(4))
+                .filter_property_range("b", PropertyValue::Int(1)..=PropertyValue::Int(2))
+                .intersect(on)
+                .ids()
+                .unwrap()
+        };
+        let before = db.metrics();
+        let mut merged = q(&tx, true);
+        let mid = db.metrics();
+        let mut chained = q(&tx, false);
+        let after = db.metrics();
+        merged.sort();
+        chained.sort();
+        let mut expected: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (2..=4).contains(&(i % 10)) && (1..=2).contains(&(i % 4)))
+            .map(|(_, &n)| n)
+            .collect();
+        expected.sort();
+        assert_eq!(merged, expected);
+        assert_eq!(chained, expected);
+        assert_eq!(
+            mid.intersection_pushdowns,
+            before.intersection_pushdowns + 1
+        );
+        assert_eq!(
+            mid.predicate_pushdowns,
+            before.predicate_pushdowns + 2,
+            "both legs execute on the index"
+        );
+        let merged_decodes = mid.property_decodes - before.property_decodes;
+        let chained_decodes = after.property_decodes - mid.property_decodes;
+        assert_eq!(merged_decodes, 0, "the merge-intersect never decodes");
+        assert!(
+            merged_decodes < chained_decodes,
+            "intersection must beat single-pushdown + decode-filter \
+             ({merged_decodes} vs {chained_decodes})"
+        );
+        assert!(
+            mid.intersection_leg_skips > before.intersection_leg_skips,
+            "driver candidates outside a leg are skipped by binary search"
+        );
+    }
+
+    #[test]
+    fn intersection_merges_write_set_state() {
+        let dir = TempDir::new("query_intersect_ws");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let mut tx = db.begin();
+        let keep = tx
+            .create_node(
+                &["N"],
+                &[("a", PropertyValue::Int(5)), ("b", PropertyValue::Int(5))],
+            )
+            .unwrap();
+        let evict = tx
+            .create_node(
+                &["N"],
+                &[("a", PropertyValue::Int(5)), ("b", PropertyValue::Int(5))],
+            )
+            .unwrap();
+        let outside = tx
+            .create_node(
+                &["N"],
+                &[("a", PropertyValue::Int(0)), ("b", PropertyValue::Int(5))],
+            )
+            .unwrap();
+        tx.commit().unwrap();
+
+        let mut tx = db.begin();
+        // Move `evict` out of leg b; move `outside` into leg a; create a
+        // fresh pending match the committed indexes know nothing about.
+        tx.set_node_property(evict, "b", PropertyValue::Int(99))
+            .unwrap();
+        tx.set_node_property(outside, "a", PropertyValue::Int(5))
+            .unwrap();
+        let fresh = tx
+            .create_node(
+                &["N"],
+                &[("a", PropertyValue::Int(5)), ("b", PropertyValue::Int(5))],
+            )
+            .unwrap();
+        let mut got = tx
+            .query()
+            .filter_property_range("a", PropertyValue::Int(1)..=PropertyValue::Int(9))
+            .filter_property_range("b", PropertyValue::Int(1)..=PropertyValue::Int(9))
+            .ids()
+            .unwrap();
+        got.sort();
+        let mut expected = vec![keep, outside, fresh];
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn ordered_intersection_streams_off_the_driver() {
+        let dir = TempDir::new("query_intersect_order");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let mut tx = db.begin();
+        let nodes: Vec<NodeId> = (0..20)
+            .map(|i| {
+                tx.create_node(
+                    &["N"],
+                    &[
+                        ("a", PropertyValue::Int(i)),
+                        ("b", PropertyValue::Int(i % 3)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        tx.commit().unwrap();
+        let tx = db.txn().read_only().begin();
+        let before = db.metrics();
+        let got = tx
+            .query()
+            .filter_property_range("a", PropertyValue::Int(5)..=PropertyValue::Int(15))
+            .filter_property_range("b", PropertyValue::Int(0)..=PropertyValue::Int(0))
+            .order_by_desc("a")
+            .ids()
+            .unwrap();
+        let after = db.metrics();
+        // a ∈ [5,15] ∧ a ≡ 0 (mod 3), descending by a: 15, 12, 9, 6.
+        let expected: Vec<NodeId> = [15usize, 12, 9, 6].iter().map(|&i| nodes[i]).collect();
+        assert_eq!(got, expected);
+        assert_eq!(
+            after.ordered_index_streams,
+            before.ordered_index_streams + 1
+        );
+        assert_eq!(after.property_decodes, before.property_decodes);
+    }
+
+    #[test]
+    fn rel_property_predicates_filter_expanded_rows() {
+        let dir = TempDir::new("query_rel_pred");
+        let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
+        let mut tx = db.begin();
+        let hub = tx.create_node(&["Hub"], &[]).unwrap();
+        let spokes: Vec<NodeId> = (0..5)
+            .map(|i| {
+                let s = tx.create_node(&["Spoke"], &[]).unwrap();
+                tx.create_relationship(
+                    hub,
+                    s,
+                    "LINK",
+                    &[("weight", PropertyValue::Int(i as i64 * 10))],
+                )
+                .unwrap();
+                s
+            })
+            .collect();
+        tx.commit().unwrap();
+        let tx = db.txn().read_only().begin();
+
+        let mut heavy = tx
+            .query()
+            .start_nodes([hub])
+            .expand(Direction::Outgoing, Some("LINK"))
+            .filter_rel_property_range("weight", PropertyValue::Int(20)..)
+            .ids()
+            .unwrap();
+        heavy.sort();
+        let mut expected = spokes[2..].to_vec();
+        expected.sort();
+        assert_eq!(heavy, expected);
+
+        // Equality form; and rows without a relationship are dropped.
+        assert_eq!(
+            tx.query()
+                .start_nodes([hub])
+                .expand(Direction::Outgoing, Some("LINK"))
+                .filter_rel_property("weight", PropertyValue::Int(30))
+                .ids()
+                .unwrap(),
+            vec![spokes[3]]
+        );
+        assert_eq!(
+            tx.query()
+                .nodes_with_label("Spoke")
+                .filter_rel_property_range("weight", PropertyValue::Int(0)..)
+                .count()
+                .unwrap(),
+            0,
+            "source rows carry no relationship to test"
+        );
     }
 }

@@ -683,8 +683,8 @@ impl Transaction {
         name: &str,
         range: impl std::ops::RangeBounds<PropertyValue>,
     ) -> Result<NodeIdIter<'_>> {
-        let (lo, hi) = crate::query::value_range_key_bounds(&range);
-        self.nodes_with_property_range_chunked(name, lo, hi, self.scan_chunk_size)
+        let (lo, hi) = crate::plan::value_range_key_bounds(&range);
+        self.nodes_with_property_range_chunked(name, lo, hi, self.scan_chunk_size, false)
     }
 
     pub(crate) fn nodes_with_property_range_chunked(
@@ -693,12 +693,45 @@ impl Transaction {
         lo: std::ops::Bound<graphsi_storage::ValueKey>,
         hi: std::ops::Bound<graphsi_storage::ValueKey>,
         chunk: usize,
+        descending: bool,
     ) -> Result<NodeIdIter<'_>> {
         self.ensure_active()?;
         let Some(token) = self.db.store.tokens().existing_property_key(name) else {
             return Ok(NodeIdIter::empty(self));
         };
-        NodeIdIter::with_property_range(self, token, lo, hi, chunk)
+        NodeIdIter::with_property_range(self, token, lo, hi, chunk, descending)
+    }
+
+    /// Sorted-posting merge-intersect source for the query planner: the
+    /// driver predicate streams through its range cursor (ascending or
+    /// descending) while each leg is pre-drained into a sorted build side.
+    /// An unknown property key on any predicate means nothing can match.
+    pub(crate) fn nodes_intersection_chunked(
+        &self,
+        driver: &crate::plan::RangePred,
+        legs: &[crate::plan::RangePred],
+        chunk: usize,
+        descending: bool,
+    ) -> Result<NodeIdIter<'_>> {
+        self.ensure_active()?;
+        let tokens = self.db.store.tokens();
+        let Some(driver_token) = tokens.existing_property_key(&driver.name) else {
+            return Ok(NodeIdIter::empty(self));
+        };
+        let mut leg_preds = Vec::with_capacity(legs.len());
+        for leg in legs {
+            let Some(token) = tokens.existing_property_key(&leg.name) else {
+                return Ok(NodeIdIter::empty(self));
+            };
+            leg_preds.push((token, leg.lo.clone(), leg.hi.clone()));
+        }
+        NodeIdIter::with_intersection(
+            self,
+            (driver_token, driver.lo.clone(), driver.hi.clone()),
+            leg_preds,
+            chunk,
+            descending,
+        )
     }
 
     /// One property of the node visible to this transaction, through the

@@ -55,8 +55,8 @@ impl LabelIndex {
         self.inner.contains(&label, node, start_ts)
     }
 
-    /// Total postings (live and dead) stored under `label` — the query
-    /// planner's cardinality estimate for a label scan.
+    /// Live postings stored under `label` — the query planner's
+    /// cardinality estimate for a label scan (dead churn excluded).
     pub fn postings_estimate(&self, label: LabelToken) -> u64 {
         self.inner.postings_estimate(&label)
     }

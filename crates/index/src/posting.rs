@@ -77,6 +77,10 @@ struct KeyEntry<E> {
     /// Commit timestamp at which the key itself first appeared.
     created_ts: Timestamp,
     postings: Vec<PostingEntry<E>>,
+    /// Number of postings with no removal timestamp — the live fraction,
+    /// maintained incrementally on add/tombstone so planner cardinality
+    /// estimates track churn instead of counting dead postings.
+    live: u64,
 }
 
 /// Statistics of one versioned index.
@@ -88,6 +92,8 @@ pub struct IndexStats {
     pub postings: u64,
     /// Postings whose removal is already visible to every active reader.
     pub dead_postings: u64,
+    /// Postings with no removal timestamp (the live fraction).
+    pub live_postings: u64,
 }
 
 /// A snapshot-visible index from keys to posting lists of entities, with
@@ -116,6 +122,7 @@ where
         let entry = entries.entry(key).or_insert_with(|| KeyEntry {
             created_ts: commit_ts,
             postings: Vec::new(),
+            live: 0,
         });
         if commit_ts < entry.created_ts {
             entry.created_ts = commit_ts;
@@ -123,6 +130,7 @@ where
         // Re-adding after a removal creates a fresh posting; the old one
         // stays for older snapshots until GC reclaims it.
         entry.postings.push(PostingEntry::new(entity, commit_ts));
+        entry.live += 1;
     }
 
     /// Records that `entity` lost membership under `key` at commit
@@ -139,6 +147,7 @@ where
                 .find(|p| p.entity == entity && p.removed_ts.is_none())
             {
                 p.removed_ts = Some(commit_ts);
+                entry.live = entry.live.saturating_sub(1);
             }
         }
     }
@@ -223,25 +232,52 @@ where
             chunk: chunk_size.max(1),
             marker: None,
             pos_hint: 0,
+            descending: false,
             done: false,
         }
     }
 
-    /// Total postings (live and dead, any snapshot) stored under `key` —
-    /// a cheap cardinality estimate for the query planner.
-    pub fn postings_estimate(&self, key: &K) -> u64 {
-        self.entries
-            .read()
-            .get(key)
-            .map_or(0, |e| e.postings.len() as u64)
+    /// Like [`VersionedPostingIndex::range_cursor`], but walks the keys in
+    /// **descending** sort order — the substrate for index-streamed
+    /// `ORDER BY ... DESC` / descending top-k. Same resumption contract;
+    /// on refill the marker key becomes the inclusive *upper* bound of the
+    /// walk instead of the lower one, so GC compaction and concurrent
+    /// appends remain lossless and phantom-free in either direction.
+    pub fn range_cursor_desc(
+        &self,
+        lo: Bound<K>,
+        hi: Bound<K>,
+        start_ts: Timestamp,
+        chunk_size: usize,
+    ) -> RangePostingCursor<'_, K, E> {
+        RangePostingCursor {
+            index: self,
+            lo,
+            hi,
+            start_ts,
+            chunk: chunk_size.max(1),
+            marker: None,
+            pos_hint: 0,
+            descending: true,
+            done: false,
+        }
     }
 
-    /// Total postings (live and dead, any snapshot) stored under every key
-    /// inside `(lo, hi)`, saturating at `cap` — the planner's
-    /// range-cardinality estimate. Walks only the keys in range and stops
-    /// as soon as the running total reaches `cap`, so comparing a huge
-    /// range against a small competing estimate costs O(keys up to cap),
-    /// not O(keys in range).
+    /// Live postings (no removal timestamp) stored under `key` — a cheap
+    /// cardinality estimate for the query planner. The counter is
+    /// maintained incrementally on add/tombstone, so heavy removal churn
+    /// between GC passes no longer inflates the estimate and steers plan
+    /// choice wrong.
+    pub fn postings_estimate(&self, key: &K) -> u64 {
+        self.entries.read().get(key).map_or(0, |e| e.live)
+    }
+
+    /// Live postings (no removal timestamp) stored under every key inside
+    /// `(lo, hi)`, saturating at `cap` — the planner's range-cardinality
+    /// estimate. Walks only the keys in range and stops as soon as the
+    /// running total reaches `cap`, so comparing a huge range against a
+    /// small competing estimate costs O(keys up to cap), not O(keys in
+    /// range).
     pub fn range_postings_estimate(&self, lo: Bound<&K>, hi: Bound<&K>, cap: u64) -> u64 {
         if !bounds_are_ordered(&lo, &hi) {
             return 0;
@@ -249,7 +285,7 @@ where
         let entries = self.entries.read();
         let mut total = 0u64;
         for (_, e) in entries.range((lo, hi)) {
-            total = total.saturating_add(e.postings.len() as u64);
+            total = total.saturating_add(e.live);
             if total >= cap {
                 return cap;
             }
@@ -287,8 +323,19 @@ where
         let mut reclaimed = 0u64;
         entries.retain(|_, entry| {
             let before = entry.postings.len();
+            // Reclaimable postings always carry a removal timestamp, so the
+            // live counter is untouched by compaction.
             entry.postings.retain(|p| !p.reclaimable(watermark));
             reclaimed += (before - entry.postings.len()) as u64;
+            debug_assert_eq!(
+                entry.live as usize,
+                entry
+                    .postings
+                    .iter()
+                    .filter(|p| p.removed_ts.is_none())
+                    .count(),
+                "live-fraction counter out of sync with posting list"
+            );
             !entry.postings.is_empty()
         });
         reclaimed
@@ -305,6 +352,7 @@ where
         // postings are counted as "has a removal timestamp".
         for entry in entries.values() {
             stats.postings += entry.postings.len() as u64;
+            stats.live_postings += entry.live;
             stats.dead_postings += entry
                 .postings
                 .iter()
@@ -354,6 +402,13 @@ where
     /// The configured chunk size.
     pub fn chunk_size(&self) -> usize {
         self.chunk
+    }
+
+    /// Clamps the next refills to at most `max` entities (floored at 1) —
+    /// the limit-pushdown hook: a consumer that only owes its caller `max`
+    /// more rows has no reason to page a full chunk.
+    pub fn clamp_chunk(&mut self, max: usize) {
+        self.chunk = self.chunk.min(max.max(1));
     }
 
     /// Refills `buf` (cleared first) with up to `chunk_size` visible
@@ -489,6 +544,10 @@ pub struct RangePostingCursor<'a, K, E> {
     /// Position at which the marker posting was last seen in its list
     /// (O(1) resume in the common no-compaction case).
     pos_hint: usize,
+    /// Walk keys in descending sort order. Within one key postings are
+    /// still walked in list (commit) order — intra-key order carries no
+    /// value ordering, every posting under a key shares the same value.
+    descending: bool,
     done: bool,
 }
 
@@ -500,6 +559,13 @@ where
     /// The configured chunk size.
     pub fn chunk_size(&self) -> usize {
         self.chunk
+    }
+
+    /// Clamps the next refills to at most `max` entities (floored at 1) —
+    /// the limit-pushdown hook: a consumer that only owes its caller `max`
+    /// more rows has no reason to page a full chunk.
+    pub fn clamp_chunk(&mut self, max: usize) {
+        self.chunk = self.chunk.min(max.max(1));
     }
 
     /// Refills `buf` (cleared first) with up to `chunk_size` visible
@@ -514,16 +580,24 @@ where
         let entries = self.index.entries.read();
         // Resume at the marker key (inclusive: its list may hold more
         // postings past the marker), or at the range start on first use.
-        let lower: Bound<&K> = match &self.marker {
-            None => bound_as_ref(&self.lo),
-            Some((key, _, _)) => Bound::Included(key),
+        // Ascending walks clamp the lower bound to the marker; descending
+        // walks clamp the upper bound instead.
+        let (lower, upper): (Bound<&K>, Bound<&K>) = match &self.marker {
+            None => (bound_as_ref(&self.lo), bound_as_ref(&self.hi)),
+            Some((key, _, _)) if self.descending => (bound_as_ref(&self.lo), Bound::Included(key)),
+            Some((key, _, _)) => (Bound::Included(key), bound_as_ref(&self.hi)),
         };
-        let upper = bound_as_ref(&self.hi);
         if !bounds_are_ordered(&lower, &upper) {
             self.done = true;
             return false;
         }
-        for (key, entry) in entries.range((lower, upper)) {
+        let range = entries.range((lower, upper));
+        let keys: Box<dyn Iterator<Item = (&K, &KeyEntry<E>)>> = if self.descending {
+            Box::new(range.rev())
+        } else {
+            Box::new(range)
+        };
+        for (key, entry) in keys {
             if !entry.created_ts.visible_to(self.start_ts) {
                 continue;
             }
@@ -914,6 +988,115 @@ mod tests {
             0,
             "inverted bounds estimate as empty instead of panicking"
         );
+    }
+
+    #[test]
+    fn estimates_track_live_fraction_under_churn() {
+        let index = Index::new();
+        for e in 0..10u64 {
+            index.add(1, e, Timestamp(e + 1));
+        }
+        assert_eq!(index.postings_estimate(&1), 10);
+        // Tombstone 7 of them — no GC yet, but the estimate must already
+        // reflect the live fraction, not the physical posting count.
+        for e in 0..7u64 {
+            index.remove(&1, e, Timestamp(20));
+        }
+        assert_eq!(index.postings_estimate(&1), 3);
+        assert_eq!(
+            index.range_postings_estimate(Bound::Unbounded, Bound::Unbounded, u64::MAX),
+            3
+        );
+        let stats = index.stats();
+        assert_eq!(stats.postings, 10);
+        assert_eq!(stats.live_postings, 3);
+        assert_eq!(stats.dead_postings, 7);
+        // GC compaction does not change the live count.
+        assert_eq!(index.gc(Timestamp(20)), 7);
+        assert_eq!(index.postings_estimate(&1), 3);
+        // Re-adding raises it again.
+        index.add(1, 0, Timestamp(30));
+        assert_eq!(index.postings_estimate(&1), 4);
+    }
+
+    #[test]
+    fn range_cursor_desc_walks_keys_in_reverse_order() {
+        let index = Index::new();
+        for key in [5u32, 1, 9, 3, 7] {
+            for e in 0..3u64 {
+                index.add(key, u64::from(key) * 100 + e, Timestamp(1));
+            }
+        }
+        let mut cursor =
+            index.range_cursor_desc(Bound::Included(3), Bound::Excluded(8), Timestamp(10), 2);
+        assert_eq!(
+            drain_range(&mut cursor),
+            vec![700, 701, 702, 500, 501, 502, 300, 301, 302],
+            "keys 7, 5, 3 in descending order; 1 and 9 excluded"
+        );
+        let mut all = index.range_cursor_desc(Bound::Unbounded, Bound::Unbounded, Timestamp(10), 4);
+        let out = drain_range(&mut all);
+        assert_eq!(out.len(), 15);
+        assert_eq!(out[0], 900, "descending walk starts at the largest key");
+        // Inverted bounds are an empty range, not a panic.
+        let mut none =
+            index.range_cursor_desc(Bound::Included(8), Bound::Included(3), Timestamp(10), 4);
+        let mut buf = Vec::new();
+        assert!(!none.next_chunk(&mut buf));
+    }
+
+    #[test]
+    fn range_cursor_desc_survives_concurrent_append_and_gc_across_keys() {
+        let index = Index::new();
+        for key in [1u32, 2, 3] {
+            for e in 0..4u64 {
+                index.add(key, u64::from(key) * 10 + e, Timestamp(e + 1));
+            }
+        }
+        // Dead postings in keys the descending cursor has not reached yet.
+        index.remove(&2, 21, Timestamp(5));
+        index.remove(&1, 10, Timestamp(5));
+
+        let mut cursor =
+            index.range_cursor_desc(Bound::Included(1), Bound::Included(3), Timestamp(10), 3);
+        let mut buf = Vec::new();
+        assert!(cursor.next_chunk(&mut buf));
+        assert_eq!(buf, vec![30, 31, 32]);
+
+        // Concurrent world: GC compacts, new postings land above and below
+        // the parked key — all invisible to the snapshot.
+        assert_eq!(index.gc(Timestamp(10)), 2);
+        index.add(2, 99, Timestamp(20));
+        index.add(3, 98, Timestamp(20)); // behind the cursor, too-new anyway
+
+        let mut out = buf.clone();
+        while cursor.next_chunk(&mut buf) {
+            out.extend_from_slice(&buf);
+        }
+        // Lossless: 33 and the surviving postings of keys 2 and 1 arrive in
+        // descending key order; no phantoms.
+        assert_eq!(out, vec![30, 31, 32, 33, 20, 22, 23, 11, 12, 13]);
+    }
+
+    #[test]
+    fn range_cursor_desc_resumes_after_its_own_key_is_gc_dropped() {
+        let index = Index::new();
+        index.add(1, 10, Timestamp(1));
+        index.add(2, 20, Timestamp(1));
+        index.add(3, 30, Timestamp(1));
+        // The cursor's snapshot cannot see key 2 (removed before it).
+        index.remove(&2, 20, Timestamp(2));
+
+        let mut cursor =
+            index.range_cursor_desc(Bound::Included(1), Bound::Included(3), Timestamp(5), 1);
+        let mut buf = Vec::new();
+        assert!(cursor.next_chunk(&mut buf));
+        assert_eq!(buf, vec![30]);
+        // GC drops key 2 entirely while the cursor is parked in key 3.
+        assert_eq!(index.gc(Timestamp(5)), 1);
+        assert!(cursor.next_chunk(&mut buf));
+        assert_eq!(buf, vec![10]);
+        assert!(!cursor.next_chunk(&mut buf));
     }
 
     #[test]

@@ -173,15 +173,35 @@ impl<E: Copy + Eq> PropertyIndex<E> {
         self.inner.range_cursor(lower, upper, start_ts, chunk_size)
     }
 
-    /// Total postings (live and dead) stored under `key = value` — the
-    /// planner's point-cardinality estimate.
+    /// Like [`PropertyIndex::range_cursor`], but walks the value keys in
+    /// **descending** sort order — index-streamed `ORDER BY ... DESC`
+    /// (see [`VersionedPostingIndex::range_cursor_desc`]).
+    pub fn range_cursor_desc(
+        &self,
+        key: PropertyKeyToken,
+        lo: Bound<&ValueKey>,
+        hi: Bound<&ValueKey>,
+        start_ts: Timestamp,
+        chunk_size: usize,
+    ) -> RangePostingCursor<'_, PropertyIndexKey, E> {
+        let (lower, upper) = composite_range_bounds(key, lo, hi).unwrap_or((
+            Bound::Included((key, ValueKey::Int(0))),
+            Bound::Excluded((key, ValueKey::Int(0))),
+        ));
+        self.inner
+            .range_cursor_desc(lower, upper, start_ts, chunk_size)
+    }
+
+    /// Live postings stored under `key = value` — the planner's
+    /// point-cardinality estimate (dead churn excluded, see
+    /// [`VersionedPostingIndex::postings_estimate`]).
     pub fn postings_estimate(&self, key: PropertyKeyToken, value: &PropertyValue) -> u64 {
         self.inner.postings_estimate(&(key, value.index_key()))
     }
 
-    /// Total postings (live and dead) stored under property `key` inside
-    /// the value range `(lo, hi)`, saturating at `cap` — the planner's
-    /// range-cardinality estimate (see
+    /// Live postings stored under property `key` inside the value range
+    /// `(lo, hi)`, saturating at `cap` — the planner's range-cardinality
+    /// estimate (see
     /// [`VersionedPostingIndex::range_postings_estimate`]).
     pub fn range_postings_estimate(
         &self,

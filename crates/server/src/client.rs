@@ -288,7 +288,9 @@ impl Client {
     }
 
     /// Streams nodes whose `key` property lies in the inclusive range
-    /// (at least one bound required), projecting properties per row.
+    /// (at least one bound required), projecting properties per row, in
+    /// no particular order. See [`Client::range_query_ordered`] for
+    /// ordered and top-k forms.
     pub fn range_query(
         &mut self,
         key: &str,
@@ -297,12 +299,29 @@ impl Client {
         limit: u32,
         projection: &[&str],
     ) -> ClientResult<Vec<WireRow>> {
+        self.range_query_ordered(key, lo, hi, limit, projection, 0)
+    }
+
+    /// Ordered form of [`Client::range_query`]. `order`: `0` = unordered,
+    /// `1` = ascending by `key`, `2` = descending. An ordered query with a
+    /// nonzero `limit` is a top-k the server's planner serves straight off
+    /// the index walk.
+    pub fn range_query_ordered(
+        &mut self,
+        key: &str,
+        lo: Option<PropertyValue>,
+        hi: Option<PropertyValue>,
+        limit: u32,
+        projection: &[&str],
+        order: u8,
+    ) -> ClientResult<Vec<WireRow>> {
         let request = Request::RangeQuery {
             key: key.into(),
             lo,
             hi,
             limit,
             projection: projection.iter().map(|s| s.to_string()).collect(),
+            order,
         };
         match self.request(&request)? {
             Response::Rows { rows } => Ok(rows),

@@ -483,6 +483,10 @@ pub enum Request {
         limit: u32,
         /// Property names to project per row (empty = none).
         projection: Vec<String>,
+        /// Row ordering over `key`: `0` = unordered, `1` = ascending,
+        /// `2` = descending. With a nonzero `limit`, an ordered query is a
+        /// top-k the planner serves straight off the index walk.
+        order: u8,
     },
     /// Testing/debug aid: occupies a pooled worker for `ms` milliseconds
     /// (the admission-control analogue of the core's
@@ -579,6 +583,7 @@ impl Request {
                 hi,
                 limit,
                 projection,
+                order,
             } => {
                 put_u8(&mut out, req_op::RANGE_QUERY);
                 put_str(&mut out, key);
@@ -586,6 +591,7 @@ impl Request {
                 put_opt_value(&mut out, hi);
                 put_u32(&mut out, *limit);
                 put_strings(&mut out, projection);
+                put_u8(&mut out, *order);
             }
             Request::Sleep { ms } => {
                 put_u8(&mut out, req_op::SLEEP);
@@ -653,6 +659,14 @@ impl Request {
                 hi: c.opt_value()?,
                 limit: c.u32()?,
                 projection: c.strings()?,
+                order: match c.u8()? {
+                    o @ 0..=2 => o,
+                    other => {
+                        return Err(ProtoError::Malformed(format!(
+                            "unknown range-query order {other}"
+                        )))
+                    }
+                },
             },
             req_op::SLEEP => Request::Sleep { ms: c.u32()? },
             op => {
@@ -1030,6 +1044,15 @@ mod tests {
             hi: None,
             limit: 0,
             projection: vec![],
+            order: 0,
+        });
+        roundtrip_request(Request::RangeQuery {
+            key: "score".into(),
+            lo: None,
+            hi: Some(PropertyValue::Int(100)),
+            limit: 10,
+            projection: vec!["score".into()],
+            order: 2,
         });
         roundtrip_request(Request::Sleep { ms: 25 });
     }

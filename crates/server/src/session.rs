@@ -263,6 +263,7 @@ fn apply_read(txn: &Transaction, request: Request) -> Result<Response> {
             hi,
             limit,
             projection,
+            order,
         } => {
             let mut q = txn.query();
             q = match (lo, hi) {
@@ -275,9 +276,22 @@ fn apply_read(txn: &Transaction, request: Request) -> Result<Response> {
                     ))
                 }
             };
-            if limit > 0 {
-                q = q.limit(limit as usize);
-            }
+            // Ordered + limited = a top-k the planner serves straight off
+            // the index walk (early-exiting the cursor); plain limit stays
+            // an unordered truncation.
+            q = match (order, limit) {
+                (0, 0) => q,
+                (0, n) => q.limit(n as usize),
+                (1, 0) => q.order_by(&key),
+                (1, n) => q.top_k(&key, n as usize),
+                (2, 0) => q.order_by_desc(&key),
+                (2, n) => q.top_k_desc(&key, n as usize),
+                (o, _) => {
+                    return Err(DbError::InvalidQuery(format!(
+                        "unknown range-query order {o}"
+                    )))
+                }
+            };
             if !projection.is_empty() {
                 q = q.project(projection);
             }
@@ -591,6 +605,7 @@ mod tests {
                 hi: Some(PropertyValue::Int(35)),
                 limit: 0,
                 projection: vec!["age".into()],
+                order: 0,
             },
         );
         let Response::Rows { rows } = resp else {
@@ -614,6 +629,7 @@ mod tests {
                 hi: None,
                 limit: 0,
                 projection: vec![],
+                order: 0,
             },
         );
         assert!(matches!(
@@ -623,5 +639,58 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn ordered_range_query_serves_topk_off_the_index() {
+        let (_dir, db) = open_db("session_topk");
+        let session = Session::new();
+        for score in [50, 10, 40, 20, 30] {
+            session.execute(
+                &db,
+                Request::CreateNode {
+                    labels: vec!["P".into()],
+                    properties: vec![("score".into(), PropertyValue::Int(score))],
+                },
+            );
+        }
+        let scores = |resp: Response| -> Vec<i64> {
+            let Response::Rows { rows } = resp else {
+                panic!("unexpected response: {resp:?}");
+            };
+            rows.iter()
+                .map(|r| match r.property("score") {
+                    Some(PropertyValue::Int(v)) => *v,
+                    other => panic!("bad projection: {other:?}"),
+                })
+                .collect()
+        };
+        // Descending top-3, served off the reverse index walk: wire order
+        // IS the result order.
+        let resp = session.execute(
+            &db,
+            Request::RangeQuery {
+                key: "score".into(),
+                lo: Some(PropertyValue::Int(0)),
+                hi: None,
+                limit: 3,
+                projection: vec!["score".into()],
+                order: 2,
+            },
+        );
+        assert_eq!(scores(resp), vec![50, 40, 30]);
+        // Ascending full order.
+        let resp = session.execute(
+            &db,
+            Request::RangeQuery {
+                key: "score".into(),
+                lo: Some(PropertyValue::Int(15)),
+                hi: Some(PropertyValue::Int(45)),
+                limit: 0,
+                projection: vec!["score".into()],
+                order: 1,
+            },
+        );
+        assert_eq!(scores(resp), vec![20, 30, 40]);
     }
 }

@@ -298,6 +298,215 @@ proptest! {
         }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Ordered streaming and sorted-posting intersection agree with their
+    /// decode-everything equivalents on every pinned snapshot, across
+    /// random churn, deletions and GC compaction. Churned score values are
+    /// made unique per (op, slot) so `top_k(key, n)` has one well-defined
+    /// answer (`sort-all-take-n`) with no tie ambiguity.
+    #[test]
+    fn ordered_topk_and_intersections_agree(
+            ops in proptest::collection::vec((0..20usize, 0..6usize), 8..40),
+            lo in 0i64..120,
+            width in 50i64..900,
+        ) {
+            let dir = TempDir::new("range_order_prop");
+            let db = open(&dir);
+            let hi = lo + width;
+
+            let mut tx = db.begin();
+            let nodes: Vec<NodeId> = (0..20)
+                .map(|slot| {
+                    tx.create_node(
+                        &["P"],
+                        &[
+                            ("score", PropertyValue::Int(slot as i64)),
+                            ("flag", PropertyValue::Int((slot % 3) as i64)),
+                        ],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            tx.commit().unwrap();
+            let mut alive = vec![true; nodes.len()];
+
+            let mut pinned: Vec<Transaction> = Vec::new();
+            for (i, &(slot, kind)) in ops.iter().enumerate() {
+                let node = nodes[slot];
+                let mut w = db.begin();
+                if kind == 0 && alive[slot] {
+                    w.delete_node(node).unwrap();
+                    alive[slot] = false;
+                } else if alive[slot] {
+                    // 100 + i*25 + slot is collision-free: slot < 25, and
+                    // the seeds live below 100.
+                    let score = 100 + (i as i64) * 25 + slot as i64;
+                    w.set_node_property(node, "score", PropertyValue::Int(score)).unwrap();
+                    if kind == 1 {
+                        w.set_node_property(
+                            node,
+                            "flag",
+                            PropertyValue::Int(((slot + i) % 3) as i64),
+                        )
+                        .unwrap();
+                    }
+                }
+                w.commit().unwrap();
+                if i % 5 == 0 {
+                    db.run_gc_vacuum();
+                } else if i % 7 == 0 {
+                    db.run_gc();
+                }
+                if i % 4 == 0 {
+                    pinned.push(db.txn().read_only().begin());
+                }
+            }
+            db.run_gc_vacuum();
+            pinned.push(db.txn().read_only().begin());
+
+            for snap in &pinned {
+                // Ground truth: per-node point reads, sorted by score
+                // (unique, so the order is total).
+                let mut truth: Vec<(i64, NodeId)> = nodes
+                    .iter()
+                    .copied()
+                    .filter_map(|n| {
+                        if !snap.node_exists(n).unwrap() {
+                            return None;
+                        }
+                        snap.node_property(n, "score")
+                            .unwrap()
+                            .and_then(|v| v.as_int())
+                            .filter(|s| (lo..=hi).contains(s))
+                            .map(|s| (s, n))
+                    })
+                    .collect();
+                truth.sort();
+                let range = || PropertyValue::Int(lo)..=PropertyValue::Int(hi);
+                let asc_ids: Vec<NodeId> = truth.iter().map(|&(_, n)| n).collect();
+                let desc_ids: Vec<NodeId> = truth.iter().rev().map(|&(_, n)| n).collect();
+
+                let asc = snap
+                    .query()
+                    .filter_property_range("score", range())
+                    .order_by("score")
+                    .ids()
+                    .unwrap();
+                prop_assert_eq!(&asc, &asc_ids);
+                let desc = snap
+                    .query()
+                    .filter_property_range("score", range())
+                    .order_by_desc("score")
+                    .ids()
+                    .unwrap();
+                prop_assert_eq!(&desc, &desc_ids);
+
+                // top-k ≡ sort-all-take-n, in both directions.
+                for k in [1usize, 3, 7] {
+                    let top = snap
+                        .query()
+                        .filter_property_range("score", range())
+                        .top_k("score", k)
+                        .ids()
+                        .unwrap();
+                    prop_assert_eq!(&top, &asc_ids.iter().copied().take(k).collect::<Vec<_>>());
+                    let bottom = snap
+                        .query()
+                        .filter_property_range("score", range())
+                        .top_k_desc("score", k)
+                        .ids()
+                        .unwrap();
+                    prop_assert_eq!(&bottom, &desc_ids.iter().copied().take(k).collect::<Vec<_>>());
+                }
+
+                // Intersection ≡ chained decode-filter ≡ brute force.
+                let flag_range = || PropertyValue::Int(0)..=PropertyValue::Int(1);
+                let brute: Vec<NodeId> = asc_ids
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        snap.node_property(n, "flag")
+                            .unwrap()
+                            .and_then(|v| v.as_int())
+                            .is_some_and(|f| (0..=1).contains(&f))
+                    })
+                    .collect();
+                let merged = sorted(
+                    snap.query()
+                        .filter_property_range("score", range())
+                        .filter_property_range("flag", flag_range())
+                        .ids()
+                        .unwrap(),
+                );
+                let chained = sorted(
+                    snap.query()
+                        .filter_property_range("score", range())
+                        .filter_property_range("flag", flag_range())
+                        .intersect(false)
+                        .ids()
+                        .unwrap(),
+                );
+                prop_assert_eq!(&merged, &sorted(brute.clone()));
+                prop_assert_eq!(&chained, &sorted(brute));
+            }
+        }
+}
+
+/// A descending (reverse-cursor) ordered stream paged in tiny chunks
+/// through churn and GC compaction must deliver exactly its snapshot, in
+/// reverse key order, without a single cursor restart: the reverse cursor
+/// resumes from its marker key just like the forward one.
+#[test]
+fn descending_stream_survives_churn_without_cursor_restarts() {
+    let dir = TempDir::new("range_desc_restarts");
+    let db = open(&dir);
+    let mut tx = db.begin();
+    let nodes: Vec<NodeId> = (0..30)
+        .map(|i| {
+            tx.create_node(&["D"], &[("score", PropertyValue::Int(i))])
+                .unwrap()
+        })
+        .collect();
+    tx.commit().unwrap();
+
+    let reader = db.txn().read_only().scan_chunk_size(2).begin();
+    let mut stream = reader
+        .query()
+        .filter_property_range("score", PropertyValue::Int(5)..=PropertyValue::Int(24))
+        .order_by_desc("score")
+        .stream()
+        .unwrap();
+    let before = db.metrics();
+    let mut got = Vec::new();
+    for _ in 0..4 {
+        got.push(stream.next().unwrap().unwrap());
+    }
+    // Churn across the parked cursor: move values over both boundaries,
+    // compact the postings in between.
+    for (n, v) in [(nodes[20], 99i64), (nodes[8], -3), (nodes[0], 10)] {
+        let mut w = db.begin();
+        w.set_node_property(n, "score", PropertyValue::Int(v))
+            .unwrap();
+        w.commit().unwrap();
+        db.run_gc_vacuum();
+    }
+    for id in stream {
+        got.push(id.unwrap());
+    }
+    let expected: Vec<NodeId> = (5..=24).rev().map(|i| nodes[i as usize]).collect();
+    assert_eq!(got, expected, "snapshot delivered in reverse key order");
+    let after = db.metrics();
+    assert_eq!(
+        after.cursor_restarts, before.cursor_restarts,
+        "the reverse range cursor resumes from its marker, never restarts"
+    );
+}
+
 /// Ground truth for one snapshot: per-node point reads, no index involved.
 fn brute_force(tx: &Transaction, nodes: &[NodeId], lo: i64, hi: i64) -> Vec<NodeId> {
     let mut out: Vec<NodeId> = nodes
