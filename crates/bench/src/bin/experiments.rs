@@ -8,13 +8,14 @@
 //! cargo run -p graphsi-bench --release --bin experiments -- --exp e6
 //! cargo run -p graphsi-bench --release --bin experiments -- --quick # smaller parameters
 //! cargo run -p graphsi-bench --release --bin experiments -- --exp e14 --json BENCH_e14.json
+//! cargo run -p graphsi-bench --release --bin experiments -- --exp e15 --json BENCH_e15.json
 //! cargo run -p graphsi-bench --release --bin experiments -- --exp e16 --json BENCH_e16.json
 //! cargo run -p graphsi-bench --release --bin experiments -- --exp e17 --json BENCH_e17.json
 //! ```
 //!
-//! `--json <path>` makes E14/E16/E17 additionally write their rows as a
-//! JSON bench artifact (`BENCH_e14.json` / `BENCH_e16.json` /
-//! `BENCH_e17.json` seed the repo's perf trajectory).
+//! `--json <path>` makes E14/E15/E16/E17 additionally write their rows as
+//! a JSON bench artifact (`BENCH_e14.json` / `BENCH_e15.json` /
+//! `BENCH_e16.json` / `BENCH_e17.json` seed the repo's perf trajectory).
 
 use std::time::Instant;
 
@@ -123,6 +124,9 @@ fn main() {
     }
     if want("e14") {
         e14_predicate_pushdown(&scale, json_path.as_deref());
+    }
+    if want("e15") {
+        e15_segmented_recovery(&scale, json_path.as_deref());
     }
     if want("e16") {
         e16_server_saturation(&scale, json_path.as_deref());
@@ -895,6 +899,183 @@ fn e14_predicate_pushdown(scale: &Scale, json_path: Option<&str>) {
             json_rows.join(",\n")
         );
         std::fs::write(path, json).expect("write bench json");
+        println!("(wrote {path})");
+        println!();
+    }
+}
+
+/// E15 — segmented WAL: recovery time and checkpoint stall vs log size.
+/// Per log size N (commits over 32 KiB segments), four reopen/checkpoint
+/// measurements:
+///
+/// * **full replay** — reopen over an un-checkpointed log of N commits;
+/// * **after checkpoint** — reopen right after a fuzzy checkpoint, whose
+///   retention watermark released the covered segments: replay work drops
+///   to (almost) nothing while the index rebuild stays the same, so this
+///   isolates what the checkpoint saves;
+/// * **suffix replay** — reopen after an N/8-commit suffix on top of the
+///   checkpoint: recovery scales with the retained suffix, not history;
+/// * **checkpoint under load** — writers keep committing through a timed
+///   checkpoint; the fuzzy design must let commits complete *inside* the
+///   checkpoint window and must not stall any single commit for the
+///   checkpoint's whole duration (the old quiesce cliff).
+///
+/// Acceptance gates (largest full-scale cell): after-checkpoint reopen is
+/// faster than full replay, `checkpoint_concurrent_commits > 0`, segments
+/// were really released, and the worst stall stays under the cliff bound.
+fn e15_segmented_recovery(scale: &Scale, json_path: Option<&str>) {
+    use graphsi_core::SyncPolicy;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    println!("## E15 — segmented WAL: recovery time + checkpoint stall vs log size");
+    let mut table = Table::new(&[
+        "commits",
+        "wal KiB",
+        "full replay (ms)",
+        "after ckpt (ms)",
+        "suffix N/8 (ms)",
+        "ckpt (ms)",
+        "max stall (ms)",
+        "ckpt commits",
+        "segs freed",
+    ]);
+    let config = || {
+        DbConfig::default()
+            .with_sync_policy(SyncPolicy::OnDemand)
+            .with_group_commit_max_batch(16)
+            .with_group_commit_max_delay(Duration::from_millis(1))
+            .with_wal_segment_bytes(32 * 1024)
+    };
+    let sizes = [scale.mix_txns_per_thread * 2, scale.mix_txns_per_thread * 8];
+    let mut json_rows = Vec::new();
+    for &commits in &sizes {
+        let dir = TempDir::new("e15");
+        let fill = |db: &GraphDb, n: usize| {
+            for i in 0..n {
+                let mut tx = db.begin();
+                must(
+                    tx.create_node(&["Bulk"], &[("i", PropertyValue::Int(i as i64))]),
+                    "e15 create",
+                );
+                must(tx.commit(), "e15 commit");
+            }
+        };
+        {
+            let db = open(&dir, config());
+            fill(&db, commits);
+            // Crash-style drop: no checkpoint, no flush.
+        }
+        // (a) Full replay of the whole log.
+        let start = Instant::now();
+        let db = open(&dir, config());
+        let full_ms = start.elapsed().as_secs_f64() * 1e3;
+        let wal_kib = db.metrics().wal_retained_bytes as f64 / 1024.0;
+        // (b) Reopen right after a checkpoint: replay shrinks to the
+        // marker suffix, the index rebuild cost stays.
+        must(db.checkpoint(), "e15 checkpoint");
+        let segs_freed = db.metrics().wal_segments_deleted;
+        drop(db);
+        let start = Instant::now();
+        let db = open(&dir, config());
+        let after_ckpt_ms = start.elapsed().as_secs_f64() * 1e3;
+        // (c) An N/8 suffix on top of the checkpoint.
+        fill(&db, commits / 8);
+        drop(db);
+        let start = Instant::now();
+        let db = open(&dir, config());
+        let suffix_ms = start.elapsed().as_secs_f64() * 1e3;
+        // (d) Checkpoint under sustained load: stall + overlap.
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..scale.threads.min(4))
+            .map(|w| {
+                let db = db.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut rounds = 0i64;
+                    let mut max_stall = Duration::ZERO;
+                    while !stop.load(Ordering::Relaxed) {
+                        rounds += 1;
+                        let mut tx = db.begin();
+                        must(
+                            tx.create_node(
+                                &["Load"],
+                                &[("w", PropertyValue::Int(w as i64 * 1_000_000 + rounds))],
+                            ),
+                            "e15 load create",
+                        );
+                        let started = Instant::now();
+                        must(tx.commit(), "e15 load commit");
+                        max_stall = max_stall.max(started.elapsed());
+                    }
+                    max_stall
+                })
+            })
+            .collect();
+        let before = db.metrics();
+        let ckpt_started = Instant::now();
+        must(db.checkpoint(), "e15 checkpoint under load");
+        let ckpt_ms = ckpt_started.elapsed().as_secs_f64() * 1e3;
+        let after = db.metrics();
+        stop.store(true, Ordering::Relaxed);
+        let max_stall_ms = writers
+            .into_iter()
+            .map(|w| must(w.join(), "e15 writer").as_secs_f64() * 1e3)
+            .fold(0.0f64, f64::max);
+        let concurrent = after.checkpoint_concurrent_commits - before.checkpoint_concurrent_commits;
+
+        // Gates on the largest full-scale cell, where the timing gap is
+        // far above measurement noise.
+        if commits >= 1_000 {
+            assert!(
+                after_ckpt_ms < full_ms,
+                "a checkpointed log must reopen faster than a full replay \
+                 ({after_ckpt_ms:.1}ms vs {full_ms:.1}ms)"
+            );
+            assert!(segs_freed > 0, "the checkpoint must release segments");
+            assert!(
+                concurrent > 0,
+                "commits must complete inside the checkpoint window"
+            );
+            let cliff_ms = ckpt_ms.max(250.0);
+            assert!(
+                max_stall_ms < cliff_ms,
+                "a commit stalled {max_stall_ms:.1}ms behind a {ckpt_ms:.1}ms checkpoint"
+            );
+        }
+        table.row(&[
+            commits.to_string(),
+            f1(wal_kib),
+            f1(full_ms),
+            f1(after_ckpt_ms),
+            f1(suffix_ms),
+            f1(ckpt_ms),
+            f1(max_stall_ms),
+            concurrent.to_string(),
+            segs_freed.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"commits\": {commits}, \"wal_kib\": {wal_kib:.1}, \
+             \"full_replay_ms\": {full_ms:.2}, \"after_checkpoint_ms\": {after_ckpt_ms:.2}, \
+             \"suffix_replay_ms\": {suffix_ms:.2}, \"checkpoint_ms\": {ckpt_ms:.2}, \
+             \"max_commit_stall_ms\": {max_stall_ms:.2}, \
+             \"checkpoint_concurrent_commits\": {concurrent}, \
+             \"segments_released\": {segs_freed}}}"
+        ));
+    }
+    println!("{}", table.render());
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"experiment\": \"e15_segmented_recovery\",\n  \
+             \"description\": \"segmented WAL with fuzzy checkpoints: reopen/recovery \
+             time for full replay vs checkpoint-bounded suffix replay, and checkpoint \
+             duration + worst single-commit stall under sustained writer load\",\n  \
+             \"unit\": {{\"latency\": \"ms wall clock\", \"wal\": \"KiB retained\"}},\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        must(std::fs::write(path, json), "write bench json");
         println!("(wrote {path})");
         println!();
     }

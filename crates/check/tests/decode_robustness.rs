@@ -17,7 +17,10 @@ use graphsi_core::{IsolationLevel, PropertyValue};
 use graphsi_server::protocol::FrameReader;
 use graphsi_server::{Request, Response, WireNode, WireRow};
 use graphsi_wal::record::encode_frame;
-use graphsi_wal::{payload_kind, AbortRangeRecord, AbortRecord, LogEntry};
+use graphsi_wal::{
+    payload_kind, AbortRangeRecord, AbortRecord, CheckpointBeginRecord, CheckpointEndRecord,
+    LogEntry, SegmentHeaderRecord,
+};
 
 // -----------------------------------------------------------------
 // Seeds: well-formed encodings to mutate
@@ -161,6 +164,22 @@ fn wal_payload_seeds() -> Vec<Vec<u8>> {
             to_lsn: 20,
         }
         .encode(),
+        SegmentHeaderRecord {
+            segment_seq: 3,
+            base_lsn: 4097,
+            epoch: 2,
+        }
+        .encode(),
+        CheckpointBeginRecord {
+            epoch: 5,
+            begin_ts: 1_000,
+        }
+        .encode(),
+        CheckpointEndRecord {
+            epoch: 5,
+            stable_ts: 1_000,
+        }
+        .encode(),
         b"\x01commit payload bytes".to_vec(),
     ]
 }
@@ -231,6 +250,9 @@ fn wal_typed_payload_decode_survives_mutation() {
         let _ = payload_kind(&mutant, 7);
         let _ = AbortRecord::decode(&mutant, 7);
         let _ = AbortRangeRecord::decode(&mutant, 7);
+        let _ = SegmentHeaderRecord::decode(&mutant, 7);
+        let _ = CheckpointBeginRecord::decode(&mutant, 7);
+        let _ = CheckpointEndRecord::decode(&mutant, 7);
     }
 }
 

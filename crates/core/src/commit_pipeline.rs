@@ -15,11 +15,15 @@
 //!   lock, fixing its position in the publication order.
 //! * **Stage B — group durability** ([`CommitPipeline::wait_durable`]):
 //!   concurrent committers park on a leader/follower batcher; one leader
-//!   issues a single [`Wal::sync_appended`] covering every record
-//!   appended so far, amortising the `fsync` across the whole batch.
-//!   [`DbConfig::group_commit_max_batch`] and
+//!   issues a single [`SegmentedWal::sync_appended`] covering every
+//!   record appended so far, amortising the `fsync` across the whole
+//!   batch. [`DbConfig::group_commit_max_batch`] and
 //!   [`DbConfig::group_commit_max_delay`] bound how long a leader waits
-//!   for more committers to join.
+//!   for more committers to join. After a successful batch the leader
+//!   also drives WAL segment rotation
+//!   ([`SegmentedWal::rotate_if_needed`]) — off the batcher lock, so a
+//!   segment switch costs one extra fsync paid by the leader and no
+//!   commit ever blocks on it.
 //! * **Stage C — installation and publication**: after durability each
 //!   committer installs its versions, applies its record to the store
 //!   under the per-shard [`CommitPipeline::store_apply`] locks — the
@@ -49,7 +53,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use graphsi_txn::{LockKey, Timestamp};
-use graphsi_wal::{AbortRangeRecord, SyncPolicy, Wal, WalError};
+use graphsi_wal::{AbortRangeRecord, SegmentedWal, SyncPolicy, WalError};
 
 use crate::error::{DbError, Result};
 use crate::lock_rank;
@@ -264,10 +268,22 @@ impl CommitPipeline {
     /// group-commit batch. Exactly one parked committer acts as leader: it
     /// optionally waits up to the configured delay for more committers,
     /// then issues a single sync covering every record appended so far.
-    pub(crate) fn wait_durable(&self, wal: &Wal, lsn: u64, metrics: &DbMetrics) -> Result<()> {
+    /// Successful leaders also rotate the WAL segment when the active one
+    /// has outgrown its threshold — off the batcher lock, so the switch's
+    /// extra fsync never blocks a commit.
+    pub(crate) fn wait_durable(
+        &self,
+        wal: &SegmentedWal,
+        lsn: u64,
+        metrics: &DbMetrics,
+    ) -> Result<()> {
         if wal.sync_policy() == SyncPolicy::Always {
             // The append already synced itself: a degenerate batch of one.
             metrics.record_group_sync(1);
+            // With no batch leader to ride on, rotation is driven here. A
+            // failed rotation is not a commit failure — the record is
+            // already durable; the next committer retries the switch.
+            let _ = wal.rotate_if_needed();
             return Ok(());
         }
         let mut state = self.group.lock();
@@ -327,6 +343,16 @@ impl CommitPipeline {
                             metrics.record_group_sync(durable - previous_durable);
                             state.durable_lsn = durable;
                         }
+                        // Rotation rides the successful batch: release the
+                        // batcher first so followers return and the next
+                        // leader can be elected while this one pays the
+                        // segment switch's fsyncs. A failed rotation only
+                        // leaves the active segment oversized — the next
+                        // batch retries.
+                        self.group_cvar.notify_all();
+                        drop(state);
+                        let _ = wal.rotate_if_needed();
+                        state = self.group.lock();
                     }
                     Err(e) => {
                         // Invalidate the whole failed batch — every record
@@ -481,17 +507,22 @@ impl CommitPipeline {
             // Monotone by construction: queue order is commit-ts order.
             self.visible_ts.store(ts.raw(), Ordering::Release);
         }
-        // Wake publication waiters and checkpoint drains on any change.
+        // Wake publication waiters and checkpoint settle waits on any
+        // change.
         self.publish_cvar.notify_all();
     }
 
-    /// Blocks until no commit is in flight between sequencing and
-    /// publication. The caller must hold the [`CommitPipeline::sequence`]
-    /// guard (blocking new entrants), so on return the WAL and the store
-    /// are mutually consistent — the checkpoint's precondition.
-    pub(crate) fn wait_drained(&self) {
+    /// Blocks until every commit sequenced at or below `ts` has left the
+    /// publication queue — published (store flush-through complete) or
+    /// withdrawn. This is the fuzzy checkpoint's settle point: unlike the
+    /// old full drain it waits only for a *prefix* of the in-flight
+    /// window, so stages A–C keep admitting and committing while the
+    /// checkpoint waits. Terminates because the queue is contiguous in
+    /// commit-ts order and every registered commit eventually publishes
+    /// or withdraws.
+    pub(crate) fn wait_published_upto(&self, ts: Timestamp) {
         let mut queue = self.publish.lock();
-        while !queue.is_empty() {
+        while queue.front().is_some_and(|front| front.commit_ts <= ts) {
             self.publish_cvar.wait(&mut queue);
         }
     }
@@ -567,19 +598,25 @@ mod tests {
     }
 
     #[test]
-    fn wait_drained_returns_once_queue_empties() {
+    fn wait_published_upto_waits_only_for_its_prefix() {
         let p = Arc::new(pipeline());
         p.register(Timestamp(1), &[]);
-        let drained = {
+        p.register(Timestamp(2), &[]);
+        let settled = {
             let p = Arc::clone(&p);
-            std::thread::spawn(move || {
-                let _seq = p.sequence();
-                p.wait_drained();
-            })
+            std::thread::spawn(move || p.wait_published_upto(Timestamp(1)))
         };
-        p.publish(Timestamp(1));
-        drained.join().unwrap();
-        assert_eq!(p.visible_timestamp(), Timestamp(1));
+        // Commit 2 (beyond the prefix) staying in flight must not hold the
+        // settle wait hostage once commit 1 withdraws.
+        p.withdraw(Timestamp(1));
+        settled.join().unwrap();
+        assert_eq!(
+            p.visible_timestamp(),
+            Timestamp(0),
+            "a withdrawn commit satisfies the settle wait without publishing"
+        );
+        p.publish(Timestamp(2));
+        assert_eq!(p.visible_timestamp(), Timestamp(2));
     }
 
     #[test]
@@ -637,7 +674,9 @@ mod tests {
     fn group_sync_batches_concurrent_commits() {
         use graphsi_storage::test_util::TempDir;
         let dir = TempDir::new("pipeline_group");
-        let wal = Arc::new(Wal::open(dir.path().join("wal.log"), SyncPolicy::OnDemand).unwrap());
+        let wal = Arc::new(
+            SegmentedWal::open(dir.path().join("wal"), SyncPolicy::OnDemand, 1 << 20).unwrap(),
+        );
         let p = Arc::new(CommitPipeline::new(16, Duration::from_millis(5), 0, 4));
         let metrics = Arc::new(DbMetrics::new());
         let mut handles = Vec::new();
@@ -659,7 +698,14 @@ mod tests {
             h.join().unwrap();
         }
         let s = metrics.snapshot();
-        assert_eq!(wal.scan().unwrap().entries.len(), 100);
+        let data_entries = wal
+            .scan()
+            .unwrap()
+            .entries
+            .iter()
+            .filter(|e| !graphsi_wal::is_bookkeeping(e))
+            .count();
+        assert_eq!(data_entries, 100);
         assert!(s.wal_syncs >= 1);
         assert!(
             s.wal_syncs < 100,

@@ -53,6 +53,13 @@ pub struct DbConfig {
     pub conflict_strategy: ConflictStrategy,
     /// WAL sync policy.
     pub sync_policy: SyncPolicy,
+    /// WAL segment rotation threshold: once the active segment file
+    /// reaches this many bytes the group-commit leader seals it and
+    /// switches appends to a freshly-created segment. Smaller segments
+    /// mean finer-grained retention (a checkpoint can delete more of the
+    /// log sooner, bounding recovery replay tighter) at the cost of more
+    /// rotations; larger segments amortise rotation overhead.
+    pub wal_segment_bytes: u64,
     /// Page-cache pages per record store.
     pub cache_pages_per_store: usize,
     /// Shards of the versioned object caches.
@@ -110,6 +117,7 @@ impl Default for DbConfig {
             isolation: IsolationLevel::SnapshotIsolation,
             conflict_strategy: ConflictStrategy::FirstUpdaterWins,
             sync_policy: SyncPolicy::OnDemand,
+            wal_segment_bytes: DbConfig::DEFAULT_WAL_SEGMENT_BYTES,
             cache_pages_per_store: 256,
             cache_shards: 16,
             lock_timeout: Duration::from_millis(500),
@@ -133,6 +141,14 @@ impl DbConfig {
 
     /// Default [`DbConfig::store_apply_shards`].
     pub const DEFAULT_STORE_APPLY_SHARDS: usize = 64;
+
+    /// Default [`DbConfig::wal_segment_bytes`] (16 MiB).
+    pub const DEFAULT_WAL_SEGMENT_BYTES: u64 = 16 * 1024 * 1024;
+
+    /// Smallest accepted [`DbConfig::wal_segment_bytes`]. A segment must
+    /// hold at least its own header plus a useful number of records;
+    /// below this the rotation overhead dominates.
+    pub const MIN_WAL_SEGMENT_BYTES: u64 = 4096;
 
     /// A configuration reproducing stock Neo4j (the read-committed
     /// baseline).
@@ -163,6 +179,13 @@ impl DbConfig {
     /// Builder-style setter for the WAL sync policy.
     pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
         self.sync_policy = policy;
+        self
+    }
+
+    /// Builder-style setter for the WAL segment rotation threshold
+    /// (clamped to at least [`DbConfig::MIN_WAL_SEGMENT_BYTES`]).
+    pub fn with_wal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.wal_segment_bytes = bytes.max(Self::MIN_WAL_SEGMENT_BYTES);
         self
     }
 
@@ -281,6 +304,26 @@ mod tests {
                 .with_store_apply_shards(128)
                 .store_apply_shards,
             128
+        );
+    }
+
+    #[test]
+    fn wal_segment_builders() {
+        let config = DbConfig::default();
+        assert_eq!(
+            config.wal_segment_bytes,
+            DbConfig::DEFAULT_WAL_SEGMENT_BYTES
+        );
+        assert_eq!(
+            config.with_wal_segment_bytes(1).wal_segment_bytes,
+            DbConfig::MIN_WAL_SEGMENT_BYTES,
+            "clamped to the minimum"
+        );
+        assert_eq!(
+            DbConfig::default()
+                .with_wal_segment_bytes(1 << 20)
+                .wal_segment_bytes,
+            1 << 20
         );
     }
 

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use graphsi_index::GraphIndexes;
 use graphsi_mvcc::{gc, CacheLookup, CacheStatsSnapshot, GcStrategy, VersionedCache};
@@ -25,7 +25,10 @@ use graphsi_txn::{
     check_at_commit, ActiveTransactionTable, ConflictStrategy, LockKey, LockManager,
     LockStatsSnapshot, Timestamp, TimestampOracle, TxnId,
 };
-use graphsi_wal::{payload_kind, AbortRangeRecord, AbortRecord, PayloadKind, Wal};
+use graphsi_wal::{
+    payload_kind, AbortRangeRecord, AbortRecord, CheckpointBeginRecord, CheckpointEndRecord,
+    PayloadKind, SegmentedWal,
+};
 
 use crate::commit::{self, apply_to_store, split_commit_ts, CommitOp, CommitRecord};
 use crate::commit_pipeline::CommitPipeline;
@@ -46,6 +49,11 @@ pub const COMMIT_TS_PROPERTY: &str = "__graphsi.commit_ts";
 /// Prefix reserved for internal property keys, labels and relationship
 /// types.
 pub const RESERVED_PREFIX: &str = "__graphsi";
+
+/// Pages flushed per chunk by the fuzzy checkpoint's incremental store
+/// flush. Between chunks the page-cache lock is released, so concurrent
+/// commits interleave with the flush instead of stalling behind it.
+const CHECKPOINT_FLUSH_CHUNK: usize = 64;
 
 /// Summary of one garbage-collection run across node cache, relationship
 /// cache and indexes.
@@ -72,7 +80,7 @@ pub struct GcSummary {
 pub(crate) struct GraphDbInner {
     pub(crate) config: DbConfig,
     pub(crate) store: GraphStore,
-    pub(crate) wal: Wal,
+    pub(crate) wal: SegmentedWal,
     pub(crate) node_cache: VersionedCache<NodeId, NodeData>,
     pub(crate) rel_cache: VersionedCache<RelationshipId, RelationshipData>,
     pub(crate) indexes: GraphIndexes,
@@ -99,6 +107,10 @@ pub(crate) struct GraphDbInner {
     /// is allocated *before* installation: a transaction that started in
     /// between would otherwise own a snapshot it cannot read.
     pipeline: CommitPipeline,
+    /// Serialises fuzzy checkpoints against each other. Commits never take
+    /// this lock — a checkpoint runs concurrently with all three pipeline
+    /// stages; only a *second* checkpoint waits here.
+    checkpoint_lock: Mutex<()>,
     txn_counter: AtomicU64,
     commits_since_gc: AtomicU64,
 }
@@ -126,7 +138,11 @@ impl GraphDb {
             },
         )?;
         let commit_ts_key = store.tokens().property_key(COMMIT_TS_PROPERTY)?;
-        let wal = Wal::open(dir.join("wal.log"), config.sync_policy)?;
+        let wal = SegmentedWal::open(
+            dir.join("wal"),
+            config.sync_policy,
+            config.wal_segment_bytes,
+        )?;
 
         let inner = GraphDbInner {
             node_cache: VersionedCache::new(config.cache_shards),
@@ -148,6 +164,7 @@ impl GraphDb {
                 wal.durable_lsn(),
                 config.store_apply_shards,
             ),
+            checkpoint_lock: Mutex::with_rank((), lock_rank::CHECKPOINT, "core.checkpoint"),
             txn_counter: AtomicU64::new(1),
             commits_since_gc: AtomicU64::new(0),
             config,
@@ -276,17 +293,66 @@ impl GraphDb {
         self.inner.visible_timestamp()
     }
 
-    /// Flushes every store to disk and truncates the WAL (a checkpoint).
+    /// Runs a **fuzzy checkpoint**: flushes committed state to the store
+    /// and retires fully-covered WAL segments, all while stages A–C keep
+    /// admitting and committing — no quiesce, no stop-the-world.
+    ///
+    /// The procedure brackets the flush with a `CheckpointBegin` /
+    /// `CheckpointEnd` record pair:
+    ///
+    /// 1. `CheckpointBegin{epoch, begin_ts}` is appended *under the
+    ///    sequencing lock*, which aligns the LSN and commit-timestamp
+    ///    orders: a commit record before the begin mark in the log has
+    ///    `commit_ts <= begin_ts`, and vice versa.
+    /// 2. The pipeline settles: wait until every commit at or below
+    ///    `begin_ts` has finished its store flush-through (or withdrawn).
+    ///    Later commits are *not* waited for — they keep flowing.
+    /// 3. The dirty page set is snapshotted once and flushed in chunks
+    ///    ([`CHECKPOINT_FLUSH_CHUNK`]); pages dirtied after the snapshot
+    ///    belong to post-begin commits, which WAL replay covers, so the
+    ///    flush terminates even under sustained writes.
+    /// 4. `CheckpointEnd{epoch, stable_ts}` is appended and made durable.
+    ///    Recovery replays only the suffix after the last begin mark with
+    ///    a matching later end mark; an unpaired begin is ignored.
+    /// 5. Segments entirely at or below the begin mark are released
+    ///    ([`SegmentedWal::release_upto`]) — everything in them is now
+    ///    owned by the store.
     pub fn checkpoint(&self) -> Result<()> {
-        // Quiesce the commit pipeline: hold the sequencing lock so no new
-        // commit can append to the WAL, then wait until every in-flight
-        // commit has finished its store flush-through and published. Only
-        // then does the store contain everything the log does, which is
-        // the precondition for truncating the log.
-        let _seq = self.inner.pipeline.sequence();
-        self.inner.pipeline.wait_drained();
-        self.inner.store.flush()?;
-        self.inner.wal.reset()?;
+        let inner = &*self.inner;
+        // Only a second concurrent checkpoint waits here; commits never
+        // take this lock.
+        let _ckpt = inner.checkpoint_lock.lock();
+        let commits_before = inner.metrics.snapshot().commits;
+        let epoch = inner.wal.advance_epoch();
+        let (begin_lsn, begin_ts) = {
+            let _seq = inner.pipeline.sequence();
+            let begin_ts = inner.oracle.current();
+            let lsn = inner.wal.append(
+                &CheckpointBeginRecord {
+                    epoch,
+                    begin_ts: begin_ts.raw(),
+                }
+                .encode(),
+            )?;
+            (lsn, begin_ts)
+        };
+        inner.pipeline.wait_published_upto(begin_ts);
+        let pages = inner.store.flush_incremental(CHECKPOINT_FLUSH_CHUNK)?;
+        let end_lsn = inner.wal.append(
+            &CheckpointEndRecord {
+                epoch,
+                stable_ts: begin_ts.raw(),
+            }
+            .encode(),
+        )?;
+        inner
+            .pipeline
+            .wait_durable(&inner.wal, end_lsn, &inner.metrics)?;
+        inner.wal.release_upto(begin_lsn)?;
+        let commits_after = inner.metrics.snapshot().commits;
+        inner
+            .metrics
+            .record_checkpoint(pages, commits_after.saturating_sub(commits_before));
         Ok(())
     }
 
@@ -303,9 +369,14 @@ impl GraphDb {
         self.inner.run_gc_with(GcStrategy::Vacuum)
     }
 
-    /// Database-level metrics.
+    /// Database-level metrics. The WAL segment gauges are read live from
+    /// the log here (they are owned by the WAL, not the counter struct).
     pub fn metrics(&self) -> DbMetricsSnapshot {
-        self.inner.metrics.snapshot()
+        let mut snapshot = self.inner.metrics.snapshot();
+        snapshot.wal_segments_created = self.inner.wal.segments_created();
+        snapshot.wal_segments_deleted = self.inner.wal.segments_deleted();
+        snapshot.wal_retained_bytes = self.inner.wal.retained_bytes();
+        snapshot
     }
 
     /// Counters of the node object cache.
@@ -1223,15 +1294,31 @@ impl GraphDbInner {
 
     fn recover(&self) -> Result<()> {
         // 1. Replay the WAL: re-apply committed transactions that may not
-        //    have reached the store files before the crash. Abort records
-        //    are collected first: a commit record they invalidate (by
-        //    commit timestamp — stage-C apply failure — or by LSN range —
-        //    a failed group sync) belongs to a transaction whose caller
-        //    saw it fail, so replaying it would resurrect an acknowledged
-        //    abort.
+        //    have reached the store files before the crash. Bookkeeping
+        //    records are collected first:
+        //
+        //    * Abort records invalidate commits (by commit timestamp —
+        //      stage-C apply failure — or by LSN range — a failed group
+        //      sync): those belong to transactions whose callers saw them
+        //      fail, so replaying them would resurrect an acknowledged
+        //      abort. Ranges only ever cover records that were never
+        //      durably acknowledged, so they can never invalidate a
+        //      checkpointed commit.
+        //    * A `CheckpointBegin` with a matching *later* same-epoch
+        //      `CheckpointEnd` proves every commit at or before the begin
+        //      mark was flushed to the store before the end mark was
+        //      written — that prefix is skipped. An unpaired begin (crash
+        //      mid-checkpoint) proves nothing and is ignored. If the pair
+        //      itself was already released with its segment, the retained
+        //      log starts after the begin mark anyway, so replaying all
+        //      of it is equivalent.
         let scan = self.wal.scan()?;
         let mut aborted_ts = std::collections::HashSet::new();
         let mut aborted_ranges = Vec::new();
+        let mut open_begins: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut replay_after_lsn = 0u64;
+        let mut max_epoch = 0u64;
+        let mut max_ts = Timestamp::BOOTSTRAP;
         for entry in &scan.entries {
             match payload_kind(&entry.payload, entry.lsn)? {
                 PayloadKind::Abort => {
@@ -1240,10 +1327,30 @@ impl GraphDbInner {
                 PayloadKind::AbortRange => {
                     aborted_ranges.push(AbortRangeRecord::decode(&entry.payload, entry.lsn)?);
                 }
+                PayloadKind::SegmentHeader => {
+                    // Validated by the WAL's own open-time stitching.
+                }
+                PayloadKind::CheckpointBegin => {
+                    let record = CheckpointBeginRecord::decode(&entry.payload, entry.lsn)?;
+                    open_begins.insert(record.epoch, entry.lsn);
+                    max_epoch = max_epoch.max(record.epoch);
+                    if Timestamp(record.begin_ts) > max_ts {
+                        max_ts = Timestamp(record.begin_ts);
+                    }
+                }
+                PayloadKind::CheckpointEnd => {
+                    let record = CheckpointEndRecord::decode(&entry.payload, entry.lsn)?;
+                    max_epoch = max_epoch.max(record.epoch);
+                    if let Some(&begin_lsn) = open_begins.get(&record.epoch) {
+                        replay_after_lsn = replay_after_lsn.max(begin_lsn);
+                    }
+                    if Timestamp(record.stable_ts) > max_ts {
+                        max_ts = Timestamp(record.stable_ts);
+                    }
+                }
                 PayloadKind::Commit => {}
             }
         }
-        let mut max_ts = Timestamp::BOOTSTRAP;
         for entry in &scan.entries {
             if payload_kind(&entry.payload, entry.lsn)? != PayloadKind::Commit {
                 continue;
@@ -1253,6 +1360,11 @@ impl GraphDbInner {
                 // Dead or alive, the timestamp is consumed: the clock must
                 // never hand it out again.
                 max_ts = record.commit_ts;
+            }
+            if entry.lsn <= replay_after_lsn {
+                // Covered by the last completed checkpoint: already in
+                // the store.
+                continue;
             }
             if aborted_ts.contains(&record.commit_ts.raw())
                 || aborted_ranges.iter().any(|r| r.covers(entry.lsn))
@@ -1292,16 +1404,14 @@ impl GraphDbInner {
             }
         }
 
-        // 3. Resume the logical clock after the newest commit seen anywhere.
+        // 3. Resume the logical clock after the newest commit seen
+        //    anywhere, and the checkpoint epoch after the newest epoch in
+        //    the log. No flush-and-truncate here: recovery replays into
+        //    the page cache and store, and the next *fuzzy* checkpoint
+        //    retires the replayed suffix — open stays cheap.
         self.oracle.advance_to(max_ts);
         self.pipeline.set_visible_timestamp(max_ts);
-
-        // 4. Checkpoint: the store now reflects everything in the log, so
-        //    the log can start fresh.
-        if !scan.entries.is_empty() {
-            self.store.flush()?;
-            self.wal.reset()?;
-        }
+        self.wal.raise_epoch(max_epoch);
         Ok(())
     }
 }

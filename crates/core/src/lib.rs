@@ -110,7 +110,62 @@ pub use graphsi_txn::{ConflictStrategy, LockStatsSnapshot, Timestamp, TxnId};
 pub use graphsi_wal::SyncPolicy;
 
 /// Helpers shared by tests, examples and benchmarks (temporary
-/// directories).
+/// directories, hang watchdogs).
 pub mod test_support {
     pub use graphsi_storage::test_util::TempDir;
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// A hang watchdog for multi-threaded tests: unless dropped (or
+    /// [`Watchdog::disarm`]ed) within the deadline, a deadline thread
+    /// prints a named diagnostic — including the lock-order witness's
+    /// acquisition-order edges when the `lock-order` feature is on — and
+    /// aborts the process. A wedged test thereby fails with the lock
+    /// state that wedged it instead of sitting in a CI timeout.
+    pub struct Watchdog {
+        armed: Arc<AtomicBool>,
+    }
+
+    impl Watchdog {
+        /// Arms a watchdog named `name` with the given deadline. The
+        /// returned guard disarms it on drop, so a passing (or cleanly
+        /// panicking) test never trips it.
+        pub fn arm(name: &'static str, deadline: Duration) -> Watchdog {
+            let armed = Arc::new(AtomicBool::new(true));
+            let flag = Arc::clone(&armed);
+            std::thread::spawn(move || {
+                std::thread::sleep(deadline);
+                if !flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                eprintln!("watchdog '{name}': test still running after {deadline:?}, aborting");
+                #[cfg(feature = "lock-order")]
+                {
+                    eprintln!("watchdog '{name}': lock-order witness edges observed so far:");
+                    for ((from, to), (from_site, to_site)) in parking_lot::order::edges() {
+                        eprintln!(
+                            "  [{rank_from}] {name_from} at {from_site} -> [{rank_to}] {name_to} at {to_site}",
+                            rank_from = from.0,
+                            name_from = from.1,
+                            rank_to = to.0,
+                            name_to = to.1,
+                        );
+                    }
+                }
+                std::process::abort();
+            });
+            Watchdog { armed }
+        }
+
+        /// Explicitly disarms the watchdog (equivalent to dropping it).
+        pub fn disarm(self) {}
+    }
+
+    impl Drop for Watchdog {
+        fn drop(&mut self) {
+            self.armed.store(false, Ordering::SeqCst);
+        }
+    }
 }

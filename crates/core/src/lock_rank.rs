@@ -23,6 +23,14 @@
 //! group batcher and the WAL rank above the shard band; the storage
 //! locks are leaves that never wrap another acquisition.
 
+/// Checkpoint mutex: serialises fuzzy checkpoints against each other.
+/// Held across the whole checkpoint — which briefly takes the sequencing
+/// lock, waits on the publication queue, flushes the page caches and
+/// appends/syncs through the WAL — so it ranks below every lock those
+/// steps acquire, but above the server's session locks (a session may
+/// drive a checkpoint through a database call).
+pub const CHECKPOINT: u32 = 195;
+
 /// Stage-A sequencing lock ([`crate::db::GraphDb`] commit pipeline).
 pub const PIPELINE_SEQ: u32 = 200;
 

@@ -34,6 +34,9 @@ pub struct DbMetrics {
     intersection_leg_skips: AtomicU64,
     write_retries: AtomicU64,
     write_retry_backoff_us: AtomicU64,
+    checkpoint_epochs: AtomicU64,
+    checkpoint_pages_flushed: AtomicU64,
+    checkpoint_concurrent_commits: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DbMetrics`].
@@ -133,6 +136,24 @@ pub struct DbMetricsSnapshot {
     /// sleeping in its jittered backoff. Together with `write_retries`
     /// this exposes how much wall-clock contention costs writers.
     pub write_retry_backoff_us: u64,
+    /// Fuzzy checkpoints completed (each advances the checkpoint epoch
+    /// and the WAL retention watermark).
+    pub checkpoint_epochs: u64,
+    /// Dirty store pages written back by checkpoint flush cursors.
+    pub checkpoint_pages_flushed: u64,
+    /// Commits that completed *while* a checkpoint was running — the
+    /// headline proof that checkpoints no longer quiesce the commit
+    /// pipeline.
+    pub checkpoint_concurrent_commits: u64,
+    /// WAL segment files created (rotation) over the database's lifetime.
+    pub wal_segments_created: u64,
+    /// WAL segment files deleted by the retention watermark after a
+    /// checkpoint covered them.
+    pub wal_segments_deleted: u64,
+    /// Bytes of WAL currently retained across all segment files. Bounded
+    /// by checkpointing: after a checkpoint releases old segments this
+    /// drops back to the active suffix.
+    pub wal_retained_bytes: u64,
 }
 
 /// Applies a macro to every counter of [`DbMetricsSnapshot`], by name.
@@ -170,7 +191,13 @@ macro_rules! for_each_counter {
             intersection_pushdowns,
             intersection_leg_skips,
             write_retries,
-            write_retry_backoff_us
+            write_retry_backoff_us,
+            checkpoint_epochs,
+            checkpoint_pages_flushed,
+            checkpoint_concurrent_commits,
+            wal_segments_created,
+            wal_segments_deleted,
+            wal_retained_bytes
         }
     };
 }
@@ -394,7 +421,19 @@ impl DbMetrics {
             .fetch_add(backoff_us, Ordering::Relaxed);
     }
 
-    /// Takes a snapshot of every counter.
+    /// Records one completed fuzzy checkpoint: the pages its flush cursor
+    /// wrote back and the commits that completed while it ran.
+    pub(crate) fn record_checkpoint(&self, pages_flushed: u64, concurrent_commits: u64) {
+        self.checkpoint_epochs.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_pages_flushed
+            .fetch_add(pages_flushed, Ordering::Relaxed);
+        self.checkpoint_concurrent_commits
+            .fetch_add(concurrent_commits, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of every counter. The `wal_segments_*` /
+    /// `wal_retained_bytes` gauges are owned by the WAL itself and stay
+    /// zero here; [`crate::GraphDb::metrics`] merges them in.
     pub fn snapshot(&self) -> DbMetricsSnapshot {
         DbMetricsSnapshot {
             begins: self.begins.load(Ordering::Relaxed),
@@ -425,6 +464,14 @@ impl DbMetrics {
             intersection_leg_skips: self.intersection_leg_skips.load(Ordering::Relaxed),
             write_retries: self.write_retries.load(Ordering::Relaxed),
             write_retry_backoff_us: self.write_retry_backoff_us.load(Ordering::Relaxed),
+            checkpoint_epochs: self.checkpoint_epochs.load(Ordering::Relaxed),
+            checkpoint_pages_flushed: self.checkpoint_pages_flushed.load(Ordering::Relaxed),
+            checkpoint_concurrent_commits: self
+                .checkpoint_concurrent_commits
+                .load(Ordering::Relaxed),
+            wal_segments_created: 0,
+            wal_segments_deleted: 0,
+            wal_retained_bytes: 0,
         }
     }
 }
@@ -475,6 +522,8 @@ mod tests {
         m.record_candidate_buffer(9);
         m.record_write_retry(50);
         m.record_write_retry(120);
+        m.record_checkpoint(40, 3);
+        m.record_checkpoint(2, 0);
         let s = m.snapshot();
         assert_eq!(s.begins, 2);
         assert_eq!(s.commits, 2);
@@ -507,6 +556,10 @@ mod tests {
         assert_eq!(s.intersection_leg_skips, 4);
         assert_eq!(s.write_retries, 2);
         assert_eq!(s.write_retry_backoff_us, 170, "backoff is a sum");
+        assert_eq!(s.checkpoint_epochs, 2);
+        assert_eq!(s.checkpoint_pages_flushed, 42, "pages are a sum");
+        assert_eq!(s.checkpoint_concurrent_commits, 3);
+        assert_eq!(s.wal_segments_created, 0, "WAL gauges merge at GraphDb");
     }
 
     /// Gives every counter a distinct non-zero value, so a counter the

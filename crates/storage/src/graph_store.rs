@@ -564,6 +564,19 @@ impl GraphStore {
         self.tokens.persist()
     }
 
+    /// Fuzzy-checkpoint flush: writes back every store's currently-dirty
+    /// pages at most `chunk` pages per lock acquisition, letting
+    /// concurrent commits keep writing between chunks. Returns the total
+    /// pages written back. Pages dirtied while the flush runs stay dirty
+    /// — they belong to commits the checkpoint does not cover.
+    pub fn flush_incremental(&self, chunk: usize) -> Result<u64> {
+        let flushed = self.nodes.flush_incremental(chunk)?
+            + self.relationships.flush_incremental(chunk)?
+            + self.properties.flush_incremental(chunk)?;
+        self.tokens.persist()?;
+        Ok(flushed)
+    }
+
     /// Aggregate counters for the storage experiments.
     pub fn stats(&self) -> GraphStoreStats {
         GraphStoreStats {

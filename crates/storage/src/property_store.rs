@@ -205,6 +205,13 @@ impl PropertyStore {
         self.dynamics.flush()
     }
 
+    /// Fuzzy-checkpoint flush of both underlying stores (see
+    /// [`crate::store_file::StoreFile::flush_incremental`]). Returns the
+    /// total pages written back.
+    pub fn flush_incremental(&self, chunk: usize) -> Result<u64> {
+        Ok(self.records.flush_incremental(chunk)? + self.dynamics.flush_incremental(chunk)?)
+    }
+
     fn store_value(&self, value: &PropertyValue) -> Result<StoredValue> {
         Ok(match value {
             PropertyValue::Bool(b) => StoredValue::Bool(*b),

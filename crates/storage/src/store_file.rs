@@ -215,6 +215,16 @@ impl<R: Record> RecordStore<R> {
         self.ids.persist()
     }
 
+    /// Fuzzy-checkpoint flush: writes back the currently-dirty pages at
+    /// most `chunk` at a time without blocking concurrent record writes
+    /// (see [`PageCache::flush_incremental`]), then persists the ID
+    /// allocator. Returns the number of pages written back.
+    pub fn flush_incremental(&self, chunk: usize) -> Result<u64> {
+        let flushed = self.cache.flush_incremental(chunk)?;
+        self.ids.persist()?;
+        Ok(flushed)
+    }
+
     /// Returns the page-cache counters for this store.
     pub fn cache_stats(&self) -> PageCacheStats {
         self.cache.stats()

@@ -10,9 +10,14 @@
 //! state; a clean shutdown checkpoints (flushes all stores) and truncates
 //! the log.
 //!
-//! The WAL itself is payload-agnostic: entries are opaque byte strings with
-//! an LSN and a CRC-32 checksum. Torn tails left by crashes are detected
-//! and truncated on open.
+//! The WAL itself is payload-agnostic above the bookkeeping records it
+//! owns (segment headers, checkpoint markers): entries are opaque byte
+//! strings with an LSN and a CRC-32 checksum. The log is **segmented** —
+//! a directory of numbered files rotated at a size threshold and reclaimed
+//! through a retention watermark once a checkpoint covers them — so
+//! recovery replays only the retained suffix and the on-disk footprint
+//! stays bounded. Torn tails left by crashes are detected and truncated
+//! on open.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,8 +28,11 @@ pub mod log;
 pub mod record;
 
 pub use error::{Result, WalError};
-pub use log::{SyncPolicy, Wal, WalScan};
-pub use record::{payload_kind, AbortRangeRecord, AbortRecord, LogEntry, PayloadKind};
+pub use log::{is_bookkeeping, SegmentedWal, SyncPolicy, WalScan};
+pub use record::{
+    payload_kind, AbortRangeRecord, AbortRecord, CheckpointBeginRecord, CheckpointEndRecord,
+    LogEntry, PayloadKind, SegmentHeaderRecord,
+};
 
 #[cfg(test)]
 mod lib_tests {
@@ -33,10 +41,11 @@ mod lib_tests {
     #[test]
     fn public_api_smoke() {
         let dir = graphsi_storage::test_util::TempDir::new("wal_lib");
-        let wal = Wal::open(dir.path().join("wal.log"), SyncPolicy::Always).unwrap();
+        let wal = SegmentedWal::open(dir.path().join("wal"), SyncPolicy::Always, 1 << 20).unwrap();
         let lsn = wal.append_and_sync(b"commit:1").unwrap();
-        assert_eq!(lsn, 1);
+        assert_eq!(lsn, 2, "LSN 1 is the first segment's header");
         let scan = wal.scan().unwrap();
-        assert_eq!(scan.entries, vec![LogEntry::new(1, b"commit:1".to_vec())]);
+        let data: Vec<_> = scan.entries.iter().filter(|e| !is_bookkeeping(e)).collect();
+        assert_eq!(data, vec![&LogEntry::new(2, b"commit:1".to_vec())]);
     }
 }

@@ -25,6 +25,12 @@ pub const PAYLOAD_KIND_COMMIT: u8 = 0x01;
 pub const PAYLOAD_KIND_ABORT: u8 = 0x02;
 /// First byte of a typed payload carrying an [`AbortRangeRecord`].
 pub const PAYLOAD_KIND_ABORT_RANGE: u8 = 0x03;
+/// First byte of a typed payload carrying a [`SegmentHeaderRecord`].
+pub const PAYLOAD_KIND_SEGMENT_HEADER: u8 = 0x04;
+/// First byte of a typed payload carrying a [`CheckpointBeginRecord`].
+pub const PAYLOAD_KIND_CHECKPOINT_BEGIN: u8 = 0x05;
+/// First byte of a typed payload carrying a [`CheckpointEndRecord`].
+pub const PAYLOAD_KIND_CHECKPOINT_END: u8 = 0x06;
 
 /// The kind of a typed log payload, read from its first byte.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +44,16 @@ pub enum PayloadKind {
     /// A range abort record: replay must skip every commit record whose
     /// LSN falls in the range.
     AbortRange,
+    /// A segment header: the first record of every WAL segment file,
+    /// carrying no database state (replay skips it).
+    SegmentHeader,
+    /// The start marker of a fuzzy checkpoint: everything committed at or
+    /// below its `begin_ts` will be in the stores once the matching
+    /// [`CheckpointEndRecord`] appears.
+    CheckpointBegin,
+    /// The completion marker of a fuzzy checkpoint: replay may start after
+    /// the matching [`CheckpointBeginRecord`].
+    CheckpointEnd,
 }
 
 /// Classifies a typed payload by its kind byte. The log itself stores
@@ -49,6 +65,9 @@ pub fn payload_kind(payload: &[u8], offset: u64) -> Result<PayloadKind> {
         Some(&PAYLOAD_KIND_COMMIT) => Ok(PayloadKind::Commit),
         Some(&PAYLOAD_KIND_ABORT) => Ok(PayloadKind::Abort),
         Some(&PAYLOAD_KIND_ABORT_RANGE) => Ok(PayloadKind::AbortRange),
+        Some(&PAYLOAD_KIND_SEGMENT_HEADER) => Ok(PayloadKind::SegmentHeader),
+        Some(&PAYLOAD_KIND_CHECKPOINT_BEGIN) => Ok(PayloadKind::CheckpointBegin),
+        Some(&PAYLOAD_KIND_CHECKPOINT_END) => Ok(PayloadKind::CheckpointEnd),
         Some(&other) => Err(WalError::Corrupt {
             offset,
             reason: format!("unknown payload kind {other:#04x}"),
@@ -165,6 +184,155 @@ impl AbortRangeRecord {
         self.from_lsn <= lsn && lsn <= self.to_lsn
     }
 }
+
+/// Magic marker inside every [`SegmentHeaderRecord`] payload ("GSEG").
+pub const SEGMENT_HEADER_MAGIC: u32 = 0x4753_4547;
+
+/// The first record of every WAL segment file.
+///
+/// A segment header is a normal CRC-framed log entry (so the existing
+/// checksum scheme covers it) that consumes one LSN of the global space.
+/// It names the segment so a stitched scan can verify it is reading the
+/// file it thinks it is: `segment_seq` must match the file name,
+/// `base_lsn` must equal the header entry's own LSN, and `epoch` records
+/// the checkpoint epoch current when the segment was created.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentHeaderRecord {
+    /// The segment's sequence number (matches the `wal.%06d` file name).
+    pub segment_seq: u64,
+    /// The segment's first LSN — the LSN of the header entry itself.
+    pub base_lsn: u64,
+    /// Checkpoint epoch current when the segment was created.
+    pub epoch: u64,
+}
+
+/// Encoded size of a [`SegmentHeaderRecord`] payload.
+pub const SEGMENT_HEADER_RECORD_SIZE: usize = 1 + 4 + 8 + 8 + 8;
+
+impl SegmentHeaderRecord {
+    /// Serialises the record as a typed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SEGMENT_HEADER_RECORD_SIZE);
+        out.push(PAYLOAD_KIND_SEGMENT_HEADER);
+        out.extend_from_slice(&SEGMENT_HEADER_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.segment_seq.to_le_bytes());
+        out.extend_from_slice(&self.base_lsn.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out
+    }
+
+    /// Deserialises a payload previously produced by
+    /// [`SegmentHeaderRecord::encode`].
+    pub fn decode(payload: &[u8], offset: u64) -> Result<Self> {
+        if payload.len() != SEGMENT_HEADER_RECORD_SIZE || payload[0] != PAYLOAD_KIND_SEGMENT_HEADER
+        {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: "malformed segment header record".to_owned(),
+            });
+        }
+        let magic = u32::from_le_bytes(field(&payload[1..5], offset, "segment header magic")?);
+        if magic != SEGMENT_HEADER_MAGIC {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: format!("bad segment header magic {magic:#010x}"),
+            });
+        }
+        Ok(SegmentHeaderRecord {
+            segment_seq: u64::from_le_bytes(field(&payload[5..13], offset, "segment seq")?),
+            base_lsn: u64::from_le_bytes(field(&payload[13..21], offset, "segment base lsn")?),
+            epoch: u64::from_le_bytes(field(&payload[21..29], offset, "segment epoch")?),
+        })
+    }
+}
+
+/// The start marker of a fuzzy (non-quiescing) checkpoint.
+///
+/// The checkpointer appends this, then flushes dirty store state *while
+/// commits keep flowing*. On its own the record promises nothing — only
+/// the matching [`CheckpointEndRecord`] (same `epoch`) certifies that
+/// every commit with timestamp `<= begin_ts` is in the stores, letting
+/// recovery start its replay after this record's LSN. An unpaired begin
+/// (crash mid-checkpoint) is ignored by recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointBeginRecord {
+    /// The checkpoint epoch (monotone per database).
+    pub epoch: u64,
+    /// Newest commit timestamp the checkpoint promises to flush.
+    pub begin_ts: u64,
+}
+
+/// Encoded size of a [`CheckpointBeginRecord`] payload.
+pub const CHECKPOINT_BEGIN_RECORD_SIZE: usize = 1 + 8 + 8;
+
+impl CheckpointBeginRecord {
+    /// Serialises the record as a typed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CHECKPOINT_BEGIN_RECORD_SIZE);
+        out.push(PAYLOAD_KIND_CHECKPOINT_BEGIN);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.begin_ts.to_le_bytes());
+        out
+    }
+
+    /// Deserialises a payload previously produced by
+    /// [`CheckpointBeginRecord::encode`].
+    pub fn decode(payload: &[u8], offset: u64) -> Result<Self> {
+        if payload.len() != CHECKPOINT_BEGIN_RECORD_SIZE
+            || payload[0] != PAYLOAD_KIND_CHECKPOINT_BEGIN
+        {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: "malformed checkpoint-begin record".to_owned(),
+            });
+        }
+        Ok(CheckpointBeginRecord {
+            epoch: u64::from_le_bytes(field(&payload[1..9], offset, "checkpoint epoch")?),
+            begin_ts: u64::from_le_bytes(field(&payload[9..17], offset, "checkpoint begin ts")?),
+        })
+    }
+}
+
+/// The completion marker of a fuzzy checkpoint: pairs with the
+/// [`CheckpointBeginRecord`] carrying the same `epoch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointEndRecord {
+    /// The checkpoint epoch this record completes.
+    pub epoch: u64,
+    /// Newest commit timestamp guaranteed flushed to the stores.
+    pub stable_ts: u64,
+}
+
+/// Encoded size of a [`CheckpointEndRecord`] payload.
+pub const CHECKPOINT_END_RECORD_SIZE: usize = 1 + 8 + 8;
+
+impl CheckpointEndRecord {
+    /// Serialises the record as a typed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CHECKPOINT_END_RECORD_SIZE);
+        out.push(PAYLOAD_KIND_CHECKPOINT_END);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.stable_ts.to_le_bytes());
+        out
+    }
+
+    /// Deserialises a payload previously produced by
+    /// [`CheckpointEndRecord::encode`].
+    pub fn decode(payload: &[u8], offset: u64) -> Result<Self> {
+        if payload.len() != CHECKPOINT_END_RECORD_SIZE || payload[0] != PAYLOAD_KIND_CHECKPOINT_END
+        {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: "malformed checkpoint-end record".to_owned(),
+            });
+        }
+        Ok(CheckpointEndRecord {
+            epoch: u64::from_le_bytes(field(&payload[1..9], offset, "checkpoint epoch")?),
+            stable_ts: u64::from_le_bytes(field(&payload[9..17], offset, "checkpoint stable ts")?),
+        })
+    }
+}
+
 /// Size of the fixed entry header in bytes.
 pub const HEADER_SIZE: usize = 4 + 4 + 8 + 4;
 /// Maximum payload size accepted (guards against reading garbage lengths
@@ -353,6 +521,54 @@ mod tests {
         assert!(record.covers(9));
         assert!(!record.covers(10));
         assert!(AbortRangeRecord::decode(&bytes[..10], 0).is_err());
+    }
+
+    #[test]
+    fn segment_header_record_roundtrip() {
+        let record = SegmentHeaderRecord {
+            segment_seq: 12,
+            base_lsn: 4811,
+            epoch: 3,
+        };
+        let bytes = record.encode();
+        assert_eq!(bytes.len(), SEGMENT_HEADER_RECORD_SIZE);
+        assert_eq!(payload_kind(&bytes, 0).unwrap(), PayloadKind::SegmentHeader);
+        assert_eq!(SegmentHeaderRecord::decode(&bytes, 0).unwrap(), record);
+        // Truncation, wrong kind and a flipped magic are all typed errors.
+        assert!(SegmentHeaderRecord::decode(&bytes[..bytes.len() - 1], 0).is_err());
+        let mut wrong_kind = bytes.clone();
+        wrong_kind[0] = PAYLOAD_KIND_COMMIT;
+        assert!(SegmentHeaderRecord::decode(&wrong_kind, 0).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[1] ^= 0xFF;
+        assert!(SegmentHeaderRecord::decode(&bad_magic, 0).is_err());
+    }
+
+    #[test]
+    fn checkpoint_records_roundtrip() {
+        let begin = CheckpointBeginRecord {
+            epoch: 7,
+            begin_ts: 991,
+        };
+        let bytes = begin.encode();
+        assert_eq!(bytes.len(), CHECKPOINT_BEGIN_RECORD_SIZE);
+        assert_eq!(
+            payload_kind(&bytes, 0).unwrap(),
+            PayloadKind::CheckpointBegin
+        );
+        assert_eq!(CheckpointBeginRecord::decode(&bytes, 0).unwrap(), begin);
+        assert!(CheckpointBeginRecord::decode(&bytes[..5], 0).is_err());
+
+        let end = CheckpointEndRecord {
+            epoch: 7,
+            stable_ts: 1003,
+        };
+        let bytes = end.encode();
+        assert_eq!(bytes.len(), CHECKPOINT_END_RECORD_SIZE);
+        assert_eq!(payload_kind(&bytes, 0).unwrap(), PayloadKind::CheckpointEnd);
+        assert_eq!(CheckpointEndRecord::decode(&bytes, 0).unwrap(), end);
+        // Kinds are not interchangeable.
+        assert!(CheckpointBeginRecord::decode(&bytes, 0).is_err());
     }
 
     #[test]

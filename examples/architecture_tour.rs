@@ -30,12 +30,18 @@ fn main() -> Result<()> {
         store_stats.relationship_high_id,
         store_stats.total_record_writes()
     );
-    for file in ["nodes.db", "relationships.db", "properties.db", "wal.log"] {
+    for file in ["nodes.db", "relationships.db", "properties.db"] {
         let len = std::fs::metadata(dir.path().join(file))
             .map(|m| m.len())
             .unwrap_or(0);
         println!("[storage]   {file}: {len} bytes");
     }
+    let metrics = db.metrics();
+    println!(
+        "[storage]   wal/: {} segment(s), {} retained bytes",
+        metrics.wal_segments_created + 1 - metrics.wal_segments_deleted,
+        metrics.wal_retained_bytes
+    );
 
     // Layer 2: the versioned object cache ----------------------------------
     let old_snapshot = db.begin();
@@ -92,7 +98,11 @@ fn main() -> Result<()> {
 
     // Layer 6: durability ----------------------------------------------------
     db.checkpoint()?;
-    println!("\n[wal] checkpoint done (stores flushed, log truncated)");
+    let m = db.metrics();
+    println!(
+        "\n[wal] fuzzy checkpoint done: epoch {}, {} page(s) flushed, {} segment(s) released",
+        m.checkpoint_epochs, m.checkpoint_pages_flushed, m.wal_segments_deleted
+    );
     drop(db);
     let reopened = GraphDb::open(dir.path(), DbConfig::default())?;
     let tx = reopened.begin();

@@ -206,3 +206,83 @@ fn pipeline_keeps_flowing_around_failed_syncs() {
         );
     }
 }
+
+/// The range-abort invariant holds across segment boundaries: with tiny
+/// segments, a failed batch's commit records and the range-abort record
+/// that invalidates them can land in *different* segments, and recovery
+/// must still skip the dead commits.
+#[test]
+fn range_abort_spans_segment_boundaries() {
+    let dir = TempDir::new("fsync_abort_segments");
+    let mut acknowledged = Vec::new();
+    {
+        let db = GraphDb::open(dir.path(), config().with_wal_segment_bytes(4096)).unwrap();
+        let pad = PropertyValue::from("x".repeat(96).as_str());
+        for i in 0..120i64 {
+            if i % 11 == 5 {
+                db.inject_wal_sync_failures(1);
+            }
+            let mut tx = db.begin();
+            tx.create_node(
+                &["Round"],
+                &[("i", PropertyValue::Int(i)), ("pad", pad.clone())],
+            )
+            .unwrap();
+            if tx.commit().is_ok() {
+                acknowledged.push(i);
+            }
+        }
+        assert!(acknowledged.len() < 120, "some syncs must have failed");
+        let m = db.metrics();
+        assert!(m.wal_abort_records >= 1);
+        assert!(
+            m.wal_segments_created > 2,
+            "the log must really span several segments"
+        );
+    }
+    let db = GraphDb::open(dir.path(), config().with_wal_segment_bytes(4096)).unwrap();
+    let tx = db.txn().read_only().begin();
+    assert_eq!(
+        tx.nodes_with_label("Round").unwrap().count(),
+        acknowledged.len(),
+        "recovery across segments disagreed with the acknowledged set"
+    );
+}
+
+/// Crash point: the checkpoint's end-mark sync fails. The checkpoint
+/// reports the error and must NOT have advanced the retention watermark —
+/// every acknowledged commit still recovers from the full log.
+#[test]
+fn failed_checkpoint_end_sync_does_not_release_segments() {
+    let dir = TempDir::new("fsync_ckpt_end");
+    {
+        let db = GraphDb::open(dir.path(), config().with_wal_segment_bytes(4096)).unwrap();
+        let pad = PropertyValue::from("x".repeat(96).as_str());
+        for i in 0..60i64 {
+            let mut tx = db.begin();
+            tx.create_node(
+                &["Bulk"],
+                &[("i", PropertyValue::Int(i)), ("pad", pad.clone())],
+            )
+            .unwrap();
+            tx.commit().unwrap();
+        }
+        db.inject_wal_sync_failures(1);
+        assert!(
+            db.checkpoint().is_err(),
+            "the end-mark sync failure must surface"
+        );
+        assert_eq!(
+            db.metrics().wal_segments_deleted,
+            0,
+            "a failed checkpoint must not advance the retention watermark"
+        );
+        // "Crash" without a successful checkpoint.
+    }
+    let db = GraphDb::open(dir.path(), config().with_wal_segment_bytes(4096)).unwrap();
+    let tx = db.txn().read_only().begin();
+    assert_eq!(tx.nodes_with_label("Bulk").unwrap().count(), 60);
+    // A retried checkpoint succeeds and releases.
+    db.checkpoint().unwrap();
+    assert!(db.metrics().wal_segments_deleted > 0);
+}

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use graphsi_core::test_support::TempDir;
+use graphsi_core::test_support::{TempDir, Watchdog};
 use graphsi_core::{DbConfig, Direction, GraphDb, NodeId, PropertyValue, SyncPolicy};
 
 fn config() -> DbConfig {
@@ -16,6 +16,31 @@ fn group_commit_config() -> DbConfig {
         .with_sync_policy(SyncPolicy::OnDemand)
         .with_group_commit_max_batch(16)
         .with_group_commit_max_delay(Duration::from_millis(2))
+}
+
+/// Paths of the database's WAL segment files, in sequence order.
+fn wal_segment_paths(db_dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut segments: Vec<_> = std::fs::read_dir(db_dir.join("wal"))
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .collect();
+    segments.sort();
+    segments
+}
+
+/// The numeric sequence suffix of a `wal.NNNNNN` segment path.
+fn segment_seq(path: &std::path::Path) -> u64 {
+    path.extension().unwrap().to_str().unwrap().parse().unwrap()
+}
+
+/// Copies every file of `from` into `to` (used to snapshot the WAL
+/// directory around a simulated crash).
+fn copy_dir_files(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
 }
 
 #[test]
@@ -108,28 +133,42 @@ fn indexes_are_rebuilt_after_reopen() {
 }
 
 #[test]
-fn checkpoint_truncates_the_wal_and_preserves_data() {
+fn checkpoint_retires_covered_wal_segments_and_preserves_data() {
     let dir = TempDir::new("rec_checkpoint");
+    let small_segments = config().with_wal_segment_bytes(4096);
     let node;
     {
-        let db = GraphDb::open(dir.path(), config()).unwrap();
+        let db = GraphDb::open(dir.path(), small_segments.clone()).unwrap();
         let mut tx = db.begin();
         node = tx
             .create_node(&["Durable"], &[("x", PropertyValue::Int(7))])
             .unwrap();
         tx.commit().unwrap();
+        // Enough commits to rotate through several segments.
+        for i in 0..200i64 {
+            let mut tx = db.begin();
+            tx.create_node(&["Bulk"], &[("i", PropertyValue::Int(i))])
+                .unwrap();
+            tx.commit().unwrap();
+        }
+        let before = db.metrics();
+        assert!(before.wal_segments_created > 1, "rotation precondition");
         db.checkpoint().unwrap();
+        // The checkpoint retires every segment fully covered by its begin
+        // mark; the retained log shrinks to the active suffix.
+        let after = db.metrics();
+        assert!(after.wal_segments_deleted > 0, "covered segments retired");
+        assert!(after.wal_retained_bytes < before.wal_retained_bytes);
     }
-    // The WAL file should now be empty (data lives in the store files).
-    let wal_len = std::fs::metadata(dir.path().join("wal.log")).unwrap().len();
-    assert_eq!(wal_len, 0, "checkpoint truncates the WAL");
-
-    let db = GraphDb::open(dir.path(), config()).unwrap();
+    // Only the uncovered suffix remains on disk, and it replays fine.
+    assert!(!wal_segment_paths(dir.path()).is_empty());
+    let db = GraphDb::open(dir.path(), small_segments).unwrap();
     let tx = db.begin();
     assert_eq!(
         tx.node_property(node, "x").unwrap(),
         Some(PropertyValue::Int(7))
     );
+    assert_eq!(tx.nodes_with_label("Bulk").unwrap().count(), 200);
 }
 
 #[test]
@@ -293,12 +332,14 @@ fn torn_tail_past_last_group_sync_is_truncated() {
         tx.commit().unwrap();
     }
     // Simulate a crash mid-append after the last sync: garbage that looks
-    // like the start of an entry lands past the durable prefix.
+    // like the start of an entry lands past the durable prefix of the
+    // last (active) segment.
     {
         use std::io::Write as _;
+        let last_segment = wal_segment_paths(dir.path()).pop().unwrap();
         let mut f = std::fs::OpenOptions::new()
             .append(true)
-            .open(dir.path().join("wal.log"))
+            .open(last_segment)
             .unwrap();
         f.write_all(&[0x77, 0x61, 0x6C, 0x21, 9, 9, 9]).unwrap();
     }
@@ -325,8 +366,8 @@ fn torn_tail_past_last_group_sync_is_truncated() {
 #[test]
 fn group_commit_replay_is_idempotent_over_flushed_store() {
     let dir = TempDir::new("rec_group_idem");
-    let wal_path = dir.path().join("wal.log");
-    let saved_wal = dir.path().join("wal.log.saved");
+    let wal_dir = dir.path().join("wal");
+    let saved_wal = dir.path().join("wal.saved");
     let (hub, spokes);
     {
         let db = GraphDb::open(dir.path(), group_commit_config()).unwrap();
@@ -343,13 +384,15 @@ fn group_commit_replay_is_idempotent_over_flushed_store() {
         }
         spokes = created;
         // Preserve the log, then checkpoint (which flushes the store and
-        // truncates the log), then put the log back: the next open sees a
-        // fully flushed store *plus* a WAL claiming the same commits —
-        // exactly the crash-after-flush-before-truncate window.
-        std::fs::copy(&wal_path, &saved_wal).unwrap();
+        // marks the log's prefix as covered), then put the *unmarked* log
+        // back: the next open sees a fully flushed store plus a WAL
+        // claiming the same commits with no checkpoint marks — exactly
+        // the crash-after-flush-before-end-mark window.
+        copy_dir_files(&wal_dir, &saved_wal);
         db.checkpoint().unwrap();
     }
-    std::fs::copy(&saved_wal, &wal_path).unwrap();
+    std::fs::remove_dir_all(&wal_dir).unwrap();
+    copy_dir_files(&saved_wal, &wal_dir);
     for round in 0..2 {
         let db = GraphDb::open(dir.path(), group_commit_config()).unwrap();
         let tx = db.txn().read_only().begin();
@@ -399,4 +442,230 @@ fn relationship_chains_survive_partial_flush_plus_replay() {
         assert!(neighbors.contains(spoke));
     }
     assert_eq!(tx.degree(hub, Direction::Both).unwrap(), 5);
+}
+
+// ---------------------------------------------------------------------
+// Segmented-WAL crash-point matrix
+// ---------------------------------------------------------------------
+
+/// Crash point: rotation created the next segment file but crashed before
+/// its header reached disk. Reopen must discard the embryonic segment
+/// (empty or half-written header) and carry on from the previous one.
+#[test]
+fn crash_after_segment_create_before_header_sync_is_repaired() {
+    let dir = TempDir::new("rec_embryonic_segment");
+    let node;
+    {
+        let db = GraphDb::open(dir.path(), config()).unwrap();
+        let mut tx = db.begin();
+        node = tx
+            .create_node(&["Keep"], &[("v", PropertyValue::Int(1))])
+            .unwrap();
+        tx.commit().unwrap();
+    }
+    // First crash shape: the new segment file exists but is empty.
+    let last_seq = segment_seq(wal_segment_paths(dir.path()).last().unwrap());
+    let embryonic = dir
+        .path()
+        .join("wal")
+        .join(format!("wal.{:06}", last_seq + 1));
+    std::fs::write(&embryonic, b"").unwrap();
+    {
+        let db = GraphDb::open(dir.path(), config()).unwrap();
+        let tx = db.begin();
+        assert_eq!(
+            tx.node_property(node, "v").unwrap(),
+            Some(PropertyValue::Int(1))
+        );
+    }
+    assert!(!embryonic.exists(), "embryonic segment must be deleted");
+    // Second crash shape: the header itself is half-written.
+    let last_seq = segment_seq(wal_segment_paths(dir.path()).last().unwrap());
+    let torn_header = dir
+        .path()
+        .join("wal")
+        .join(format!("wal.{:06}", last_seq + 1));
+    std::fs::write(&torn_header, [0xAB; 10]).unwrap();
+    let db = GraphDb::open(dir.path(), config()).unwrap();
+    assert!(!torn_header.exists(), "torn-header segment must be deleted");
+    // The repaired log still appends and survives another reopen.
+    let mut tx = db.begin();
+    tx.set_node_property(node, "v", PropertyValue::Int(2))
+        .unwrap();
+    tx.commit().unwrap();
+    drop(db);
+    let db = GraphDb::open(dir.path(), config()).unwrap();
+    let tx = db.begin();
+    assert_eq!(
+        tx.node_property(node, "v").unwrap(),
+        Some(PropertyValue::Int(2))
+    );
+}
+
+/// Crash point: the checkpoint wrote its begin mark and crashed before the
+/// end mark. The unpaired begin proves nothing about the store, so
+/// recovery must replay every commit as if the checkpoint never started.
+#[test]
+fn crash_between_checkpoint_begin_and_end_replays_everything() {
+    use graphsi_wal::{CheckpointBeginRecord, SegmentedWal, SyncPolicy as WalSyncPolicy};
+    let dir = TempDir::new("rec_unpaired_begin");
+    let begin_ts;
+    {
+        let db = GraphDb::open(dir.path(), config()).unwrap();
+        for i in 0..10i64 {
+            let mut tx = db.begin();
+            tx.create_node(&["Bulk"], &[("i", PropertyValue::Int(i))])
+                .unwrap();
+            tx.commit().unwrap();
+        }
+        begin_ts = db.current_timestamp().raw();
+        // "Crash": no checkpoint, store pages possibly unwritten.
+    }
+    // Splice an unpaired CheckpointBegin at the tail, exactly what a crash
+    // between the begin mark and the end mark leaves behind.
+    {
+        let wal =
+            SegmentedWal::open(dir.path().join("wal"), WalSyncPolicy::Always, 1 << 20).unwrap();
+        wal.append(&CheckpointBeginRecord { epoch: 7, begin_ts }.encode())
+            .unwrap();
+    }
+    let db = GraphDb::open(dir.path(), config()).unwrap();
+    let tx = db.txn().read_only().begin();
+    assert_eq!(
+        tx.nodes_with_label("Bulk").unwrap().count(),
+        10,
+        "an unpaired checkpoint begin mark must not suppress replay"
+    );
+    // The next real checkpoint pairs up and retires the suffix cleanly.
+    db.checkpoint().unwrap();
+    drop(tx);
+    drop(db);
+    let db = GraphDb::open(dir.path(), config()).unwrap();
+    let tx = db.txn().read_only().begin();
+    assert_eq!(tx.nodes_with_label("Bulk").unwrap().count(), 10);
+}
+
+/// Crash point: the crash lands right after a checkpoint's release
+/// unlinked the covered segments. The retained log starts at a sequence
+/// number above 1 and recovery replays only the suffix.
+#[test]
+fn crash_after_segment_release_recovers_from_the_suffix() {
+    let dir = TempDir::new("rec_post_release");
+    let small_segments = config().with_wal_segment_bytes(4096);
+    {
+        let db = GraphDb::open(dir.path(), small_segments.clone()).unwrap();
+        for i in 0..100i64 {
+            let mut tx = db.begin();
+            tx.create_node(&["Bulk"], &[("i", PropertyValue::Int(i))])
+                .unwrap();
+            tx.commit().unwrap();
+        }
+        db.checkpoint().unwrap();
+        assert!(
+            db.metrics().wal_segments_deleted > 0,
+            "release precondition"
+        );
+        // "Crash" immediately after the release unlinked the segments.
+    }
+    let first_seq = segment_seq(wal_segment_paths(dir.path()).first().unwrap());
+    assert!(first_seq > 1, "the released prefix is really gone");
+    let db = GraphDb::open(dir.path(), small_segments).unwrap();
+    let tx = db.begin();
+    assert_eq!(tx.nodes_with_label("Bulk").unwrap().count(), 100);
+}
+
+// ---------------------------------------------------------------------
+// Fuzzy checkpoint under load (the tentpole's acceptance test)
+// ---------------------------------------------------------------------
+
+/// A checkpoint under sustained multi-writer load completes while commits
+/// keep flowing — no quiesce, no stop-the-world: commits are counted
+/// *inside* the checkpoint window, covered segments are retired, the
+/// retained log shrinks, and no single commit stalls for the checkpoint's
+/// whole duration (the latency cliff the old quiesce produced).
+#[test]
+fn fuzzy_checkpoint_overlaps_sustained_commits() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    const WRITERS: usize = 4;
+    let _watchdog = Watchdog::arm(
+        "fuzzy_checkpoint_overlaps_sustained_commits",
+        Duration::from_secs(120),
+    );
+    let dir = TempDir::new("rec_fuzzy_ckpt");
+    let db = GraphDb::open(
+        dir.path(),
+        group_commit_config().with_wal_segment_bytes(4096),
+    )
+    .unwrap();
+    let mut tx = db.begin();
+    let nodes: Vec<NodeId> = (0..WRITERS)
+        .map(|_| {
+            tx.create_node(&["W"], &[("v", PropertyValue::Int(0))])
+                .unwrap()
+        })
+        .collect();
+    tx.commit().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = nodes
+        .iter()
+        .map(|&node| {
+            let db = db.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rounds = 0i64;
+                let mut max_commit = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    rounds += 1;
+                    let mut tx = db.begin();
+                    tx.set_node_property(node, "v", PropertyValue::Int(rounds))
+                        .unwrap();
+                    let started = Instant::now();
+                    tx.commit().unwrap();
+                    max_commit = max_commit.max(started.elapsed());
+                }
+                (rounds, max_commit)
+            })
+        })
+        .collect();
+    // Let the writers rotate through a few segments, then checkpoint
+    // mid-flight.
+    let spin_deadline = Instant::now() + Duration::from_secs(30);
+    while db.metrics().wal_segments_created < 4 {
+        assert!(Instant::now() < spin_deadline, "writers never rotated");
+        std::thread::yield_now();
+    }
+    let before = db.metrics();
+    let ckpt_started = Instant::now();
+    db.checkpoint().unwrap();
+    let ckpt_elapsed = ckpt_started.elapsed();
+    let after = db.metrics();
+    stop.store(true, Ordering::Relaxed);
+    let results: Vec<_> = writers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    assert_eq!(after.checkpoint_epochs, before.checkpoint_epochs + 1);
+    assert!(
+        after.checkpoint_concurrent_commits > 0,
+        "commits must complete inside the checkpoint window (fuzzy, not quiesced)"
+    );
+    assert!(
+        after.wal_segments_deleted > before.wal_segments_deleted,
+        "the checkpoint must retire covered segments"
+    );
+    assert!(
+        after.wal_retained_bytes < before.wal_retained_bytes,
+        "the retained log must shrink across a checkpoint under load"
+    );
+    for (rounds, max_commit) in &results {
+        assert!(*rounds > 0);
+        // The quiesced checkpoint parked some commit for its entire
+        // duration; the fuzzy one must not. The floor keeps the bound
+        // meaningful when the checkpoint is itself nearly instant.
+        let cliff = ckpt_elapsed.max(Duration::from_millis(250));
+        assert!(
+            *max_commit < cliff,
+            "a commit stalled {max_commit:?} behind a {ckpt_elapsed:?} checkpoint"
+        );
+    }
 }

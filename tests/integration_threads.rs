@@ -7,7 +7,7 @@
 use std::sync::mpsc;
 use std::thread;
 
-use graphsi_core::test_support::TempDir;
+use graphsi_core::test_support::{TempDir, Watchdog};
 use graphsi_core::{
     DbConfig, Direction, GraphDb, IsolationLevel, NodeId, PropertyValue, Transaction,
 };
@@ -132,6 +132,12 @@ fn writers_and_snapshot_readers_under_contention() {
     const READERS: usize = 4;
     const INCREMENTS_PER_WRITER: usize = 50;
 
+    // A wedged contention test aborts with the witness's lock-order state
+    // instead of hanging CI.
+    let _watchdog = Watchdog::arm(
+        "writers_and_snapshot_readers_under_contention",
+        std::time::Duration::from_secs(120),
+    );
     let dir = TempDir::new("threads_contention");
     let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
 
@@ -240,6 +246,10 @@ fn writers_and_snapshot_readers_under_contention() {
 #[test]
 fn conflicting_writers_both_commit_through_jittered_retries() {
     const ROUNDS: usize = 40;
+    let _watchdog = Watchdog::arm(
+        "conflicting_writers_both_commit_through_jittered_retries",
+        std::time::Duration::from_secs(120),
+    );
     let dir = TempDir::new("threads_retry_jitter");
     let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
 
