@@ -1,0 +1,9 @@
+//! The `graphsi-admin` binary: thin process wrapper over
+//! [`graphsi_admin::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = graphsi_admin::run(&args);
+    print!("{}", outcome.output);
+    std::process::exit(outcome.code);
+}

@@ -22,6 +22,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
+use graphsi_core::test_support::Watchdog;
 use graphsi_core::{DbConfig, GraphDb, IsolationLevel, PropertyValue};
 use graphsi_server::{Client, ErrorCode, Server, ServerConfig};
 use graphsi_storage::test_util::TempDir;
@@ -38,6 +39,10 @@ fn witness_panic(f: impl FnOnce()) -> String {
 
 #[test]
 fn blocking_inversion_panics_naming_both_sites() {
+    let _watchdog = Watchdog::arm(
+        "blocking_inversion_panics_naming_both_sites",
+        Duration::from_secs(120),
+    );
     let high = Mutex::with_rank((), 9_100, "witness.test.high");
     let low = Mutex::with_rank((), 9_000, "witness.test.low");
 
@@ -62,6 +67,7 @@ fn blocking_inversion_panics_naming_both_sites() {
 
 #[test]
 fn equal_rank_blocking_also_panics() {
+    let _watchdog = Watchdog::arm("equal_rank_blocking_also_panics", Duration::from_secs(120));
     let a = Mutex::with_rank((), 9_200, "witness.test.eq-a");
     let b = Mutex::with_rank((), 9_200, "witness.test.eq-b");
 
@@ -75,6 +81,10 @@ fn equal_rank_blocking_also_panics() {
 
 #[test]
 fn ascending_order_is_quiet_and_tracked() {
+    let _watchdog = Watchdog::arm(
+        "ascending_order_is_quiet_and_tracked",
+        Duration::from_secs(120),
+    );
     let low = Mutex::with_rank((), 9_300, "witness.test.asc-low");
     let high = Mutex::with_rank((), 9_310, "witness.test.asc-high");
 
@@ -90,6 +100,7 @@ fn ascending_order_is_quiet_and_tracked() {
 
 #[test]
 fn unranked_locks_are_invisible() {
+    let _watchdog = Watchdog::arm("unranked_locks_are_invisible", Duration::from_secs(120));
     let ranked = Mutex::with_rank((), 9_400, "witness.test.over-unranked");
     let plain = Mutex::new(());
 
@@ -109,6 +120,10 @@ fn unranked_locks_are_invisible() {
 /// of the same descent is exactly what the witness must catch.
 #[test]
 fn sweeper_try_lock_descent_is_quiet_blocking_descent_fires() {
+    let _watchdog = Watchdog::arm(
+        "sweeper_try_lock_descent_is_quiet_blocking_descent_fires",
+        Duration::from_secs(120),
+    );
     let table = Mutex::with_rank((), 9_500, "witness.sweep.table");
     let session = Mutex::with_rank((), 9_510, "witness.sweep.session");
 
@@ -146,6 +161,10 @@ fn sweeper_try_lock_descent_is_quiet_blocking_descent_fires() {
 /// so a clean run is evidence the legal order holds end to end.
 #[test]
 fn idle_sweeper_vs_write_transaction_stays_deadlock_free() {
+    let _watchdog = Watchdog::arm(
+        "idle_sweeper_vs_write_transaction_stays_deadlock_free",
+        Duration::from_secs(120),
+    );
     let dir = TempDir::new("witness_sweeper");
     let db = GraphDb::open(dir.path(), DbConfig::default()).unwrap();
     let config = ServerConfig {

@@ -62,6 +62,11 @@ pub struct DbConfig {
     pub wal_segment_bytes: u64,
     /// Page-cache pages per record store.
     pub cache_pages_per_store: usize,
+    /// Verify store-page trailer checksums when pages fault in (default
+    /// on). With this off, only unambiguous torn file tails are still
+    /// rejected; full-page corruption is left for
+    /// [`crate::db::GraphDb::verify`] to find.
+    pub verify_pages_on_read: bool,
     /// Shards of the versioned object caches.
     pub cache_shards: usize,
     /// How long a blocking lock acquisition (read-committed mode) waits
@@ -119,6 +124,7 @@ impl Default for DbConfig {
             sync_policy: SyncPolicy::OnDemand,
             wal_segment_bytes: DbConfig::DEFAULT_WAL_SEGMENT_BYTES,
             cache_pages_per_store: 256,
+            verify_pages_on_read: true,
             cache_shards: 16,
             lock_timeout: Duration::from_millis(500),
             auto_gc_every_commits: None,
@@ -225,6 +231,21 @@ impl DbConfig {
     /// (clamped to at least 1; 1 = one global store-apply lock).
     pub fn with_store_apply_shards(mut self, shards: usize) -> Self {
         self.store_apply_shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style setter for fault-in page-checksum verification.
+    pub fn with_verify_pages_on_read(mut self, enabled: bool) -> Self {
+        self.verify_pages_on_read = enabled;
+        self
+    }
+
+    /// Builder-style setter for the page-cache capacity of each record
+    /// store (clamped to at least 1). Tiny capacities force eviction
+    /// write-backs, which the integrity crash-point tests use to land
+    /// injected page faults on disk without a checkpoint.
+    pub fn with_cache_pages_per_store(mut self, pages: usize) -> Self {
+        self.cache_pages_per_store = pages.max(1);
         self
     }
 
@@ -344,6 +365,16 @@ mod tests {
             !DbConfig::default()
                 .with_predicate_intersection(false)
                 .predicate_intersection
+        );
+    }
+
+    #[test]
+    fn verify_pages_defaults_on() {
+        assert!(DbConfig::default().verify_pages_on_read);
+        assert!(
+            !DbConfig::default()
+                .with_verify_pages_on_read(false)
+                .verify_pages_on_read
         );
     }
 

@@ -87,6 +87,7 @@ pub(crate) mod plan;
 pub mod query;
 pub mod transaction;
 pub mod traversal;
+pub mod verify;
 pub mod write_set;
 
 pub use commit::{CommitOp, CommitRecord};
@@ -99,12 +100,14 @@ pub use metrics::{DbMetrics, DbMetricsSnapshot};
 pub use options::TxnOptions;
 pub use query::{QueryBuilder, QueryStream, Row, RowStream};
 pub use transaction::Transaction;
+pub use verify::{VerifyClass, VerifyFinding, VerifyReport};
 
 // Re-export the identifiers and value types users need from the substrate
 // crates so that applications can depend on `graphsi-core` alone.
 pub use graphsi_mvcc::GcStrategy;
 pub use graphsi_storage::{
-    LabelToken, NodeId, PropertyKeyToken, PropertyValue, RelTypeToken, RelationshipId,
+    LabelToken, NodeId, PageFault, PropertyKeyToken, PropertyValue, RelTypeToken, RelationshipId,
+    StoreTarget,
 };
 pub use graphsi_txn::{ConflictStrategy, LockStatsSnapshot, Timestamp, TxnId};
 pub use graphsi_wal::SyncPolicy;

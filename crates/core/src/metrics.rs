@@ -37,6 +37,9 @@ pub struct DbMetrics {
     checkpoint_epochs: AtomicU64,
     checkpoint_pages_flushed: AtomicU64,
     checkpoint_concurrent_commits: AtomicU64,
+    verify_runs: AtomicU64,
+    pages_verified: AtomicU64,
+    verify_divergences: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`DbMetrics`].
@@ -154,6 +157,23 @@ pub struct DbMetricsSnapshot {
     /// by checkpointing: after a checkpoint releases old segments this
     /// drops back to the active suffix.
     pub wal_retained_bytes: u64,
+    /// Online-verifier runs completed ([`crate::GraphDb::verify`]).
+    pub verify_runs: u64,
+    /// Store pages whose trailer checksum the verifier examined, summed
+    /// over all runs.
+    pub pages_verified: u64,
+    /// Findings the verifier reported, summed over all runs and classes
+    /// (bad page CRC, dangling chain pointer, index↔store divergence,
+    /// orphaned posting).
+    pub verify_divergences: u64,
+    /// Store pages that failed their trailer checksum on fault-in. Owned
+    /// by the storage layer and merged in at [`crate::GraphDb::metrics`]
+    /// (zero in a bare [`DbMetrics::snapshot`]).
+    pub page_checksum_failures: u64,
+    /// Checksum-failed pages recovery rebuilt from WAL replay (torn
+    /// writes fully covered by the log). Storage-owned, merged in at
+    /// [`crate::GraphDb::metrics`].
+    pub torn_pages_recovered: u64,
 }
 
 /// Applies a macro to every counter of [`DbMetricsSnapshot`], by name.
@@ -197,7 +217,12 @@ macro_rules! for_each_counter {
             checkpoint_concurrent_commits,
             wal_segments_created,
             wal_segments_deleted,
-            wal_retained_bytes
+            wal_retained_bytes,
+            verify_runs,
+            pages_verified,
+            verify_divergences,
+            page_checksum_failures,
+            torn_pages_recovered
         }
     };
 }
@@ -431,9 +456,20 @@ impl DbMetrics {
             .fetch_add(concurrent_commits, Ordering::Relaxed);
     }
 
+    /// Records one completed online-verifier run: the pages it examined
+    /// and the findings it reported (all classes).
+    pub(crate) fn record_verify(&self, pages: u64, divergences: u64) {
+        self.verify_runs.fetch_add(1, Ordering::Relaxed);
+        self.pages_verified.fetch_add(pages, Ordering::Relaxed);
+        self.verify_divergences
+            .fetch_add(divergences, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of every counter. The `wal_segments_*` /
-    /// `wal_retained_bytes` gauges are owned by the WAL itself and stay
-    /// zero here; [`crate::GraphDb::metrics`] merges them in.
+    /// `wal_retained_bytes` gauges are owned by the WAL itself — and the
+    /// `page_checksum_failures` / `torn_pages_recovered` gauges by the
+    /// storage layer — so they stay zero here;
+    /// [`crate::GraphDb::metrics`] merges them in.
     pub fn snapshot(&self) -> DbMetricsSnapshot {
         DbMetricsSnapshot {
             begins: self.begins.load(Ordering::Relaxed),
@@ -472,6 +508,11 @@ impl DbMetrics {
             wal_segments_created: 0,
             wal_segments_deleted: 0,
             wal_retained_bytes: 0,
+            verify_runs: self.verify_runs.load(Ordering::Relaxed),
+            pages_verified: self.pages_verified.load(Ordering::Relaxed),
+            verify_divergences: self.verify_divergences.load(Ordering::Relaxed),
+            page_checksum_failures: 0,
+            torn_pages_recovered: 0,
         }
     }
 }

@@ -154,6 +154,15 @@ impl Client {
         }
     }
 
+    /// Runs the server-side integrity verifier and returns its plaintext
+    /// report (`VerifyReport::to_text` format).
+    pub fn verify_text(&mut self) -> ClientResult<String> {
+        match self.request(&Request::Verify)? {
+            Response::Text { text } => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Opens an explicit transaction on this session.
     pub fn begin(&mut self, read_only: bool, isolation: IsolationLevel) -> ClientResult<()> {
         self.expect_ok(&Request::Begin {

@@ -18,7 +18,7 @@
 //!
 //! The protocol is strictly request→response: a client sends one frame
 //! and reads exactly one frame back, so neither side ever needs request
-//! IDs or reordering. `PING`, `HEALTH` and `METRICS` are answered inline
+//! IDs or reordering. `PING`, `HEALTH`, `METRICS` and `VERIFY` are answered inline
 //! by the connection thread (probes must respond even when the worker
 //! pools are saturated); everything else is executed by a pooled worker
 //! and may be rejected with [`Response::Overloaded`] when the admission
@@ -363,6 +363,7 @@ mod req_op {
     pub const PING: u8 = 0x01;
     pub const HEALTH: u8 = 0x02;
     pub const METRICS: u8 = 0x03;
+    pub const VERIFY: u8 = 0x04;
     pub const BEGIN: u8 = 0x10;
     pub const COMMIT: u8 = 0x11;
     pub const ROLLBACK: u8 = 0x12;
@@ -391,6 +392,11 @@ pub enum Request {
     /// `server_*` counters followed by the database counters in
     /// `DbMetricsSnapshot::to_text` format), answered inline.
     Metrics,
+    /// Runs the online integrity verifier and returns its plaintext
+    /// report (`VerifyReport::to_text` format). Answered inline like the
+    /// other admin probes — the verifier takes its own read snapshot, so
+    /// it never touches the session's transaction state.
+    Verify,
     /// Opens an explicit transaction on this session.
     Begin {
         /// Read-only snapshot transaction: routed to the read pool, never
@@ -506,6 +512,7 @@ impl Request {
             Request::Ping => put_u8(&mut out, req_op::PING),
             Request::Health => put_u8(&mut out, req_op::HEALTH),
             Request::Metrics => put_u8(&mut out, req_op::METRICS),
+            Request::Verify => put_u8(&mut out, req_op::VERIFY),
             Request::Begin {
                 read_only,
                 isolation,
@@ -608,6 +615,7 @@ impl Request {
             req_op::PING => Request::Ping,
             req_op::HEALTH => Request::Health,
             req_op::METRICS => Request::Metrics,
+            req_op::VERIFY => Request::Verify,
             req_op::BEGIN => Request::Begin {
                 read_only: c.u8()? != 0,
                 isolation: match c.u8()? {
@@ -821,7 +829,7 @@ pub enum Response {
         /// Result rows, in stream order.
         rows: Vec<WireRow>,
     },
-    /// Plaintext answer (`HEALTH`, `METRICS`).
+    /// Plaintext answer (`HEALTH`, `METRICS`, `VERIFY`).
     Text {
         /// The text.
         text: String,
@@ -992,6 +1000,7 @@ mod tests {
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Health);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Verify);
         roundtrip_request(Request::Begin {
             read_only: true,
             isolation: IsolationLevel::ReadCommitted,

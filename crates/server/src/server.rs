@@ -321,6 +321,7 @@ fn connection_loop(
             Request::Ping => Some(Response::Pong),
             Request::Health => Some(health_response(shared)),
             Request::Metrics => Some(metrics_response(shared)),
+            Request::Verify => Some(verify_response(shared)),
             _ => None,
         };
         if let Some(response) = inline {
@@ -401,6 +402,22 @@ fn metrics_response(shared: &Shared) -> Response {
     let mut text = shared.db.metrics().to_text();
     text.push_str(&shared.metrics.snapshot().to_text());
     Response::Text { text }
+}
+
+/// `VERIFY` = the online integrity verifier's plaintext report. The
+/// verifier takes its own read snapshot and bounds its lock holds, so it
+/// is safe to run while sessions keep committing; a failure to even run
+/// it (store I/O error) is reported as an `Internal` error frame.
+fn verify_response(shared: &Shared) -> Response {
+    match shared.db.verify() {
+        Ok(report) => Response::Text {
+            text: report.to_text(),
+        },
+        Err(e) => Response::Error {
+            code: crate::protocol::ErrorCode::Internal,
+            message: format!("verify failed: {e}"),
+        },
+    }
 }
 
 fn sweeper_loop(shared: &Arc<Shared>) {

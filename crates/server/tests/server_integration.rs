@@ -4,6 +4,7 @@
 
 use std::time::Duration;
 
+use graphsi_core::test_support::Watchdog;
 use graphsi_core::{DbConfig, DbMetricsSnapshot, GraphDb, IsolationLevel, PropertyValue};
 use graphsi_server::{Client, ClientError, ErrorCode, Server, ServerConfig};
 use graphsi_storage::test_util::TempDir;
@@ -21,6 +22,7 @@ fn connect(server: &Server) -> Client {
 
 #[test]
 fn crud_round_trip_over_tcp() {
+    let _watchdog = Watchdog::arm("crud_round_trip_over_tcp", Duration::from_secs(120));
     let (_dir, mut server) = start_server("srv_crud", ServerConfig::default());
     let mut c = connect(&server);
     c.ping().unwrap();
@@ -64,6 +66,10 @@ fn crud_round_trip_over_tcp() {
 
 #[test]
 fn explicit_transactions_commit_atomically_across_sessions() {
+    let _watchdog = Watchdog::arm(
+        "explicit_transactions_commit_atomically_across_sessions",
+        Duration::from_secs(120),
+    );
     let (_dir, mut server) = start_server("srv_txn", ServerConfig::default());
     let mut writer = connect(&server);
     let mut reader = connect(&server);
@@ -96,6 +102,10 @@ fn explicit_transactions_commit_atomically_across_sessions() {
 
 #[test]
 fn range_queries_ride_the_index_over_the_wire() {
+    let _watchdog = Watchdog::arm(
+        "range_queries_ride_the_index_over_the_wire",
+        Duration::from_secs(120),
+    );
     let (_dir, mut server) = start_server("srv_range", ServerConfig::default());
     let mut c = connect(&server);
     for age in 0..20 {
@@ -128,6 +138,10 @@ fn range_queries_ride_the_index_over_the_wire() {
 
 #[test]
 fn idle_timeout_aborts_open_transaction_and_releases_locks() {
+    let _watchdog = Watchdog::arm(
+        "idle_timeout_aborts_open_transaction_and_releases_locks",
+        Duration::from_secs(120),
+    );
     let config = ServerConfig {
         idle_timeout: Duration::from_millis(150),
         sweep_interval: Duration::from_millis(25),
@@ -179,6 +193,10 @@ fn idle_timeout_aborts_open_transaction_and_releases_locks() {
 
 #[test]
 fn disconnect_mid_transaction_rolls_back_and_releases_locks() {
+    let _watchdog = Watchdog::arm(
+        "disconnect_mid_transaction_rolls_back_and_releases_locks",
+        Duration::from_secs(120),
+    );
     let (_dir, mut server) = start_server("srv_disconnect", ServerConfig::default());
     let mut setup = connect(&server);
     let node = setup
@@ -225,6 +243,10 @@ fn disconnect_mid_transaction_rolls_back_and_releases_locks() {
 /// `OVERLOADED` instead of queueing invisibly.
 #[test]
 fn full_admission_queue_sheds_with_typed_overloaded() {
+    let _watchdog = Watchdog::arm(
+        "full_admission_queue_sheds_with_typed_overloaded",
+        Duration::from_secs(120),
+    );
     let config = ServerConfig {
         read_workers: 1,
         write_workers: 1,
@@ -282,6 +304,10 @@ fn full_admission_queue_sheds_with_typed_overloaded() {
 
 #[test]
 fn session_limit_rejects_new_connections() {
+    let _watchdog = Watchdog::arm(
+        "session_limit_rejects_new_connections",
+        Duration::from_secs(120),
+    );
     let config = ServerConfig {
         max_sessions: 1,
         ..ServerConfig::default()
@@ -302,6 +328,10 @@ fn session_limit_rejects_new_connections() {
 
 #[test]
 fn metrics_command_exposes_db_and_server_counters() {
+    let _watchdog = Watchdog::arm(
+        "metrics_command_exposes_db_and_server_counters",
+        Duration::from_secs(120),
+    );
     let (_dir, mut server) = start_server("srv_metrics", ServerConfig::default());
     let mut c = connect(&server);
     let id = c.create_node(&["M"], &[]).unwrap();
@@ -323,7 +353,42 @@ fn metrics_command_exposes_db_and_server_counters() {
 }
 
 #[test]
+fn verify_command_reports_a_clean_store_over_the_wire() {
+    let _watchdog = Watchdog::arm(
+        "verify_command_reports_a_clean_store_over_the_wire",
+        Duration::from_secs(120),
+    );
+    let (_dir, mut server) = start_server("srv_verify", ServerConfig::default());
+    let mut c = connect(&server);
+    let a = c
+        .create_node(&["V"], &[("w", PropertyValue::Int(1))])
+        .unwrap();
+    let b = c.create_node(&["V"], &[]).unwrap();
+    c.create_relationship(a, b, "LINKS", &[]).unwrap();
+
+    // VERIFY is answered inline, even from a session with an open
+    // read-only transaction.
+    c.begin(true, IsolationLevel::SnapshotIsolation).unwrap();
+    let report = c.verify_text().unwrap();
+    c.rollback().unwrap();
+    for line in [
+        "bad_page_crc 0",
+        "dangling_chain_pointers 0",
+        "index_store_divergences 0",
+        "orphaned_postings 0",
+    ] {
+        assert!(report.contains(line), "unexpected verify report:\n{report}");
+    }
+    assert!(report.contains("entities_checked"));
+    server.shutdown();
+}
+
+#[test]
 fn read_only_sessions_reject_writes_over_the_wire() {
+    let _watchdog = Watchdog::arm(
+        "read_only_sessions_reject_writes_over_the_wire",
+        Duration::from_secs(120),
+    );
     let (_dir, mut server) = start_server("srv_ro", ServerConfig::default());
     let mut c = connect(&server);
     let id = c.create_node(&["R"], &[]).unwrap();
@@ -346,6 +411,10 @@ fn read_only_sessions_reject_writes_over_the_wire() {
 
 #[test]
 fn conflicting_explicit_transactions_surface_typed_conflicts() {
+    let _watchdog = Watchdog::arm(
+        "conflicting_explicit_transactions_surface_typed_conflicts",
+        Duration::from_secs(120),
+    );
     let (_dir, mut server) = start_server("srv_conflict", ServerConfig::default());
     let mut setup = connect(&server);
     let node = setup

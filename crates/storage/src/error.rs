@@ -66,6 +66,19 @@ pub enum StorageError {
         /// Reason it was rejected.
         reason: String,
     },
+    /// A store page failed its trailer checksum on fault-in: a torn
+    /// write, stale sector or bit flip. Recovery may downgrade this to a
+    /// rebuilt page when WAL replay fully covers it.
+    PageChecksum {
+        /// Name of the store file holding the page.
+        file: String,
+        /// Page number within the file.
+        page: u64,
+        /// CRC computed over the page image as read.
+        expected: u32,
+        /// CRC stored in the page trailer.
+        found: u32,
+    },
 }
 
 impl StorageError {
@@ -122,6 +135,18 @@ impl fmt::Display for StorageError {
                     f,
                     "{} is not a valid graphsi store directory: {reason}",
                     path.display()
+                )
+            }
+            StorageError::PageChecksum {
+                file,
+                page,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "page {page} of {file} failed its checksum \
+                     (computed {expected:#010x}, trailer holds {found:#010x})"
                 )
             }
         }
@@ -183,6 +208,21 @@ mod tests {
     fn display_value_too_large() {
         let err = StorageError::ValueTooLarge { size: 10, max: 5 };
         assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn display_page_checksum_names_file_page_and_both_crcs() {
+        let err = StorageError::PageChecksum {
+            file: "nodes.db".into(),
+            page: 12,
+            expected: 0xDEAD_BEEF,
+            found: 0x0BAD_F00D,
+        };
+        let s = err.to_string();
+        assert!(s.contains("page 12"), "{s}");
+        assert!(s.contains("nodes.db"), "{s}");
+        assert!(s.contains("0xdeadbeef"), "{s}");
+        assert!(s.contains("0x0badf00d"), "{s}");
     }
 
     #[test]

@@ -29,14 +29,42 @@ const MAX_CHAIN_LENGTH: usize = 10_000_000;
 pub struct GraphStoreConfig {
     /// Number of pages each record store may keep cached in memory.
     pub cache_pages_per_store: usize,
+    /// Verify page-trailer checksums when pages fault in (default on).
+    /// Short non-zero file tails are rejected even when this is off.
+    pub verify_pages_on_read: bool,
 }
 
 impl Default for GraphStoreConfig {
     fn default() -> Self {
         GraphStoreConfig {
             cache_pages_per_store: 256,
+            verify_pages_on_read: true,
         }
     }
+}
+
+/// Names one of the four page-cache-backed store files, for targeting
+/// fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreTarget {
+    /// `nodes.db`.
+    Nodes,
+    /// `relationships.db`.
+    Relationships,
+    /// `properties.db`.
+    Properties,
+    /// `strings.db` (dynamic string overflow).
+    Strings,
+}
+
+/// Result of a store-wide page-checksum walk
+/// ([`GraphStore::verify_pages`]).
+#[derive(Clone, Debug, Default)]
+pub struct StorePageReport {
+    /// Pages examined across all store files.
+    pub pages_checked: u64,
+    /// Corrupt pages as `(file, page, computed_crc, stored_crc)`.
+    pub corrupt: Vec<(&'static str, u64, u32, u32)>,
 }
 
 /// A fully materialised node as stored on disk.
@@ -107,13 +135,101 @@ impl GraphStore {
             source: e,
         })?;
         let pages = config.cache_pages_per_store;
+        let verify = config.verify_pages_on_read;
         Ok(GraphStore {
-            nodes: RecordStore::open(&dir, "nodes.db", pages)?,
-            relationships: RecordStore::open(&dir, "relationships.db", pages)?,
-            properties: PropertyStore::open(&dir, pages)?,
+            nodes: RecordStore::open_with(&dir, "nodes.db", pages, verify)?,
+            relationships: RecordStore::open_with(&dir, "relationships.db", pages, verify)?,
+            properties: PropertyStore::open_with(&dir, pages, verify)?,
             tokens: TokenStores::open(&dir)?,
             dir,
         })
+    }
+
+    /// Runs `f` over every page cache in the store (nodes, relationships,
+    /// properties, strings) — the integrity-plumbing fan-out used for
+    /// trailer stamps, recovery suspect mode and stat aggregation.
+    fn for_each_cache(&self, mut f: impl FnMut(&'static str, &crate::page_cache::PageCache)) {
+        f("nodes.db", self.nodes.page_cache());
+        f("relationships.db", self.relationships.page_cache());
+        f("properties.db", self.properties.record_store().page_cache());
+        f("strings.db", self.properties.dynamic_store().page_cache());
+    }
+
+    /// Sets the stamp sealed into page trailers at write-back across all
+    /// store files (the checkpoint epoch; diagnostic only).
+    pub fn set_page_stamp(&self, stamp: u64) {
+        self.for_each_cache(|_, cache| cache.set_stamp(stamp));
+    }
+
+    /// Enters recovery mode on every store file: checksum-failed pages
+    /// become suspects for WAL replay to rebuild instead of hard errors.
+    pub fn begin_recovery(&self) {
+        self.for_each_cache(|_, cache| cache.begin_recovery());
+    }
+
+    /// Leaves recovery mode, returning each store file's
+    /// [`RecoveryOutcome`](crate::page_cache::RecoveryOutcome) keyed by
+    /// file name.
+    pub fn end_recovery(&self) -> Vec<(&'static str, crate::page_cache::RecoveryOutcome)> {
+        let mut out = Vec::new();
+        self.for_each_cache(|file, cache| out.push((file, cache.end_recovery())));
+        out
+    }
+
+    /// Arms a one-shot write-back fault on the store file holding
+    /// `target` (see [`PageFault`](crate::page_cache::PageFault)).
+    /// Testing hook for the store crash-point matrix.
+    pub fn inject_write_fault(&self, target: StoreTarget, fault: crate::page_cache::PageFault) {
+        let cache = match target {
+            StoreTarget::Nodes => self.nodes.page_cache(),
+            StoreTarget::Relationships => self.relationships.page_cache(),
+            StoreTarget::Properties => self.properties.record_store().page_cache(),
+            StoreTarget::Strings => self.properties.dynamic_store().page_cache(),
+        };
+        cache.inject_write_fault(fault);
+    }
+
+    /// Walks every page of every store file verifying trailer checksums,
+    /// holding each cache lock for at most `pages_per_hold` pages at a
+    /// time (the `flush_incremental` pattern) so concurrent commits keep
+    /// flowing.
+    pub fn verify_pages(&self, pages_per_hold: usize) -> Result<StorePageReport> {
+        let mut report = StorePageReport::default();
+        let caches: [(&'static str, &crate::page_cache::PageCache); 4] = [
+            ("nodes.db", self.nodes.page_cache()),
+            ("relationships.db", self.relationships.page_cache()),
+            ("properties.db", self.properties.record_store().page_cache()),
+            ("strings.db", self.properties.dynamic_store().page_cache()),
+        ];
+        for (file, cache) in caches {
+            let mut start = 0u64;
+            loop {
+                let sweep = cache.verify_pages(start, pages_per_hold)?;
+                report.pages_checked += sweep.checked;
+                report
+                    .corrupt
+                    .extend(sweep.corrupt.into_iter().map(|(p, e, f)| (file, p, e, f)));
+                match sweep.next {
+                    Some(next) => start = next,
+                    None => break,
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Sum of fault-in checksum failures across all store files.
+    pub fn checksum_failures(&self) -> u64 {
+        let mut total = 0;
+        self.for_each_cache(|_, cache| total += cache.stats().checksum_failures);
+        total
+    }
+
+    /// Sum of recovery-rebuilt torn pages across all store files.
+    pub fn torn_pages_recovered(&self) -> u64 {
+        let mut total = 0;
+        self.for_each_cache(|_, cache| total += cache.stats().torn_pages_recovered);
+        total
     }
 
     /// The directory backing this store.

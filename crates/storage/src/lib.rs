@@ -44,12 +44,13 @@ pub mod value;
 pub use error::{Result, StorageError};
 pub use graph_store::{
     GraphStore, GraphStoreConfig, GraphStoreStats, NodeScanCursor, RelChainCursor, RelScanCursor,
-    StoredNode, StoredRelationship,
+    StorePageReport, StoreTarget, StoredNode, StoredRelationship,
 };
 pub use ids::{
     DynamicRecordId, EntityId, LabelToken, NodeId, PropertyKeyToken, PropertyRecordId,
     RelTypeToken, RelationshipId, NO_ID,
 };
+pub use page_cache::{PageFault, RecoveryOutcome};
 pub use value::{PropertyValue, ValueKey};
 
 #[cfg(test)]

@@ -1,9 +1,92 @@
 //! Fixed-size pages, the unit of I/O between store files and the page
 //! cache.
+//!
+//! Every page ends in a 16-byte **integrity trailer**:
+//!
+//! ```text
+//! +------------------------------+---------+---------+---------+
+//! | record area (8176 bytes)     | magic   | stamp   | crc32   |
+//! |                              | u32 LE  | u64 LE  | u32 LE  |
+//! +------------------------------+---------+---------+---------+
+//! ```
+//!
+//! The CRC covers everything before it (record area + magic + stamp), so
+//! torn writes and bit flips are detected on fault-in instead of being
+//! decoded as records. The stamp is a diagnostic checkpoint-epoch mark
+//! written by the page cache at write-back — it tells an investigator
+//! *when* a page was last persisted, but does not participate in
+//! verification. An all-zero page is valid by definition: it is a page
+//! that has never been written (record stores treat zero records as
+//! not-in-use, and a fresh trailer of zeros carries no claim to check).
+//!
+//! Records are laid out only in the record area ([`PAGE_USABLE_SIZE`]);
+//! [`locate_record`] floors the records-per-page division so no record
+//! ever straddles into the trailer.
 
-/// Size of a page in bytes. All record sizes divide this evenly so a record
-/// never straddles a page boundary.
+/// Size of a page in bytes, including the integrity trailer.
 pub const PAGE_SIZE: usize = 8192;
+
+/// Size of the integrity trailer at the end of every page.
+pub const PAGE_TRAILER_SIZE: usize = 16;
+
+/// Bytes of a page available to records (everything before the trailer).
+pub const PAGE_USABLE_SIZE: usize = PAGE_SIZE - PAGE_TRAILER_SIZE;
+
+/// Magic marker beginning every page trailer ("GSPG").
+pub const PAGE_TRAILER_MAGIC: u32 = 0x4753_5047;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time. The WAL crate
+/// carries the same polynomial; it is replicated here because
+/// `graphsi-storage` sits below `graphsi-wal` in the dependency order.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = (crc >> 1) ^ (POLY & (crc & 1).wrapping_neg());
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32 (IEEE) checksum of `data`. Identical polynomial and
+/// output to `graphsi_wal::crc::crc32`, but table-driven — this runs over
+/// every 8 KiB page image on fault-in and write-back.
+pub fn page_crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Outcome of verifying one page image against its trailer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageVerdict {
+    /// Every byte is zero: a page that has never been written. Valid.
+    AllZero,
+    /// The trailer is well-formed and the CRC matches the page image.
+    Valid {
+        /// The checkpoint-epoch stamp recorded at the last write-back.
+        stamp: u64,
+    },
+    /// The trailer is missing, malformed or the CRC disagrees with the
+    /// page image: a torn write, stale sector or bit flip.
+    Corrupt {
+        /// CRC computed over the page image as read.
+        expected: u32,
+        /// CRC stored in the trailer (zero when the trailer is absent).
+        found: u32,
+    },
+}
 
 /// An in-memory copy of one page of a store file.
 #[derive(Clone)]
@@ -61,6 +144,47 @@ impl Page {
     pub fn is_all_zero(&self) -> bool {
         self.data.iter().all(|&b| b == 0)
     }
+
+    /// Writes the integrity trailer: magic, `stamp`, and a CRC over
+    /// everything before the CRC field. Called by the page cache
+    /// immediately before every write-back so the on-disk image always
+    /// carries a matching checksum.
+    pub fn seal(&mut self, stamp: u64) {
+        let t = PAGE_USABLE_SIZE;
+        self.data[t..t + 4].copy_from_slice(&PAGE_TRAILER_MAGIC.to_le_bytes());
+        self.data[t + 4..t + 12].copy_from_slice(&stamp.to_le_bytes());
+        let crc = page_crc32(&self.data[..PAGE_SIZE - 4]);
+        self.data[PAGE_SIZE - 4..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Verifies the page image against its trailer. See [`PageVerdict`]
+    /// for the three outcomes; only `Corrupt` indicates a problem.
+    pub fn verify(&self) -> PageVerdict {
+        if self.is_all_zero() {
+            return PageVerdict::AllZero;
+        }
+        let t = PAGE_USABLE_SIZE;
+        let magic = read_u32(&self.data, t);
+        let stamp = read_u64(&self.data, t + 4);
+        let found = read_u32(&self.data, PAGE_SIZE - 4);
+        let expected = page_crc32(&self.data[..PAGE_SIZE - 4]);
+        if magic != PAGE_TRAILER_MAGIC || found != expected {
+            return PageVerdict::Corrupt { expected, found };
+        }
+        PageVerdict::Valid { stamp }
+    }
+}
+
+#[inline]
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+#[inline]
+fn read_u64(b: &[u8], at: usize) -> u64 {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(out)
 }
 
 impl std::fmt::Debug for Page {
@@ -78,14 +202,22 @@ pub struct RecordLocation {
     pub offset_in_page: usize,
 }
 
+/// Number of `record_size`-byte records that fit in the record area of one
+/// page. Floored, so the last partial slot (and the trailer) are never
+/// used for records.
+#[inline]
+pub fn records_per_page(record_size: usize) -> u64 {
+    (PAGE_USABLE_SIZE / record_size) as u64
+}
+
 /// Computes where record `id` of a store with `record_size`-byte records
 /// lives.
 #[inline]
 pub fn locate_record(id: u64, record_size: usize) -> RecordLocation {
-    let records_per_page = (PAGE_SIZE / record_size) as u64;
+    let per_page = records_per_page(record_size);
     RecordLocation {
-        page_no: id / records_per_page,
-        offset_in_page: (id % records_per_page) as usize * record_size,
+        page_no: id / per_page,
+        offset_in_page: (id % per_page) as usize * record_size,
     }
 }
 
@@ -143,20 +275,108 @@ mod tests {
 
     #[test]
     fn locate_record_page_boundaries() {
-        let records_per_page = PAGE_SIZE / 64;
-        let loc = locate_record(records_per_page as u64, 64);
+        let per_page = records_per_page(64);
+        let loc = locate_record(per_page, 64);
         assert_eq!(loc.page_no, 1);
         assert_eq!(loc.offset_in_page, 0);
-        let loc = locate_record(records_per_page as u64 - 1, 64);
+        let loc = locate_record(per_page - 1, 64);
         assert_eq!(loc.page_no, 0);
-        assert_eq!(loc.offset_in_page, PAGE_SIZE - 64);
+        assert_eq!(loc.offset_in_page, (per_page as usize - 1) * 64);
     }
 
     #[test]
     fn locate_record_larger_records() {
-        let records_per_page = PAGE_SIZE / 128;
-        let loc = locate_record(records_per_page as u64 * 3 + 5, 128);
+        let per_page = records_per_page(128);
+        let loc = locate_record(per_page * 3 + 5, 128);
         assert_eq!(loc.page_no, 3);
         assert_eq!(loc.offset_in_page, 5 * 128);
+    }
+
+    #[test]
+    fn records_never_reach_the_trailer() {
+        for size in [64usize, 128] {
+            let per_page = records_per_page(size);
+            assert!(per_page as usize * size <= PAGE_USABLE_SIZE);
+            let loc = locate_record(per_page - 1, size);
+            assert!(loc.offset_in_page + size <= PAGE_USABLE_SIZE);
+        }
+    }
+
+    #[test]
+    fn crc_matches_known_vectors() {
+        // Same vectors the WAL's bitwise implementation is pinned to.
+        assert_eq!(page_crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(page_crc32(b""), 0);
+        assert_eq!(
+            page_crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn seal_then_verify_round_trips() {
+        let mut p = Page::zeroed();
+        p.record_mut(0, 64).copy_from_slice(&[5u8; 64]);
+        p.seal(42);
+        assert_eq!(p.verify(), PageVerdict::Valid { stamp: 42 });
+    }
+
+    #[test]
+    fn all_zero_page_is_trivially_valid() {
+        assert_eq!(Page::zeroed().verify(), PageVerdict::AllZero);
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let mut p = Page::zeroed();
+        p.record_mut(128, 64).copy_from_slice(&[7u8; 64]);
+        p.seal(1);
+        for at in [0usize, 130, PAGE_USABLE_SIZE + 1, PAGE_SIZE - 1] {
+            let mut flipped = p.clone();
+            flipped.bytes_mut()[at] ^= 0x10;
+            assert!(
+                matches!(flipped.verify(), PageVerdict::Corrupt { .. }),
+                "flip at {at} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn unsealed_nonzero_page_is_corrupt() {
+        // A page with data but no trailer (e.g. a write torn before the
+        // trailer bytes landed) must not verify.
+        let mut p = Page::zeroed();
+        p.record_mut(0, 64).copy_from_slice(&[9u8; 64]);
+        let v = p.verify();
+        assert!(matches!(v, PageVerdict::Corrupt { found: 0, .. }), "{v:?}");
+    }
+
+    #[test]
+    fn torn_half_page_is_detected() {
+        let mut p = Page::zeroed();
+        for b in p.bytes_mut().iter_mut() {
+            *b = 3;
+        }
+        p.seal(9);
+        // Simulate a torn write: the second half never hit the disk.
+        let mut torn = p.bytes().to_vec();
+        for b in torn[PAGE_SIZE / 2..].iter_mut() {
+            *b = 0;
+        }
+        assert!(matches!(
+            Page::from_bytes(&torn).verify(),
+            PageVerdict::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn reseal_after_mutation_restores_validity() {
+        let mut p = Page::zeroed();
+        p.record_mut(0, 64).copy_from_slice(&[1u8; 64]);
+        p.seal(1);
+        p.record_mut(64, 64).copy_from_slice(&[2u8; 64]);
+        assert!(matches!(p.verify(), PageVerdict::Corrupt { .. }));
+        p.seal(2);
+        assert_eq!(p.verify(), PageVerdict::Valid { stamp: 2 });
     }
 }

@@ -502,13 +502,16 @@ impl DynamicRecord {
     }
 }
 
-/// Sanity check: all record sizes must evenly divide the page size so that
-/// no record straddles a page boundary.
-pub const fn record_sizes_divide_page(page_size: usize) -> bool {
-    page_size.is_multiple_of(NODE_RECORD_SIZE)
-        && page_size.is_multiple_of(RELATIONSHIP_RECORD_SIZE)
-        && page_size.is_multiple_of(PROPERTY_RECORD_SIZE)
-        && page_size.is_multiple_of(DYNAMIC_RECORD_SIZE)
+/// Sanity check: every record size must fit at least one record into the
+/// usable (pre-trailer) area of a page, and records are packed from the
+/// page start so none can straddle into the integrity trailer as long as
+/// `usable_size / record_size` records are placed per page (see
+/// [`crate::pages::records_per_page`]).
+pub const fn record_sizes_fit_usable_page(usable_size: usize) -> bool {
+    usable_size / NODE_RECORD_SIZE >= 1
+        && usable_size / RELATIONSHIP_RECORD_SIZE >= 1
+        && usable_size / PROPERTY_RECORD_SIZE >= 1
+        && usable_size / DYNAMIC_RECORD_SIZE >= 1
 }
 
 /// Helper re-exported for chain manipulation: the raw `NO_ID` sentinel.
@@ -658,8 +661,20 @@ mod tests {
     }
 
     #[test]
-    fn record_sizes_divide_the_page() {
-        assert!(record_sizes_divide_page(8192));
+    fn record_sizes_fit_the_usable_page() {
+        assert!(record_sizes_fit_usable_page(crate::pages::PAGE_USABLE_SIZE));
+        // The per-page packing derived from the usable area never reaches
+        // into the 16-byte integrity trailer.
+        for size in [
+            NODE_RECORD_SIZE,
+            RELATIONSHIP_RECORD_SIZE,
+            PROPERTY_RECORD_SIZE,
+            DYNAMIC_RECORD_SIZE,
+        ] {
+            let per_page = crate::pages::records_per_page(size) as usize;
+            assert!(per_page >= 1);
+            assert!(per_page * size <= crate::pages::PAGE_USABLE_SIZE);
+        }
     }
 
     proptest! {

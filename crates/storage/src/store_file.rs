@@ -117,15 +117,34 @@ pub struct RecordStore<R: Record> {
 impl<R: Record> RecordStore<R> {
     /// Opens (creating if necessary) the store file `<dir>/<file_name>` and
     /// its `.id` sidecar, keeping up to `cache_pages` pages in memory.
+    /// Page checksums are verified on fault-in; use
+    /// [`RecordStore::open_with`] to opt out.
     pub fn open(dir: impl AsRef<Path>, file_name: &str, cache_pages: usize) -> Result<Self> {
+        Self::open_with(dir, file_name, cache_pages, true)
+    }
+
+    /// [`RecordStore::open`] with an explicit choice of fault-in checksum
+    /// verification.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        file_name: &str,
+        cache_pages: usize,
+        verify_on_read: bool,
+    ) -> Result<Self> {
         let dir = dir.as_ref();
-        let cache = PageCache::open(dir.join(file_name), cache_pages)?;
+        let cache = PageCache::open_with(dir.join(file_name), cache_pages, verify_on_read)?;
         let ids = IdAllocator::open(dir.join(format!("{file_name}.id")))?;
         Ok(RecordStore {
             cache,
             ids,
             _marker: std::marker::PhantomData,
         })
+    }
+
+    /// The page cache backing this store, for integrity plumbing (trailer
+    /// stamps, recovery suspect mode, fault injection, verifier walks).
+    pub fn page_cache(&self) -> &PageCache {
+        &self.cache
     }
 
     /// Allocates a fresh record ID (reusing freed slots when possible).
@@ -365,7 +384,7 @@ mod tests {
         let dir = TempDir::new("record_store_pages");
         let store: RecordStore<PropertyRecord> =
             RecordStore::open(dir.path(), "props.db", 4).unwrap();
-        let per_page = crate::pages::PAGE_SIZE / PROPERTY_RECORD_SIZE;
+        let per_page = crate::pages::records_per_page(PROPERTY_RECORD_SIZE) as usize;
         let total = per_page * 5 + 3;
         for i in 0..total as u64 {
             let id = store.allocate_id();

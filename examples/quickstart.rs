@@ -9,9 +9,15 @@ use graphsi_core::test_support::TempDir;
 use graphsi_core::{DbConfig, Direction, GraphDb, PropertyValue, Result};
 
 fn main() -> Result<()> {
-    // A throw-away directory; point this at a real path to keep the data.
+    // A throw-away directory by default; pass a path as the first
+    // argument to keep the store (CI seeds the `graphsi-admin verify`
+    // gate this way).
+    let arg_dir = std::env::args().nth(1);
     let dir = TempDir::new("quickstart");
-    let db = GraphDb::open(dir.path(), DbConfig::default())?;
+    let store_path = arg_dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| dir.path().to_path_buf());
+    let db = GraphDb::open(&store_path, DbConfig::default())?;
 
     // --- Write transaction -------------------------------------------------
     let mut tx = db.begin();
